@@ -1,0 +1,25 @@
+//! `cargo bench` entry point: regenerates every paper table and figure at
+//! the configured scale and prints the series (see also the `figures`
+//! binary for selective runs).
+
+use recssd_bench::experiments as ex;
+use recssd_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    ex::table1_params::run().print();
+    ex::fig03_reuse_cdf::run(scale).print();
+    ex::fig04_page_cache::run(scale).print();
+    ex::fig05_sls_dram_vs_ssd::run(scale).print();
+    ex::fig06_e2e_dram_vs_ssd::run(scale).print();
+    ex::fig08_sls_breakdown::run(scale).print();
+    ex::fig09_naive_ndp::run(scale).print();
+    ex::fig10_caching::run(scale, ex::fig10_caching::Variant::SsdCache).print();
+    ex::fig10_caching::run(scale, ex::fig10_caching::Variant::Partitioned).print();
+    ex::fig11_sensitivity::run_feature_quant(scale).print();
+    ex::fig11_sensitivity::run_indices_tables(scale).print();
+    ex::ablations::run_arm_speed(scale).print();
+    ex::ablations::run_ssd_cache_capacity(scale).print();
+    ex::ablations::run_io_concurrency(scale).print();
+    ex::ablations::run_pipelining(scale).print();
+}

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the building blocks on the hot paths:
+//! cache operations, deterministic RNG, trace sampling, quantization and
+//! a full small NDP SLS round trip through the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recssd::{OpKind, RecSsdConfig, SlsOptions, System};
+use recssd_cache::{DirectMappedCache, LruCache};
+use recssd_embedding::{
+    EmbeddingTable, LookupBatch, PageLayout, Quantization, TableImage, TableSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+use recssd_trace::{LocalityK, LocalityTrace, ZipfTrace};
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("lru_cache_get_insert", |b| {
+        let mut cache = LruCache::new(2048);
+        let mut rng = Xoshiro256::seed_from(1);
+        b.iter(|| {
+            let key = rng.gen_range(0..4096);
+            if cache.get(&key).is_none() {
+                cache.insert(key, key);
+            }
+            black_box(cache.len())
+        })
+    });
+    c.bench_function("direct_mapped_get_insert", |b| {
+        let mut cache: DirectMappedCache<u64> = DirectMappedCache::new(2048);
+        let mut rng = Xoshiro256::seed_from(2);
+        b.iter(|| {
+            let key = rng.gen_range(0..4096);
+            if cache.get(key).is_none() {
+                cache.insert(key, key);
+            }
+            black_box(cache.len())
+        })
+    });
+}
+
+fn bench_traces(c: &mut Criterion) {
+    c.bench_function("locality_trace_next_id", |b| {
+        let mut t = LocalityTrace::with_k(1_000_000, LocalityK::K1, 3);
+        b.iter(|| black_box(t.next_id()))
+    });
+    c.bench_function("zipf_trace_next_id", |b| {
+        let mut z = ZipfTrace::new(100_000_000, 1.2, 4);
+        b.iter(|| black_box(z.next_id()))
+    });
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 64.0).collect();
+    for q in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+        let mut buf = vec![0u8; q.row_bytes(64)];
+        c.bench_function(&format!("quant_encode_decode_{q:?}"), |b| {
+            b.iter(|| {
+                q.encode(&vals, &mut buf);
+                black_box(q.decode(&buf, 64))
+            })
+        });
+    }
+}
+
+fn bench_ndp_round_trip(c: &mut Criterion) {
+    c.bench_function("ndp_sls_small_end_to_end", |b| {
+        b.iter(|| {
+            let mut sys = System::new(RecSsdConfig::small());
+            let spec = TableSpec::new(500, 32, Quantization::F32);
+            let table = sys.add_table(TableImage::new(
+                EmbeddingTable::procedural(spec, 1),
+                PageLayout::Spread,
+                16 * 1024,
+            ));
+            let batch = LookupBatch::new(vec![vec![1, 99, 250], vec![400, 7]]);
+            let op = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+            sys.run_until_idle();
+            black_box(sys.result(op).outputs.clone())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_caches, bench_traces, bench_quant, bench_ndp_round_trip
+}
+criterion_main!(benches);

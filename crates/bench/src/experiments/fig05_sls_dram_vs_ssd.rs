@@ -1,0 +1,77 @@
+//! Figure 5: standalone SLS latency, DRAM vs. COTS SSD, over batch size.
+//!
+//! Paper (§3.2): "The embedding table has one million rows, with an
+//! embedding vector dimension of 32, and 80 lookups per table ...
+//! compared to the DRAM baseline, accessing embedding tables stored in
+//! the SSD incurs three orders of magnitude longer latencies."
+
+use recssd::{OpKind, SlsOptions};
+use recssd_embedding::{PageLayout, Quantization};
+use recssd_sim::rng::Xoshiro256;
+
+use crate::experiments::{add_table, cosmos_system, ms, uniform_batch, x};
+use crate::{Scale, Series};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "Figure 5: SparseLengthsSum latency, DRAM vs SSD (1M x 32 table, 80 lookups)",
+        &["batch", "dram_ms", "ssd_ms", "slowdown"],
+    );
+    let rows = 1_000_000u64;
+    let mut sys = cosmos_system(0);
+    let table = add_table(&mut sys, rows, 32, Quantization::F32, PageLayout::Spread, 5);
+    let mut rng = Xoshiro256::seed_from(55);
+    let batches: &[usize] = if scale.reps >= 5 {
+        &[8, 16, 32, 64, 128, 256]
+    } else {
+        &[8, 32, 64, 128]
+    };
+    for &batch in batches {
+        let b = uniform_batch(&mut rng, rows, batch, 80);
+        let dram = sys.submit(OpKind::dram_sls(table, b.clone()));
+        sys.run_until_idle();
+        sys.device_mut().ftl_mut().drop_caches();
+        let ssd = sys.submit(OpKind::baseline_sls(
+            table,
+            b,
+            SlsOptions {
+                io_concurrency: 32,
+                ..SlsOptions::default()
+            },
+        ));
+        sys.run_until_idle();
+        let t_dram = sys.result(dram).service_time();
+        let t_ssd = sys.result(ssd).service_time();
+        series.push(vec![
+            batch.to_string(),
+            ms(t_dram),
+            ms(t_ssd),
+            x(t_ssd.as_ns() as f64 / t_dram.as_ns() as f64),
+        ]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy: run with --release")]
+    fn ssd_is_orders_of_magnitude_slower() {
+        let s = run(Scale::quick());
+        for row in &s.rows {
+            let slowdown: f64 = row[3].parse().unwrap();
+            assert!(
+                slowdown > 100.0,
+                "batch {}: SSD slowdown should be orders of magnitude, got {slowdown}",
+                row[0]
+            );
+        }
+        // Latency grows with batch for both systems.
+        let first_ssd: f64 = s.rows.first().unwrap()[2].parse().unwrap();
+        let last_ssd: f64 = s.rows.last().unwrap()[2].parse().unwrap();
+        assert!(last_ssd > first_ssd);
+    }
+}

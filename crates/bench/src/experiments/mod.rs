@@ -1,0 +1,18 @@
+//! One module per paper table/figure. Each `run(scale)` regenerates the
+//! corresponding rows/series (see EXPERIMENTS.md for the index and the
+//! paper-vs-measured record).
+
+pub mod ablations;
+pub mod fig03_reuse_cdf;
+pub mod fig04_page_cache;
+pub mod fig05_sls_dram_vs_ssd;
+pub mod fig06_e2e_dram_vs_ssd;
+pub mod fig08_sls_breakdown;
+pub mod fig09_naive_ndp;
+pub mod fig10_caching;
+pub mod fig11_sensitivity;
+pub mod table1_params;
+
+mod common;
+
+pub use common::*;

@@ -1,0 +1,40 @@
+//! Table 1: differentiating benchmark parameters of RM1/RM2/RM3.
+
+use recssd_models::ModelConfig;
+
+use crate::Series;
+
+/// Regenerates Table 1.
+pub fn run() -> Series {
+    let mut series = Series::new(
+        "Table 1: differentiating benchmark parameters",
+        &["benchmark", "feature_size", "indices", "table_count"],
+    );
+    for m in ModelConfig::table1() {
+        series.push(vec![
+            m.name.replace("DLRM-RMC", "RM"),
+            m.dim.to_string(),
+            m.lookups_per_table.to_string(),
+            m.tables.to_string(),
+        ]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_exactly() {
+        let s = run();
+        assert_eq!(
+            s.rows,
+            vec![
+                vec!["RM1".to_string(), "32".into(), "80".into(), "8".into()],
+                vec!["RM2".to_string(), "64".into(), "120".into(), "32".into()],
+                vec!["RM3".to_string(), "32".into(), "20".into(), "10".into()],
+            ]
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Direct-mapped cache keyed by `u64`, modelling the SSD-side embedding
+//! cache of §4.2.
+
+use recssd_sim::rng::mix64;
+use recssd_sim::stats::HitStats;
+
+/// A direct-mapped cache: each key hashes to exactly one slot; a colliding
+/// insert silently replaces the previous resident.
+///
+/// The paper's firmware uses this shape deliberately: "The SSD FTL is
+/// designed without dynamic memory allocation ... the cost of maintaining
+/// LRU or pseudo LRU information on every access must be balanced against
+/// cache hit-rate gains. For the current evaluations we implement a
+/// direct-mapped SSD-side DRAM cache." Slot storage here is likewise
+/// allocated once, up front.
+///
+/// # Example
+///
+/// ```
+/// use recssd_cache::DirectMappedCache;
+/// let mut c: DirectMappedCache<&str> = DirectMappedCache::new(1024);
+/// c.insert(42, "vector");
+/// assert_eq!(c.get(42), Some(&"vector"));
+/// assert_eq!(c.get(43), None);
+/// ```
+#[derive(Debug)]
+pub struct DirectMappedCache<V> {
+    slots: Vec<Option<(u64, V)>>,
+    stats: HitStats,
+}
+
+impl<V> DirectMappedCache<V> {
+    /// Creates a cache with `slots` slots, all empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "direct-mapped cache needs at least one slot");
+        DirectMappedCache {
+            slots: (0..slots).map(|_| None).collect(),
+            stats: HitStats::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` if every slot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Accumulated hit/miss statistics (updated by
+    /// [`DirectMappedCache::get`]).
+    pub fn stats(&self) -> HitStats {
+        self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        (mix64(key) % self.slots.len() as u64) as usize
+    }
+
+    /// Looks up `key`, recording a hit or miss. A different key resident in
+    /// the same slot is a miss (conflict).
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let slot = self.slot_of(key);
+        match &self.slots[slot] {
+            Some((k, _)) if *k == key => {
+                self.stats.hit();
+                self.slots[slot].as_ref().map(|(_, v)| v)
+            }
+            _ => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without statistics side effects.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        match &self.slots[self.slot_of(key)] {
+            Some((k, v)) if *k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Inserts `key → value`, returning whatever previously occupied the
+    /// slot (possibly a different key — a conflict eviction).
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        let slot = self.slot_of(key);
+        self.slots[slot].replace((key, value))
+    }
+
+    /// Removes `key` if it is the slot's resident.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let slot = self.slot_of(key);
+        match &self.slots[slot] {
+            Some((k, _)) if *k == key => self.slots[slot].take().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Empties every slot, keeping statistics.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut c: DirectMappedCache<u32> = DirectMappedCache::new(64);
+        assert!(c.is_empty());
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.peek(1), Some(&10));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_keys_evict_each_other() {
+        let mut c: DirectMappedCache<u32> = DirectMappedCache::new(4);
+        // Find a key that collides with key 0.
+        let collide = (1..100_000u64)
+            .find(|&k| {
+                recssd_sim::rng::mix64(k) % 4 == recssd_sim::rng::mix64(0) % 4
+            })
+            .expect("collision exists in a 4-slot cache");
+        c.insert(0, 1);
+        let evicted = c.insert(collide, 2);
+        assert_eq!(evicted, Some((0, 1)));
+        assert_eq!(c.get(0), None, "conflict evicted key 0");
+        assert_eq!(c.get(collide), Some(&2));
+    }
+
+    #[test]
+    fn wrong_key_in_slot_is_a_miss() {
+        let mut c: DirectMappedCache<u32> = DirectMappedCache::new(1);
+        c.insert(7, 70);
+        assert_eq!(c.get(8), None);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.get(7), Some(&70));
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn remove_only_removes_matching_key() {
+        let mut c: DirectMappedCache<u32> = DirectMappedCache::new(1);
+        c.insert(7, 70);
+        assert_eq!(c.remove(8), None);
+        assert_eq!(c.remove(7), Some(70));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut c: DirectMappedCache<u32> = DirectMappedCache::new(8);
+        c.insert(1, 1);
+        c.get(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits(), 1, "clear keeps stats");
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn hit_rate_below_lru_for_skewed_reuse() {
+        // A direct-mapped cache of the same capacity must not beat full LRU
+        // on a small looping working set (the effect Figure 10 shows:
+        // "the direct mapped caching hit rate cannot match that of the more
+        // complex fully associative LRU cache").
+        use crate::LruCache;
+        use recssd_sim::rng::Xoshiro256;
+        let cap = 64;
+        let mut dm: DirectMappedCache<()> = DirectMappedCache::new(cap);
+        let mut lru = LruCache::new(cap);
+        let mut rng = Xoshiro256::seed_from(11);
+        // Working set slightly smaller than the cache: LRU gets ~100%.
+        for _ in 0..20_000 {
+            let key = rng.gen_range(0..48);
+            if dm.get(key).is_none() {
+                dm.insert(key, ());
+            }
+            if lru.get(&key).is_none() {
+                lru.insert(key, ());
+            }
+        }
+        assert!(
+            lru.stats().hit_rate() > dm.stats().hit_rate(),
+            "LRU {:.3} should beat direct-mapped {:.3}",
+            lru.stats().hit_rate(),
+            dm.stats().hit_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _: DirectMappedCache<()> = DirectMappedCache::new(0);
+    }
+}

@@ -1,0 +1,282 @@
+//! N-way set-associative LRU cache keyed by `u64`.
+
+use recssd_sim::rng::mix64;
+use recssd_sim::stats::HitStats;
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    key: u64,
+    value: V,
+    last_used: u64,
+}
+
+/// An N-way set-associative cache with per-set LRU replacement.
+///
+/// This is the structure behind the Figure 4 characterisation: "a 16-way,
+/// LRU, 4KB page cache of varying cache capacities". Keys are hashed
+/// (SplitMix64) into sets; within a set, replacement is exact LRU over at
+/// most `ways` entries.
+///
+/// # Example
+///
+/// ```
+/// use recssd_cache::SetAssocCache;
+/// // 64 entries total, 16-way => 4 sets.
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(64, 16);
+/// assert_eq!(c.sets(), 4);
+/// c.insert(1, 100);
+/// assert_eq!(c.get(1), Some(&100));
+/// assert_eq!(c.get(2), None);
+/// assert_eq!(c.stats().hit_rate(), 0.5);
+/// ```
+#[derive(Debug)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+    tick: u64,
+    stats: HitStats,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache with `capacity` total entries organised as
+    /// `capacity / ways` sets of `ways` entries. `capacity` is rounded up
+    /// to a whole number of sets (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(capacity: usize, ways: usize) -> Self {
+        assert!(ways > 0, "set-associative cache needs at least one way");
+        let n_sets = capacity.div_ceil(ways).max(1);
+        SetAssocCache {
+            sets: (0..n_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            stats: HitStats::new(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    /// Accumulated hit/miss statistics (updated by [`SetAssocCache::get`]
+    /// and [`SetAssocCache::access`]).
+    pub fn stats(&self) -> HitStats {
+        self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (mix64(key) % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `key`, refreshing its LRU position and recording hit/miss.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        match self.sets[set].iter_mut().find(|w| w.key == key) {
+            Some(way) => {
+                way.last_used = tick;
+                self.stats.hit();
+                Some(&way.value)
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the set's LRU way if the set is
+    /// full. Returns the evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        let ways = &mut self.sets[set];
+        if let Some(way) = ways.iter_mut().find(|w| w.key == key) {
+            let old = std::mem::replace(&mut way.value, value);
+            way.last_used = tick;
+            return Some((key, old));
+        }
+        let evicted = if ways.len() == self.ways {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let victim = ways.swap_remove(lru);
+            Some((victim.key, victim.value))
+        } else {
+            None
+        };
+        ways.push(Way {
+            key,
+            value,
+            last_used: tick,
+        });
+        evicted
+    }
+
+    /// Cache-simulation convenience: a `get` that, on miss, inserts
+    /// `fill()`. Returns `true` on hit. This is the access pattern of the
+    /// Figure 4 sweep.
+    pub fn access(&mut self, key: u64, fill: impl FnOnce() -> V) -> bool {
+        if self.get(key).is_some() {
+            true
+        } else {
+            self.insert(key, fill());
+            false
+        }
+    }
+
+    /// `true` if `key` is resident (no side effects).
+    pub fn contains(&self, key: u64) -> bool {
+        self.sets[self.set_of(key)].iter().any(|w| w.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(32, 4);
+        c.insert(10, 100);
+        assert_eq!(c.get(10), Some(&100));
+        assert!(c.contains(10));
+        assert!(!c.contains(11));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn rounds_capacity_up_to_whole_sets() {
+        let c: SetAssocCache<()> = SetAssocCache::new(100, 16);
+        assert_eq!(c.sets(), 7);
+        assert_eq!(c.capacity(), 112);
+        let tiny: SetAssocCache<()> = SetAssocCache::new(1, 16);
+        assert_eq!(tiny.sets(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_within_set() {
+        // One set => behaves as fully associative LRU of `ways` entries.
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(2, 2);
+        assert_eq!(c.sets(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.get(1);
+        let evicted = c.insert(3, 3);
+        assert_eq!(evicted, Some((2, 2)));
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn reinsert_replaces_value() {
+        let mut c: SetAssocCache<&str> = SetAssocCache::new(4, 2);
+        c.insert(5, "a");
+        let old = c.insert(5, "b");
+        assert_eq!(old, Some((5, "a")));
+        assert_eq!(c.get(5), Some(&"b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn access_fills_on_miss() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(16, 4);
+        assert!(!c.access(7, || 70));
+        assert!(c.access(7, || unreachable!("must not refill on hit")));
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn conflict_misses_appear_with_low_associativity() {
+        // Direct-mapped-like behaviour with 1 way: keys mapping to the same
+        // set evict each other even though the cache is mostly empty.
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(4, 1);
+        // Find two keys that collide in the same set.
+        let base = 0u64;
+        let collide = (1..10_000u64)
+            .find(|&k| {
+                mix64(k) % c.sets() as u64 == mix64(base) % c.sets() as u64
+            })
+            .expect("collision exists");
+        c.insert(base, 1);
+        c.insert(collide, 2);
+        assert!(!c.contains(base), "1-way set must have evicted the first key");
+        assert!(c.contains(collide));
+    }
+
+    #[test]
+    fn higher_associativity_improves_looping_hit_rate() {
+        // A classic LRU-thrashing loop: N+1 distinct keys looped through an
+        // N-entry structure. More ways shift where misses land; a
+        // fully-associative LRU gets zero hits while a set-associative one
+        // retains some.
+        let total = 16;
+        let keys: Vec<u64> = (0..(total + 1) as u64).collect();
+        let mut full: SetAssocCache<()> = SetAssocCache::new(total, total);
+        let mut set4: SetAssocCache<()> = SetAssocCache::new(total, 4);
+        for _ in 0..50 {
+            for &k in &keys {
+                full.access(k, || ());
+                set4.access(k, || ());
+            }
+        }
+        assert_eq!(
+            full.stats().hits(),
+            0,
+            "fully associative LRU thrashes on loop of capacity+1"
+        );
+        assert!(
+            set4.stats().hits() > 0,
+            "set-associative cache escapes whole-loop thrash"
+        );
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2);
+        c.get(1);
+        assert_eq!(c.stats().misses(), 1);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _: SetAssocCache<()> = SetAssocCache::new(16, 0);
+    }
+}

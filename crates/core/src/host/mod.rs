@@ -1,0 +1,6 @@
+//! The host side of RecSSD: the simulated host system and its SLS
+//! operator implementations.
+
+mod system;
+
+pub use system::{OpId, OpKind, OpResult, SlsOptions, System};

@@ -1,0 +1,1045 @@
+//! The simulated host: worker pools, operator state machines and the
+//! global event loop tying host and device together.
+//!
+//! The paper's host runtime (§4.2) uses "a threadpool of SLS workers to
+//! fetch embeddings and feed post-SLS embeddings to neural network
+//! workers", with the SLS worker count matched to the driver's I/O queues.
+//! [`System`] reproduces that: SLS operators occupy an *SLS worker* (a
+//! UNVMe polling thread bound to an NVMe queue pair) for their duration;
+//! dense compute occupies an *NN worker*. Operators are state machines
+//! advanced by device completions and host-compute timer events, all on
+//! one deterministic virtual clock.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use recssd_cache::{LruCache, StaticPartition};
+use recssd_embedding::{LookupBatch, TableId, TableImage};
+use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeStatus};
+use recssd_sim::{EventQueue, SimDuration, SimTime};
+use recssd_ssd::{SsdDevice, SsdEvent};
+
+use crate::ndp::NdpSlsEngine;
+use crate::{RecSsdConfig, SlsConfig, TableRegistry};
+
+/// Identifier of a submitted operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(u64);
+
+/// Per-operator options for the SSD-backed SLS implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlsOptions {
+    /// Outstanding NVMe reads a baseline SLS keeps in flight. The paper's
+    /// *naive* configuration (Fig. 9, no pipelining) uses a small window;
+    /// the optimised configuration (Fig. 10) uses a deep one.
+    pub io_concurrency: usize,
+    /// Baseline only: consult/fill the host-DRAM LRU vector cache
+    /// (enable per table with [`System::enable_host_cache`]).
+    pub use_host_cache: bool,
+    /// NDP only: split hot rows to host DRAM via the static partition
+    /// (install per table with [`System::set_partition`]).
+    pub use_partition: bool,
+}
+
+impl Default for SlsOptions {
+    fn default() -> Self {
+        SlsOptions {
+            io_concurrency: 16,
+            use_host_cache: false,
+            use_partition: false,
+        }
+    }
+}
+
+impl SlsOptions {
+    /// The paper's naive configuration: shallow I/O window, no caching.
+    pub fn naive() -> Self {
+        SlsOptions {
+            io_concurrency: 3,
+            use_host_cache: false,
+            use_partition: false,
+        }
+    }
+}
+
+/// An operator to run on the simulated host.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// SLS with the table in host DRAM (the Fig. 5/6 DRAM baseline).
+    DramSls {
+        /// Target table.
+        table: TableId,
+        /// The lookups.
+        batch: LookupBatch,
+    },
+    /// SLS over conventional NVMe reads with host-side accumulation
+    /// (the COTS-SSD baseline).
+    BaselineSls {
+        /// Target table.
+        table: TableId,
+        /// The lookups.
+        batch: LookupBatch,
+        /// I/O and caching options.
+        opts: SlsOptions,
+    },
+    /// The RecSSD offload: config-write + result-read NDP commands.
+    NdpSls {
+        /// Target table.
+        table: TableId,
+        /// The lookups.
+        batch: LookupBatch,
+        /// Partitioning options.
+        opts: SlsOptions,
+    },
+    /// Dense host compute (FC layers, feature interactions): timed by the
+    /// host cost model, no functional output.
+    HostCompute {
+        /// Floating-point operations.
+        flops: f64,
+        /// Bytes streamed from memory.
+        bytes: f64,
+    },
+}
+
+impl OpKind {
+    /// Convenience constructor for [`OpKind::DramSls`].
+    pub fn dram_sls(table: TableId, batch: LookupBatch) -> Self {
+        OpKind::DramSls { table, batch }
+    }
+
+    /// Convenience constructor for [`OpKind::BaselineSls`].
+    pub fn baseline_sls(table: TableId, batch: LookupBatch, opts: SlsOptions) -> Self {
+        OpKind::BaselineSls { table, batch, opts }
+    }
+
+    /// Convenience constructor for [`OpKind::NdpSls`].
+    pub fn ndp_sls(table: TableId, batch: LookupBatch, opts: SlsOptions) -> Self {
+        OpKind::NdpSls { table, batch, opts }
+    }
+
+    /// Convenience constructor for [`OpKind::HostCompute`].
+    pub fn host_compute(flops: f64, bytes: f64) -> Self {
+        OpKind::HostCompute { flops, bytes }
+    }
+
+    fn pool(&self) -> PoolKind {
+        match self {
+            OpKind::HostCompute { .. } => PoolKind::Nn,
+            _ => PoolKind::Sls,
+        }
+    }
+}
+
+/// Outcome of a finished operator.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    /// SLS outputs (one vector per output slot); `None` for host compute.
+    pub outputs: Option<Vec<Vec<f32>>>,
+    /// When the operator was submitted.
+    pub submitted: SimTime,
+    /// When it acquired a worker and began executing.
+    pub started: SimTime,
+    /// When it completed.
+    pub finished: SimTime,
+}
+
+impl OpResult {
+    /// Submission-to-completion latency (includes queueing for a worker).
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.submitted)
+    }
+
+    /// Execution time excluding worker queueing.
+    pub fn service_time(&self) -> SimDuration {
+        self.finished.saturating_since(self.started)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolKind {
+    Sls,
+    Nn,
+}
+
+#[derive(Debug)]
+struct Pool {
+    free: Vec<usize>,
+    ready: VecDeque<OpId>,
+    bound: Vec<Option<OpId>>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        Pool {
+            free: (0..workers).rev().collect(),
+            ready: VecDeque::new(),
+            bound: vec![None; workers],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SysEvent {
+    Dev(SsdEvent),
+    Worker { pool: PoolKind, worker: usize },
+}
+
+#[derive(Debug)]
+struct BaseIo {
+    /// Remaining `(relative page, work items)` to issue, in page order.
+    pages: Vec<(u64, Vec<(usize, u32)>)>,
+    next: usize,
+    outstanding: HashMap<u16, usize>, // cid → index into `pages`
+    backlog: VecDeque<usize>,
+    accum_current: Option<(usize, Box<[u8]>)>,
+    data: HashMap<usize, Box<[u8]>>,
+    pages_done: usize,
+    io_concurrency: usize,
+    use_host_cache: bool,
+}
+
+#[derive(Debug)]
+struct NdpPlan {
+    cold_cfg: SlsConfig,
+    hot_pairs: Vec<(u64, u32)>,
+    request_id: u64,
+    result_data: Option<Box<[u8]>>,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Pending,
+    Compute,
+    BasePrep,
+    BaseIo(BaseIo),
+    NdpPrep,
+    NdpHotGather,
+    NdpAwaitWrite,
+    NdpAwaitRead,
+    NdpMerge,
+}
+
+#[derive(Debug)]
+struct Op {
+    kind: OpKind,
+    phase: Phase,
+    pool: PoolKind,
+    worker: Option<usize>,
+    deps_left: usize,
+    dependents: Vec<OpId>,
+    submitted: SimTime,
+    started: SimTime,
+    outputs: Vec<Vec<f32>>,
+    ndp: Option<NdpPlan>,
+    qid: u16,
+}
+
+/// The simulated host + device system. See the [crate docs](crate) for a
+/// quickstart.
+#[derive(Debug)]
+pub struct System {
+    cfg: RecSsdConfig,
+    dev: SsdDevice<NdpSlsEngine>,
+    q: EventQueue<SysEvent>,
+    sls: Pool,
+    nn: Pool,
+    ops: HashMap<OpId, Op>,
+    next_op: u64,
+    next_cid: Vec<u16>,
+    pending_cmd: HashMap<(u16, u16), OpId>,
+    registry: TableRegistry,
+    host_caches: HashMap<u32, LruCache<u64, Arc<[f32]>>>,
+    partitions: HashMap<u32, StaticPartition>,
+    partition_stats: HashMap<u32, recssd_cache::HitStats>,
+    next_request: u64,
+    results: HashMap<OpId, OpResult>,
+}
+
+impl System {
+    /// Builds a system: device + NDP engine + host model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: RecSsdConfig) -> Self {
+        cfg.validate();
+        let dev = SsdDevice::with_engine(cfg.ssd.clone(), NdpSlsEngine::new(cfg.ndp.clone()));
+        let io_queues = cfg.ssd.io_queues;
+        System {
+            dev,
+            q: EventQueue::new(),
+            sls: Pool::new(cfg.host.sls_workers),
+            nn: Pool::new(cfg.host.nn_workers),
+            ops: HashMap::new(),
+            next_op: 0,
+            next_cid: vec![0; io_queues],
+            pending_cmd: HashMap::new(),
+            registry: TableRegistry::new(cfg.ndp.table_align),
+            host_caches: HashMap::new(),
+            partitions: HashMap::new(),
+            partition_stats: HashMap::new(),
+            next_request: 0,
+            results: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &RecSsdConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// The simulated device (statistics, FTL access).
+    pub fn device(&self) -> &SsdDevice<NdpSlsEngine> {
+        &self.dev
+    }
+
+    /// Mutable device access (cache drops, statistic resets).
+    pub fn device_mut(&mut self) -> &mut SsdDevice<NdpSlsEngine> {
+        &mut self.dev
+    }
+
+    /// The table registry.
+    pub fn registry(&self) -> &TableRegistry {
+        &self.registry
+    }
+
+    /// Registers a table and preloads its image onto the device.
+    pub fn add_table(&mut self, image: TableImage) -> TableId {
+        let id = self.registry.register(image);
+        self.registry.bind_to_device(id, &mut self.dev);
+        id
+    }
+
+    /// Enables the baseline's host-DRAM LRU vector cache for `table` with
+    /// the given entry capacity (§5 uses 2 K entries per table).
+    pub fn enable_host_cache(&mut self, table: TableId, entries: usize) {
+        self.host_caches.insert(table.0, LruCache::new(entries));
+    }
+
+    /// Hit statistics of the host LRU cache for `table`, if enabled.
+    pub fn host_cache_stats(&self, table: TableId) -> Option<recssd_cache::HitStats> {
+        self.host_caches.get(&table.0).map(|c| c.stats())
+    }
+
+    /// Installs a static hot-row partition for `table` (used by NDP ops
+    /// with [`SlsOptions::use_partition`]).
+    pub fn set_partition(&mut self, table: TableId, partition: StaticPartition) {
+        self.partitions.insert(table.0, partition);
+    }
+
+    /// Hit statistics of the static partition for `table` (a "hit" is a
+    /// lookup served from host DRAM) — the percentages annotated above
+    /// the Fig. 10(d–f) bars.
+    pub fn partition_stats(&self, table: TableId) -> Option<recssd_cache::HitStats> {
+        self.partition_stats.get(&table.0).copied()
+    }
+
+    /// Resets host-side cache and partition statistics (between warm-up
+    /// and measurement phases).
+    pub fn reset_host_stats(&mut self) {
+        for c in self.host_caches.values_mut() {
+            c.reset_stats();
+        }
+        self.partition_stats.clear();
+    }
+
+    /// Submits an operator with no dependencies.
+    pub fn submit(&mut self, kind: OpKind) -> OpId {
+        self.submit_after(kind, &[])
+    }
+
+    /// Submits an operator that starts only after `deps` complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is unknown.
+    pub fn submit_after(&mut self, kind: OpKind, deps: &[OpId]) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        let pool = kind.pool();
+        let mut deps_left = 0;
+        for &d in deps {
+            if self.results.contains_key(&d) {
+                continue; // already finished
+            }
+            let dep = self.ops.get_mut(&d).expect("unknown dependency");
+            dep.dependents.push(id);
+            deps_left += 1;
+        }
+        let op = Op {
+            kind,
+            phase: Phase::Pending,
+            pool,
+            worker: None,
+            deps_left,
+            dependents: Vec::new(),
+            submitted: self.q.now(),
+            started: self.q.now(),
+            outputs: Vec::new(),
+            ndp: None,
+            qid: 0,
+        };
+        self.ops.insert(id, op);
+        if deps_left == 0 {
+            self.pool_mut(pool).ready.push_back(id);
+            self.dispatch(pool);
+        }
+        id
+    }
+
+    /// The result of a finished operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator has not completed (call
+    /// [`System::run_until_idle`] first).
+    pub fn result(&self, op: OpId) -> &OpResult {
+        self.results
+            .get(&op)
+            .expect("operator not finished; run_until_idle() first")
+    }
+
+    /// Drives the event loop until nothing remains in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operators are still pending when events run out (a
+    /// dependency cycle or an operator stuck waiting).
+    pub fn run_until_idle(&mut self) {
+        while let Some((now, ev)) = self.q.pop() {
+            match ev {
+                SysEvent::Dev(dev_ev) => {
+                    {
+                        let Self { dev, q, .. } = self;
+                        dev.handle(now, dev_ev, &mut |d, e| {
+                            q.push_after(d, SysEvent::Dev(e))
+                        });
+                    }
+                    self.poll_completions(now);
+                }
+                SysEvent::Worker { pool, worker } => {
+                    self.on_worker_event(now, pool, worker);
+                }
+            }
+        }
+        assert!(
+            self.ops.is_empty(),
+            "operators stuck with no pending events: {:?}",
+            self.ops.keys().collect::<Vec<_>>()
+        );
+        assert!(self.dev.idle(), "device busy with no pending events");
+    }
+
+    fn pool_mut(&mut self, pool: PoolKind) -> &mut Pool {
+        match pool {
+            PoolKind::Sls => &mut self.sls,
+            PoolKind::Nn => &mut self.nn,
+        }
+    }
+
+    /// Assigns free workers to ready operators.
+    fn dispatch(&mut self, pool: PoolKind) {
+        loop {
+            let now = self.q.now();
+            let p = self.pool_mut(pool);
+            let (Some(&_), Some(_)) = (p.free.last(), p.ready.front()) else {
+                return;
+            };
+            let worker = p.free.pop().expect("checked");
+            let id = p.ready.pop_front().expect("checked");
+            p.bound[worker] = Some(id);
+            let op = self.ops.get_mut(&id).expect("ready op exists");
+            op.worker = Some(worker);
+            op.started = now;
+            op.qid = (worker % self.cfg.ssd.io_queues) as u16;
+            self.start_op(now, id);
+        }
+    }
+
+    /// Charges host compute on the op's worker; the continuation runs at
+    /// the matching [`SysEvent::Worker`].
+    fn charge(&mut self, op: OpId, dur: SimDuration) {
+        let o = &self.ops[&op];
+        let (pool, worker) = (o.pool, o.worker.expect("op holds a worker"));
+        self.q.push_after(dur, SysEvent::Worker { pool, worker });
+    }
+
+    fn host(&self) -> &crate::HostConfig {
+        &self.cfg.host
+    }
+
+    fn dram_time(&self, bytes: f64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes / self.host().dram_bytes_per_sec)
+    }
+
+    fn start_op(&mut self, _now: SimTime, id: OpId) {
+        let host = self.host().clone();
+        let op = self.ops.get_mut(&id).expect("op exists");
+        match &op.kind {
+            OpKind::DramSls { table, batch } => {
+                let image = self.registry.binding(*table).image.clone();
+                let lookups = batch.total_lookups();
+                let bytes = lookups as f64 * image.table().spec().row_bytes() as f64
+                    + (batch.outputs() * image.table().spec().dim * 4) as f64;
+                // Functional result: the golden reference.
+                op.outputs = recssd_embedding::sls_reference(image.table(), batch);
+                op.phase = Phase::Compute;
+                let dur = SimDuration::from_ns(
+                    host.op_overhead_ns + host.per_lookup_ns * lookups as u64,
+                ) + self.dram_time(bytes);
+                self.charge(id, dur);
+            }
+            OpKind::HostCompute { flops, bytes } => {
+                let compute = flops / host.gflops;
+                let memory = bytes / host.dram_bytes_per_sec;
+                op.phase = Phase::Compute;
+                let dur = SimDuration::from_ns(host.op_overhead_ns)
+                    + SimDuration::from_secs_f64(compute.max(memory));
+                self.charge(id, dur);
+            }
+            OpKind::BaselineSls { batch, .. } => {
+                let lookups = batch.total_lookups();
+                op.phase = Phase::BasePrep;
+                let dur =
+                    SimDuration::from_ns(host.op_overhead_ns + host.per_lookup_ns * lookups as u64);
+                self.charge(id, dur);
+            }
+            OpKind::NdpSls { batch, .. } => {
+                let lookups = batch.total_lookups();
+                op.phase = Phase::NdpPrep;
+                let dur =
+                    SimDuration::from_ns(host.op_overhead_ns + host.per_lookup_ns * lookups as u64);
+                self.charge(id, dur);
+            }
+        }
+    }
+
+    fn on_worker_event(&mut self, now: SimTime, pool: PoolKind, worker: usize) {
+        let id = self.pool_mut(pool).bound[worker].expect("worker event without bound op");
+        let phase = std::mem::replace(&mut self.ops.get_mut(&id).expect("op").phase, Phase::Pending);
+        match phase {
+            Phase::Compute => self.finish_op(now, id),
+            Phase::BasePrep => self.baseline_plan(now, id),
+            Phase::BaseIo(io) => self.baseline_accum_done(now, id, io),
+            Phase::NdpPrep => self.ndp_plan(now, id),
+            Phase::NdpHotGather => self.ndp_send_write(now, id),
+            Phase::NdpMerge => self.ndp_merge_done(now, id),
+            Phase::Pending | Phase::NdpAwaitWrite | Phase::NdpAwaitRead => {
+                unreachable!("worker event in a waiting phase")
+            }
+        }
+    }
+
+    // ----- baseline SLS -----
+
+    fn baseline_plan(&mut self, now: SimTime, id: OpId) {
+        let (table, batch, opts) = match &self.ops[&id].kind {
+            OpKind::BaselineSls { table, batch, opts } => (*table, batch.clone(), *opts),
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        assert!(
+            opts.io_concurrency >= 1 && opts.io_concurrency <= self.cfg.ssd.queue_depth,
+            "io_concurrency must be within the queue depth"
+        );
+        let image = self.registry.binding(table).image.clone();
+        let dim = image.table().spec().dim;
+        let row_bytes = image.table().spec().row_bytes();
+        let mut outputs = vec![vec![0.0f32; dim]; batch.outputs()];
+        let mut work: BTreeMap<u64, Vec<(usize, u32)>> = BTreeMap::new();
+        let cache = opts
+            .use_host_cache
+            .then(|| self.host_caches.get_mut(&table.0))
+            .flatten();
+        if let Some(cache) = cache {
+            for (slot, ids) in batch.per_output().iter().enumerate() {
+                for &row in ids {
+                    if let Some(vec) = cache.get(&row) {
+                        for (o, v) in outputs[slot].iter_mut().zip(vec.iter()) {
+                            *o += *v;
+                        }
+                    } else {
+                        let (page, off) = image.page_of_row(row);
+                        work.entry(page).or_default().push((off, slot as u32));
+                    }
+                }
+            }
+        } else {
+            for (slot, ids) in batch.per_output().iter().enumerate() {
+                for &row in ids {
+                    let (page, off) = image.page_of_row(row);
+                    work.entry(page).or_default().push((off, slot as u32));
+                }
+            }
+        }
+        let op = self.ops.get_mut(&id).expect("op");
+        op.outputs = outputs;
+        let _ = row_bytes;
+        if work.is_empty() {
+            self.finish_op(now, id);
+            return;
+        }
+        let mut io = BaseIo {
+            pages: work.into_iter().collect(),
+            next: 0,
+            outstanding: HashMap::new(),
+            backlog: VecDeque::new(),
+            accum_current: None,
+            data: HashMap::new(),
+            pages_done: 0,
+            io_concurrency: opts.io_concurrency,
+            use_host_cache: opts.use_host_cache,
+        };
+        self.baseline_issue(now, id, &mut io);
+        self.ops.get_mut(&id).expect("op").phase = Phase::BaseIo(io);
+    }
+
+    /// Issues page reads up to the concurrency window.
+    fn baseline_issue(&mut self, now: SimTime, id: OpId, io: &mut BaseIo) {
+        let table = match &self.ops[&id].kind {
+            OpKind::BaselineSls { table, .. } => *table,
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let base = self.registry.binding(table).base_lpn;
+        let qid = self.ops[&id].qid;
+        while io.outstanding.len() < io.io_concurrency && io.next < io.pages.len() {
+            let idx = io.next;
+            io.next += 1;
+            let (page, _) = io.pages[idx];
+            let cid = self.alloc_cid(qid);
+            io.outstanding.insert(cid, idx);
+            self.pending_cmd.insert((qid, cid), id);
+            self.submit_cmd(now, qid, NvmeCommand::read(cid, base + page, 1));
+        }
+    }
+
+    /// A page-read completion arrived for a baseline op.
+    fn baseline_on_page(&mut self, now: SimTime, id: OpId, cid: u16, data: Box<[u8]>) {
+        let mut phase = std::mem::replace(
+            &mut self.ops.get_mut(&id).expect("op").phase,
+            Phase::Pending,
+        );
+        {
+            let Phase::BaseIo(io) = &mut phase else {
+                unreachable!("completion outside BaseIo phase")
+            };
+            let idx = io.outstanding.remove(&cid).expect("tracked command");
+            io.data.insert(idx, data);
+            io.backlog.push_back(idx);
+            self.baseline_issue(now, id, io);
+            if io.accum_current.is_none() {
+                self.baseline_start_accum(id, io);
+            }
+        }
+        self.ops.get_mut(&id).expect("op").phase = phase;
+    }
+
+    /// Starts the host-side completion-processing + accumulate charge for
+    /// the next backlogged page.
+    fn baseline_start_accum(&mut self, id: OpId, io: &mut BaseIo) {
+        let Some(idx) = io.backlog.pop_front() else {
+            return;
+        };
+        let data = io.data.remove(&idx).expect("page data stored");
+        let vectors = io.pages[idx].1.len();
+        let host = self.host();
+        let table = match &self.ops[&id].kind {
+            OpKind::BaselineSls { table, .. } => *table,
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let row_bytes = self
+            .registry
+            .binding(table)
+            .image
+            .table()
+            .spec()
+            .row_bytes();
+        let dur = SimDuration::from_ns(host.sw_cmd_ns + host.per_lookup_ns * vectors as u64)
+            + self.dram_time((vectors * row_bytes) as f64);
+        io.accum_current = Some((idx, data));
+        self.charge(id, dur);
+    }
+
+    /// The accumulate charge finished: fold the page into the outputs.
+    fn baseline_accum_done(&mut self, now: SimTime, id: OpId, mut io: BaseIo) {
+        let (idx, data) = io.accum_current.take().expect("accumulating a page");
+        let table = match &self.ops[&id].kind {
+            OpKind::BaselineSls { table, .. } => *table,
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let image = self.registry.binding(table).image.clone();
+        let spec = image.table().spec();
+        let (page, work) = io.pages[idx].clone();
+        let cache = io
+            .use_host_cache
+            .then(|| self.host_caches.get_mut(&table.0))
+            .flatten();
+        let mut decoded: Vec<(u64, Arc<[f32]>)> = Vec::new();
+        for &(off, slot) in &work {
+            let vec = spec.quant.decode(&data[off..], spec.dim);
+            let out = &mut self.ops.get_mut(&id).expect("op").outputs[slot as usize];
+            for (o, v) in out.iter_mut().zip(&vec) {
+                *o += *v;
+            }
+            let row = page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
+            decoded.push((row, vec.into()));
+        }
+        if let Some(cache) = cache {
+            for (row, vec) in decoded {
+                cache.insert(row, vec);
+            }
+        }
+        io.pages_done += 1;
+        if io.backlog.is_empty() && io.outstanding.is_empty() && io.next == io.pages.len() {
+            debug_assert_eq!(io.pages_done, io.pages.len());
+            self.finish_op(now, id);
+            return;
+        }
+        self.baseline_start_accum(id, &mut io);
+        self.ops.get_mut(&id).expect("op").phase = Phase::BaseIo(io);
+    }
+
+    // ----- NDP SLS -----
+
+    fn ndp_plan(&mut self, now: SimTime, id: OpId) {
+        let (table, batch, opts) = match &self.ops[&id].kind {
+            OpKind::NdpSls { table, batch, opts } => (*table, batch.clone(), *opts),
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let binding = self.registry.binding(table);
+        let image = binding.image.clone();
+        let spec = image.table().spec();
+        let pairs = batch.pairs();
+        let (hot_pairs, cold_pairs): (Vec<_>, Vec<_>) = match opts
+            .use_partition
+            .then(|| self.partitions.get(&table.0))
+            .flatten()
+        {
+            Some(partition) => pairs.into_iter().partition(|(row, _)| partition.is_hot(*row)),
+            None => (Vec::new(), pairs),
+        };
+        if opts.use_partition {
+            let stats = self.partition_stats.entry(table.0).or_default();
+            stats.add_hits(hot_pairs.len() as u64);
+            stats.add_misses(cold_pairs.len() as u64);
+        }
+        let cold_cfg = SlsConfig {
+            dim: spec.dim as u32,
+            quant: spec.quant,
+            rows_per_page: image.rows_per_page() as u32,
+            n_results: batch.outputs() as u32,
+            pairs: cold_pairs,
+        };
+        let request_id = self.next_request % self.cfg.ndp.table_align;
+        self.next_request += 1;
+        let op = self.ops.get_mut(&id).expect("op");
+        op.outputs = vec![vec![0.0f32; spec.dim]; batch.outputs()];
+        op.ndp = Some(NdpPlan {
+            cold_cfg,
+            hot_pairs,
+            request_id,
+            result_data: None,
+        });
+        let plan = op.ndp.as_ref().expect("just set");
+        if plan.hot_pairs.is_empty() {
+            self.ndp_send_write(now, id);
+        } else {
+            // Gather the hot rows from host DRAM (the static partition).
+            let n = plan.hot_pairs.len();
+            let host = self.host();
+            let dur = SimDuration::from_ns(host.per_lookup_ns * n as u64)
+                + self.dram_time((n * spec.row_bytes()) as f64);
+            self.ops.get_mut(&id).expect("op").phase = Phase::NdpHotGather;
+            self.charge(id, dur);
+        }
+    }
+
+    /// Hot gather done (or skipped): fold hot partial sums in and send the
+    /// NDP config-write.
+    fn ndp_send_write(&mut self, now: SimTime, id: OpId) {
+        let table = match &self.ops[&id].kind {
+            OpKind::NdpSls { table, .. } => *table,
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let image = self.registry.binding(table).image.clone();
+        let base = self.registry.binding(table).base_lpn;
+        let align = self.cfg.ndp.table_align;
+        let op = self.ops.get_mut(&id).expect("op");
+        let plan = op.ndp.as_mut().expect("plan set");
+        // Functional hot-partition accumulation.
+        for &(row, slot) in &plan.hot_pairs {
+            let vec = image.table().row_f32(row);
+            for (o, v) in op.outputs[slot as usize].iter_mut().zip(vec) {
+                *o += v;
+            }
+        }
+        if plan.cold_cfg.pairs.is_empty() {
+            // Everything was hot: no device work at all.
+            self.finish_op(now, id);
+            return;
+        }
+        let payload = plan.cold_cfg.encode();
+        let slba = NvmeCommand::ndp_slba(base, plan.request_id, align);
+        let qid = op.qid;
+        op.phase = Phase::NdpAwaitWrite;
+        let cid = self.alloc_cid(qid);
+        self.pending_cmd.insert((qid, cid), id);
+        self.submit_cmd(now, qid, NvmeCommand::ndp_write(cid, slba, payload));
+    }
+
+    fn ndp_on_write_done(&mut self, now: SimTime, id: OpId) {
+        let table = match &self.ops[&id].kind {
+            OpKind::NdpSls { table, .. } => *table,
+            _ => unreachable!("phase/kind mismatch"),
+        };
+        let base = self.registry.binding(table).base_lpn;
+        let align = self.cfg.ndp.table_align;
+        let block_bytes = self.cfg.ssd.block_bytes();
+        let op = self.ops.get_mut(&id).expect("op");
+        let plan = op.ndp.as_ref().expect("plan set");
+        let nlb = plan.cold_cfg.result_blocks(block_bytes);
+        let slba = NvmeCommand::ndp_slba(base, plan.request_id, align);
+        let qid = op.qid;
+        op.phase = Phase::NdpAwaitRead;
+        let cid = self.alloc_cid(qid);
+        self.pending_cmd.insert((qid, cid), id);
+        self.submit_cmd(now, qid, NvmeCommand::ndp_read(cid, slba, nlb));
+    }
+
+    fn ndp_on_read_done(&mut self, _now: SimTime, id: OpId, data: Box<[u8]>) {
+        let overhead_ns = self.host().op_overhead_ns;
+        let op = self.ops.get_mut(&id).expect("op");
+        let plan = op.ndp.as_mut().expect("plan set");
+        let bytes = plan.cold_cfg.result_bytes();
+        plan.result_data = Some(data);
+        op.phase = Phase::NdpMerge;
+        let dur = SimDuration::from_ns(overhead_ns) + self.dram_time(bytes as f64);
+        self.charge(id, dur);
+    }
+
+    fn ndp_merge_done(&mut self, now: SimTime, id: OpId) {
+        let op = self.ops.get_mut(&id).expect("op");
+        let plan = op.ndp.as_mut().expect("plan set");
+        let data = plan.result_data.take().expect("result data");
+        let n = plan.cold_cfg.n_results as usize;
+        let dim = plan.cold_cfg.dim as usize;
+        let device_partials = SlsConfig::decode_results(&data, n, dim);
+        for (out, part) in op.outputs.iter_mut().zip(device_partials) {
+            for (o, v) in out.iter_mut().zip(part) {
+                *o += v;
+            }
+        }
+        self.finish_op(now, id);
+    }
+
+    // ----- shared plumbing -----
+
+    fn alloc_cid(&mut self, qid: u16) -> u16 {
+        let c = self.next_cid[qid as usize];
+        self.next_cid[qid as usize] = c.wrapping_add(1);
+        c
+    }
+
+    fn submit_cmd(&mut self, now: SimTime, qid: u16, cmd: NvmeCommand) {
+        let Self { dev, q, .. } = self;
+        dev.queue(qid).submit(cmd).expect("queue depth respected");
+        dev.doorbell(now, qid, &mut |d, e| q.push_after(d, SysEvent::Dev(e)));
+    }
+
+    fn poll_completions(&mut self, now: SimTime) {
+        let mut completions: Vec<(u16, NvmeCompletion)> = Vec::new();
+        for qid in 0..self.cfg.ssd.io_queues as u16 {
+            while let Some(c) = self.dev.queue(qid).poll() {
+                completions.push((qid, c));
+            }
+        }
+        for (qid, c) in completions {
+            let id = self
+                .pending_cmd
+                .remove(&(qid, c.cid))
+                .expect("completion for unknown command");
+            assert_eq!(
+                c.status,
+                NvmeStatus::Success,
+                "device rejected a command from op {id:?}: {}",
+                c.status
+            );
+            let phase_kind = match &self.ops[&id].phase {
+                Phase::BaseIo(_) => 0,
+                Phase::NdpAwaitWrite => 1,
+                Phase::NdpAwaitRead => 2,
+                other => unreachable!("completion in unexpected phase {other:?}"),
+            };
+            match phase_kind {
+                0 => {
+                    let data = c.data.expect("read data");
+                    self.baseline_on_page(now, id, c.cid, data);
+                }
+                1 => self.ndp_on_write_done(now, id),
+                _ => {
+                    let data = c.data.expect("NDP results");
+                    self.ndp_on_read_done(now, id, data);
+                }
+            }
+        }
+    }
+
+    fn finish_op(&mut self, now: SimTime, id: OpId) {
+        let op = self.ops.remove(&id).expect("op exists");
+        let outputs = match &op.kind {
+            OpKind::HostCompute { .. } => None,
+            _ => Some(op.outputs),
+        };
+        self.results.insert(
+            id,
+            OpResult {
+                outputs,
+                submitted: op.submitted,
+                started: op.started,
+                finished: now,
+            },
+        );
+        // Release the worker.
+        let pool_kind = op.pool;
+        if let Some(w) = op.worker {
+            let pool = self.pool_mut(pool_kind);
+            pool.bound[w] = None;
+            pool.free.push(w);
+        }
+        // Wake dependents.
+        for dep in op.dependents {
+            let d = self.ops.get_mut(&dep).expect("dependent exists");
+            d.deps_left -= 1;
+            if d.deps_left == 0 {
+                let p = d.pool;
+                self.pool_mut(p).ready.push_back(dep);
+                self.dispatch(p);
+            }
+        }
+        self.dispatch(pool_kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecSsdConfig;
+    use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableImage, TableSpec};
+
+    fn sys_with_table(rows: u64) -> (System, TableId) {
+        let mut sys = System::new(RecSsdConfig::small());
+        let spec = TableSpec::new(rows, 8, Quantization::F32);
+        let table = sys.add_table(TableImage::new(
+            EmbeddingTable::procedural(spec, 1),
+            PageLayout::Spread,
+            16 * 1024,
+        ));
+        (sys, table)
+    }
+
+    #[test]
+    fn dependency_on_already_finished_op_starts_immediately() {
+        let (mut sys, table) = sys_with_table(100);
+        let batch = LookupBatch::new(vec![vec![1, 2]]);
+        let a = sys.submit(OpKind::dram_sls(table, batch.clone()));
+        sys.run_until_idle();
+        // `a` is finished; a dependent submitted now must not deadlock.
+        let b = sys.submit_after(OpKind::dram_sls(table, batch), &[a]);
+        sys.run_until_idle();
+        assert!(sys.result(b).finished >= sys.result(a).finished);
+    }
+
+    #[test]
+    fn diamond_dependencies_resolve_in_order() {
+        let (mut sys, table) = sys_with_table(100);
+        let batch = LookupBatch::new(vec![vec![3]]);
+        let root = sys.submit(OpKind::dram_sls(table, batch.clone()));
+        let left = sys.submit_after(OpKind::host_compute(1e6, 1e4), &[root]);
+        let right = sys.submit_after(OpKind::host_compute(2e6, 1e4), &[root]);
+        let join = sys.submit_after(OpKind::dram_sls(table, batch), &[left, right]);
+        sys.run_until_idle();
+        let finish = |op: OpId| sys.result(op).finished;
+        assert!(finish(left) >= finish(root));
+        assert!(finish(right) >= finish(root));
+        assert!(sys.result(join).started >= finish(left).max(finish(right)));
+    }
+
+    #[test]
+    fn op_latency_includes_worker_queueing_but_service_does_not() {
+        let mut cfg = RecSsdConfig::small();
+        cfg.host.nn_workers = 1;
+        let mut sys = System::new(cfg);
+        let a = sys.submit(OpKind::host_compute(1e9, 1e6));
+        let b = sys.submit(OpKind::host_compute(1e9, 1e6));
+        sys.run_until_idle();
+        let rb = sys.result(b);
+        assert!(rb.latency() > rb.service_time(), "b queued behind a");
+        assert_eq!(rb.started, sys.result(a).finished);
+    }
+
+    #[test]
+    fn host_compute_time_follows_the_roofline() {
+        let mut sys = System::new(RecSsdConfig::small());
+        let host = sys.config().host.clone();
+        // Compute-bound op: flops dominate.
+        let flops = 1e9;
+        let op = sys.submit(OpKind::host_compute(flops, 1.0));
+        sys.run_until_idle();
+        let want = SimDuration::from_ns(host.op_overhead_ns)
+            + SimDuration::from_secs_f64(flops / host.gflops);
+        assert_eq!(sys.result(op).service_time(), want);
+        // Memory-bound op: bytes dominate.
+        let bytes = 1e9;
+        let op = sys.submit(OpKind::host_compute(1.0, bytes));
+        sys.run_until_idle();
+        let want = SimDuration::from_ns(host.op_overhead_ns)
+            + SimDuration::from_secs_f64(bytes / host.dram_bytes_per_sec);
+        assert_eq!(sys.result(op).service_time(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finished")]
+    fn result_before_completion_panics() {
+        let (mut sys, table) = sys_with_table(50);
+        let op = sys.submit(OpKind::dram_sls(table, LookupBatch::new(vec![vec![1]])));
+        let _ = sys.result(op);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the queue depth")]
+    fn excessive_io_concurrency_rejected() {
+        let (mut sys, table) = sys_with_table(50);
+        let opts = SlsOptions {
+            io_concurrency: 10_000,
+            ..SlsOptions::default()
+        };
+        sys.submit(OpKind::baseline_sls(
+            table,
+            LookupBatch::new(vec![vec![1]]),
+            opts,
+        ));
+        sys.run_until_idle();
+    }
+
+    #[test]
+    fn sls_workers_map_to_distinct_queues() {
+        // Eight SLS workers, eight I/O queues: concurrent baseline ops use
+        // different queue pairs (the §4.2 worker-to-queue matching).
+        let (mut sys, table) = sys_with_table(500);
+        let batch = LookupBatch::new(vec![(0..32).map(|i| i * 13 % 500).collect()]);
+        let ops: Vec<OpId> = (0..4)
+            .map(|_| sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default())))
+            .collect();
+        sys.run_until_idle();
+        // All complete with identical outputs (same batch).
+        let first = sys.result(ops[0]).outputs.clone();
+        for &op in &ops[1..] {
+            assert_eq!(sys.result(op).outputs, first);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The in-FTL SLS engine: request buffer, config processing, translation,
+//! result scratchpad and the SSD-side embedding cache.
+//!
+//! This is the reproduction of §4.1's design (Fig. 7). The lifetime of one
+//! SLS request:
+//!
+//! 1a. A write-like NVMe command with the spare bit arrives; an entry is
+//!     allocated in the pending-SLS-request buffer and the configuration
+//!     payload is DMA'd from the host.
+//! 2.  *Config processing* (a firmware task): the sorted pair list is
+//!     scanned, inputs are separated by flash page, and the SSD-side
+//!     embedding cache absorbs whatever vectors it holds (step 2a).
+//! 3.  Page reads are fed through the FTL's page scheduler (3a); pages
+//!     already in the FTL page cache are processed directly (3b).
+//! 4/5. Each returned page triggers a *Translation* firmware task that
+//!     extracts the needed vectors and accumulates them into the entry's
+//!     result scratchpad.
+//! 1b/6. A read-like command (matched through the request id embedded in
+//!     its SLBA) collects the result pages; once all pages are processed
+//!     the results are DMA'd back and the entry is deallocated.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use recssd_cache::DirectMappedCache;
+use recssd_ftl::{FtlOutcome, FwTag, ReadStarted, ReqId};
+use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus, XferDirection, XferId};
+use recssd_sim::rng::mix64;
+use recssd_sim::stats::{Counter, HitStats};
+use recssd_sim::{SimDuration, SimTime};
+use recssd_ssd::{DeviceCtx, NdpEngine, SsdEvent, EXT_TAG_BIT};
+
+use crate::{NdpConfig, SlsConfig};
+
+/// Per-request latency breakdown, the instrumentation behind Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlsRequestReport {
+    /// Command arrival → configuration DMA complete ("Config Write").
+    pub config_write: SimDuration,
+    /// Duration of the config-processing firmware task ("Config Process").
+    pub config_process: SimDuration,
+    /// Sum of translation firmware task durations ("Translation").
+    pub translation: SimDuration,
+    /// Time the FTL spent managing/waiting on flash beyond translation
+    /// ("Flash Read").
+    pub flash_read: SimDuration,
+    /// Arrival → results ready.
+    pub total: SimDuration,
+    /// Flash pages this request touched.
+    pub pages: usize,
+    /// Vectors served by the SSD-side embedding cache.
+    pub cache_hits: u64,
+    /// Total vectors gathered.
+    pub lookups: u64,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NdpStats {
+    /// SLS requests completed.
+    pub sls_requests: Counter,
+    /// Page reads issued to the FTL (cache hits included).
+    pub pages_requested: Counter,
+    /// Hit/miss accounting of the SSD-side embedding cache (per vector).
+    pub embed_cache: HitStats,
+    /// Per-request breakdown reports, in completion order.
+    pub reports: Vec<SlsRequestReport>,
+}
+
+impl NdpStats {
+    /// Clears accumulated reports and counters (between experiment runs).
+    pub fn reset(&mut self) {
+        *self = NdpStats::default();
+    }
+
+    /// Mean breakdown over all completed requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests completed.
+    pub fn mean_report(&self) -> SlsRequestReport {
+        assert!(!self.reports.is_empty(), "no SLS requests completed");
+        let n = self.reports.len() as u64;
+        let mut acc = SlsRequestReport {
+            config_write: SimDuration::ZERO,
+            config_process: SimDuration::ZERO,
+            translation: SimDuration::ZERO,
+            flash_read: SimDuration::ZERO,
+            total: SimDuration::ZERO,
+            pages: 0,
+            cache_hits: 0,
+            lookups: 0,
+        };
+        for r in &self.reports {
+            acc.config_write += r.config_write;
+            acc.config_process += r.config_process;
+            acc.translation += r.translation;
+            acc.flash_read += r.flash_read;
+            acc.total += r.total;
+            acc.pages += r.pages;
+            acc.cache_hits += r.cache_hits;
+            acc.lookups += r.lookups;
+        }
+        SlsRequestReport {
+            config_write: acc.config_write / n,
+            config_process: acc.config_process / n,
+            translation: acc.translation / n,
+            flash_read: acc.flash_read / n,
+            total: acc.total / n,
+            pages: acc.pages / n as usize,
+            cache_hits: acc.cache_hits / n,
+            lookups: acc.lookups / n,
+        }
+    }
+}
+
+/// The direct-mapped SSD-side embedding cache (§4.2). Keys are
+/// `(table base, row)`; values are decoded f32 vectors. Collisions are
+/// verified against the full key, so a slot conflict is a miss, never a
+/// wrong vector.
+#[derive(Debug)]
+struct EmbedCache {
+    slots: Option<DirectMappedCache<(u64, u64, Arc<[f32]>)>>,
+}
+
+impl EmbedCache {
+    fn new(slots: usize) -> Self {
+        EmbedCache {
+            slots: (slots > 0).then(|| DirectMappedCache::new(slots)),
+        }
+    }
+
+    fn key(base: u64, row: u64) -> u64 {
+        mix64(base).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ row
+    }
+
+    fn get(&mut self, base: u64, row: u64, stats: &mut HitStats) -> Option<Arc<[f32]>> {
+        let cache = self.slots.as_mut()?;
+        match cache.get(Self::key(base, row)) {
+            Some((b, r, v)) if *b == base && *r == row => {
+                stats.hit();
+                Some(v.clone())
+            }
+            _ => {
+                stats.miss();
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, base: u64, row: u64, v: Arc<[f32]>) {
+        if let Some(cache) = self.slots.as_mut() {
+            cache.insert(Self::key(base, row), (base, row, v));
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.slots.is_some()
+    }
+}
+
+#[derive(Debug)]
+enum FwJob {
+    ConfigProcess {
+        request: u64,
+    },
+    Translate {
+        request: u64,
+        page: u64,
+        data: Arc<[u8]>,
+        duration: SimDuration,
+    },
+}
+
+#[derive(Debug)]
+struct SlsEntry {
+    qid: u16,
+    write_cid: u16,
+    table_base: u64,
+    raw_config: Option<Box<[u8]>>,
+    cfg: Option<SlsConfig>,
+    /// Relative page → (byte offset, result slot) work items, ordered so
+    /// issue order is deterministic.
+    page_work: BTreeMap<u64, Vec<(usize, u32)>>,
+    pages_total: usize,
+    pages_pending: usize,
+    results: Vec<f32>,
+    results_ready: bool,
+    read_cmd: Option<(u16, u16, u32)>,
+    // Instrumentation (Fig. 8 categories).
+    t_arrive: SimTime,
+    t_config_written: SimTime,
+    t_processed: SimTime,
+    t_last_page: SimTime,
+    config_process: SimDuration,
+    translation: SimDuration,
+    cache_hits: u64,
+    lookups: u64,
+}
+
+/// The RecSSD firmware engine. Install into a device with
+/// [`recssd_ssd::SsdDevice::with_engine`]; drive it by submitting
+/// [`NvmeCommand::ndp_write`]/[`NvmeCommand::ndp_read`] pairs (the
+/// [`crate::System`] host runtime does this for you).
+#[derive(Debug)]
+pub struct NdpSlsEngine {
+    cfg: NdpConfig,
+    entries: HashMap<u64, SlsEntry>,
+    fw_jobs: HashMap<u64, FwJob>,
+    next_tag: u64,
+    dma_in: HashMap<XferId, u64>,
+    dma_out: HashMap<XferId, u64>,
+    reads: HashMap<ReqId, (u64, u64)>,
+    cache: EmbedCache,
+    stats: NdpStats,
+}
+
+impl NdpSlsEngine {
+    /// Creates an engine with the given parameters.
+    pub fn new(cfg: NdpConfig) -> Self {
+        NdpSlsEngine {
+            cache: EmbedCache::new(cfg.embed_cache_slots),
+            cfg,
+            entries: HashMap::new(),
+            fw_jobs: HashMap::new(),
+            next_tag: 0,
+            dma_in: HashMap::new(),
+            dma_out: HashMap::new(),
+            reads: HashMap::new(),
+            stats: NdpStats::default(),
+        }
+    }
+
+    /// Engine statistics (breakdowns, cache hit rates).
+    pub fn stats(&self) -> &NdpStats {
+        &self.stats
+    }
+
+    /// Resets statistics between experiment phases.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// `true` if the SSD-side embedding cache is enabled.
+    pub fn embed_cache_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    fn alloc_tag(&mut self, job: FwJob) -> FwTag {
+        let tag = self.next_tag | EXT_TAG_BIT;
+        self.next_tag += 1;
+        self.fw_jobs.insert(tag, job);
+        FwTag(tag)
+    }
+
+    fn charge_fw(ctx: &mut DeviceCtx<'_>, dur: SimDuration, tag: FwTag) {
+        let ftl = &mut *ctx.ftl;
+        let sched = &mut *ctx.sched;
+        ftl.charge_firmware(ctx.now, dur, tag, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
+    }
+
+    /// Step 2/3: configuration processed — build work lists, absorb cache
+    /// hits, issue page reads, and complete the config-write command.
+    fn process_config(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
+        let page_bytes = ctx.ftl.page_bytes();
+        let entry = self.entries.get_mut(&request).expect("entry exists");
+        let raw = entry.raw_config.take().expect("config payload present");
+        let cfg = match SlsConfig::decode(&raw) {
+            Ok(cfg) => cfg,
+            Err(_) => {
+                let (qid, cid) = (entry.qid, entry.write_cid);
+                self.entries.remove(&request);
+                ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::InvalidField));
+                return;
+            }
+        };
+        if cfg.row_bytes() * cfg.rows_per_page as usize > page_bytes {
+            let (qid, cid) = (entry.qid, entry.write_cid);
+            self.entries.remove(&request);
+            ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::InvalidField));
+            return;
+        }
+
+        entry.results = vec![0.0f32; cfg.n_results as usize * cfg.dim as usize];
+        entry.lookups = cfg.pairs.len() as u64;
+        let base = entry.table_base;
+        // Separate inputs by flash page (step 2), with the embedding-cache
+        // fast path (step 2a).
+        let mut cached: Vec<(Arc<[f32]>, u32)> = Vec::new();
+        for &(row, slot) in &cfg.pairs {
+            if let Some(vec) = self.cache.get(base, row, &mut self.stats.embed_cache) {
+                cached.push((vec, slot));
+                continue;
+            }
+            let (page, offset) = cfg.locate_row(row);
+            entry
+                .page_work
+                .entry(page)
+                .or_default()
+                .push((offset, slot));
+        }
+        let dim = cfg.dim as usize;
+        for (vec, slot) in cached {
+            entry.cache_hits += 1;
+            let out = &mut entry.results[slot as usize * dim..(slot as usize + 1) * dim];
+            for (o, v) in out.iter_mut().zip(vec.iter()) {
+                *o += *v;
+            }
+        }
+        entry.pages_total = entry.page_work.len();
+        entry.pages_pending = entry.pages_total;
+        entry.cfg = Some(cfg);
+        entry.t_processed = ctx.now;
+        entry.t_last_page = ctx.now;
+
+        // Issue all page reads through the FTL's page scheduler (step 3a);
+        // FTL page-cache hits are processed directly (step 3b).
+        let pages: Vec<u64> = entry.page_work.keys().copied().collect();
+        let (qid, write_cid) = (entry.qid, entry.write_cid);
+        for page in pages {
+            self.stats.pages_requested.inc();
+            let lpn = recssd_ftl::Lpn(base + page);
+            let started = {
+                let ftl = &mut *ctx.ftl;
+                let sched = &mut *ctx.sched;
+                ftl.read_page(ctx.now, lpn, &mut |d, e| sched(d, SsdEvent::Ftl(e)))
+                    .expect("table pages are in range")
+            };
+            match started {
+                ReadStarted::Pending(req) => {
+                    self.reads.insert(req, (request, page));
+                }
+                ReadStarted::CacheHit(data) => {
+                    self.start_translation(ctx, request, page, data);
+                }
+                ReadStarted::Unmapped => {
+                    // Reads as zeros; translate a zero page so timing and
+                    // accounting stay uniform.
+                    let zeros: Arc<[u8]> = vec![0u8; page_bytes].into();
+                    self.start_translation(ctx, request, page, zeros);
+                }
+            }
+        }
+        // The write-like command completes once the entry is configured.
+        ctx.complete(qid, NvmeCompletion::success(write_cid, None));
+        self.maybe_finish(ctx, request);
+    }
+
+    /// Step 4: page data available — charge the translation firmware task.
+    fn start_translation(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        request: u64,
+        page: u64,
+        data: Arc<[u8]>,
+    ) {
+        let entry = &self.entries[&request];
+        let cfg = entry.cfg.as_ref().expect("configured");
+        let vectors = entry.page_work[&page].len();
+        let duration = self.cfg.translate_time(vectors * cfg.row_bytes());
+        let tag = self.alloc_tag(FwJob::Translate {
+            request,
+            page,
+            data,
+            duration,
+        });
+        Self::charge_fw(ctx, duration, tag);
+    }
+
+    /// Step 5: translation done — extract vectors, accumulate, fill the
+    /// embedding cache.
+    fn apply_translation(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        request: u64,
+        page: u64,
+        data: &[u8],
+        duration: SimDuration,
+    ) {
+        let entry = self.entries.get_mut(&request).expect("entry exists");
+        let cfg = entry.cfg.as_ref().expect("configured");
+        let dim = cfg.dim as usize;
+        let row_bytes = cfg.row_bytes();
+        let rows_per_page = cfg.rows_per_page as u64;
+        let quant = cfg.quant;
+        let work = entry.page_work.get(&page).expect("work list").clone();
+        let mut inserts: Vec<(u64, Arc<[f32]>)> = Vec::new();
+        for (offset, slot) in work {
+            let vec = quant.decode(&data[offset..], dim);
+            let out = &mut entry.results[slot as usize * dim..(slot as usize + 1) * dim];
+            for (o, v) in out.iter_mut().zip(&vec) {
+                *o += *v;
+            }
+            let row = page * rows_per_page + (offset / row_bytes) as u64;
+            inserts.push((row, vec.into()));
+        }
+        entry.translation += duration;
+        entry.pages_pending -= 1;
+        entry.t_last_page = ctx.now;
+        let base = entry.table_base;
+        for (row, vec) in inserts {
+            self.cache.insert(base, row, vec);
+        }
+        self.maybe_finish(ctx, request);
+    }
+
+    /// Step 6: if everything is accumulated and the host's read-like
+    /// command has arrived, DMA the results back.
+    fn maybe_finish(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
+        let block_bytes = ctx.ftl.page_bytes();
+        let entry = self.entries.get_mut(&request).expect("entry exists");
+        if entry.pages_pending > 0 || entry.cfg.is_none() {
+            return;
+        }
+        entry.results_ready = true;
+        let Some((_qid, _cid, nlb)) = entry.read_cmd else {
+            return;
+        };
+        let cfg = entry.cfg.as_ref().expect("configured");
+        let needed = cfg.result_blocks(block_bytes);
+        if nlb < needed {
+            let (qid, cid, _) = entry.read_cmd.take().expect("checked");
+            ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::InvalidField));
+            return;
+        }
+        let bytes = cfg.result_bytes().div_ceil(block_bytes).max(1) * block_bytes;
+        let xfer = {
+            let pcie = &mut *ctx.pcie;
+            let sched = &mut *ctx.sched;
+            pcie.request(ctx.now, bytes, XferDirection::DeviceToHost, &mut |d, e| {
+                sched(d, SsdEvent::Pcie(e))
+            })
+        };
+        self.dma_out.insert(xfer, request);
+    }
+
+    /// Finalises an entry after its result DMA: complete the read command,
+    /// record the report, deallocate.
+    fn finish(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
+        let entry = self.entries.remove(&request).expect("entry exists");
+        let (qid, cid, _) = entry.read_cmd.expect("read command pending");
+        let data = SlsConfig::encode_results(&entry.results, ctx.ftl.page_bytes());
+        ctx.complete(qid, NvmeCompletion::success(cid, Some(data.into_boxed_slice())));
+
+        let flash_span = entry.t_last_page.saturating_since(entry.t_processed);
+        self.stats.sls_requests.inc();
+        self.stats.reports.push(SlsRequestReport {
+            config_write: entry.t_config_written.saturating_since(entry.t_arrive),
+            config_process: entry.config_process,
+            translation: entry.translation,
+            flash_read: flash_span.saturating_sub(entry.translation),
+            total: entry.t_last_page.saturating_since(entry.t_arrive),
+            pages: entry.pages_total,
+            cache_hits: entry.cache_hits,
+            lookups: entry.lookups,
+        });
+    }
+}
+
+impl NdpEngine for NdpSlsEngine {
+    fn on_ndp_command(&mut self, ctx: &mut DeviceCtx<'_>, qid: u16, cmd: NvmeCommand) {
+        let (table_base, request) = NvmeCommand::ndp_slba_decode(cmd.slba, self.cfg.table_align);
+        match cmd.opcode {
+            NvmeOpcode::Write => {
+                // Step 1a: allocate an entry and DMA the configuration.
+                let Some(payload) = cmd.payload else {
+                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    return;
+                };
+                if self.entries.len() >= self.cfg.max_entries
+                    || self.entries.contains_key(&request)
+                {
+                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InternalError));
+                    return;
+                }
+                let bytes = payload.len();
+                self.entries.insert(
+                    request,
+                    SlsEntry {
+                        qid,
+                        write_cid: cmd.cid,
+                        table_base,
+                        raw_config: Some(payload),
+                        cfg: None,
+                        page_work: BTreeMap::new(),
+                        pages_total: 0,
+                        pages_pending: 0,
+                        results: Vec::new(),
+                        results_ready: false,
+                        read_cmd: None,
+                        t_arrive: ctx.now,
+                        t_config_written: ctx.now,
+                        t_processed: ctx.now,
+                        t_last_page: ctx.now,
+                        config_process: SimDuration::ZERO,
+                        translation: SimDuration::ZERO,
+                        cache_hits: 0,
+                        lookups: 0,
+                    },
+                );
+                let xfer = {
+                    let pcie = &mut *ctx.pcie;
+                    let sched = &mut *ctx.sched;
+                    pcie.request(ctx.now, bytes, XferDirection::HostToDevice, &mut |d, e| {
+                        sched(d, SsdEvent::Pcie(e))
+                    })
+                };
+                self.dma_in.insert(xfer, request);
+            }
+            NvmeOpcode::Read => {
+                // Step 1b: associate the result-read with its entry.
+                let Some(entry) = self.entries.get_mut(&request) else {
+                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    return;
+                };
+                if entry.table_base != table_base || entry.read_cmd.is_some() {
+                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    return;
+                }
+                entry.read_cmd = Some((qid, cmd.cid, cmd.nlb));
+                self.maybe_finish(ctx, request);
+            }
+        }
+    }
+
+    fn on_ftl_outcome(&mut self, ctx: &mut DeviceCtx<'_>, outcome: &FtlOutcome) -> bool {
+        match outcome {
+            FtlOutcome::FwTaskDone { tag } => {
+                let Some(job) = self.fw_jobs.remove(&tag.0) else {
+                    return false;
+                };
+                match job {
+                    FwJob::ConfigProcess { request } => {
+                        self.process_config(ctx, request);
+                    }
+                    FwJob::Translate {
+                        request,
+                        page,
+                        data,
+                        duration,
+                    } => {
+                        self.apply_translation(ctx, request, page, &data, duration);
+                    }
+                }
+                true
+            }
+            FtlOutcome::ReadDone { req, data, .. } => {
+                let Some((request, page)) = self.reads.remove(req) else {
+                    return false;
+                };
+                self.start_translation(ctx, request, page, data.clone());
+                true
+            }
+            FtlOutcome::WriteDone { .. } => false,
+        }
+    }
+
+    fn on_pcie_done(&mut self, ctx: &mut DeviceCtx<'_>, xfer: XferId) -> bool {
+        if let Some(request) = self.dma_in.remove(&xfer) {
+            // Config landed on the device: charge config processing.
+            let entry = self.entries.get_mut(&request).expect("entry exists");
+            entry.t_config_written = ctx.now;
+            let pairs = entry
+                .raw_config
+                .as_ref()
+                .map(|raw| raw.len().saturating_sub(32) / 12)
+                .unwrap_or(0);
+            let dur = self.cfg.config_process_time(pairs);
+            entry.config_process = dur;
+            let tag = self.alloc_tag(FwJob::ConfigProcess { request });
+            Self::charge_fw(ctx, dur, tag);
+            return true;
+        }
+        if let Some(request) = self.dma_out.remove(&xfer) {
+            self.finish(ctx, request);
+            return true;
+        }
+        false
+    }
+
+    fn idle(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -1,0 +1,318 @@
+//! The NDP SLS wire format.
+//!
+//! §4.3 of the paper: "The parameters passed include embedding vector
+//! dimensions such as attribute size and vector length, the total number
+//! of input embeddings to be gathered, the total number of resulting
+//! embeddings to be returned, and a list of (input ID, result ID) pairs
+//! specifying the input embeddings and their accumulation destinations.
+//! Adding a restriction that this list be sorted by input ID enables more
+//! efficient processing on the SSD system."
+
+use recssd_embedding::Quantization;
+
+const MAGIC: u32 = 0x5245_4353; // "RECS"
+const HEADER_BYTES: usize = 32;
+const PAIR_BYTES: usize = 12;
+
+/// Decoded SLS configuration as the device firmware sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlsConfig {
+    /// Features per embedding vector ("vector length").
+    pub dim: u32,
+    /// Element storage format ("attribute size").
+    pub quant: Quantization,
+    /// Vectors stored per flash page (1 = spread layout).
+    pub rows_per_page: u32,
+    /// Number of result vectors to accumulate.
+    pub n_results: u32,
+    /// `(input row, result slot)` pairs, sorted by input row.
+    pub pairs: Vec<(u64, u32)>,
+}
+
+/// Config command validation errors (surface as `InvalidField` NVMe
+/// completions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlsConfigError {
+    /// Payload shorter than the fixed header.
+    Truncated,
+    /// Magic number mismatch — not an SLS config.
+    BadMagic,
+    /// Unknown quantization code.
+    BadQuant(u8),
+    /// Zero dim, zero results or zero rows-per-page.
+    ZeroField,
+    /// Pair list not sorted by input id (§4.3 requires it).
+    UnsortedPairs,
+    /// A result slot exceeds `n_results`.
+    ResultSlotOutOfRange {
+        /// The offending slot.
+        slot: u32,
+        /// Declared result count.
+        n_results: u32,
+    },
+    /// Declared pair count disagrees with the payload length.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for SlsConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlsConfigError::Truncated => f.write_str("config payload truncated"),
+            SlsConfigError::BadMagic => f.write_str("config magic mismatch"),
+            SlsConfigError::BadQuant(q) => write!(f, "unknown quantization code {q}"),
+            SlsConfigError::ZeroField => f.write_str("zero-valued config field"),
+            SlsConfigError::UnsortedPairs => f.write_str("pair list not sorted by input id"),
+            SlsConfigError::ResultSlotOutOfRange { slot, n_results } => {
+                write!(f, "result slot {slot} out of range (n_results = {n_results})")
+            }
+            SlsConfigError::LengthMismatch => f.write_str("pair count disagrees with payload"),
+        }
+    }
+}
+
+impl std::error::Error for SlsConfigError {}
+
+fn quant_code(q: Quantization) -> u8 {
+    match q {
+        Quantization::F32 => 0,
+        Quantization::F16 => 1,
+        Quantization::Int8 => 2,
+    }
+}
+
+fn quant_from_code(c: u8) -> Option<Quantization> {
+    match c {
+        0 => Some(Quantization::F32),
+        1 => Some(Quantization::F16),
+        2 => Some(Quantization::Int8),
+        _ => None,
+    }
+}
+
+impl SlsConfig {
+    /// Encoded bytes per row, derived from dim and quantization.
+    pub fn row_bytes(&self) -> usize {
+        self.quant.row_bytes(self.dim as usize)
+    }
+
+    /// Bytes of the packed f32 result block (`n_results × dim × 4`).
+    pub fn result_bytes(&self) -> usize {
+        self.n_results as usize * self.dim as usize * 4
+    }
+
+    /// Logical blocks needed to return the results, for a given block
+    /// size.
+    pub fn result_blocks(&self, block_bytes: usize) -> u32 {
+        self.result_bytes().div_ceil(block_bytes).max(1) as u32
+    }
+
+    /// `(relative page, byte offset)` of an input row under this config's
+    /// layout.
+    pub fn locate_row(&self, row: u64) -> (u64, usize) {
+        let page = row / self.rows_per_page as u64;
+        let slot = (row % self.rows_per_page as u64) as usize;
+        (page, slot * self.row_bytes())
+    }
+
+    /// Serialises to the command payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.pairs.len() * PAIR_BYTES);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.push(quant_code(self.quant));
+        out.extend_from_slice(&[0u8; 3]); // reserved
+        out.extend_from_slice(&self.rows_per_page.to_le_bytes());
+        out.extend_from_slice(&self.n_results.to_le_bytes());
+        out.extend_from_slice(&(self.pairs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // reserved
+        debug_assert_eq!(out.len(), HEADER_BYTES);
+        for &(row, slot) in &self.pairs {
+            out.extend_from_slice(&row.to_le_bytes());
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses and validates a command payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SlsConfigError`] listed above.
+    pub fn decode(bytes: &[u8]) -> Result<SlsConfig, SlsConfigError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(SlsConfigError::Truncated);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        if u32_at(0) != MAGIC {
+            return Err(SlsConfigError::BadMagic);
+        }
+        let dim = u32_at(4);
+        let quant = quant_from_code(bytes[8]).ok_or(SlsConfigError::BadQuant(bytes[8]))?;
+        let rows_per_page = u32_at(12);
+        let n_results = u32_at(16);
+        let n_pairs = u32_at(20) as usize;
+        if dim == 0 || rows_per_page == 0 || n_results == 0 {
+            return Err(SlsConfigError::ZeroField);
+        }
+        if bytes.len() < HEADER_BYTES + n_pairs * PAIR_BYTES {
+            return Err(SlsConfigError::LengthMismatch);
+        }
+        let mut pairs = Vec::with_capacity(n_pairs);
+        let mut prev_row = 0u64;
+        for i in 0..n_pairs {
+            let off = HEADER_BYTES + i * PAIR_BYTES;
+            let row = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+            let slot = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4 bytes"));
+            if i > 0 && row < prev_row {
+                return Err(SlsConfigError::UnsortedPairs);
+            }
+            if slot >= n_results {
+                return Err(SlsConfigError::ResultSlotOutOfRange { slot, n_results });
+            }
+            prev_row = row;
+            pairs.push((row, slot));
+        }
+        Ok(SlsConfig {
+            dim,
+            quant,
+            rows_per_page,
+            n_results,
+            pairs,
+        })
+    }
+
+    /// Packs result vectors into the result-read data block.
+    pub fn encode_results(results: &[f32], block_bytes: usize) -> Vec<u8> {
+        let mut out = vec![0u8; (results.len() * 4).div_ceil(block_bytes).max(1) * block_bytes];
+        for (i, v) in results.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Unpacks `n_results × dim` f32 values from result-read data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short.
+    pub fn decode_results(bytes: &[u8], n_results: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n_results)
+            .map(|r| {
+                (0..dim)
+                    .map(|j| {
+                        let off = (r * dim + j) * 4;
+                        f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SlsConfig {
+        SlsConfig {
+            dim: 32,
+            quant: Quantization::F32,
+            rows_per_page: 1,
+            n_results: 4,
+            pairs: vec![(1, 0), (1, 3), (7, 2), (900, 1)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cfg = sample();
+        let decoded = SlsConfig::decode(&cfg.encode()).unwrap();
+        assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn round_trip_all_quantizations() {
+        for q in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+            let cfg = SlsConfig {
+                quant: q,
+                ..sample()
+            };
+            assert_eq!(SlsConfig::decode(&cfg.encode()).unwrap().quant, q);
+        }
+    }
+
+    #[test]
+    fn unsorted_pairs_rejected() {
+        let mut cfg = sample();
+        cfg.pairs = vec![(9, 0), (1, 0)];
+        assert_eq!(
+            SlsConfig::decode(&cfg.encode()),
+            Err(SlsConfigError::UnsortedPairs)
+        );
+    }
+
+    #[test]
+    fn bad_slot_rejected() {
+        let mut cfg = sample();
+        cfg.pairs = vec![(1, 4)];
+        assert_eq!(
+            SlsConfig::decode(&cfg.encode()),
+            Err(SlsConfigError::ResultSlotOutOfRange { slot: 4, n_results: 4 })
+        );
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert_eq!(SlsConfig::decode(&[0u8; 8]), Err(SlsConfigError::Truncated));
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert_eq!(SlsConfig::decode(&bytes), Err(SlsConfigError::BadMagic));
+        let mut bytes = sample().encode();
+        bytes[8] = 99;
+        assert_eq!(SlsConfig::decode(&bytes), Err(SlsConfigError::BadQuant(99)));
+        let mut bytes = sample().encode();
+        bytes.truncate(HEADER_BYTES + 2);
+        assert_eq!(SlsConfig::decode(&bytes), Err(SlsConfigError::LengthMismatch));
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let mut cfg = sample();
+        cfg.dim = 0;
+        assert_eq!(SlsConfig::decode(&cfg.encode()), Err(SlsConfigError::ZeroField));
+    }
+
+    #[test]
+    fn row_location_spread_and_dense() {
+        let spread = sample();
+        assert_eq!(spread.locate_row(5), (5, 0));
+        let dense = SlsConfig {
+            rows_per_page: 128,
+            ..sample()
+        };
+        assert_eq!(dense.locate_row(130), (1, 2 * 128));
+    }
+
+    #[test]
+    fn result_block_math() {
+        let cfg = sample();
+        assert_eq!(cfg.result_bytes(), 4 * 32 * 4);
+        assert_eq!(cfg.result_blocks(16 * 1024), 1);
+        let big = SlsConfig {
+            n_results: 64,
+            dim: 256,
+            ..sample()
+        };
+        assert_eq!(big.result_blocks(16 * 1024), 4);
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let vals: Vec<f32> = (0..12).map(|i| i as f32 / 4.0).collect();
+        let bytes = SlsConfig::encode_results(&vals, 64);
+        assert_eq!(bytes.len() % 64, 0);
+        let out = SlsConfig::decode_results(&bytes, 3, 4);
+        assert_eq!(out[0], vec![0.0, 0.25, 0.5, 0.75]);
+        assert_eq!(out[2], vec![2.0, 2.25, 2.5, 2.75]);
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end behaviour of the RecSSD core: every accelerated SLS path
+//! must reproduce the DRAM reference bit-exactly, and the latency
+//! orderings of the paper's headline results must hold.
+
+use proptest::prelude::*;
+use recssd::{LookupBatch, OpKind, RecSsdConfig, SlsOptions, System};
+use recssd_cache::StaticPartitionBuilder;
+use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableImage, TableSpec};
+use recssd_sim::rng::Xoshiro256;
+
+const PAGE: usize = 16 * 1024;
+
+fn small_system() -> System {
+    System::new(RecSsdConfig::small())
+}
+
+fn spread_table(sys: &mut System, rows: u64, dim: usize, quant: Quantization, seed: u64) -> recssd::TableId {
+    let spec = TableSpec::new(rows, dim, quant);
+    sys.add_table(TableImage::new(
+        EmbeddingTable::procedural(spec, seed),
+        PageLayout::Spread,
+        PAGE,
+    ))
+}
+
+fn dense_table(sys: &mut System, rows: u64, dim: usize, quant: Quantization, seed: u64) -> recssd::TableId {
+    let spec = TableSpec::new(rows, dim, quant);
+    sys.add_table(TableImage::new(
+        EmbeddingTable::procedural(spec, seed),
+        PageLayout::Dense,
+        PAGE,
+    ))
+}
+
+fn random_batch(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
+    LookupBatch::new(
+        (0..outputs)
+            .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())
+            .collect(),
+    )
+}
+
+#[test]
+fn ndp_matches_dram_reference_spread_layout() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 800, 32, Quantization::F32, 1);
+    let mut rng = Xoshiro256::seed_from(2);
+    let batch = random_batch(&mut rng, 800, 8, 20);
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(ndp).outputs, sys.result(dram).outputs);
+}
+
+#[test]
+fn ndp_matches_dram_reference_dense_layout_all_quants() {
+    for quant in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+        let mut sys = small_system();
+        let table = dense_table(&mut sys, 5_000, 16, quant, 7);
+        let mut rng = Xoshiro256::seed_from(3);
+        let batch = random_batch(&mut rng, 5_000, 4, 30);
+        let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+        let dram = sys.submit(OpKind::dram_sls(table, batch));
+        sys.run_until_idle();
+        assert_eq!(
+            sys.result(ndp).outputs,
+            sys.result(dram).outputs,
+            "quant {quant:?}"
+        );
+    }
+}
+
+#[test]
+fn baseline_matches_dram_reference() {
+    let mut sys = small_system();
+    let table = dense_table(&mut sys, 3_000, 32, Quantization::F32, 9);
+    let mut rng = Xoshiro256::seed_from(4);
+    let batch = random_batch(&mut rng, 3_000, 6, 25);
+    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(base).outputs, sys.result(dram).outputs);
+}
+
+#[test]
+fn baseline_with_host_cache_matches_and_hits() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 500, 16, Quantization::F32, 5);
+    sys.enable_host_cache(table, 256);
+    let opts = SlsOptions {
+        use_host_cache: true,
+        ..SlsOptions::default()
+    };
+    let mut rng = Xoshiro256::seed_from(6);
+    // Two identical batches: the second should hit the host cache.
+    let batch = random_batch(&mut rng, 500, 4, 16);
+    let a = sys.submit(OpKind::baseline_sls(table, batch.clone(), opts));
+    sys.run_until_idle();
+    let b = sys.submit(OpKind::baseline_sls(table, batch.clone(), opts));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(b).outputs, sys.result(dram).outputs);
+    let stats = sys.host_cache_stats(table).expect("cache enabled");
+    assert!(stats.hits() >= 60, "second batch should hit: {stats:?}");
+    // Cached repeat run is much faster than the cold run.
+    assert!(sys.result(b).service_time() < sys.result(a).service_time() / 4);
+}
+
+#[test]
+fn ndp_with_static_partition_matches_reference() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 600, 32, Quantization::F32, 8);
+    let mut rng = Xoshiro256::seed_from(7);
+    // Profile a skewed trace and pin the hot quarter in host DRAM.
+    let mut builder = StaticPartitionBuilder::new();
+    let draw = |rng: &mut Xoshiro256| -> u64 {
+        if rng.gen_bool(0.7) {
+            rng.gen_range(0..64)
+        } else {
+            rng.gen_range(0..600)
+        }
+    };
+    for _ in 0..10_000 {
+        builder.observe(draw(&mut rng));
+    }
+    sys.set_partition(table, builder.build(64));
+    let opts = SlsOptions {
+        use_partition: true,
+        ..SlsOptions::default()
+    };
+    let batch = LookupBatch::new(
+        (0..6)
+            .map(|_| (0..20).map(|_| draw(&mut rng)).collect())
+            .collect(),
+    );
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), opts));
+    let plain = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(ndp).outputs, sys.result(dram).outputs);
+    assert_eq!(sys.result(plain).outputs, sys.result(dram).outputs);
+}
+
+#[test]
+fn all_hot_partition_skips_device_entirely() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 100, 8, Quantization::F32, 2);
+    let mut builder = StaticPartitionBuilder::new();
+    for id in 0..100 {
+        builder.observe(id);
+    }
+    sys.set_partition(table, builder.build(100));
+    let opts = SlsOptions {
+        use_partition: true,
+        ..SlsOptions::default()
+    };
+    let batch = LookupBatch::new(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), opts));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(ndp).outputs, sys.result(dram).outputs);
+    assert_eq!(
+        sys.device().stats().ndp_commands.get(),
+        0,
+        "no device commands when everything is hot"
+    );
+}
+
+#[test]
+fn ssd_embed_cache_matches_and_hits_on_repeats() {
+    let mut cfg = RecSsdConfig::small();
+    cfg.ndp = cfg.ndp.with_embed_cache(4096);
+    let mut sys = System::new(cfg);
+    let table = spread_table(&mut sys, 700, 16, Quantization::F32, 3);
+    let mut rng = Xoshiro256::seed_from(9);
+    let batch = random_batch(&mut rng, 700, 4, 25);
+    let a = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+    sys.run_until_idle();
+    let b = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+    let dram = sys.submit(OpKind::dram_sls(table, batch));
+    sys.run_until_idle();
+    assert_eq!(sys.result(a).outputs, sys.result(dram).outputs);
+    assert_eq!(sys.result(b).outputs, sys.result(dram).outputs);
+    let stats = sys.device().engine().stats();
+    assert!(
+        stats.embed_cache.hits() >= 90,
+        "repeat batch should hit the SSD embedding cache: {:?}",
+        stats.embed_cache
+    );
+    // The cached request avoided flash pages.
+    let last = stats.reports.last().expect("reports recorded");
+    assert!(last.pages < 25 * 4, "cache hits must reduce pages: {last:?}");
+}
+
+#[test]
+fn ndp_beats_baseline_on_low_locality_spread_access() {
+    // The headline result: with one vector per page and low-locality ids,
+    // NDP wins by roughly the paper's margin (up to ~4x on the operator).
+    // Needs the full 8-channel internal parallelism to show.
+    let mut sys = System::new(RecSsdConfig::small_wide());
+    let table = spread_table(&mut sys, 1000, 32, Quantization::F32, 4);
+    let mut rng = Xoshiro256::seed_from(11);
+    let batch = random_batch(&mut rng, 1000, 8, 20); // 160 distinct-ish pages
+    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    sys.run_until_idle();
+    sys.device_mut().ftl_mut().drop_caches();
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    sys.run_until_idle();
+    let t_base = sys.result(base).service_time();
+    let t_ndp = sys.result(ndp).service_time();
+    let speedup = t_base.as_ns() as f64 / t_ndp.as_ns() as f64;
+    assert!(
+        speedup > 2.0,
+        "NDP should clearly win on sparse access: {speedup:.2}x (base {t_base}, ndp {t_ndp})"
+    );
+}
+
+#[test]
+fn baseline_wins_on_sequential_dense_access() {
+    // Fig. 8's SEQ result: with high page locality the baseline streams
+    // few pages and the host CPU aggregates faster than the ARM core.
+    let mut sys = small_system();
+    let table = dense_table(&mut sys, 50_000, 32, Quantization::F32, 5);
+    let ids: Vec<u64> = (0..512).collect(); // 4 dense pages in total
+    let batch = LookupBatch::new(vec![ids]);
+    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    sys.run_until_idle();
+    sys.device_mut().ftl_mut().drop_caches();
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    sys.run_until_idle();
+    let t_base = sys.result(base).service_time();
+    let t_ndp = sys.result(ndp).service_time();
+    assert!(
+        t_ndp >= t_base,
+        "sequential access should not favour NDP: base {t_base}, ndp {t_ndp}"
+    );
+}
+
+#[test]
+fn breakdown_reports_are_consistent() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 900, 32, Quantization::F32, 6);
+    let mut rng = Xoshiro256::seed_from(13);
+    let batch = random_batch(&mut rng, 900, 8, 15);
+    let op = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    sys.run_until_idle();
+    let _ = sys.result(op);
+    let stats = sys.device().engine().stats();
+    assert_eq!(stats.sls_requests.get(), 1);
+    let r = stats.reports[0];
+    assert!(r.pages > 0 && r.pages <= 120);
+    assert_eq!(r.lookups, 8 * 15);
+    assert!(r.translation > recssd_sim::SimDuration::ZERO);
+    assert!(r.config_write > recssd_sim::SimDuration::ZERO);
+    assert!(r.total >= r.translation);
+    assert!(
+        r.total >= r.config_write + r.config_process,
+        "total spans all phases"
+    );
+}
+
+#[test]
+fn dependent_ops_execute_in_order() {
+    let mut sys = small_system();
+    let table = spread_table(&mut sys, 300, 8, Quantization::F32, 7);
+    let batch = LookupBatch::new(vec![vec![1, 2, 3]]);
+    let sls = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    let mlp = sys.submit_after(OpKind::host_compute(1e6, 1e5), &[sls]);
+    sys.run_until_idle();
+    assert!(
+        sys.result(mlp).started >= sys.result(sls).finished,
+        "dependent op must wait for its dependency"
+    );
+    assert!(sys.result(mlp).outputs.is_none());
+}
+
+#[test]
+fn worker_pool_serialises_excess_ops() {
+    let mut cfg = RecSsdConfig::small();
+    cfg.host.sls_workers = 1;
+    let mut sys = System::new(cfg);
+    let table = spread_table(&mut sys, 400, 16, Quantization::F32, 8);
+    let batch = LookupBatch::new(vec![vec![5, 10, 15, 20]]);
+    let a = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+    let b = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    sys.run_until_idle();
+    assert!(
+        sys.result(b).started >= sys.result(a).finished,
+        "one worker means strictly serial SLS ops"
+    );
+}
+
+#[test]
+fn identical_runs_are_deterministic() {
+    let run = || {
+        let mut sys = small_system();
+        let table = spread_table(&mut sys, 500, 32, Quantization::F32, 9);
+        let mut rng = Xoshiro256::seed_from(21);
+        let batch = random_batch(&mut rng, 500, 8, 12);
+        let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+        let base = sys.submit(OpKind::baseline_sls(table, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        (
+            sys.result(ndp).finished,
+            sys.result(base).finished,
+            sys.result(ndp).outputs.clone(),
+        )
+    };
+    let (a1, a2, a3) = run();
+    let (b1, b2, b3) = run();
+    assert_eq!((a1, a2), (b1, b2));
+    assert_eq!(a3, b3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary batches and layouts, all three paths agree exactly.
+    #[test]
+    fn all_paths_agree(
+        seed in 0u64..1000,
+        outputs in 1usize..6,
+        lookups in 1usize..24,
+        dense in proptest::bool::ANY,
+    ) {
+        let mut sys = small_system();
+        let rows = 900u64;
+        let table = if dense {
+            dense_table(&mut sys, rows, 16, Quantization::F32, seed)
+        } else {
+            spread_table(&mut sys, rows, 16, Quantization::F32, seed)
+        };
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+        let batch = random_batch(&mut rng, rows, outputs, lookups);
+        let ndp = sys.submit(OpKind::ndp_sls(table, batch.clone(), SlsOptions::default()));
+        let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+        let dram = sys.submit(OpKind::dram_sls(table, batch));
+        sys.run_until_idle();
+        prop_assert_eq!(sys.result(ndp).outputs.as_ref(), sys.result(dram).outputs.as_ref());
+        prop_assert_eq!(sys.result(base).outputs.as_ref(), sys.result(dram).outputs.as_ref());
+    }
+}

@@ -1,0 +1,181 @@
+//! The reference SparseLengthsSum operator.
+
+use crate::EmbeddingTable;
+
+/// One batch of embedding lookups against a single table: for each output
+/// slot, the list of input rows whose vectors are summed.
+///
+/// This mirrors the Caffe2 `SparseLengthsSum` signature the paper offloads
+/// (§4.1): a flat id list plus per-output lengths. The NDP wire format
+/// flattens this into sorted `(input id, result id)` pairs — see the
+/// `recssd` crate.
+///
+/// # Example
+///
+/// ```
+/// use recssd_embedding::LookupBatch;
+/// let batch = LookupBatch::new(vec![vec![1, 2], vec![3]]);
+/// assert_eq!(batch.outputs(), 2);
+/// assert_eq!(batch.total_lookups(), 3);
+/// assert_eq!(batch.pairs(), vec![(1, 0), (2, 0), (3, 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupBatch {
+    per_output: Vec<Vec<u64>>,
+}
+
+impl LookupBatch {
+    /// Creates a batch from per-output row lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no outputs or any output has no lookups.
+    pub fn new(per_output: Vec<Vec<u64>>) -> Self {
+        assert!(!per_output.is_empty(), "batch needs at least one output");
+        assert!(
+            per_output.iter().all(|ids| !ids.is_empty()),
+            "every output needs at least one lookup"
+        );
+        LookupBatch { per_output }
+    }
+
+    /// Number of output (reduced) vectors.
+    pub fn outputs(&self) -> usize {
+        self.per_output.len()
+    }
+
+    /// Total lookups across all outputs.
+    pub fn total_lookups(&self) -> usize {
+        self.per_output.iter().map(|v| v.len()).sum()
+    }
+
+    /// The row lists per output.
+    pub fn per_output(&self) -> &[Vec<u64>] {
+        &self.per_output
+    }
+
+    /// Flattens into `(input row, output slot)` pairs sorted by input row
+    /// — the wire format of the NDP config command. §4.3: "Adding a
+    /// restriction that this list be sorted by input ID enables more
+    /// efficient processing on the SSD system."
+    pub fn pairs(&self) -> Vec<(u64, u32)> {
+        let mut pairs: Vec<(u64, u32)> = self
+            .per_output
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, ids)| ids.iter().map(move |&id| (id, slot as u32)))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Every distinct row referenced, ascending.
+    pub fn distinct_rows(&self) -> Vec<u64> {
+        let mut rows: Vec<u64> = self
+            .per_output
+            .iter()
+            .flat_map(|ids| ids.iter().copied())
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+/// The golden SLS: for each output slot, the f32 sum of the (quantisation
+/// round-tripped) rows. Every accelerated path must reproduce this.
+///
+/// # Panics
+///
+/// Panics if any row index exceeds the table.
+///
+/// # Example
+///
+/// ```
+/// use recssd_embedding::{sls_reference, EmbeddingTable, LookupBatch, Quantization, TableSpec};
+/// let t = EmbeddingTable::dense(
+///     TableSpec::new(3, 2, Quantization::F32),
+///     vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0],
+/// );
+/// let out = sls_reference(&t, &LookupBatch::new(vec![vec![0, 2]]));
+/// assert_eq!(out, vec![vec![101.0, 202.0]]);
+/// ```
+pub fn sls_reference(table: &EmbeddingTable, batch: &LookupBatch) -> Vec<Vec<f32>> {
+    let dim = table.spec().dim;
+    batch
+        .per_output()
+        .iter()
+        .map(|ids| {
+            let mut acc = vec![0.0f32; dim];
+            for &id in ids {
+                let row = table.row_f32(id);
+                for (a, v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Quantization, TableSpec};
+
+    #[test]
+    fn pairs_are_sorted_by_input_id() {
+        let b = LookupBatch::new(vec![vec![9, 1], vec![5, 1]]);
+        assert_eq!(b.pairs(), vec![(1, 0), (1, 1), (5, 1), (9, 0)]);
+        assert_eq!(b.distinct_rows(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn reference_sums_rows() {
+        let t = EmbeddingTable::dense(
+            TableSpec::new(4, 3, Quantization::F32),
+            vec![
+                1.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.0, 0.0, 1.0, //
+                1.0, 1.0, 1.0,
+            ],
+        );
+        let out = sls_reference(&t, &LookupBatch::new(vec![vec![0, 1, 2], vec![3, 3]]));
+        assert_eq!(out[0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(out[1], vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn procedural_sums_are_order_independent() {
+        // Grid values make f32 addition exact, so any permutation of the
+        // lookup order gives bit-identical sums — the property the NDP
+        // correctness tests rely on.
+        let t = EmbeddingTable::procedural(TableSpec::new(1000, 32, Quantization::F32), 3);
+        let ids: Vec<u64> = (0..200).map(|i| (i * 37) % 1000).collect();
+        let fwd = sls_reference(&t, &LookupBatch::new(vec![ids.clone()]));
+        let mut rev_ids = ids;
+        rev_ids.reverse();
+        let rev = sls_reference(&t, &LookupBatch::new(vec![rev_ids]));
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn duplicate_ids_count_twice() {
+        let t = EmbeddingTable::dense(TableSpec::new(1, 1, Quantization::F32), vec![2.5]);
+        let out = sls_reference(&t, &LookupBatch::new(vec![vec![0, 0, 0]]));
+        assert_eq!(out[0], vec![7.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_batch_panics() {
+        LookupBatch::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lookup")]
+    fn empty_output_panics() {
+        LookupBatch::new(vec![vec![1], vec![]]);
+    }
+}

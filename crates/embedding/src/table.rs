@@ -1,0 +1,232 @@
+//! Table specifications and contents.
+
+use std::fmt;
+use std::sync::Arc;
+
+use recssd_sim::rng::mix64;
+
+use crate::Quantization;
+
+/// Identifier of an embedding table within a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table{}", self.0)
+    }
+}
+
+/// Shape and storage format of one embedding table.
+///
+/// # Example
+///
+/// ```
+/// use recssd_embedding::{Quantization, TableSpec};
+/// // The Table 1 / RM1 configuration: 1M rows of 32 features.
+/// let spec = TableSpec::new(1_000_000, 32, Quantization::F32);
+/// assert_eq!(spec.row_bytes(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableSpec {
+    /// Number of rows (embedding vectors).
+    pub rows: u64,
+    /// Features per vector.
+    pub dim: usize,
+    /// Element storage format.
+    pub quant: Quantization,
+}
+
+impl TableSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    pub fn new(rows: u64, dim: usize, quant: Quantization) -> Self {
+        assert!(rows > 0, "table must have rows");
+        assert!(dim > 0, "vectors must have features");
+        TableSpec { rows, dim, quant }
+    }
+
+    /// Encoded bytes per row.
+    pub fn row_bytes(&self) -> usize {
+        self.quant.row_bytes(self.dim)
+    }
+}
+
+/// Where a table's values come from.
+#[derive(Clone)]
+pub enum TableSource {
+    /// Deterministic hash-generated values on the grid k/64,
+    /// k ∈ [−128, 128): no memory footprint, exact f32 summation.
+    Procedural {
+        /// Seed decorrelating tables from each other.
+        seed: u64,
+    },
+    /// Explicit row-major values (tests and user data).
+    Dense(Arc<Vec<f32>>),
+}
+
+impl fmt::Debug for TableSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableSource::Procedural { seed } => {
+                f.debug_struct("Procedural").field("seed", seed).finish()
+            }
+            TableSource::Dense(v) => f
+                .debug_struct("Dense")
+                .field("values", &v.len())
+                .finish(),
+        }
+    }
+}
+
+/// An embedding table: spec plus contents.
+///
+/// # Example
+///
+/// ```
+/// use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+/// let t = EmbeddingTable::procedural(TableSpec::new(100, 8, Quantization::F32), 42);
+/// let row = t.row_f32(7);
+/// assert_eq!(row.len(), 8);
+/// // Values lie on the exact-summation grid.
+/// assert!(row.iter().all(|v| (v * 64.0).fract() == 0.0 && v.abs() < 2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    spec: TableSpec,
+    source: TableSource,
+}
+
+impl EmbeddingTable {
+    /// A table with hash-generated contents.
+    pub fn procedural(spec: TableSpec, seed: u64) -> Self {
+        EmbeddingTable {
+            spec,
+            source: TableSource::Procedural { seed },
+        }
+    }
+
+    /// A table with explicit row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * dim`.
+    pub fn dense(spec: TableSpec, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len() as u64,
+            spec.rows * spec.dim as u64,
+            "dense table has wrong element count"
+        );
+        EmbeddingTable {
+            spec,
+            source: TableSource::Dense(Arc::new(values)),
+        }
+    }
+
+    /// The table's spec.
+    pub fn spec(&self) -> TableSpec {
+        self.spec
+    }
+
+    /// Raw (pre-quantization) value at `(row, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `j` is out of range.
+    pub fn raw_value(&self, row: u64, j: usize) -> f32 {
+        assert!(row < self.spec.rows, "row out of range");
+        assert!(j < self.spec.dim, "feature out of range");
+        match &self.source {
+            TableSource::Procedural { seed } => {
+                // Values on the grid k/64 with |k| <= 127: exactly
+                // representable in f32, f16 *and* power-of-two-scaled
+                // int8, so every execution path sums them exactly.
+                let h = mix64(seed ^ (row.wrapping_mul(0x9E37_79B9_7F4A_7C15) + j as u64));
+                ((h % 255) as i64 - 127) as f32 / 64.0
+            }
+            TableSource::Dense(v) => v[(row * self.spec.dim as u64) as usize + j],
+        }
+    }
+
+    /// Encodes `row` into its on-device byte format.
+    pub fn encode_row(&self, row: u64, out: &mut [u8]) {
+        let vals: Vec<f32> = (0..self.spec.dim).map(|j| self.raw_value(row, j)).collect();
+        self.spec.quant.encode(&vals, out);
+    }
+
+    /// The row as the *decoded* f32 vector — i.e. after the quantisation
+    /// round trip, which is what every execution path (DRAM reference,
+    /// baseline SSD, NDP) observes.
+    pub fn row_f32(&self, row: u64) -> Vec<f32> {
+        let mut buf = vec![0u8; self.spec.row_bytes()];
+        self.encode_row(row, &mut buf);
+        self.spec.quant.decode(&buf, self.spec.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn procedural_values_are_deterministic_and_gridded() {
+        let spec = TableSpec::new(1000, 16, Quantization::F32);
+        let a = EmbeddingTable::procedural(spec, 7);
+        let b = EmbeddingTable::procedural(spec, 7);
+        let c = EmbeddingTable::procedural(spec, 8);
+        for row in [0u64, 13, 999] {
+            assert_eq!(a.row_f32(row), b.row_f32(row));
+            for j in 0..16 {
+                let v = a.raw_value(row, j);
+                assert!((-2.0..2.0).contains(&v));
+                assert_eq!((v * 64.0).fract(), 0.0, "on the 1/64 grid");
+            }
+        }
+        assert_ne!(a.row_f32(0), c.row_f32(0), "different seeds differ");
+    }
+
+    #[test]
+    fn dense_tables_return_their_values() {
+        let spec = TableSpec::new(2, 3, Quantization::F32);
+        let t = EmbeddingTable::dense(spec, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.row_f32(0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.row_f32(1), vec![4.0, 5.0, 6.0]);
+        assert_eq!(t.raw_value(1, 2), 6.0);
+    }
+
+    #[test]
+    fn quantized_row_f32_reflects_round_trip() {
+        let spec16 = TableSpec::new(10, 8, Quantization::F16);
+        let t = EmbeddingTable::procedural(spec16, 1);
+        // Grid values survive f16 exactly.
+        for j in 0..8 {
+            assert_eq!(t.row_f32(3)[j], t.raw_value(3, j));
+        }
+    }
+
+    #[test]
+    fn encode_row_matches_manual_encoding() {
+        let spec = TableSpec::new(4, 4, Quantization::F32);
+        let t = EmbeddingTable::procedural(spec, 5);
+        let mut buf = vec![0u8; spec.row_bytes()];
+        t.encode_row(2, &mut buf);
+        let dec = Quantization::F32.decode(&buf, 4);
+        assert_eq!(dec, t.row_f32(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn out_of_range_row_panics() {
+        let t = EmbeddingTable::procedural(TableSpec::new(2, 2, Quantization::F32), 0);
+        t.raw_value(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong element count")]
+    fn dense_wrong_size_panics() {
+        EmbeddingTable::dense(TableSpec::new(2, 2, Quantization::F32), vec![0.0; 3]);
+    }
+}

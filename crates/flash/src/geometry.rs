@@ -1,0 +1,273 @@
+//! Physical organisation of the NAND array and physical page addressing.
+
+use std::fmt;
+
+/// Physical shape of the flash array.
+///
+/// # Example
+///
+/// ```
+/// use recssd_flash::FlashGeometry;
+/// let g = FlashGeometry::cosmos();
+/// assert_eq!(g.channels, 8);
+/// assert_eq!(g.page_bytes, 16 * 1024);
+/// assert!(g.capacity_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashGeometry {
+    /// Number of independent channels (shared buses).
+    pub channels: u32,
+    /// NAND dies attached to each channel.
+    pub dies_per_channel: u32,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Bytes per flash page (the device's atomic read/program unit).
+    pub page_bytes: usize,
+}
+
+impl FlashGeometry {
+    /// Cosmos+ OpenSSD-like geometry: 8 channels, 4 dies/channel, 16 KB
+    /// pages, 2 TiB raw capacity (the development platform of §5 "has a
+    /// 2TB capacity").
+    pub fn cosmos() -> Self {
+        FlashGeometry {
+            channels: 8,
+            dies_per_channel: 4,
+            blocks_per_die: 16384,
+            pages_per_block: 256,
+            page_bytes: 16 * 1024,
+        }
+    }
+
+    /// Total number of physical pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.channels as u64
+            * self.dies_per_channel as u64
+            * self.blocks_per_die as u64
+            * self.pages_per_block as u64
+    }
+
+    /// Total number of dies.
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total number of erase blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_dies() as u64 * self.blocks_per_die as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// `true` if `ppa` addresses a page inside this geometry.
+    pub fn contains(&self, ppa: Ppa) -> bool {
+        ppa.channel < self.channels
+            && ppa.die < self.dies_per_channel
+            && ppa.block < self.blocks_per_die
+            && ppa.page < self.pages_per_block
+    }
+
+    /// Linearises a physical page address into `0..total_pages()` in
+    /// *stripe order*: consecutive indices advance channel first, then die,
+    /// then page/block. A contiguous index range therefore spreads across
+    /// all channels and dies — the layout a log-structured FTL produces
+    /// when bulk data is written sequentially, and the layout that lets
+    /// the SSD exploit its internal parallelism (§2.2 of the paper:
+    /// "logical blocks can be striped over multiple flash memory
+    /// packages").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa` is outside the geometry.
+    pub fn linear_index(&self, ppa: Ppa) -> u64 {
+        assert!(self.contains(ppa), "ppa out of range: {ppa}");
+        let counter = ppa.block as u64 * self.pages_per_block as u64 + ppa.page as u64;
+        (counter * self.dies_per_channel as u64 + ppa.die as u64) * self.channels as u64
+            + ppa.channel as u64
+    }
+
+    /// Inverse of [`FlashGeometry::linear_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_pages()`.
+    pub fn ppa_of_index(&self, index: u64) -> Ppa {
+        assert!(index < self.total_pages(), "linear page index out of range");
+        let channel = (index % self.channels as u64) as u32;
+        let rest = index / self.channels as u64;
+        let die = (rest % self.dies_per_channel as u64) as u32;
+        let counter = rest / self.dies_per_channel as u64;
+        let page = (counter % self.pages_per_block as u64) as u32;
+        let block = (counter / self.pages_per_block as u64) as u32;
+        Ppa {
+            channel,
+            die,
+            block,
+            page,
+        }
+    }
+
+    /// Linear index of a (channel, die, block) triple in `0..total_blocks()`.
+    pub fn block_index(&self, channel: u32, die: u32, block: u32) -> u64 {
+        (channel as u64 * self.dies_per_channel as u64 + die as u64) * self.blocks_per_die as u64
+            + block as u64
+    }
+}
+
+/// A physical page address.
+///
+/// # Example
+///
+/// ```
+/// use recssd_flash::{FlashGeometry, Ppa};
+/// let g = FlashGeometry::cosmos();
+/// let ppa = Ppa { channel: 3, die: 1, block: 10, page: 42 };
+/// assert_eq!(g.ppa_of_index(g.linear_index(ppa)), ppa);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppa {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index within the channel.
+    pub die: u32,
+    /// Erase-block index within the die.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/die{}/blk{}/pg{}",
+            self.channel, self.die, self.block, self.page
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosmos_capacity_is_2tib() {
+        let g = FlashGeometry::cosmos();
+        // 8 * 4 * 16384 * 256 pages * 16KB = 2 TiB, the Cosmos+ capacity.
+        assert_eq!(g.total_pages(), 134_217_728);
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024 * 1024 * 1024);
+        assert_eq!(g.total_dies(), 32);
+        assert_eq!(g.total_blocks(), 32 * 16384);
+    }
+
+    #[test]
+    fn linear_index_round_trips() {
+        let g = FlashGeometry {
+            channels: 3,
+            dies_per_channel: 2,
+            blocks_per_die: 5,
+            pages_per_block: 7,
+            page_bytes: 512,
+        };
+        for idx in 0..g.total_pages() {
+            let ppa = g.ppa_of_index(idx);
+            assert!(g.contains(ppa));
+            assert_eq!(g.linear_index(ppa), idx);
+        }
+    }
+
+    #[test]
+    fn linear_index_stripes_across_channels_first() {
+        let g = FlashGeometry::cosmos();
+        // Consecutive indices advance the channel, spreading a contiguous
+        // region across all buses.
+        for i in 0..g.channels as u64 {
+            assert_eq!(g.ppa_of_index(i).channel, i as u32);
+            assert_eq!(g.ppa_of_index(i).die, 0);
+        }
+        // After all channels, the die advances.
+        assert_eq!(g.ppa_of_index(g.channels as u64).die, 1);
+        // One full stripe (all channels × dies) later, the page advances.
+        let stride = g.channels as u64 * g.dies_per_channel as u64;
+        assert_eq!(g.ppa_of_index(stride).page, 1);
+        assert_eq!(g.ppa_of_index(stride).channel, 0);
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let g = FlashGeometry::cosmos();
+        assert!(!g.contains(Ppa {
+            channel: 8,
+            die: 0,
+            block: 0,
+            page: 0
+        }));
+        assert!(!g.contains(Ppa {
+            channel: 0,
+            die: 4,
+            block: 0,
+            page: 0
+        }));
+        assert!(!g.contains(Ppa {
+            channel: 0,
+            die: 0,
+            block: 16384,
+            page: 0
+        }));
+        assert!(!g.contains(Ppa {
+            channel: 0,
+            die: 0,
+            block: 0,
+            page: 256
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_panics_outside_geometry() {
+        let g = FlashGeometry::cosmos();
+        g.linear_index(Ppa {
+            channel: 99,
+            die: 0,
+            block: 0,
+            page: 0,
+        });
+    }
+
+    #[test]
+    fn block_index_is_dense() {
+        let g = FlashGeometry {
+            channels: 2,
+            dies_per_channel: 3,
+            blocks_per_die: 4,
+            pages_per_block: 1,
+            page_bytes: 16,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..2 {
+            for d in 0..3 {
+                for b in 0..4 {
+                    seen.insert(g.block_index(c, d, b));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+        assert_eq!(*seen.iter().max().unwrap(), 23);
+    }
+
+    #[test]
+    fn ppa_display_is_readable() {
+        let ppa = Ppa {
+            channel: 1,
+            die: 2,
+            block: 3,
+            page: 4,
+        };
+        assert_eq!(ppa.to_string(), "ch1/die2/blk3/pg4");
+    }
+}

@@ -1,0 +1,128 @@
+//! NAND operation latencies and channel bus speed.
+
+use recssd_sim::SimDuration;
+
+/// Timing parameters of the NAND array.
+///
+/// The model distinguishes the *die* (where tR/tPROG/tERASE execute, one
+/// operation per die at a time, dies independent) from the *channel bus*
+/// (which serialises page transfers between the controller and all dies on
+/// the channel). §5 of the paper gives the derived figures this preset is
+/// calibrated against: ≈10 K IOPS per channel, eight channels, and "just
+/// under 1.4 GB/s" maximum sequential read.
+///
+/// # Example
+///
+/// ```
+/// use recssd_flash::FlashTiming;
+/// let t = FlashTiming::cosmos();
+/// let xfer = t.transfer_time(16 * 1024);
+/// // One page moves over the bus in ~96 us => ~10.4K IOPS per channel.
+/// assert!(xfer.as_us_f64() > 90.0 && xfer.as_us_f64() < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashTiming {
+    /// NAND array read time (tR): command issue to data ready in the die's
+    /// page register.
+    pub read_ns: u64,
+    /// NAND program time (tPROG).
+    pub program_ns: u64,
+    /// Block erase time (tERASE).
+    pub erase_ns: u64,
+    /// Channel bus bandwidth in bytes per second (shared by all dies on the
+    /// channel).
+    pub channel_bytes_per_sec: f64,
+    /// Fixed per-operation command/addressing overhead on the channel.
+    pub cmd_overhead_ns: u64,
+}
+
+impl FlashTiming {
+    /// Cosmos+ OpenSSD-like timing (see crate docs for calibration).
+    pub fn cosmos() -> Self {
+        FlashTiming {
+            read_ns: 60_000,            // tR = 60 us
+            program_ns: 600_000,        // tPROG = 600 us
+            erase_ns: 3_000_000,        // tERASE = 3 ms
+            channel_bytes_per_sec: 175e6, // ~175 MB/s bus => 16 KB in ~94 us
+            cmd_overhead_ns: 2_000,
+        }
+    }
+
+    /// Time to move `bytes` over the channel bus, including the fixed
+    /// command overhead.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        let xfer_ns = (bytes as f64 / self.channel_bytes_per_sec) * 1e9;
+        SimDuration::from_ns(self.cmd_overhead_ns + xfer_ns.round() as u64)
+    }
+
+    /// NAND array read time as a duration.
+    pub fn read_time(&self) -> SimDuration {
+        SimDuration::from_ns(self.read_ns)
+    }
+
+    /// NAND program time as a duration.
+    pub fn program_time(&self) -> SimDuration {
+        SimDuration::from_ns(self.program_ns)
+    }
+
+    /// Block erase time as a duration.
+    pub fn erase_time(&self) -> SimDuration {
+        SimDuration::from_ns(self.erase_ns)
+    }
+
+    /// Steady-state random-read throughput of one channel in IOPS for the
+    /// given page size (bus-bound, assuming enough dies to hide tR).
+    pub fn channel_read_iops(&self, page_bytes: usize) -> f64 {
+        1e9 / self.transfer_time(page_bytes).as_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosmos_matches_paper_derived_figures() {
+        let t = FlashTiming::cosmos();
+        let iops = t.channel_read_iops(16 * 1024);
+        // §5: "10K IOPs per channel".
+        assert!(
+            (9_000.0..12_000.0).contains(&iops),
+            "per-channel IOPS was {iops}"
+        );
+        // §5: 8 channels => "just under 1.4GB/s" sequential.
+        let seq_gbps = iops * 8.0 * 16.0 * 1024.0 / 1e9;
+        assert!(
+            (1.2..1.4).contains(&seq_gbps),
+            "aggregate sequential GB/s was {seq_gbps}"
+        );
+    }
+
+    #[test]
+    fn single_page_latency_in_tens_to_hundreds_of_us() {
+        // §5: "Single page access latencies are in the 10s to 100s of
+        // microseconds range."
+        let t = FlashTiming::cosmos();
+        let total = t.read_time() + t.transfer_time(16 * 1024);
+        assert!(total.as_us_f64() > 10.0 && total.as_us_f64() < 1000.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let t = FlashTiming::cosmos();
+        let small = t.transfer_time(1024);
+        let big = t.transfer_time(4096);
+        assert!(big > small);
+        // Zero bytes still pays command overhead.
+        assert_eq!(t.transfer_time(0).as_ns(), t.cmd_overhead_ns);
+    }
+
+    #[test]
+    fn writes_are_order_milliseconds() {
+        // §2.2: "writes to flash memory are often much slower, incurring
+        // O(ms) latencies" — tPROG + tERASE amortisation lands there.
+        let t = FlashTiming::cosmos();
+        assert!(t.program_time().as_ms_f64() >= 0.5);
+        assert!(t.erase_time().as_ms_f64() >= 1.0);
+    }
+}

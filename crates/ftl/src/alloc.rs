@@ -1,0 +1,313 @@
+//! Log-structured page allocation with wear-aware free-block selection.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use recssd_flash::{FlashGeometry, Ppa};
+
+/// Allocates physical pages for the log-structured write path.
+///
+/// Each die keeps one *open block* whose pages are handed out sequentially
+/// (satisfying NAND's in-order program rule); consecutive allocations
+/// round-robin across dies so host writes stripe over every channel.
+/// Free blocks are selected lowest-erase-count first, which is the wear
+/// leveling policy; erase counts are tracked per block.
+///
+/// # Example
+///
+/// ```
+/// use recssd_flash::FlashGeometry;
+/// use recssd_ftl::BlockAllocator;
+///
+/// let g = FlashGeometry::cosmos();
+/// let mut alloc = BlockAllocator::new(g);
+/// let a = alloc.alloc_page().unwrap();
+/// let b = alloc.alloc_page().unwrap();
+/// assert_ne!((a.channel, a.die), (b.channel, b.die), "writes stripe");
+/// ```
+#[derive(Debug)]
+pub struct BlockAllocator {
+    g: FlashGeometry,
+    /// Per die: free blocks ordered by (erase_count, block).
+    free: Vec<BTreeSet<(u64, u32)>>,
+    /// Per die: the block currently accepting appends.
+    open: Vec<Option<OpenBlock>>,
+    /// Per die: fully programmed blocks (GC victim candidates).
+    used: Vec<Vec<u32>>,
+    erase_counts: HashMap<u64, u64>,
+    reserved: HashSet<u64>,
+    rr: usize,
+    total_erases: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenBlock {
+    block: u32,
+    next_page: u32,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator with every block free.
+    pub fn new(g: FlashGeometry) -> Self {
+        let dies = g.total_dies() as usize;
+        BlockAllocator {
+            free: (0..dies)
+                .map(|_| (0..g.blocks_per_die).map(|b| (0u64, b)).collect())
+                .collect(),
+            open: vec![None; dies],
+            used: vec![Vec::new(); dies],
+            erase_counts: HashMap::new(),
+            reserved: HashSet::new(),
+            rr: 0,
+            total_erases: 0,
+            g,
+        }
+    }
+
+    fn die_linear(&self, channel: u32, die: u32) -> usize {
+        (channel * self.g.dies_per_channel + die) as usize
+    }
+
+    fn die_coords(&self, die_linear: usize) -> (u32, u32) {
+        (
+            die_linear as u32 / self.g.dies_per_channel,
+            die_linear as u32 % self.g.dies_per_channel,
+        )
+    }
+
+    /// Withdraws a block from circulation (e.g. because it holds preloaded
+    /// data). Reserved blocks are never allocated or GC'd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is currently open or already used.
+    pub fn reserve(&mut self, channel: u32, die: u32, block: u32) {
+        let d = self.die_linear(channel, die);
+        let count = self
+            .erase_counts
+            .get(&self.g.block_index(channel, die, block))
+            .copied()
+            .unwrap_or(0);
+        let removed = self.free[d].remove(&(count, block));
+        assert!(
+            removed,
+            "reserve of non-free block ch{channel}/die{die}/blk{block}"
+        );
+        self.reserved.insert(self.g.block_index(channel, die, block));
+    }
+
+    /// Allocates the next physical page, striping round-robin across dies.
+    /// Returns `None` when every die is out of space (foreground writes
+    /// must then stall for GC).
+    pub fn alloc_page(&mut self) -> Option<Ppa> {
+        let dies = self.free.len();
+        for attempt in 0..dies {
+            let d = (self.rr + attempt) % dies;
+            if let Some(ppa) = self.alloc_in_die(d) {
+                self.rr = (d + 1) % dies;
+                return Some(ppa);
+            }
+        }
+        None
+    }
+
+    /// Allocates a page in a specific die if possible.
+    pub fn alloc_in_die(&mut self, die_linear: usize) -> Option<Ppa> {
+        if self.open[die_linear].is_none() {
+            let &(count, block) = self.free[die_linear].iter().next()?;
+            self.free[die_linear].remove(&(count, block));
+            self.open[die_linear] = Some(OpenBlock {
+                block,
+                next_page: 0,
+            });
+        }
+        let (channel, die) = self.die_coords(die_linear);
+        let ob = self.open[die_linear].as_mut().expect("opened above");
+        let ppa = Ppa {
+            channel,
+            die,
+            block: ob.block,
+            page: ob.next_page,
+        };
+        ob.next_page += 1;
+        if ob.next_page == self.g.pages_per_block {
+            self.used[die_linear].push(ob.block);
+            self.open[die_linear] = None;
+        }
+        Some(ppa)
+    }
+
+    /// Free blocks remaining in a die.
+    pub fn free_blocks_in_die(&self, die_linear: usize) -> usize {
+        self.free[die_linear].len()
+    }
+
+    /// Fully programmed blocks in a die (GC victim candidates), in fill
+    /// order.
+    pub fn used_blocks_in_die(&self, die_linear: usize) -> &[u32] {
+        &self.used[die_linear]
+    }
+
+    /// Removes `block` from the die's used list when GC claims it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not in the used list.
+    pub fn take_used(&mut self, die_linear: usize, block: u32) {
+        let pos = self.used[die_linear]
+            .iter()
+            .position(|&b| b == block)
+            .expect("GC victim must be a used block");
+        self.used[die_linear].remove(pos);
+    }
+
+    /// Returns an erased block to the free pool and bumps its wear count.
+    pub fn on_erase(&mut self, channel: u32, die: u32, block: u32) {
+        let d = self.die_linear(channel, die);
+        let bidx = self.g.block_index(channel, die, block);
+        let count = self.erase_counts.entry(bidx).or_insert(0);
+        *count += 1;
+        self.total_erases += 1;
+        self.free[d].insert((*count, block));
+    }
+
+    /// Erase count of one block.
+    pub fn erase_count(&self, channel: u32, die: u32, block: u32) -> u64 {
+        self.erase_counts
+            .get(&self.g.block_index(channel, die, block))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total erases performed (wear figure of merit).
+    pub fn total_erases(&self) -> u64 {
+        self.total_erases
+    }
+
+    /// `(min, max)` erase count over the *recycled* blocks of a die —
+    /// wear-leveling spread. Returns `None` if nothing was ever erased.
+    pub fn wear_spread(&self, die_linear: usize) -> Option<(u64, u64)> {
+        let (channel, die) = self.die_coords(die_linear);
+        let counts: Vec<u64> = (0..self.g.blocks_per_die)
+            .map(|b| self.erase_count(channel, die, b))
+            .filter(|&c| c > 0)
+            .collect();
+        let min = counts.iter().min()?;
+        let max = counts.iter().max()?;
+        Some((*min, *max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlashGeometry {
+        FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 4,
+            pages_per_block: 4,
+            page_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn allocations_stripe_round_robin() {
+        let mut a = BlockAllocator::new(small());
+        let dies: Vec<(u32, u32)> = (0..4).map(|_| a.alloc_page().unwrap()).map(|p| (p.channel, p.die)).collect();
+        let distinct: std::collections::HashSet<_> = dies.iter().collect();
+        assert_eq!(distinct.len(), 4, "4 allocations hit 4 distinct dies");
+    }
+
+    #[test]
+    fn pages_within_open_block_are_sequential() {
+        let mut a = BlockAllocator::new(small());
+        let mut pages = Vec::new();
+        for _ in 0..8 {
+            let p = a.alloc_page().unwrap();
+            if (p.channel, p.die) == (0, 0) {
+                pages.push(p.page);
+            }
+        }
+        assert_eq!(pages, vec![0, 1]);
+    }
+
+    #[test]
+    fn full_block_moves_to_used_list() {
+        let mut a = BlockAllocator::new(small());
+        // Fill die (0,0)'s open block: 4 pages.
+        for _ in 0..4 {
+            a.alloc_in_die(0).unwrap();
+        }
+        assert_eq!(a.used_blocks_in_die(0), &[0]);
+        assert_eq!(a.free_blocks_in_die(0), 3);
+        // Next allocation in the die opens a new block.
+        let p = a.alloc_in_die(0).unwrap();
+        assert_eq!(p.block, 1);
+        assert_eq!(p.page, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let g = small();
+        let mut a = BlockAllocator::new(g);
+        let total = g.total_pages();
+        for _ in 0..total {
+            assert!(a.alloc_page().is_some());
+        }
+        assert_eq!(a.alloc_page(), None);
+    }
+
+    #[test]
+    fn erase_recycles_block_and_counts_wear() {
+        let mut a = BlockAllocator::new(small());
+        for _ in 0..4 {
+            a.alloc_in_die(0).unwrap();
+        }
+        a.take_used(0, 0);
+        a.on_erase(0, 0, 0);
+        assert_eq!(a.erase_count(0, 0, 0), 1);
+        assert_eq!(a.free_blocks_in_die(0), 4);
+        assert_eq!(a.total_erases(), 1);
+        assert_eq!(a.wear_spread(0), Some((1, 1)));
+    }
+
+    #[test]
+    fn wear_leveling_prefers_cold_blocks() {
+        let mut a = BlockAllocator::new(small());
+        // Fill and erase block 0 of die 0; its erase count rises to 1.
+        for _ in 0..4 {
+            let p = a.alloc_in_die(0).unwrap();
+            assert_eq!(p.block, 0);
+        }
+        a.take_used(0, 0);
+        a.on_erase(0, 0, 0);
+        // The free set orders by erase count, so the next opened block is a
+        // cold one (count 0), not the just-erased block 0.
+        let p = a.alloc_in_die(0).unwrap();
+        assert_eq!(p.block, 1, "cold block preferred over hot block 0");
+    }
+
+    #[test]
+    fn reserved_blocks_never_allocated() {
+        let g = small();
+        let mut a = BlockAllocator::new(g);
+        a.reserve(0, 0, 0);
+        a.reserve(0, 0, 1);
+        a.reserve(0, 0, 2);
+        a.reserve(0, 0, 3);
+        // Die (0,0) has nothing left; allocation falls through to others.
+        for _ in 0..12 {
+            let p = a.alloc_page().unwrap();
+            assert_ne!((p.channel, p.die), (0, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-free block")]
+    fn double_reserve_panics() {
+        let mut a = BlockAllocator::new(small());
+        a.reserve(0, 0, 0);
+        a.reserve(0, 0, 0);
+    }
+}

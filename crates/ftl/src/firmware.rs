@@ -1,0 +1,130 @@
+//! The embedded firmware core: a serial queue of timed tasks.
+//!
+//! The Cosmos+ FTL runs on a 1 GHz dual-core ARM A9; in this model one core
+//! executes FTL work serially (command processing, NDP config processing
+//! and the per-page "Translation" reduction), while the second core is
+//! assumed to service the NVMe frontend interrupt path (its cost is folded
+//! into the per-command charge). Serialising tasks on this resource is
+//! what produces the paper's two headline firmware effects: the ~10 K IOPS
+//! host-visible random-read ceiling of the baseline (§3.2) and the
+//! Translation-bound NDP profile of Fig. 8.
+
+use std::collections::VecDeque;
+
+use recssd_sim::SimDuration;
+
+/// Caller-defined tag identifying a firmware task; returned when the task
+/// completes so the caller can resume the appropriate state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FwTag(pub u64);
+
+/// A serial task executor with FIFO queueing.
+///
+/// The owner schedules a completion event `duration` after each task
+/// starts; [`FwCore::start`] returns the delay to schedule when the core
+/// was idle, and [`FwCore::finish`] pops the next queued task.
+#[derive(Debug, Default)]
+pub struct FwCore {
+    current: Option<FwTag>,
+    queue: VecDeque<(SimDuration, FwTag)>,
+    busy_total: SimDuration,
+}
+
+impl FwCore {
+    /// Creates an idle core.
+    pub fn new() -> Self {
+        FwCore::default()
+    }
+
+    /// `true` if no task is running.
+    pub fn idle(&self) -> bool {
+        self.current.is_none()
+    }
+
+    /// Number of queued (not yet started) tasks.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total busy time accumulated across all started tasks.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Submits a task. If the core is idle the task starts immediately and
+    /// the returned delay must be scheduled as the core's completion event;
+    /// if busy, the task queues and `None` is returned.
+    pub fn start(&mut self, duration: SimDuration, tag: FwTag) -> Option<SimDuration> {
+        self.busy_total += duration;
+        if self.current.is_none() {
+            self.current = Some(tag);
+            Some(duration)
+        } else {
+            self.queue.push_back((duration, tag));
+            None
+        }
+    }
+
+    /// Completes the running task, returning its tag and — if another task
+    /// was queued — the delay to schedule for that next task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is idle (a completion event arrived without a
+    /// running task, indicating event routing corruption).
+    pub fn finish(&mut self) -> (FwTag, Option<SimDuration>) {
+        let done = self.current.take().expect("firmware completion while idle");
+        let next = self.queue.pop_front().map(|(d, tag)| {
+            self.current = Some(tag);
+            d
+        });
+        (done, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_core_starts_immediately() {
+        let mut fw = FwCore::new();
+        assert!(fw.idle());
+        let d = fw.start(SimDuration::from_us(5), FwTag(1));
+        assert_eq!(d, Some(SimDuration::from_us(5)));
+        assert!(!fw.idle());
+    }
+
+    #[test]
+    fn busy_core_queues_fifo() {
+        let mut fw = FwCore::new();
+        fw.start(SimDuration::from_us(1), FwTag(1));
+        assert_eq!(fw.start(SimDuration::from_us(2), FwTag(2)), None);
+        assert_eq!(fw.start(SimDuration::from_us(3), FwTag(3)), None);
+        assert_eq!(fw.queued(), 2);
+        let (t1, next) = fw.finish();
+        assert_eq!(t1, FwTag(1));
+        assert_eq!(next, Some(SimDuration::from_us(2)));
+        let (t2, next) = fw.finish();
+        assert_eq!(t2, FwTag(2));
+        assert_eq!(next, Some(SimDuration::from_us(3)));
+        let (t3, next) = fw.finish();
+        assert_eq!(t3, FwTag(3));
+        assert_eq!(next, None);
+        assert!(fw.idle());
+    }
+
+    #[test]
+    fn busy_total_accumulates() {
+        let mut fw = FwCore::new();
+        fw.start(SimDuration::from_us(1), FwTag(1));
+        fw.start(SimDuration::from_us(2), FwTag(2));
+        assert_eq!(fw.busy_total(), SimDuration::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "completion while idle")]
+    fn finish_on_idle_panics() {
+        FwCore::new().finish();
+    }
+}

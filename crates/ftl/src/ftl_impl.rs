@@ -1,0 +1,602 @@
+//! The GreedyFTL: read/write paths, page cache, firmware core and
+//! asynchronous greedy garbage collection.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use recssd_cache::LruCache;
+use recssd_flash::{
+    FlashArray, FlashCompletion, FlashError, FlashEvent, FlashOp, FlashOpId, PageOracle, Ppa,
+};
+use recssd_sim::stats::{Counter, HitStats};
+use recssd_sim::{SimDuration, SimTime};
+
+use crate::{BlockAllocator, FtlConfig, FwCore, FwTag, Lpn, MappingTable};
+
+/// Identifier of an in-flight FTL request (read or write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ftl-req#{}", self.0)
+    }
+}
+
+/// Events the FTL schedules for itself; route them back into
+/// [`GreedyFtl::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlEvent {
+    /// An event belonging to the underlying flash array.
+    Flash(FlashEvent),
+    /// The firmware core finished its current task.
+    FwDone,
+}
+
+/// Results emitted by [`GreedyFtl::handle`].
+#[derive(Debug, Clone)]
+pub enum FtlOutcome {
+    /// A pending logical-page read completed from flash.
+    ReadDone {
+        /// Request id returned by [`GreedyFtl::read_page`].
+        req: ReqId,
+        /// The logical page read.
+        lpn: Lpn,
+        /// Full page contents.
+        data: Arc<[u8]>,
+    },
+    /// A logical-page write was durably programmed.
+    WriteDone {
+        /// Request id returned by [`GreedyFtl::write_page`].
+        req: ReqId,
+        /// The logical page written.
+        lpn: Lpn,
+    },
+    /// A firmware task charged via [`GreedyFtl::charge_firmware`] finished.
+    FwTaskDone {
+        /// The caller-supplied tag.
+        tag: FwTag,
+    },
+}
+
+/// Synchronous result of starting a logical read.
+#[derive(Debug, Clone)]
+pub enum ReadStarted {
+    /// Served from SSD DRAM (write buffer or page cache) with no flash
+    /// access; the caller is responsible for charging any firmware time.
+    CacheHit(Arc<[u8]>),
+    /// The logical page was never written; it reads as zeros.
+    Unmapped,
+    /// A flash read is in flight; a [`FtlOutcome::ReadDone`] with this id
+    /// will follow.
+    Pending(ReqId),
+}
+
+/// FTL-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// Logical address beyond the configured capacity.
+    LpnOutOfRange(Lpn),
+    /// No free physical pages (the device is overfilled faster than GC can
+    /// reclaim).
+    DeviceFull,
+    /// Payload larger than a page.
+    DataTooLarge {
+        /// Bytes supplied.
+        len: usize,
+        /// Page size.
+        page_bytes: usize,
+    },
+    /// An error surfaced by the flash layer.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LpnOutOfRange(lpn) => write!(f, "logical page out of range: {lpn}"),
+            FtlError::DeviceFull => write!(f, "no free physical pages available"),
+            FtlError::DataTooLarge { len, page_bytes } => {
+                write!(f, "payload of {len} bytes exceeds page size {page_bytes}")
+            }
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+/// Aggregate FTL statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FtlStats {
+    /// Logical reads issued by the host/firmware layers above.
+    pub host_reads: Counter,
+    /// Logical writes issued.
+    pub host_writes: Counter,
+    /// Reads of never-written pages.
+    pub unmapped_reads: Counter,
+    /// Reads absorbed by the in-flight write buffer.
+    pub write_buffer_hits: Counter,
+    /// Pages relocated by garbage collection.
+    pub gc_relocated_pages: Counter,
+    /// Blocks erased by garbage collection.
+    pub gc_erased_blocks: Counter,
+}
+
+#[derive(Debug)]
+enum Pending {
+    HostRead { req: ReqId, lpn: Lpn, ppa: Ppa },
+    HostWrite { req: ReqId, lpn: Lpn },
+    GcRead { die: usize, lpn: Lpn, old: Ppa },
+    GcWrite { die: usize, lpn: Lpn, old: Ppa, new: Ppa },
+    GcErase { die: usize, channel: u32, die_in_ch: u32, block: u32 },
+}
+
+#[derive(Debug)]
+struct GcJob {
+    victim: u32,
+    reads_left: usize,
+    writes_left: usize,
+}
+
+/// The greedy FTL modelled on the Cosmos+ OpenSSD firmware. See the
+/// [crate docs](crate) for the architecture overview and the event-driven
+/// usage pattern.
+#[derive(Debug)]
+pub struct GreedyFtl {
+    config: FtlConfig,
+    flash: FlashArray,
+    map: MappingTable,
+    alloc: BlockAllocator,
+    cache: LruCache<u64, Arc<[u8]>>,
+    write_buffer: HashMap<u64, Arc<[u8]>>,
+    fw: FwCore,
+    pending: HashMap<FlashOpId, Pending>,
+    gc_jobs: HashMap<usize, GcJob>,
+    reserved: std::collections::HashSet<u64>,
+    next_req: u64,
+    stats: FtlStats,
+}
+
+impl GreedyFtl {
+    /// Creates an FTL over a fresh flash array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`FtlConfig::validate`]).
+    pub fn new(config: FtlConfig) -> Self {
+        config.validate();
+        GreedyFtl {
+            flash: FlashArray::new(config.flash.clone()),
+            map: MappingTable::new(),
+            alloc: BlockAllocator::new(config.flash.geometry),
+            cache: LruCache::new(config.page_cache_pages),
+            write_buffer: HashMap::new(),
+            fw: FwCore::new(),
+            pending: HashMap::new(),
+            gc_jobs: HashMap::new(),
+            reserved: std::collections::HashSet::new(),
+            next_req: 0,
+            stats: FtlStats::default(),
+            config,
+        }
+    }
+
+    /// The FTL's configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// FTL statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Hit/miss statistics of the SSD-DRAM page cache.
+    pub fn cache_stats(&self) -> HitStats {
+        self.cache.stats()
+    }
+
+    /// Resets page-cache hit statistics (between experiment phases).
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Empties the SSD-DRAM page cache (cold-start experiments). In-flight
+    /// write data is retained — dropping it would lose correctness.
+    pub fn drop_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The wear-aware block allocator (read-only view for diagnostics).
+    pub fn allocator(&self) -> &BlockAllocator {
+        &self.alloc
+    }
+
+    /// The underlying flash array (read-only view for diagnostics).
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Total busy time of the firmware core.
+    pub fn firmware_busy(&self) -> SimDuration {
+        self.fw.busy_total()
+    }
+
+    /// `true` when nothing is in flight anywhere in the FTL.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty() && self.flash.idle() && self.fw.idle() && self.gc_jobs.is_empty()
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.config.flash.geometry.page_bytes
+    }
+
+    fn die_linear(&self, ppa: Ppa) -> usize {
+        (ppa.channel * self.config.flash.geometry.dies_per_channel + ppa.die) as usize
+    }
+
+    /// Installs a preloaded, identity-mapped region backed by `oracle`
+    /// (used to bulk-load embedding tables; mirrors §5's preloading of
+    /// tables onto the OpenSSD). The covered physical blocks are reserved:
+    /// never allocated for writes, never garbage collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the logical capacity.
+    pub fn preload(&mut self, start: Lpn, pages: u64, oracle: Arc<dyn PageOracle>) {
+        let end = start.0 + pages;
+        assert!(
+            end <= self.config.logical_pages,
+            "preload range exceeds logical capacity"
+        );
+        let g = self.config.flash.geometry;
+        let range = start.0..end;
+        self.flash.preload(range.clone(), oracle);
+        self.map.add_identity_range(range.clone());
+        // Reserve every covered block (stripe-order lane math mirrors
+        // FlashArray::preload). A block may be shared by two adjacent
+        // preloads; reserve it only once.
+        let stride = g.channels as u64 * g.dies_per_channel as u64;
+        let ppb = g.pages_per_block as u64;
+        for c in 0..g.channels {
+            for d in 0..g.dies_per_channel {
+                let offset = d as u64 * g.channels as u64 + c as u64;
+                if range.end <= offset {
+                    continue;
+                }
+                let m_last = (range.end - 1 - offset) / stride;
+                let m_first = if range.start <= offset {
+                    0
+                } else {
+                    (range.start - offset).div_ceil(stride)
+                };
+                if range.start > offset && offset + m_last * stride < range.start {
+                    continue;
+                }
+                for b in (m_first / ppb)..=(m_last / ppb) {
+                    if !self.reserved_blocks_contains(c, d, b as u32) {
+                        self.alloc.reserve(c, d, b as u32);
+                        self.reserved_blocks_insert(c, d, b as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    fn reserved_blocks_contains(&self, c: u32, d: u32, b: u32) -> bool {
+        self.reserved.contains(&self.config.flash.geometry.block_index(c, d, b))
+    }
+
+    fn reserved_blocks_insert(&mut self, c: u32, d: u32, b: u32) {
+        let idx = self.config.flash.geometry.block_index(c, d, b);
+        self.reserved.insert(idx);
+    }
+
+    /// Starts a logical page read.
+    ///
+    /// Returns synchronously when the page is resident in SSD DRAM (write
+    /// buffer or page cache) or unmapped; otherwise a flash read is issued
+    /// and a [`FtlOutcome::ReadDone`] follows.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] if `lpn` exceeds the logical capacity.
+    pub fn read_page(
+        &mut self,
+        now: SimTime,
+        lpn: Lpn,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) -> Result<ReadStarted, FtlError> {
+        if lpn.0 >= self.config.logical_pages {
+            return Err(FtlError::LpnOutOfRange(lpn));
+        }
+        self.stats.host_reads.inc();
+        if let Some(data) = self.write_buffer.get(&lpn.0) {
+            self.stats.write_buffer_hits.inc();
+            return Ok(ReadStarted::CacheHit(data.clone()));
+        }
+        if let Some(data) = self.cache.get(&lpn.0) {
+            return Ok(ReadStarted::CacheHit(data.clone()));
+        }
+        let g = self.config.flash.geometry;
+        let Some(ppa) = self.map.lookup(lpn, &g) else {
+            self.stats.unmapped_reads.inc();
+            return Ok(ReadStarted::Unmapped);
+        };
+        let op = self
+            .flash
+            .submit(now, FlashOp::Read { ppa }, &mut |d, fe| {
+                sched(d, FtlEvent::Flash(fe))
+            })?;
+        let req = ReqId(self.next_req);
+        self.next_req += 1;
+        self.pending.insert(op, Pending::HostRead { req, lpn, ppa });
+        Ok(ReadStarted::Pending(req))
+    }
+
+    /// Starts a logical page write (up to one page of data; the remainder
+    /// of the page reads as zeros). Completion is signalled by
+    /// [`FtlOutcome::WriteDone`]; reads of the page are served from the
+    /// write buffer in the interim.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`], [`FtlError::DataTooLarge`] or
+    /// [`FtlError::DeviceFull`].
+    pub fn write_page(
+        &mut self,
+        now: SimTime,
+        lpn: Lpn,
+        data: Vec<u8>,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) -> Result<ReqId, FtlError> {
+        let g = self.config.flash.geometry;
+        if lpn.0 >= self.config.logical_pages {
+            return Err(FtlError::LpnOutOfRange(lpn));
+        }
+        if data.len() > g.page_bytes {
+            return Err(FtlError::DataTooLarge {
+                len: data.len(),
+                page_bytes: g.page_bytes,
+            });
+        }
+        self.stats.host_writes.inc();
+        let ppa = self.alloc.alloc_page().ok_or(FtlError::DeviceFull)?;
+        self.map.map(lpn, ppa, &g);
+        // Keep a full-page image resident until the program completes.
+        let mut page = vec![0u8; g.page_bytes];
+        page[..data.len()].copy_from_slice(&data);
+        let arc: Arc<[u8]> = page.into();
+        self.write_buffer.insert(lpn.0, arc.clone());
+        self.cache.insert(lpn.0, arc);
+        let op = self
+            .flash
+            .submit(
+                now,
+                FlashOp::Program {
+                    ppa,
+                    data: data.into_boxed_slice(),
+                },
+                &mut |d, fe| sched(d, FtlEvent::Flash(fe)),
+            )
+            .expect("allocator and flash write pointers must agree");
+        let req = ReqId(self.next_req);
+        self.next_req += 1;
+        self.pending.insert(op, Pending::HostWrite { req, lpn });
+        let die = self.die_linear(ppa);
+        self.maybe_start_gc(now, die, sched);
+        Ok(req)
+    }
+
+    /// Charges a task onto the serial firmware core. When the task
+    /// finishes, [`FtlOutcome::FwTaskDone`] carries `tag` back to the
+    /// caller. Tasks run FIFO — this serialisation models the embedded
+    /// ARM core that both NVMe command handling and NDP translation share.
+    pub fn charge_firmware(
+        &mut self,
+        _now: SimTime,
+        duration: SimDuration,
+        tag: FwTag,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) {
+        if let Some(d) = self.fw.start(duration, tag) {
+            sched(d, FtlEvent::FwDone);
+        }
+    }
+
+    /// Processes one FTL event, returning zero or more outcomes.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: FtlEvent,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) -> Vec<FtlOutcome> {
+        match ev {
+            FtlEvent::FwDone => {
+                let (tag, next) = self.fw.finish();
+                if let Some(d) = next {
+                    sched(d, FtlEvent::FwDone);
+                }
+                vec![FtlOutcome::FwTaskDone { tag }]
+            }
+            FtlEvent::Flash(fev) => {
+                let completion = self.flash.handle(now, fev, &mut |d, fe| {
+                    sched(d, FtlEvent::Flash(fe))
+                });
+                let mut out = Vec::new();
+                if let Some(c) = completion {
+                    self.on_flash_completion(now, c, sched, &mut out);
+                }
+                out
+            }
+        }
+    }
+
+    fn on_flash_completion(
+        &mut self,
+        now: SimTime,
+        c: FlashCompletion,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+        out: &mut Vec<FtlOutcome>,
+    ) {
+        let g = self.config.flash.geometry;
+        match self.pending.remove(&c.op).expect("untracked flash op") {
+            Pending::HostRead { req, lpn, ppa } => {
+                let data: Arc<[u8]> = c.data.expect("read completion carries data").into();
+                // Cache only if the mapping still points at what we read —
+                // a concurrent overwrite must not be shadowed by stale data.
+                if self.map.lookup(lpn, &g) == Some(ppa) && !self.write_buffer.contains_key(&lpn.0)
+                {
+                    self.cache.insert(lpn.0, data.clone());
+                }
+                out.push(FtlOutcome::ReadDone { req, lpn, data });
+            }
+            Pending::HostWrite { req, lpn } => {
+                self.write_buffer.remove(&lpn.0);
+                out.push(FtlOutcome::WriteDone { req, lpn });
+            }
+            Pending::GcRead { die, lpn, old } => {
+                self.stats.gc_relocated_pages.inc();
+                let data = c.data.expect("GC read carries data");
+                let new = self
+                    .alloc
+                    .alloc_page()
+                    .expect("GC ran out of space: device overfilled beyond over-provisioning");
+                let op = self
+                    .flash
+                    .submit(now, FlashOp::Program { ppa: new, data }, &mut |d, fe| {
+                        sched(d, FtlEvent::Flash(fe))
+                    })
+                    .expect("GC program must be well-formed");
+                self.pending.insert(op, Pending::GcWrite { die, lpn, old, new });
+                let job = self.gc_jobs.get_mut(&die).expect("GC read without job");
+                job.reads_left -= 1;
+                job.writes_left += 1;
+            }
+            Pending::GcWrite { die, lpn, old, new } => {
+                self.map.remap_if_current(lpn, old, new, &g);
+                let job = self.gc_jobs.get_mut(&die).expect("GC write without job");
+                job.writes_left -= 1;
+                if job.reads_left == 0 && job.writes_left == 0 {
+                    self.issue_gc_erase(now, die, sched);
+                }
+            }
+            Pending::GcErase {
+                die,
+                channel,
+                die_in_ch,
+                block,
+            } => {
+                self.map.forget_block(channel, die_in_ch, block, &g);
+                self.alloc.on_erase(channel, die_in_ch, block);
+                self.stats.gc_erased_blocks.inc();
+                self.gc_jobs.remove(&die);
+                // Keep collecting if the die is still under pressure.
+                self.maybe_start_gc(now, die, sched);
+            }
+        }
+    }
+
+    fn maybe_start_gc(
+        &mut self,
+        now: SimTime,
+        die: usize,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) {
+        if self.gc_jobs.contains_key(&die) {
+            return;
+        }
+        if self.alloc.free_blocks_in_die(die) > self.config.gc_low_water {
+            return;
+        }
+        let g = self.config.flash.geometry;
+        let channel = die as u32 / g.dies_per_channel;
+        let die_in_ch = die as u32 % g.dies_per_channel;
+        // Greedy victim: the used block with the fewest valid pages.
+        let victim = self
+            .alloc
+            .used_blocks_in_die(die)
+            .iter()
+            .copied()
+            .min_by_key(|&b| self.map.valid_in_block(g.block_index(channel, die_in_ch, b)));
+        let Some(victim) = victim else {
+            return; // nothing reclaimable yet
+        };
+        // A fully valid victim frees nothing: relocating it consumes as many
+        // pages as the erase reclaims. Wait for garbage to accumulate.
+        if self.map.valid_in_block(g.block_index(channel, die_in_ch, victim))
+            >= g.pages_per_block
+        {
+            return;
+        }
+        self.alloc.take_used(die, victim);
+        let live = self.map.live_in_block(channel, die_in_ch, victim, &g);
+        self.gc_jobs.insert(
+            die,
+            GcJob {
+                victim,
+                reads_left: live.len(),
+                writes_left: 0,
+            },
+        );
+        if live.is_empty() {
+            self.issue_gc_erase(now, die, sched);
+            return;
+        }
+        for (lpn, ppa) in live {
+            let op = self
+                .flash
+                .submit(now, FlashOp::Read { ppa }, &mut |d, fe| {
+                    sched(d, FtlEvent::Flash(fe))
+                })
+                .expect("GC read must be well-formed");
+            self.pending.insert(op, Pending::GcRead { die, lpn, old: ppa });
+        }
+    }
+
+    fn issue_gc_erase(
+        &mut self,
+        now: SimTime,
+        die: usize,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) {
+        let g = self.config.flash.geometry;
+        let channel = die as u32 / g.dies_per_channel;
+        let die_in_ch = die as u32 % g.dies_per_channel;
+        let block = self.gc_jobs[&die].victim;
+        let op = self
+            .flash
+            .submit(
+                now,
+                FlashOp::Erase {
+                    ppa: Ppa {
+                        channel,
+                        die: die_in_ch,
+                        block,
+                        page: 0,
+                    },
+                },
+                &mut |d, fe| sched(d, FtlEvent::Flash(fe)),
+            )
+            .expect("GC erase must be well-formed");
+        self.pending.insert(
+            op,
+            Pending::GcErase {
+                die,
+                channel,
+                die_in_ch,
+                block,
+            },
+        );
+    }
+}

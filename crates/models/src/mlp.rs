@@ -1,0 +1,153 @@
+//! Fully connected stacks: cost model and a small functional forward.
+
+use recssd_sim::rng::Xoshiro256;
+
+/// A stack of fully connected layers described by its widths, e.g.
+/// `[256, 128, 32]` maps a 256-feature input to 32 features through one
+/// hidden layer.
+///
+/// # Example
+///
+/// ```
+/// use recssd_models::MlpSpec;
+/// let mlp = MlpSpec::new(vec![8, 4, 1]);
+/// assert_eq!(mlp.input_dim(), 8);
+/// assert_eq!(mlp.output_dim(), 1);
+/// // 2 FLOPs per MAC: (8*4 + 4*1) * 2 per sample.
+/// assert_eq!(mlp.flops(1), 72.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    widths: Vec<usize>,
+}
+
+impl MlpSpec {
+    /// Creates a spec from layer widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths or a zero width.
+    pub fn new(widths: Vec<usize>) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs input and output widths");
+        assert!(widths.iter().all(|&w| w > 0), "zero-width layer");
+        MlpSpec { widths }
+    }
+
+    /// The layer widths.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.widths[0]
+    }
+
+    /// Output feature count.
+    pub fn output_dim(&self) -> usize {
+        *self.widths.last().expect("non-empty")
+    }
+
+    /// Dense FLOPs for a batch (2 FLOPs per multiply-accumulate).
+    pub fn flops(&self, batch: usize) -> f64 {
+        let per_sample: f64 = self
+            .widths
+            .windows(2)
+            .map(|w| 2.0 * w[0] as f64 * w[1] as f64)
+            .sum();
+        per_sample * batch as f64
+    }
+
+    /// Bytes streamed for a batch: weights once plus activations per
+    /// sample (f32).
+    pub fn bytes(&self, batch: usize) -> f64 {
+        let weights: f64 = self
+            .widths
+            .windows(2)
+            .map(|w| 4.0 * w[0] as f64 * w[1] as f64)
+            .sum();
+        let activations: f64 = self.widths.iter().map(|&w| 4.0 * w as f64).sum();
+        weights + activations * batch as f64
+    }
+
+    /// Weight count across all layers (excluding biases).
+    pub fn weights(&self) -> usize {
+        self.widths.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+
+    /// A real forward pass with procedurally generated weights (ReLU
+    /// between layers, none after the last). Used by examples and
+    /// functional tests; experiment timing comes from the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim()`.
+    pub fn forward(&self, input: &[f32], seed: u64) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_dim(), "input width mismatch");
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut x: Vec<f32> = input.to_vec();
+        for (li, w) in self.widths.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let last = li + 2 == self.widths.len();
+            let mut y = vec![0.0f32; n_out];
+            for o in y.iter_mut() {
+                let mut acc = 0.0f32;
+                for &xi in x.iter().take(n_in) {
+                    // Small deterministic weights in (-0.5, 0.5).
+                    let wgt = (rng.next_f64() - 0.5) as f32;
+                    acc += xi * wgt;
+                }
+                *o = if last { acc } else { acc.max(0.0) };
+            }
+            x = y;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_and_bytes_scale_with_batch() {
+        let mlp = MlpSpec::new(vec![128, 64, 1]);
+        assert_eq!(mlp.flops(2), 2.0 * mlp.flops(1));
+        assert!(mlp.bytes(2) < 2.0 * mlp.bytes(1), "weights amortise");
+        assert_eq!(mlp.weights(), 128 * 64 + 64);
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_shaped() {
+        let mlp = MlpSpec::new(vec![4, 8, 2]);
+        let a = mlp.forward(&[1.0, -1.0, 0.5, 2.0], 7);
+        let b = mlp.forward(&[1.0, -1.0, 0.5, 2.0], 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        let c = mlp.forward(&[1.0, -1.0, 0.5, 2.0], 8);
+        assert_ne!(a, c, "different seeds give different weights");
+    }
+
+    #[test]
+    fn hidden_layers_are_rectified() {
+        let mlp = MlpSpec::new(vec![2, 16, 16, 4]);
+        // With ReLU the hidden activations are non-negative; the output
+        // layer is linear so outputs may be negative. Just verify the
+        // forward runs on a deeper stack and produces finite values.
+        let out = mlp.forward(&[0.3, -0.7], 1);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        MlpSpec::new(vec![3, 1]).forward(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs input and output")]
+    fn single_width_rejected() {
+        MlpSpec::new(vec![3]);
+    }
+}

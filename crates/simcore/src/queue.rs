@@ -1,0 +1,236 @@
+//! Deterministic timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+/// A priority queue of events ordered by firing time.
+///
+/// Ties (events scheduled for the same instant) pop in insertion order, so a
+/// simulation driven by an `EventQueue` is fully deterministic regardless of
+/// the event payload type.
+///
+/// The queue tracks the current simulation time: [`EventQueue::pop`] advances
+/// `now()` to the popped event's timestamp. Scheduling into the past panics —
+/// a component that "responds" earlier than the current instant is always a
+/// model bug.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push_at(SimTime::from_us(5), "late");
+/// q.push_at(SimTime::from_us(1), "early");
+/// q.push_at(SimTime::from_us(1), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_us(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_us(1), "early-second")));
+/// assert_eq!(q.now(), SimTime::from_us(1));
+/// assert_eq!(q.pop(), Some((SimTime::from_us(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("time", &self.time)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with `now() == SimTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation instant (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`].
+    pub fn push_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn push_after(&mut self, delay: SimDuration, event: E) {
+        self.push_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_ns(30), 3);
+        q.push_at(SimTime::from_ns(10), 1);
+        q.push_at(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(SimTime::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_advances_now() {
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_us(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_us(7));
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_us(10), "a");
+        q.pop();
+        q.push_after(SimDuration::from_us(5), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_us(15), "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_us(10), ());
+        q.pop();
+        q.push_at(SimTime::from_us(9), ());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(SimTime::from_ns(1), ());
+        q.push_at(SimTime::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_ns(10), 0u32);
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            popped.push(e);
+            if e < 5 {
+                // Self-rescheduling pattern used by firmware polling loops.
+                q.push_at(t + SimDuration::from_ns(10), e + 1);
+                q.push_at(t + SimDuration::from_ns(10), e + 100);
+            }
+        }
+        assert_eq!(popped[0], 0);
+        assert!(popped.contains(&5));
+        // Same-time siblings preserve insertion order: e+1 before e+100.
+        let i1 = popped.iter().position(|&x| x == 1).unwrap();
+        let i100 = popped.iter().position(|&x| x == 100).unwrap();
+        assert!(i1 < i100);
+    }
+}

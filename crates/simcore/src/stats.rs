@@ -1,0 +1,586 @@
+//! Measurement primitives: counters, histograms, latency breakdowns.
+//!
+//! The paper reports average latencies over many batches (§5 "We average
+//! latency results across many batches"), per-component breakdowns of time
+//! spent inside the FTL (Fig. 8), and cache hit rates (Fig. 10). The types
+//! here back all of those reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::SimDuration;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::Counter;
+/// let mut hits = Counter::new();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Hit/miss accounting for any cache-like structure.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::HitStats;
+/// let mut s = HitStats::new();
+/// s.hit();
+/// s.hit();
+/// s.miss();
+/// assert_eq!(s.accesses(), 3);
+/// assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl HitStats {
+    /// Creates empty statistics.
+    pub const fn new() -> Self {
+        HitStats { hits: 0, misses: 0 }
+    }
+
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records `n` hits at once.
+    pub fn add_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// Records `n` misses at once.
+    pub fn add_misses(&mut self, n: u64) {
+        self.misses += n;
+    }
+
+    /// Number of hits recorded.
+    pub const fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub const fn misses(self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub const fn accesses(self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`; zero when no accesses were recorded.
+    pub fn hit_rate(self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Resets both counters.
+    pub fn reset(&mut self) {
+        *self = HitStats::new();
+    }
+
+    /// Sums another `HitStats` into this one.
+    pub fn merge(&mut self, other: HitStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples (typically
+/// nanosecond latencies), with exact count/sum/min/max.
+///
+/// Percentiles are approximate (bucket upper bound); mean is exact.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 375.0);
+/// assert_eq!(h.min(), Some(100));
+/// assert_eq!(h.max(), Some(800));
+/// assert!(h.percentile(50.0).unwrap() >= 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    // buckets[i] counts samples whose value v satisfies 2^(i-1) <= v < 2^i,
+    // with bucket 0 counting v == 0.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`SimDuration`] sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_ns());
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub const fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`): the upper bound of the
+    /// bucket containing the `p`-th percentile sample, clamped to the exact
+    /// max. Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                return Some((upper as u64).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+/// Per-component accumulation of simulated time, keyed by a caller-supplied
+/// label type (typically an enum). Used for the Fig. 8 FTL breakdowns
+/// (Config Write / Config Process / Translation / Flash Read).
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::Breakdown;
+/// use recssd_sim::SimDuration;
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// enum Phase { Read, Compute }
+///
+/// let mut b = Breakdown::new();
+/// b.add(Phase::Read, SimDuration::from_us(10));
+/// b.add(Phase::Compute, SimDuration::from_us(5));
+/// b.add(Phase::Read, SimDuration::from_us(1));
+/// assert_eq!(b.get(Phase::Read), SimDuration::from_us(11));
+/// assert_eq!(b.total(), SimDuration::from_us(16));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakdown<K> {
+    parts: BTreeMap<K, SimDuration>,
+}
+
+impl<K: Ord + Copy> Breakdown<K> {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Breakdown {
+            parts: BTreeMap::new(),
+        }
+    }
+
+    /// Accumulates `d` against component `key`.
+    pub fn add(&mut self, key: K, d: SimDuration) {
+        *self.parts.entry(key).or_insert(SimDuration::ZERO) += d;
+    }
+
+    /// Accumulated time for `key` (zero if never recorded).
+    pub fn get(&self, key: K) -> SimDuration {
+        self.parts.get(&key).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum over all components.
+    pub fn total(&self) -> SimDuration {
+        self.parts.values().copied().sum()
+    }
+
+    /// Iterates components in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, SimDuration)> + '_ {
+        self.parts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown<K>) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Divides every component by `n` (for averaging over `n` requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn scaled_down(&self, n: u64) -> Breakdown<K> {
+        assert!(n > 0, "cannot scale a breakdown down by zero");
+        Breakdown {
+            parts: self.parts.iter().map(|(&k, &v)| (k, v / n)).collect(),
+        }
+    }
+
+    /// Removes all components.
+    pub fn reset(&mut self) {
+        self.parts.clear();
+    }
+}
+
+impl<K: Ord + Copy> Default for Breakdown<K> {
+    fn default() -> Self {
+        Breakdown::new()
+    }
+}
+
+/// A collection of raw samples with exact order statistics, for the
+/// "average latency across many batches" reporting style of the paper.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::Samples;
+/// let mut s = Samples::new();
+/// for v in [3.0, 1.0, 2.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.percentile(50.0), 2.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Adds a duration sample, stored as microseconds.
+    pub fn push_duration_us(&mut self, d: SimDuration) {
+        self.push(d.as_us_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (zero if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    fn sorted_values(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        &self.values
+    }
+
+    /// Exact percentile by nearest-rank (zero if empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let n = self.values.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let vs = self.sorted_values();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        vs[rank - 1]
+    }
+
+    /// Largest sample (zero if empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn hit_stats_rate() {
+        let mut s = HitStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.add_hits(84);
+        s.add_misses(16);
+        assert!((s.hit_rate() - 0.84).abs() < 1e-12);
+        let mut t = HitStats::new();
+        t.hit();
+        t.merge(s);
+        assert_eq!(t.hits(), 85);
+        assert_eq!(t.accesses(), 101);
+        t.reset();
+        assert_eq!(t.accesses(), 0);
+    }
+
+    #[test]
+    fn histogram_exact_moments() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.mean(), 500.5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn histogram_percentile_bucket_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1024);
+        // p0..p33 land in the low buckets, p100 in the top one.
+        assert_eq!(h.percentile(1.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(1024));
+        let p50 = h.percentile(50.0).unwrap();
+        assert!(p50 >= 1 && p50 < 1024, "p50 was {p50}");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(20));
+        assert_eq!(a.sum(), 30);
+    }
+
+    #[test]
+    fn histogram_duration_recording() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_us(1));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_scales() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum P {
+            A,
+            B,
+        }
+        let mut b = Breakdown::new();
+        b.add(P::A, SimDuration::from_ns(100));
+        b.add(P::A, SimDuration::from_ns(100));
+        b.add(P::B, SimDuration::from_ns(50));
+        assert_eq!(b.get(P::A).as_ns(), 200);
+        assert_eq!(b.total().as_ns(), 250);
+        let avg = b.scaled_down(2);
+        assert_eq!(avg.get(P::A).as_ns(), 100);
+        assert_eq!(avg.get(P::B).as_ns(), 25);
+        let mut c = Breakdown::new();
+        c.merge(&b);
+        assert_eq!(c.total(), b.total());
+        c.reset();
+        assert_eq!(c.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn samples_order_statistics() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn samples_duration_push() {
+        let mut s = Samples::new();
+        s.push_duration_us(SimDuration::from_ms(2));
+        assert_eq!(s.mean(), 2000.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The device core: command fetch, firmware charging, data paths.
+
+use std::collections::HashMap;
+
+use recssd_flash::PageOracle;
+use recssd_ftl::{FtlEvent, FtlOutcome, FwTag, GreedyFtl, Lpn, ReadStarted, ReqId};
+use recssd_nvme::{
+    NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus, PcieEvent, PcieLink, QueuePair,
+    XferDirection, XferId,
+};
+use recssd_sim::stats::Counter;
+use recssd_sim::{SimDuration, SimTime};
+
+use crate::extension::{DeviceCtx, NdpEngine, EXT_TAG_BIT};
+use crate::{NoNdp, SsdConfig};
+
+/// Events of the assembled device; route them back into
+/// [`SsdDevice::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsdEvent {
+    /// FTL / flash / firmware event.
+    Ftl(FtlEvent),
+    /// PCIe DMA event.
+    Pcie(PcieEvent),
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsdStats {
+    /// Conventional read commands processed.
+    pub read_commands: Counter,
+    /// Conventional write commands processed.
+    pub write_commands: Counter,
+    /// NDP (spare-bit) commands handed to the engine.
+    pub ndp_commands: Counter,
+    /// Logical blocks served to the host by conventional reads.
+    pub blocks_read: Counter,
+    /// Logical blocks written by conventional writes.
+    pub blocks_written: Counter,
+}
+
+#[derive(Debug)]
+struct CmdState {
+    cmd: NvmeCommand,
+    pages_left: u32,
+    data: Vec<u8>,
+}
+
+/// The simulated SSD: NVMe frontend + FTL + flash, with a pluggable NDP
+/// engine. See the [crate docs](crate) for the data-path description.
+#[derive(Debug)]
+pub struct SsdDevice<X: NdpEngine = NoNdp> {
+    config: SsdConfig,
+    ftl: GreedyFtl,
+    pcie: PcieLink,
+    queues: Vec<QueuePair>,
+    ext: X,
+    cmds: HashMap<(u16, u16), CmdState>,
+    fw_tags: HashMap<u64, (u16, u16)>,
+    read_reqs: HashMap<ReqId, (u16, u16, u32)>,
+    write_reqs: HashMap<ReqId, (u16, u16)>,
+    dma_out: HashMap<XferId, (u16, u16)>,
+    dma_in: HashMap<XferId, (u16, u16)>,
+    next_tag: u64,
+    stats: SsdStats,
+}
+
+impl SsdDevice<NoNdp> {
+    /// Creates a COTS device (NDP commands rejected).
+    pub fn new(config: SsdConfig) -> Self {
+        SsdDevice::with_engine(config, NoNdp)
+    }
+}
+
+impl<X: NdpEngine> SsdDevice<X> {
+    /// Creates a device with a custom NDP engine installed in its firmware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_engine(config: SsdConfig, ext: X) -> Self {
+        config.validate();
+        let queues = (0..config.io_queues)
+            .map(|q| QueuePair::new(q as u16, config.queue_depth))
+            .collect();
+        SsdDevice {
+            ftl: GreedyFtl::new(config.ftl.clone()),
+            pcie: PcieLink::new(config.pcie),
+            queues,
+            ext,
+            cmds: HashMap::new(),
+            fw_tags: HashMap::new(),
+            read_reqs: HashMap::new(),
+            write_reqs: HashMap::new(),
+            dma_out: HashMap::new(),
+            dma_in: HashMap::new(),
+            next_tag: 0,
+            stats: SsdStats::default(),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// Host-side access to a queue pair (submit commands, poll
+    /// completions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of range.
+    pub fn queue(&mut self, qid: u16) -> &mut QueuePair {
+        &mut self.queues[qid as usize]
+    }
+
+    /// The FTL, for diagnostics and experiment instrumentation.
+    pub fn ftl(&self) -> &GreedyFtl {
+        &self.ftl
+    }
+
+    /// Mutable FTL access (cache drops between experiment phases).
+    pub fn ftl_mut(&mut self) -> &mut GreedyFtl {
+        &mut self.ftl
+    }
+
+    /// The PCIe link, for diagnostics.
+    pub fn pcie(&self) -> &PcieLink {
+        &self.pcie
+    }
+
+    /// The installed NDP engine.
+    pub fn engine(&self) -> &X {
+        &self.ext
+    }
+
+    /// Mutable access to the installed NDP engine.
+    pub fn engine_mut(&mut self) -> &mut X {
+        &mut self.ext
+    }
+
+    /// Bulk-loads a logical region from `oracle` (see
+    /// [`GreedyFtl::preload`]).
+    pub fn preload(&mut self, start: Lpn, pages: u64, oracle: std::sync::Arc<dyn PageOracle>) {
+        self.ftl.preload(start, pages, oracle);
+    }
+
+    /// `true` when no command, DMA, flash or engine work is in flight
+    /// (pending completions may still sit in completion queues).
+    pub fn idle(&self) -> bool {
+        self.cmds.is_empty() && self.ftl.idle() && self.pcie.idle() && self.ext.idle()
+    }
+
+    fn alloc_tag(&mut self, qid: u16, cid: u16) -> FwTag {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        debug_assert_eq!(tag & EXT_TAG_BIT, 0, "core tag space exhausted");
+        self.fw_tags.insert(tag, (qid, cid));
+        FwTag(tag)
+    }
+
+    /// Rings the doorbell for queue `qid`: the device fetches and begins
+    /// processing every submitted command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of range.
+    pub fn doorbell(
+        &mut self,
+        now: SimTime,
+        qid: u16,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        while let Some(cmd) = self.queues[qid as usize].fetch() {
+            if cmd.ndp {
+                self.stats.ndp_commands.inc();
+                let Self {
+                    ftl,
+                    pcie,
+                    queues,
+                    ext,
+                    ..
+                } = self;
+                let mut ctx = DeviceCtx {
+                    now,
+                    ftl,
+                    pcie,
+                    queues,
+                    sched,
+                };
+                ext.on_ndp_command(&mut ctx, qid, cmd);
+                continue;
+            }
+            let logical = self.config.ftl.logical_pages;
+            let cid = cmd.cid;
+            if cmd.nlb == 0 {
+                self.queues[qid as usize]
+                    .complete(NvmeCompletion::error(cid, NvmeStatus::InvalidField));
+                continue;
+            }
+            if cmd.slba + cmd.nlb as u64 > logical {
+                self.queues[qid as usize]
+                    .complete(NvmeCompletion::error(cid, NvmeStatus::LbaOutOfRange));
+                continue;
+            }
+            match cmd.opcode {
+                NvmeOpcode::Read => {
+                    self.stats.read_commands.inc();
+                    self.stats.blocks_read.add(cmd.nlb as u64);
+                    let nlb = cmd.nlb;
+                    let buf_len = nlb as usize * self.config.block_bytes();
+                    self.cmds.insert(
+                        (qid, cid),
+                        CmdState {
+                            cmd,
+                            pages_left: nlb,
+                            data: vec![0u8; buf_len],
+                        },
+                    );
+                    let tag = self.alloc_tag(qid, cid);
+                    let dur = self.config.fw_command_time(nlb);
+                    self.ftl
+                        .charge_firmware(now, dur, tag, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
+                }
+                NvmeOpcode::Write => {
+                    self.stats.write_commands.inc();
+                    self.stats.blocks_written.add(cmd.nlb as u64);
+                    let bytes = cmd.payload_len();
+                    self.cmds.insert(
+                        (qid, cid),
+                        CmdState {
+                            cmd,
+                            pages_left: 0,
+                            data: Vec::new(),
+                        },
+                    );
+                    let xfer = self.pcie.request(
+                        now,
+                        bytes,
+                        XferDirection::HostToDevice,
+                        &mut |d, e| sched(d, SsdEvent::Pcie(e)),
+                    );
+                    self.dma_in.insert(xfer, (qid, cid));
+                }
+            }
+        }
+    }
+
+    /// Processes one device event.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: SsdEvent,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        match ev {
+            SsdEvent::Ftl(fev) => {
+                let outcomes = self
+                    .ftl
+                    .handle(now, fev, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
+                for o in outcomes {
+                    self.dispatch_ftl(now, o, sched);
+                }
+            }
+            SsdEvent::Pcie(pev) => {
+                let xfer = self
+                    .pcie
+                    .handle(now, pev, &mut |d, e| sched(d, SsdEvent::Pcie(e)));
+                self.dispatch_pcie(now, xfer, sched);
+            }
+        }
+    }
+
+    fn dispatch_ftl(
+        &mut self,
+        now: SimTime,
+        outcome: FtlOutcome,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        match &outcome {
+            FtlOutcome::FwTaskDone { tag } if self.fw_tags.contains_key(&tag.0) => {
+                let (qid, cid) = self.fw_tags.remove(&tag.0).expect("checked above");
+                self.on_command_processed(now, qid, cid, sched);
+            }
+            FtlOutcome::ReadDone { req, data, .. } if self.read_reqs.contains_key(req) => {
+                let (qid, cid, page_idx) = self.read_reqs.remove(req).expect("checked above");
+                let page_bytes = self.config.block_bytes();
+                let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
+                let off = page_idx as usize * page_bytes;
+                st.data[off..off + page_bytes].copy_from_slice(data);
+                st.pages_left -= 1;
+                if st.pages_left == 0 {
+                    self.start_read_dma(now, qid, cid, sched);
+                }
+            }
+            FtlOutcome::WriteDone { req, .. } if self.write_reqs.contains_key(req) => {
+                let (qid, cid) = self.write_reqs.remove(req).expect("checked above");
+                let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
+                st.pages_left -= 1;
+                if st.pages_left == 0 {
+                    self.cmds.remove(&(qid, cid));
+                    self.queues[qid as usize].complete(NvmeCompletion::success(cid, None));
+                }
+            }
+            _ => {
+                let Self {
+                    ftl,
+                    pcie,
+                    queues,
+                    ext,
+                    ..
+                } = self;
+                let mut ctx = DeviceCtx {
+                    now,
+                    ftl,
+                    pcie,
+                    queues,
+                    sched,
+                };
+                let claimed = ext.on_ftl_outcome(&mut ctx, &outcome);
+                assert!(claimed, "orphan FTL outcome: {outcome:?}");
+            }
+        }
+    }
+
+    /// Continues a command once its firmware processing charge completes.
+    fn on_command_processed(
+        &mut self,
+        now: SimTime,
+        qid: u16,
+        cid: u16,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        let st = self.cmds.get(&(qid, cid)).expect("command state");
+        match st.cmd.opcode {
+            NvmeOpcode::Read => {
+                let slba = st.cmd.slba;
+                let nlb = st.cmd.nlb;
+                let page_bytes = self.config.block_bytes();
+                let mut immediate = Vec::new();
+                for i in 0..nlb {
+                    let started = self
+                        .ftl
+                        .read_page(now, Lpn(slba + i as u64), &mut |d, e| {
+                            sched(d, SsdEvent::Ftl(e))
+                        })
+                        .expect("validated range");
+                    match started {
+                        ReadStarted::CacheHit(data) => immediate.push((i, Some(data))),
+                        ReadStarted::Unmapped => immediate.push((i, None)),
+                        ReadStarted::Pending(req) => {
+                            self.read_reqs.insert(req, (qid, cid, i));
+                        }
+                    }
+                }
+                let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
+                for (i, data) in immediate {
+                    if let Some(data) = data {
+                        let off = i as usize * page_bytes;
+                        st.data[off..off + page_bytes].copy_from_slice(&data);
+                    }
+                    st.pages_left -= 1;
+                }
+                if st.pages_left == 0 {
+                    self.start_read_dma(now, qid, cid, sched);
+                }
+            }
+            NvmeOpcode::Write => {
+                let slba = st.cmd.slba;
+                let nlb = st.cmd.nlb;
+                let page_bytes = self.config.block_bytes();
+                let payload = st.cmd.payload.clone().unwrap_or_default();
+                for i in 0..nlb {
+                    let start = (i as usize * page_bytes).min(payload.len());
+                    let end = ((i as usize + 1) * page_bytes).min(payload.len());
+                    let chunk = payload[start..end].to_vec();
+                    let req = self
+                        .ftl
+                        .write_page(now, Lpn(slba + i as u64), chunk, &mut |d, e| {
+                            sched(d, SsdEvent::Ftl(e))
+                        })
+                        .expect("validated range");
+                    self.write_reqs.insert(req, (qid, cid));
+                }
+                self.cmds.get_mut(&(qid, cid)).expect("command state").pages_left = nlb;
+            }
+        }
+    }
+
+    fn start_read_dma(
+        &mut self,
+        now: SimTime,
+        qid: u16,
+        cid: u16,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        let bytes = self.cmds[&(qid, cid)].data.len();
+        let xfer = self
+            .pcie
+            .request(now, bytes, XferDirection::DeviceToHost, &mut |d, e| {
+                sched(d, SsdEvent::Pcie(e))
+            });
+        self.dma_out.insert(xfer, (qid, cid));
+    }
+
+    fn dispatch_pcie(
+        &mut self,
+        now: SimTime,
+        xfer: XferId,
+        sched: &mut dyn FnMut(SimDuration, SsdEvent),
+    ) {
+        if let Some((qid, cid)) = self.dma_out.remove(&xfer) {
+            let st = self.cmds.remove(&(qid, cid)).expect("command state");
+            self.queues[qid as usize].complete(NvmeCompletion::success(
+                cid,
+                Some(st.data.into_boxed_slice()),
+            ));
+            return;
+        }
+        if let Some((qid, cid)) = self.dma_in.remove(&xfer) {
+            let nlb = self.cmds[&(qid, cid)].cmd.nlb;
+            let tag = self.alloc_tag(qid, cid);
+            let dur = self.config.fw_command_time(nlb);
+            self.ftl
+                .charge_firmware(now, dur, tag, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
+            return;
+        }
+        let Self {
+            ftl,
+            pcie,
+            queues,
+            ext,
+            ..
+        } = self;
+        let mut ctx = DeviceCtx {
+            now,
+            ftl,
+            pcie,
+            queues,
+            sched,
+        };
+        let claimed = ext.on_pcie_done(&mut ctx, xfer);
+        assert!(claimed, "orphan PCIe transfer: {xfer:?}");
+    }
+}

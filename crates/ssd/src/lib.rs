@@ -1,0 +1,33 @@
+//! The assembled SSD device simulator.
+//!
+//! Wires the substrate crates into one event-driven device modelled on the
+//! Cosmos+ OpenSSD the paper prototypes on:
+//!
+//! ```text
+//!  host ──QueuePair──▶ frontend ──FwCore──▶ GreedyFtl ──▶ FlashArray
+//!        ◀─PcieLink──  (commands)  (firmware)  (mapping,     (channels,
+//!                                              page cache)    dies)
+//! ```
+//!
+//! A conventional **read** command costs: per-command firmware processing
+//! (the serial embedded CPU — this is what caps the baseline's host-visible
+//! random-read IOPS, §3.2), flash page reads through the FTL (page-cache
+//! hits skip flash), one PCIe DMA of the full pages back to the host, and a
+//! completion. A **write** command DMAs the payload in, charges firmware,
+//! and programs pages through the log-structured write path.
+//!
+//! Commands with the spare NDP bit set are handed to a pluggable
+//! [`NdpEngine`] — the hook where the `recssd` crate installs the paper's
+//! SLS offload. The default engine ([`NoNdp`]) fails such commands with
+//! `InvalidField`, which is exactly how a COTS drive behaves.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod device;
+mod extension;
+
+pub use config::SsdConfig;
+pub use device::{SsdDevice, SsdEvent, SsdStats};
+pub use extension::{DeviceCtx, NdpEngine, NoNdp, EXT_TAG_BIT};

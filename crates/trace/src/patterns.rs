@@ -1,0 +1,79 @@
+//! The SEQ and STR microbenchmark access patterns of Fig. 8.
+
+/// Sequential ids: `start, start+1, …` wrapping at `rows`.
+///
+/// "The Sequential (SEQ) memory access pattern represents use cases where
+/// embedding table IDs are contiguous … use cases with extremely high page
+/// locality" (§6.1). Under a dense layout, 128 consecutive 128-byte rows
+/// share one 16 KB page.
+///
+/// # Example
+///
+/// ```
+/// use recssd_trace::patterns::sequential_ids;
+/// assert_eq!(sequential_ids(3, 4, 5), vec![3, 4, 0, 1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rows` is zero.
+pub fn sequential_ids(start: u64, count: usize, rows: u64) -> Vec<u64> {
+    assert!(rows > 0, "table must have rows");
+    (0..count as u64).map(|i| (start + i) % rows).collect()
+}
+
+/// Strided ids: `start, start+stride, …` wrapping at `rows`.
+///
+/// "The Random (STR) memory access patterns are generated with strided
+/// embedding table lookup IDs and representative of access patterns where
+/// each vector accessed is located on a unique Flash page" (§6.1). Pick
+/// `stride >= rows_per_page` for that property.
+///
+/// # Example
+///
+/// ```
+/// use recssd_trace::patterns::strided_ids;
+/// assert_eq!(strided_ids(0, 128, 3, 1000), vec![0, 128, 256]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rows` is zero or `stride` is zero.
+pub fn strided_ids(start: u64, stride: u64, count: usize, rows: u64) -> Vec<u64> {
+    assert!(rows > 0, "table must have rows");
+    assert!(stride > 0, "stride must be positive");
+    (0..count as u64)
+        .map(|i| (start + i * stride) % rows)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        assert_eq!(sequential_ids(8, 4, 10), vec![8, 9, 0, 1]);
+    }
+
+    #[test]
+    fn strided_lands_on_distinct_pages() {
+        // 128 rows per page: stride 128 → one id per page.
+        let ids = strided_ids(0, 128, 64, 1_000_000);
+        let pages: std::collections::HashSet<u64> = ids.iter().map(|id| id / 128).collect();
+        assert_eq!(pages.len(), 64);
+    }
+
+    #[test]
+    fn sequential_shares_pages() {
+        let ids = sequential_ids(0, 256, 1_000_000);
+        let pages: std::collections::HashSet<u64> = ids.iter().map(|id| id / 128).collect();
+        assert_eq!(pages.len(), 2, "256 contiguous rows span 2 dense pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        strided_ids(0, 0, 1, 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bounded Zipf sampling for power-law access traces.
+
+use recssd_sim::rng::{mix64, Xoshiro256};
+
+/// Draws ids from a Zipf(s) distribution over `0..rows`, then scatters the
+/// rank→row mapping with a hash so "hot" rows are spread across the table
+/// (as they are in production, where hotness does not correlate with row
+/// index).
+///
+/// §3.1 of the paper: "Access patterns to embedding tables follow the
+/// power-law distribution." Figures 3 and 4 are built from proprietary
+/// traces with exactly this shape; this sampler is their synthetic
+/// stand-in (the exponent varies per table, matching the hit-rate spread
+/// of Fig. 4).
+///
+/// Uses Devroye's rejection method, so no per-row state is kept and
+/// 100 M-row tables sample in O(1).
+///
+/// # Example
+///
+/// ```
+/// use recssd_trace::ZipfTrace;
+/// let mut z = ZipfTrace::new(1_000_000, 1.1, 42);
+/// let ids = z.take_ids(1000);
+/// assert!(ids.iter().all(|&id| id < 1_000_000));
+/// ```
+#[derive(Debug)]
+pub struct ZipfTrace {
+    rows: u64,
+    s: f64,
+    scatter: bool,
+    rng: Xoshiro256,
+    // Precomputed constants of the rejection-inversion sampler
+    // (Hörmann & Derflinger; the scheme behind rand_distr and Apache
+    // Commons' RejectionInversionZipfSampler).
+    h_x1: f64,
+    h_n: f64,
+    shortcut: f64,
+}
+
+impl ZipfTrace {
+    /// Creates a sampler with exponent `s > 1` over `rows` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `s <= 1`.
+    pub fn new(rows: u64, s: f64, seed: u64) -> Self {
+        assert!(rows > 0, "need at least one row");
+        assert!(s > 1.0, "Zipf exponent must exceed 1 for the sampler");
+        let h_integral = |x: f64| (x.powf(1.0 - s) - 1.0) / (1.0 - s);
+        let h = |x: f64| x.powf(-s);
+        let h_integral_inv = |y: f64| (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s));
+        ZipfTrace {
+            rows,
+            s,
+            scatter: true,
+            rng: Xoshiro256::seed_from(seed),
+            h_x1: h_integral(1.5) - 1.0,
+            h_n: h_integral(rows as f64 + 0.5),
+            shortcut: 2.0 - h_integral_inv(h_integral(2.5) - h(2.0)),
+        }
+    }
+
+    /// Disables rank scattering (rank r maps directly to row r; useful for
+    /// tests that need to see the raw rank distribution).
+    pub fn without_scatter(mut self) -> Self {
+        self.scatter = false;
+        self
+    }
+
+    /// The skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        x.powf(-self.s)
+    }
+
+    fn h_integral_inv(&self, y: f64) -> f64 {
+        (1.0 + y * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+    }
+
+    fn sample_rank(&mut self) -> u64 {
+        loop {
+            let u = self.h_n + self.rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = self.h_integral_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.rows as f64);
+            if k - x <= self.shortcut || u >= self.h_integral(k + 0.5) - self.h(k) {
+                return k as u64 - 1; // zero-based rank
+            }
+        }
+    }
+
+    /// The next id.
+    pub fn next_id(&mut self) -> u64 {
+        let rank = self.sample_rank();
+        if self.scatter {
+            mix64(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.rows
+        } else {
+            rank
+        }
+    }
+
+    /// Draws `n` ids.
+    pub fn take_ids(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_id()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn rank_frequencies(rows: u64, s: f64, n: usize) -> HashMap<u64, u64> {
+        let mut z = ZipfTrace::new(rows, s, 7).without_scatter();
+        let mut freq = HashMap::new();
+        for _ in 0..n {
+            *freq.entry(z.next_id()).or_insert(0u64) += 1;
+        }
+        freq
+    }
+
+    #[test]
+    fn frequency_ratios_follow_the_power_law() {
+        let s = 1.5;
+        let freq = rank_frequencies(10_000, s, 200_000);
+        let f1 = freq[&0] as f64;
+        let f2 = freq[&1] as f64;
+        let f4 = freq[&3] as f64;
+        // f(k) ∝ k^-s → f1/f2 = 2^s, f1/f4 = 4^s.
+        assert!((f1 / f2 - 2f64.powf(s)).abs() < 0.5, "f1/f2 = {}", f1 / f2);
+        assert!((f1 / f4 - 4f64.powf(s)).abs() < 1.5, "f1/f4 = {}", f1 / f4);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_mass() {
+        let mild = rank_frequencies(10_000, 1.1, 100_000);
+        let steep = rank_frequencies(10_000, 2.0, 100_000);
+        let top10 = |f: &HashMap<u64, u64>| -> u64 { (0..10).map(|k| f.get(&k).copied().unwrap_or(0)).sum() };
+        assert!(
+            top10(&steep) > top10(&mild),
+            "steeper Zipf must concentrate more accesses in the head"
+        );
+    }
+
+    #[test]
+    fn ids_in_range_and_deterministic() {
+        let rows = 5_000;
+        let mut a = ZipfTrace::new(rows, 1.3, 3);
+        let mut b = ZipfTrace::new(rows, 1.3, 3);
+        let ia = a.take_ids(2_000);
+        assert_eq!(ia, b.take_ids(2_000));
+        assert!(ia.iter().all(|&id| id < rows));
+    }
+
+    #[test]
+    fn scatter_decorrelates_rank_from_row() {
+        // With scatter, the hottest id should usually not be row 0.
+        let mut z = ZipfTrace::new(1_000_000, 1.5, 5);
+        let mut freq = HashMap::new();
+        for _ in 0..50_000 {
+            *freq.entry(z.next_id()).or_insert(0u64) += 1;
+        }
+        let hottest = freq.iter().max_by_key(|(_, &c)| c).map(|(&id, _)| id).unwrap();
+        assert_ne!(hottest, 0, "scatter should move the head off row 0");
+    }
+
+    #[test]
+    fn huge_tables_sample_in_constant_space() {
+        let mut z = ZipfTrace::new(100_000_000, 1.2, 1);
+        let ids = z.take_ids(10_000);
+        assert!(ids.iter().all(|&id| id < 100_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn exponent_at_most_one_rejected() {
+        ZipfTrace::new(10, 1.0, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: offload one SparseLengthsSum to the simulated RecSSD and
+//! compare it against the host-DRAM reference and the COTS-SSD baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use recssd_suite::prelude::*;
+
+fn main() {
+    // A small simulated device (Cosmos+ timing, 8 channels) and host.
+    let mut sys = System::new(RecSsdConfig::small_wide());
+
+    // One embedding table: 2000 rows of 32 features, one vector per 16 KB
+    // flash page (the paper's model-evaluation layout).
+    let spec = TableSpec::new(2000, 32, Quantization::F32);
+    let image = TableImage::new(
+        EmbeddingTable::procedural(spec, 42),
+        PageLayout::Spread,
+        16 * 1024,
+    );
+    let table = sys.add_table(image);
+
+    // A batch of 8 pooled lookups, 20 random rows each.
+    let mut rng = recssd_sim::rng::Xoshiro256::seed_from(7);
+    let batch = LookupBatch::new(
+        (0..8)
+            .map(|_| (0..20).map(|_| rng.gen_range(0..2000)).collect())
+            .collect(),
+    );
+
+    // Run the same batch three ways.
+    let dram = sys.submit(OpKind::dram_sls(table, batch.clone()));
+    let baseline = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+    sys.run_until_idle();
+
+    // All three agree bit-exactly.
+    assert_eq!(sys.result(ndp).outputs, sys.result(dram).outputs);
+    assert_eq!(sys.result(baseline).outputs, sys.result(dram).outputs);
+
+    println!("SparseLengthsSum over 160 lookups (simulated time):");
+    println!("  DRAM reference : {}", sys.result(dram).service_time());
+    println!("  COTS SSD       : {}", sys.result(baseline).service_time());
+    println!("  RecSSD (NDP)   : {}", sys.result(ndp).service_time());
+    let speedup = sys.result(baseline).service_time().as_ns() as f64
+        / sys.result(ndp).service_time().as_ns() as f64;
+    println!("  NDP speedup over COTS SSD: {speedup:.2}x");
+
+    let report = sys.device().engine().stats().mean_report();
+    println!("\nInside the FTL (per request):");
+    println!("  config write   : {}", report.config_write);
+    println!("  config process : {}", report.config_process);
+    println!("  translation    : {}", report.translation);
+    println!("  flash read     : {}", report.flash_read);
+    println!("  pages touched  : {}", report.pages);
+}

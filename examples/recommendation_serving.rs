@@ -1,0 +1,62 @@
+//! End-to-end recommendation serving: run a DLRM-RMC1-class model with
+//! its embeddings in DRAM, on a COTS SSD, and on RecSSD, with the
+//! locality-controlled traces of the paper.
+//!
+//! ```text
+//! cargo run --release --example recommendation_serving
+//! ```
+
+use recssd_suite::prelude::*;
+
+fn main() {
+    let batch = 16;
+    // Scaled-down RM1 (access patterns, not absolute table size, drive
+    // the behaviour — §6.4 of the paper).
+    let cfg = ModelConfig::dlrm_rmc1().scaled_tables(50_000);
+    println!(
+        "model {}: {} tables x {} rows, {} lookups/table, dim {}",
+        cfg.name, cfg.tables, cfg.rows_per_table, cfg.lookups_per_table, cfg.dim
+    );
+
+    for k in LocalityK::all() {
+        // Full-scale Cosmos+ device: 2 TiB, 8 channels.
+        let mut sys = System::new(RecSsdConfig::cosmos());
+        let model = ModelInstance::build(&mut sys, cfg.clone(), PageLayout::Spread, 1);
+        // Baseline gets the paper's 2K-entry host LRU cache per table.
+        for &t in model.tables() {
+            sys.enable_host_cache(t, 2048);
+        }
+        let base_opts = SlsOptions {
+            io_concurrency: 32,
+            use_host_cache: true,
+            ..SlsOptions::default()
+        };
+
+        let run = |sys: &mut System, model: &ModelInstance, mode: &EmbeddingMode, seed: u64| {
+            let mut gen = BatchGen::locality(cfg.rows_per_table, k, cfg.tables, seed);
+            // One warm-up inference, then measure two.
+            model.run_inference(sys, batch, mode, &mut gen);
+            let a = model.run_inference(sys, batch, mode, &mut gen).latency;
+            let b = model.run_inference(sys, batch, mode, &mut gen).latency;
+            (a + b) / 2
+        };
+
+        let t_dram = run(&mut sys, &model, &EmbeddingMode::Dram, 5);
+        let t_base = run(&mut sys, &model, &EmbeddingMode::BaselineSsd(base_opts), 5);
+        let t_ndp = run(&mut sys, &model, &EmbeddingMode::Ndp(SlsOptions::default()), 5);
+
+        println!(
+            "\n{k}: DRAM {}  |  COTS SSD {}  |  RecSSD {}",
+            t_dram, t_base, t_ndp
+        );
+        println!(
+            "    RecSSD vs COTS SSD: {:.2}x  (host LRU hit rate {:.0}%)",
+            t_base.as_ns() as f64 / t_ndp.as_ns() as f64,
+            sys.host_cache_stats(model.tables()[0])
+                .map(|s| s.hit_rate() * 100.0)
+                .unwrap_or(0.0),
+        );
+    }
+    println!("\nAs in Fig. 10 of the paper: the lower the trace locality, the");
+    println!("bigger RecSSD's advantage over the cached conventional baseline.");
+}
