@@ -60,6 +60,61 @@ fn bench_quant(c: &mut Criterion) {
     }
 }
 
+/// The optimisation this PR exists for, made visible in-repo: the
+/// allocating `decode` against the allocation-free `decode_into` and the
+/// fused `decode_accumulate`.
+fn bench_decode_variants(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 64.0).collect();
+    for q in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+        let mut buf = vec![0u8; q.row_bytes(64)];
+        q.encode(&vals, &mut buf);
+        c.bench_function(&format!("decode_alloc_{q:?}"), |b| {
+            b.iter(|| black_box(q.decode(&buf, 64)))
+        });
+        let mut out = vec![0.0f32; 64];
+        c.bench_function(&format!("decode_into_{q:?}"), |b| {
+            b.iter(|| {
+                q.decode_into(&buf, &mut out);
+                black_box(out[0])
+            })
+        });
+        let mut acc = vec![0.0f32; 64];
+        c.bench_function(&format!("decode_accumulate_{q:?}"), |b| {
+            b.iter(|| {
+                q.decode_accumulate(&buf, &mut acc);
+                black_box(acc[0])
+            })
+        });
+    }
+}
+
+/// A page-translation loop exactly as the NDP engine runs it: one dense
+/// 16 KB page, every resident vector accumulated into a result slot.
+fn bench_page_translation(c: &mut Criterion) {
+    for q in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+        let dim = 32usize;
+        let page_bytes = 16 * 1024;
+        let img = TableImage::new(
+            EmbeddingTable::procedural(TableSpec::new(100_000, dim, q), 7),
+            PageLayout::Dense,
+            page_bytes,
+        );
+        let mut page = vec![0u8; page_bytes];
+        img.fill_relative_page(3, &mut page);
+        let rows = img.rows_per_page() as usize;
+        let row_bytes = img.table().spec().row_bytes();
+        let mut acc = vec![0.0f32; dim];
+        c.bench_function(&format!("page_translate_{rows}x_{q:?}"), |b| {
+            b.iter(|| {
+                for r in 0..rows {
+                    img.accumulate_row_at(&page, r * row_bytes, &mut acc);
+                }
+                black_box(acc[0])
+            })
+        });
+    }
+}
+
 fn bench_ndp_round_trip(c: &mut Criterion) {
     c.bench_function("ndp_sls_small_end_to_end", |b| {
         b.iter(|| {
@@ -81,6 +136,7 @@ fn bench_ndp_round_trip(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_caches, bench_traces, bench_quant, bench_ndp_round_trip
+    targets = bench_caches, bench_traces, bench_quant, bench_decode_variants,
+        bench_page_translation, bench_ndp_round_trip
 }
 criterion_main!(benches);

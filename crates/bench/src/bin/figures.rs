@@ -20,8 +20,18 @@ fn main() {
         .collect();
     let picks = if picks.is_empty() || picks.contains(&"all") {
         vec![
-            "table1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10ac", "fig10df",
-            "fig11a", "fig11b", "ablations",
+            "table1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig10ac",
+            "fig10df",
+            "fig11a",
+            "fig11b",
+            "ablations",
         ]
     } else {
         picks
@@ -30,7 +40,11 @@ fn main() {
     eprintln!(
         "running {:?} at {} scale",
         picks,
-        if scale.model_rows >= 1_000_000 { "paper" } else { "quick" }
+        if scale.model_rows >= 1_000_000 {
+            "paper"
+        } else {
+            "quick"
+        }
     );
     for pick in picks {
         let series: Series = match pick {

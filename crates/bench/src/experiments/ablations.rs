@@ -31,7 +31,12 @@ pub fn run_arm_speed(scale: Scale) -> Series {
     let _ = scale;
     let mut series = Series::new(
         "Ablation: SSD microprocessor speed vs NDP SLS latency (STR, batch 64)",
-        &["cpu_speed", "translation_us", "total_us", "speedup_vs_baseline"],
+        &[
+            "cpu_speed",
+            "translation_us",
+            "total_us",
+            "speedup_vs_baseline",
+        ],
     );
     // Baseline reference, measured once.
     let mut rng = Xoshiro256::seed_from(9);
@@ -50,7 +55,13 @@ pub fn run_arm_speed(scale: Scale) -> Series {
         sys.run_until_idle();
         sys.result(op).service_time()
     };
-    for (label, mult) in [("0.25x", 0.25), ("0.5x", 0.5), ("1x (A9)", 1.0), ("2x", 2.0), ("4x", 4.0)] {
+    for (label, mult) in [
+        ("0.25x", 0.25),
+        ("0.5x", 0.5),
+        ("1x (A9)", 1.0),
+        ("2x", 2.0),
+        ("4x", 4.0),
+    ] {
         let mut cfg = RecSsdConfig::cosmos();
         cfg.ndp.translate_fixed_ns = (cfg.ndp.translate_fixed_ns as f64 / mult) as u64;
         cfg.ndp.translate_per_byte_ns /= mult;
@@ -91,19 +102,29 @@ pub fn run_ssd_cache_capacity(scale: Scale) -> Series {
         let mut trace = LocalityTrace::with_k(scale.model_rows, LocalityK::K0, 60);
         let make = |t: &mut LocalityTrace| {
             recssd_embedding::LookupBatch::new(
-                (0..16).map(|_| (0..20).map(|_| t.next_id()).collect()).collect(),
+                (0..16)
+                    .map(|_| (0..20).map(|_| t.next_id()).collect())
+                    .collect(),
             )
         };
         // Warm, then measure.
         for _ in 0..10 {
-            let op = sys.submit(OpKind::ndp_sls(table, make(&mut trace), SlsOptions::default()));
+            let op = sys.submit(OpKind::ndp_sls(
+                table,
+                make(&mut trace),
+                SlsOptions::default(),
+            ));
             sys.run_until_idle();
             let _ = sys.result(op);
         }
         sys.device_mut().engine_mut().reset_stats();
         let mut total = SimDuration::ZERO;
         for _ in 0..4 {
-            let op = sys.submit(OpKind::ndp_sls(table, make(&mut trace), SlsOptions::default()));
+            let op = sys.submit(OpKind::ndp_sls(
+                table,
+                make(&mut trace),
+                SlsOptions::default(),
+            ));
             sys.run_until_idle();
             total += sys.result(op).service_time();
         }
@@ -198,13 +219,17 @@ mod tests {
     fn faster_arm_reduces_translation_and_total() {
         let s = run_arm_speed(tiny());
         let total = |label: &str| -> f64 {
-            s.rows.iter().find(|r| r[0] == label).unwrap()[2].parse().unwrap()
+            s.rows.iter().find(|r| r[0] == label).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         assert!(total("4x") <= total("1x (A9)"));
         assert!(total("1x (A9)") < total("0.25x"));
         // A 4x faster CPU cannot beat the flash-bound floor by much more
         // than the translation share it removed.
-        let sp4: f64 = s.rows.iter().find(|r| r[0] == "4x").unwrap()[3].parse().unwrap();
+        let sp4: f64 = s.rows.iter().find(|r| r[0] == "4x").unwrap()[3]
+            .parse()
+            .unwrap();
         let sp1: f64 = s.rows.iter().find(|r| r[0] == "1x (A9)").unwrap()[3]
             .parse()
             .unwrap();
@@ -237,7 +262,9 @@ mod tests {
     fn shallow_windows_are_latency_bound() {
         let s = run_io_concurrency(tiny());
         let per_page = |conc: &str| -> f64 {
-            s.rows.iter().find(|r| r[0] == conc).unwrap()[2].parse().unwrap()
+            s.rows.iter().find(|r| r[0] == conc).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         assert!(
             per_page("1") > per_page("32") * 2.0,

@@ -30,7 +30,12 @@ pub fn add_table(
 }
 
 /// A uniform-random batch of `outputs × lookups` ids.
-pub fn uniform_batch(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
+pub fn uniform_batch(
+    rng: &mut Xoshiro256,
+    rows: u64,
+    outputs: usize,
+    lookups: usize,
+) -> LookupBatch {
     LookupBatch::new(
         (0..outputs)
             .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())

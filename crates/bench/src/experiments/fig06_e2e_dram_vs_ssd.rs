@@ -61,7 +61,9 @@ pub fn run(scale: Scale) -> Series {
         }
         let mut t_ssd = recssd_sim::SimDuration::ZERO;
         for _ in 0..scale.reps {
-            t_ssd += model.run_inference(&mut sys, batch, &mode, &mut gen).latency;
+            t_ssd += model
+                .run_inference(&mut sys, batch, &mode, &mut gen)
+                .latency;
         }
         let t_ssd = t_ssd / scale.reps as u64;
         series.push(vec![

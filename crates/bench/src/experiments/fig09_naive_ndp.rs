@@ -32,7 +32,12 @@ pub fn run(scale: Scale) -> Series {
         let mut t_base = recssd_sim::SimDuration::ZERO;
         for _ in 0..scale.reps {
             t_base += model
-                .run_inference(&mut sys, batch, &EmbeddingMode::BaselineSsd(naive), &mut gen)
+                .run_inference(
+                    &mut sys,
+                    batch,
+                    &EmbeddingMode::BaselineSsd(naive),
+                    &mut gen,
+                )
                 .latency;
         }
         let t_base = t_base / scale.reps as u64;
@@ -63,10 +68,7 @@ mod tests {
     fn embedding_models_speed_up_and_mlp_models_do_not() {
         let s = run(Scale::quick());
         let speedup = |name: &str| -> f64 {
-            s.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("model present")[3]
+            s.rows.iter().find(|r| r[0] == name).expect("model present")[3]
                 .parse()
                 .unwrap()
         };

@@ -51,7 +51,13 @@ pub fn run(scale: Scale, variant: Variant) -> Series {
     let mut series = Series::new(
         title,
         &[
-            "model", "K", "batch", "baseline_ms", "recssd_ms", "speedup", "recssd_hit",
+            "model",
+            "K",
+            "batch",
+            "baseline_ms",
+            "recssd_ms",
+            "speedup",
+            "recssd_hit",
             "lru_hit",
         ],
     );
@@ -92,11 +98,8 @@ fn run_cell(
         // Profile the input distribution (same generator family, separate
         // stream) and pin the hottest rows per table in host DRAM.
         for (i, &t) in rec_model.tables().iter().enumerate() {
-            let mut profile = LocalityTrace::with_k(
-                cfg.rows_per_table,
-                k,
-                seed.wrapping_add(i as u64 * 7919),
-            );
+            let mut profile =
+                LocalityTrace::with_k(cfg.rows_per_table, k, seed.wrapping_add(i as u64 * 7919));
             let mut b = StaticPartitionBuilder::new();
             for _ in 0..40_000 {
                 b.observe(profile.next_id());
@@ -123,9 +126,7 @@ fn run_cell(
         // steady-state behavior"): enough inferences that each table sees
         // several thousand lookups.
         let per_inference = cfg.lookups_per_table * batch;
-        let warmup = scale
-            .warmup
-            .max((4000 / per_inference.max(1)).min(120));
+        let warmup = scale.warmup.max((4000 / per_inference.max(1)).min(120));
         for _ in 0..warmup {
             base_model.run_inference(
                 &mut base_sys,
@@ -133,7 +134,12 @@ fn run_cell(
                 &EmbeddingMode::BaselineSsd(base_opts),
                 &mut base_gen,
             );
-            rec_model.run_inference(&mut rec_sys, batch, &EmbeddingMode::Ndp(rec_opts), &mut rec_gen);
+            rec_model.run_inference(
+                &mut rec_sys,
+                batch,
+                &EmbeddingMode::Ndp(rec_opts),
+                &mut rec_gen,
+            );
         }
         reset_stats(&mut base_sys, &base_model);
         reset_stats(&mut rec_sys, &rec_model);
@@ -149,7 +155,12 @@ fn run_cell(
                 )
                 .latency;
             t_rec += rec_model
-                .run_inference(&mut rec_sys, batch, &EmbeddingMode::Ndp(rec_opts), &mut rec_gen)
+                .run_inference(
+                    &mut rec_sys,
+                    batch,
+                    &EmbeddingMode::Ndp(rec_opts),
+                    &mut rec_gen,
+                )
                 .latency;
         }
         let t_base = t_base / scale.reps as u64;

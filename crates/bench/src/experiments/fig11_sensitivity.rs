@@ -15,7 +15,13 @@ use crate::{Scale, Series};
 
 /// An RM3-like model with overridable embedding parameters (the paper's
 /// sensitivity baseline).
-fn rm3_like(rows: u64, dim: usize, quant: Quantization, tables: usize, lookups: usize) -> ModelConfig {
+fn rm3_like(
+    rows: u64,
+    dim: usize,
+    quant: Quantization,
+    tables: usize,
+    lookups: usize,
+) -> ModelConfig {
     ModelConfig {
         name: "RM3-like",
         class: ModelClass::EmbeddingDominated,

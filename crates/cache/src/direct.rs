@@ -140,9 +140,7 @@ mod tests {
         let mut c: DirectMappedCache<u32> = DirectMappedCache::new(4);
         // Find a key that collides with key 0.
         let collide = (1..100_000u64)
-            .find(|&k| {
-                recssd_sim::rng::mix64(k) % 4 == recssd_sim::rng::mix64(0) % 4
-            })
+            .find(|&k| recssd_sim::rng::mix64(k) % 4 == recssd_sim::rng::mix64(0) % 4)
             .expect("collision exists in a 4-slot cache");
         c.insert(0, 1);
         let evicted = c.insert(collide, 2);

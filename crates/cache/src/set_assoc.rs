@@ -227,13 +227,14 @@ mod tests {
         // Find two keys that collide in the same set.
         let base = 0u64;
         let collide = (1..10_000u64)
-            .find(|&k| {
-                mix64(k) % c.sets() as u64 == mix64(base) % c.sets() as u64
-            })
+            .find(|&k| mix64(k) % c.sets() as u64 == mix64(base) % c.sets() as u64)
             .expect("collision exists");
         c.insert(base, 1);
         c.insert(collide, 2);
-        assert!(!c.contains(base), "1-way set must have evicted the first key");
+        assert!(
+            !c.contains(base),
+            "1-way set must have evicted the first key"
+        );
         assert!(c.contains(collide));
     }
 

@@ -172,7 +172,10 @@ impl RecSsdConfig {
         self.ssd.validate();
         assert!(self.ndp.table_align > 0, "table alignment must be positive");
         assert!(self.ndp.max_entries > 0, "SLS buffer needs entries");
-        assert!(self.host.sls_workers > 0 && self.host.nn_workers > 0, "need workers");
+        assert!(
+            self.host.sls_workers > 0 && self.host.nn_workers > 0,
+            "need workers"
+        );
     }
 }
 

@@ -10,17 +10,20 @@
 //! advanced by device completions and host-compute timer events, all on
 //! one deterministic virtual clock.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use recssd_cache::{LruCache, StaticPartition};
-use recssd_embedding::{LookupBatch, TableId, TableImage};
+use recssd_embedding::{LookupBatch, RowScratch, TableId, TableImage};
 use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeStatus};
-use recssd_sim::{EventQueue, SimDuration, SimTime};
+use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use recssd_ssd::{SsdDevice, SsdEvent};
 
 use crate::ndp::NdpSlsEngine;
-use crate::{RecSsdConfig, SlsConfig, TableRegistry};
+use crate::{RecSsdConfig, SlsConfig, SlsOutput, TableRegistry};
+
+/// Largest number of recycled result buffers the host keeps around.
+const OUT_POOL_CAP: usize = 256;
 
 /// Identifier of a submitted operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,8 +136,9 @@ impl OpKind {
 /// Outcome of a finished operator.
 #[derive(Debug, Clone)]
 pub struct OpResult {
-    /// SLS outputs (one vector per output slot); `None` for host compute.
-    pub outputs: Option<Vec<Vec<f32>>>,
+    /// SLS outputs (one flat vector block, one row per output slot);
+    /// `None` for host compute.
+    pub outputs: Option<SlsOutput>,
     /// When the operator was submitted.
     pub submitted: SimTime,
     /// When it acquired a worker and began executing.
@@ -189,10 +193,10 @@ struct BaseIo {
     /// Remaining `(relative page, work items)` to issue, in page order.
     pages: Vec<(u64, Vec<(usize, u32)>)>,
     next: usize,
-    outstanding: HashMap<u16, usize>, // cid → index into `pages`
+    outstanding: FxHashMap<u16, usize>, // cid → index into `pages`
     backlog: VecDeque<usize>,
     accum_current: Option<(usize, Box<[u8]>)>,
-    data: HashMap<usize, Box<[u8]>>,
+    data: FxHashMap<usize, Box<[u8]>>,
     pages_done: usize,
     io_concurrency: usize,
     use_host_cache: bool,
@@ -229,7 +233,7 @@ struct Op {
     dependents: Vec<OpId>,
     submitted: SimTime,
     started: SimTime,
-    outputs: Vec<Vec<f32>>,
+    outputs: SlsOutput,
     ndp: Option<NdpPlan>,
     qid: u16,
 }
@@ -243,16 +247,21 @@ pub struct System {
     q: EventQueue<SysEvent>,
     sls: Pool,
     nn: Pool,
-    ops: HashMap<OpId, Op>,
+    ops: FxHashMap<OpId, Op>,
     next_op: u64,
     next_cid: Vec<u16>,
-    pending_cmd: HashMap<(u16, u16), OpId>,
+    pending_cmd: FxHashMap<(u16, u16), OpId>,
     registry: TableRegistry,
-    host_caches: HashMap<u32, LruCache<u64, Arc<[f32]>>>,
-    partitions: HashMap<u32, StaticPartition>,
-    partition_stats: HashMap<u32, recssd_cache::HitStats>,
+    host_caches: FxHashMap<u32, LruCache<u64, Arc<[f32]>>>,
+    partitions: FxHashMap<u32, StaticPartition>,
+    partition_stats: FxHashMap<u32, recssd_cache::HitStats>,
     next_request: u64,
-    results: HashMap<OpId, OpResult>,
+    results: FxHashMap<OpId, OpResult>,
+    /// Free-list of recycled flat result buffers (see
+    /// [`System::recycle_outputs`]).
+    out_pool: Vec<SlsOutput>,
+    /// Reused encode/decode scratch for host-DRAM row gathers.
+    row_scratch: RowScratch,
 }
 
 impl System {
@@ -270,16 +279,18 @@ impl System {
             q: EventQueue::new(),
             sls: Pool::new(cfg.host.sls_workers),
             nn: Pool::new(cfg.host.nn_workers),
-            ops: HashMap::new(),
+            ops: FxHashMap::default(),
             next_op: 0,
             next_cid: vec![0; io_queues],
-            pending_cmd: HashMap::new(),
+            pending_cmd: FxHashMap::default(),
             registry: TableRegistry::new(cfg.ndp.table_align),
-            host_caches: HashMap::new(),
-            partitions: HashMap::new(),
-            partition_stats: HashMap::new(),
+            host_caches: FxHashMap::default(),
+            partitions: FxHashMap::default(),
+            partition_stats: FxHashMap::default(),
             next_request: 0,
-            results: HashMap::new(),
+            results: FxHashMap::default(),
+            out_pool: Vec::new(),
+            row_scratch: RowScratch::default(),
             cfg,
         }
     }
@@ -372,6 +383,11 @@ impl System {
             dep.dependents.push(id);
             deps_left += 1;
         }
+        // SLS ops reuse a pooled result buffer; host compute carries none.
+        let outputs = match &kind {
+            OpKind::HostCompute { .. } => SlsOutput::default(),
+            _ => self.out_pool.pop().unwrap_or_default(),
+        };
         let op = Op {
             kind,
             phase: Phase::Pending,
@@ -381,7 +397,7 @@ impl System {
             dependents: Vec::new(),
             submitted: self.q.now(),
             started: self.q.now(),
-            outputs: Vec::new(),
+            outputs,
             ndp: None,
             qid: 0,
         };
@@ -405,6 +421,28 @@ impl System {
             .expect("operator not finished; run_until_idle() first")
     }
 
+    /// Removes and returns the result of a finished operator, so its
+    /// buffer can be handed back via [`System::recycle_outputs`] once
+    /// consumed — the steady-state serving idiom that keeps the host side
+    /// allocation-free across requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator has not completed.
+    pub fn take_result(&mut self, op: OpId) -> OpResult {
+        self.results
+            .remove(&op)
+            .expect("operator not finished; run_until_idle() first")
+    }
+
+    /// Returns a consumed result buffer to the free-list pool; the next
+    /// submitted SLS operator reuses it instead of allocating.
+    pub fn recycle_outputs(&mut self, outputs: SlsOutput) {
+        if self.out_pool.len() < OUT_POOL_CAP {
+            self.out_pool.push(outputs);
+        }
+    }
+
     /// Drives the event loop until nothing remains in flight.
     ///
     /// # Panics
@@ -417,9 +455,7 @@ impl System {
                 SysEvent::Dev(dev_ev) => {
                     {
                         let Self { dev, q, .. } = self;
-                        dev.handle(now, dev_ev, &mut |d, e| {
-                            q.push_after(d, SysEvent::Dev(e))
-                        });
+                        dev.handle(now, dev_ev, &mut |d, e| q.push_after(d, SysEvent::Dev(e)));
                     }
                     self.poll_completions(now);
                 }
@@ -487,12 +523,18 @@ impl System {
                 let lookups = batch.total_lookups();
                 let bytes = lookups as f64 * image.table().spec().row_bytes() as f64
                     + (batch.outputs() * image.table().spec().dim * 4) as f64;
-                // Functional result: the golden reference.
-                op.outputs = recssd_embedding::sls_reference(image.table(), batch);
+                // Functional result: the golden reference, accumulated
+                // straight into the pooled flat buffer.
+                op.outputs.reset(batch.outputs(), image.table().spec().dim);
+                recssd_embedding::sls_reference_into(
+                    image.table(),
+                    batch,
+                    op.outputs.as_mut_slice(),
+                );
                 op.phase = Phase::Compute;
-                let dur = SimDuration::from_ns(
-                    host.op_overhead_ns + host.per_lookup_ns * lookups as u64,
-                ) + self.dram_time(bytes);
+                let dur =
+                    SimDuration::from_ns(host.op_overhead_ns + host.per_lookup_ns * lookups as u64)
+                        + self.dram_time(bytes);
                 self.charge(id, dur);
             }
             OpKind::HostCompute { flops, bytes } => {
@@ -522,7 +564,10 @@ impl System {
 
     fn on_worker_event(&mut self, now: SimTime, pool: PoolKind, worker: usize) {
         let id = self.pool_mut(pool).bound[worker].expect("worker event without bound op");
-        let phase = std::mem::replace(&mut self.ops.get_mut(&id).expect("op").phase, Phase::Pending);
+        let phase = std::mem::replace(
+            &mut self.ops.get_mut(&id).expect("op").phase,
+            Phase::Pending,
+        );
         match phase {
             Phase::Compute => self.finish_op(now, id),
             Phase::BasePrep => self.baseline_plan(now, id),
@@ -539,28 +584,37 @@ impl System {
     // ----- baseline SLS -----
 
     fn baseline_plan(&mut self, now: SimTime, id: OpId) {
-        let (table, batch, opts) = match &self.ops[&id].kind {
-            OpKind::BaselineSls { table, batch, opts } => (*table, batch.clone(), *opts),
-            _ => unreachable!("phase/kind mismatch"),
+        // Disjoint-field borrows: the batch stays inside the op (no
+        // clone) while the caches and flat accumulator are consulted.
+        let Self {
+            ops,
+            registry,
+            host_caches,
+            cfg,
+            ..
+        } = self;
+        let op = ops.get_mut(&id).expect("op");
+        let OpKind::BaselineSls { table, batch, opts } = &op.kind else {
+            unreachable!("phase/kind mismatch")
         };
+        let (table, opts) = (*table, *opts);
         assert!(
-            opts.io_concurrency >= 1 && opts.io_concurrency <= self.cfg.ssd.queue_depth,
+            opts.io_concurrency >= 1 && opts.io_concurrency <= cfg.ssd.queue_depth,
             "io_concurrency must be within the queue depth"
         );
-        let image = self.registry.binding(table).image.clone();
+        let image = registry.binding(table).image.clone();
         let dim = image.table().spec().dim;
-        let row_bytes = image.table().spec().row_bytes();
-        let mut outputs = vec![vec![0.0f32; dim]; batch.outputs()];
+        op.outputs.reset(batch.outputs(), dim);
         let mut work: BTreeMap<u64, Vec<(usize, u32)>> = BTreeMap::new();
         let cache = opts
             .use_host_cache
-            .then(|| self.host_caches.get_mut(&table.0))
+            .then(|| host_caches.get_mut(&table.0))
             .flatten();
         if let Some(cache) = cache {
             for (slot, ids) in batch.per_output().iter().enumerate() {
                 for &row in ids {
                     if let Some(vec) = cache.get(&row) {
-                        for (o, v) in outputs[slot].iter_mut().zip(vec.iter()) {
+                        for (o, v) in op.outputs.row_mut(slot).iter_mut().zip(vec.iter()) {
                             *o += *v;
                         }
                     } else {
@@ -577,9 +631,6 @@ impl System {
                 }
             }
         }
-        let op = self.ops.get_mut(&id).expect("op");
-        op.outputs = outputs;
-        let _ = row_bytes;
         if work.is_empty() {
             self.finish_op(now, id);
             return;
@@ -587,10 +638,10 @@ impl System {
         let mut io = BaseIo {
             pages: work.into_iter().collect(),
             next: 0,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             backlog: VecDeque::new(),
             accum_current: None,
-            data: HashMap::new(),
+            data: FxHashMap::default(),
             pages_done: 0,
             io_concurrency: opts.io_concurrency,
             use_host_cache: opts.use_host_cache,
@@ -665,33 +716,44 @@ impl System {
         self.charge(id, dur);
     }
 
-    /// The accumulate charge finished: fold the page into the outputs.
+    /// The accumulate charge finished: fold the page into the flat
+    /// outputs with the fused decode (no per-vector allocation; the
+    /// host-cache fill path is the one place a vector is materialised,
+    /// because the cache stores shared `Arc`s).
     fn baseline_accum_done(&mut self, now: SimTime, id: OpId, mut io: BaseIo) {
         let (idx, data) = io.accum_current.take().expect("accumulating a page");
-        let table = match &self.ops[&id].kind {
-            OpKind::BaselineSls { table, .. } => *table,
-            _ => unreachable!("phase/kind mismatch"),
+        let Self {
+            ops,
+            registry,
+            host_caches,
+            ..
+        } = self;
+        let op = ops.get_mut(&id).expect("op");
+        let OpKind::BaselineSls { table, .. } = &op.kind else {
+            unreachable!("phase/kind mismatch")
         };
-        let image = self.registry.binding(table).image.clone();
+        let table = *table;
+        let image = &registry.binding(table).image;
         let spec = image.table().spec();
-        let (page, work) = io.pages[idx].clone();
+        let (page, work) = &io.pages[idx];
         let cache = io
             .use_host_cache
-            .then(|| self.host_caches.get_mut(&table.0))
+            .then(|| host_caches.get_mut(&table.0))
             .flatten();
-        let mut decoded: Vec<(u64, Arc<[f32]>)> = Vec::new();
-        for &(off, slot) in &work {
-            let vec = spec.quant.decode(&data[off..], spec.dim);
-            let out = &mut self.ops.get_mut(&id).expect("op").outputs[slot as usize];
-            for (o, v) in out.iter_mut().zip(&vec) {
-                *o += *v;
-            }
-            let row = page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
-            decoded.push((row, vec.into()));
-        }
         if let Some(cache) = cache {
-            for (row, vec) in decoded {
-                cache.insert(row, vec);
+            for &(off, slot) in work {
+                let mut dec = vec![0.0f32; spec.dim];
+                spec.quant.decode_into(&data[off..], &mut dec);
+                for (o, v) in op.outputs.row_mut(slot as usize).iter_mut().zip(&dec) {
+                    *o += *v;
+                }
+                let row = page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
+                cache.insert(row, dec.into());
+            }
+        } else {
+            for &(off, slot) in work {
+                spec.quant
+                    .decode_accumulate(&data[off..], op.outputs.row_mut(slot as usize));
             }
         }
         io.pages_done += 1;
@@ -707,24 +769,38 @@ impl System {
     // ----- NDP SLS -----
 
     fn ndp_plan(&mut self, now: SimTime, id: OpId) {
-        let (table, batch, opts) = match &self.ops[&id].kind {
-            OpKind::NdpSls { table, batch, opts } => (*table, batch.clone(), *opts),
-            _ => unreachable!("phase/kind mismatch"),
+        // Disjoint-field borrows keep the batch inside the op (no clone);
+        // only the flattened pair list is materialised, once.
+        let Self {
+            ops,
+            registry,
+            partitions,
+            partition_stats,
+            cfg,
+            next_request,
+            ..
+        } = self;
+        let op = ops.get_mut(&id).expect("op");
+        let OpKind::NdpSls { table, batch, opts } = &op.kind else {
+            unreachable!("phase/kind mismatch")
         };
-        let binding = self.registry.binding(table);
-        let image = binding.image.clone();
+        let (table, opts) = (*table, *opts);
+        let binding = registry.binding(table);
+        let image = &binding.image;
         let spec = image.table().spec();
         let pairs = batch.pairs();
         let (hot_pairs, cold_pairs): (Vec<_>, Vec<_>) = match opts
             .use_partition
-            .then(|| self.partitions.get(&table.0))
+            .then(|| partitions.get(&table.0))
             .flatten()
         {
-            Some(partition) => pairs.into_iter().partition(|(row, _)| partition.is_hot(*row)),
+            Some(partition) => pairs
+                .into_iter()
+                .partition(|(row, _)| partition.is_hot(*row)),
             None => (Vec::new(), pairs),
         };
         if opts.use_partition {
-            let stats = self.partition_stats.entry(table.0).or_default();
+            let stats = partition_stats.entry(table.0).or_default();
             stats.add_hits(hot_pairs.len() as u64);
             stats.add_misses(cold_pairs.len() as u64);
         }
@@ -735,25 +811,23 @@ impl System {
             n_results: batch.outputs() as u32,
             pairs: cold_pairs,
         };
-        let request_id = self.next_request % self.cfg.ndp.table_align;
-        self.next_request += 1;
-        let op = self.ops.get_mut(&id).expect("op");
-        op.outputs = vec![vec![0.0f32; spec.dim]; batch.outputs()];
+        let request_id = *next_request % cfg.ndp.table_align;
+        *next_request += 1;
+        op.outputs.reset(batch.outputs(), spec.dim);
+        let hot = hot_pairs.len();
         op.ndp = Some(NdpPlan {
             cold_cfg,
             hot_pairs,
             request_id,
             result_data: None,
         });
-        let plan = op.ndp.as_ref().expect("just set");
-        if plan.hot_pairs.is_empty() {
+        if hot == 0 {
             self.ndp_send_write(now, id);
         } else {
             // Gather the hot rows from host DRAM (the static partition).
-            let n = plan.hot_pairs.len();
             let host = self.host();
-            let dur = SimDuration::from_ns(host.per_lookup_ns * n as u64)
-                + self.dram_time((n * spec.row_bytes()) as f64);
+            let dur = SimDuration::from_ns(host.per_lookup_ns * hot as u64)
+                + self.dram_time((hot * spec.row_bytes()) as f64);
             self.ops.get_mut(&id).expect("op").phase = Phase::NdpHotGather;
             self.charge(id, dur);
         }
@@ -762,21 +836,26 @@ impl System {
     /// Hot gather done (or skipped): fold hot partial sums in and send the
     /// NDP config-write.
     fn ndp_send_write(&mut self, now: SimTime, id: OpId) {
-        let table = match &self.ops[&id].kind {
-            OpKind::NdpSls { table, .. } => *table,
-            _ => unreachable!("phase/kind mismatch"),
+        let Self {
+            ops,
+            registry,
+            row_scratch,
+            cfg,
+            ..
+        } = self;
+        let op = ops.get_mut(&id).expect("op");
+        let OpKind::NdpSls { table, .. } = &op.kind else {
+            unreachable!("phase/kind mismatch")
         };
-        let image = self.registry.binding(table).image.clone();
-        let base = self.registry.binding(table).base_lpn;
-        let align = self.cfg.ndp.table_align;
-        let op = self.ops.get_mut(&id).expect("op");
-        let plan = op.ndp.as_mut().expect("plan set");
-        // Functional hot-partition accumulation.
+        let binding = registry.binding(*table);
+        let base = binding.base_lpn;
+        let align = cfg.ndp.table_align;
+        let plan = op.ndp.as_ref().expect("plan set");
+        // Functional hot-partition accumulation, through the reused
+        // scratch (no per-row vectors).
+        let table_data = binding.image.table();
         for &(row, slot) in &plan.hot_pairs {
-            let vec = image.table().row_f32(row);
-            for (o, v) in op.outputs[slot as usize].iter_mut().zip(vec) {
-                *o += v;
-            }
+            table_data.accumulate_row(row, row_scratch, op.outputs.row_mut(slot as usize));
         }
         if plan.cold_cfg.pairs.is_empty() {
             // Everything was hot: no device work at all.
@@ -826,14 +905,9 @@ impl System {
         let op = self.ops.get_mut(&id).expect("op");
         let plan = op.ndp.as_mut().expect("plan set");
         let data = plan.result_data.take().expect("result data");
-        let n = plan.cold_cfg.n_results as usize;
-        let dim = plan.cold_cfg.dim as usize;
-        let device_partials = SlsConfig::decode_results(&data, n, dim);
-        for (out, part) in op.outputs.iter_mut().zip(device_partials) {
-            for (o, v) in out.iter_mut().zip(part) {
-                *o += v;
-            }
-        }
+        // Device partial sums fold straight into the flat accumulator —
+        // no intermediate nested vectors.
+        SlsConfig::accumulate_results(&data, op.outputs.as_mut_slice());
         self.finish_op(now, id);
     }
 
@@ -1033,7 +1107,13 @@ mod tests {
         let (mut sys, table) = sys_with_table(500);
         let batch = LookupBatch::new(vec![(0..32).map(|i| i * 13 % 500).collect()]);
         let ops: Vec<OpId> = (0..4)
-            .map(|_| sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default())))
+            .map(|_| {
+                sys.submit(OpKind::baseline_sls(
+                    table,
+                    batch.clone(),
+                    SlsOptions::default(),
+                ))
+            })
             .collect();
         sys.run_until_idle();
         // All complete with identical outputs (same batch).

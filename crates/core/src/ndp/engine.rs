@@ -18,19 +18,34 @@
 //! 1b/6. A read-like command (matched through the request id embedded in
 //!     its SLBA) collects the result pages; once all pages are processed
 //!     the results are DMA'd back and the entry is deallocated.
+//!
+//! # Steady-state allocation discipline
+//!
+//! The gather/reduce loop here is the simulator's hottest path, so it is
+//! structured to perform **zero heap allocations per gathered vector**
+//! once warm:
+//!
+//! * results live in a flat [`SlsOutput`] scratchpad and vectors are
+//!   folded in with the fused `decode_accumulate` (no per-vector `Vec`);
+//! * the per-page work lists are two flat `Vec`s (`work_items` +
+//!   `page_work` index) built by one scan of the sorted pair list —
+//!   sortedness means equal pages are adjacent, so grouping needs no map;
+//! * entry buffers are recycled through a free-list pool when a request
+//!   completes, so steady-state requests allocate nothing for them;
+//! * the SSD-side embedding cache stores vectors in per-slot buffers that
+//!   are overwritten in place on insert.
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use recssd_cache::DirectMappedCache;
+use recssd_embedding::Quantization;
 use recssd_ftl::{FtlOutcome, FwTag, ReadStarted, ReqId};
 use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus, XferDirection, XferId};
 use recssd_sim::rng::mix64;
 use recssd_sim::stats::{Counter, HitStats};
-use recssd_sim::{SimDuration, SimTime};
+use recssd_sim::{FxHashMap, SimDuration, SimTime};
 use recssd_ssd::{DeviceCtx, NdpEngine, SsdEvent, EXT_TAG_BIT};
 
-use crate::{NdpConfig, SlsConfig};
+use crate::{NdpConfig, SlsConfig, SlsOutput};
 
 /// Per-request latency breakdown, the instrumentation behind Fig. 8.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,47 +130,63 @@ impl NdpStats {
 }
 
 /// The direct-mapped SSD-side embedding cache (§4.2). Keys are
-/// `(table base, row)`; values are decoded f32 vectors. Collisions are
-/// verified against the full key, so a slot conflict is a miss, never a
-/// wrong vector.
+/// `(table base, row)`; values are decoded f32 vectors held in per-slot
+/// buffers that inserts overwrite in place (no steady-state allocation).
+/// Collisions are verified against the full key, so a slot conflict is a
+/// miss, never a wrong vector.
 #[derive(Debug)]
 struct EmbedCache {
-    slots: Option<DirectMappedCache<(u64, u64, Arc<[f32]>)>>,
+    /// `(table base, row)` tag per slot; `None` = empty.
+    tags: Vec<Option<(u64, u64)>>,
+    /// Slot value buffers, reused across inserts.
+    rows: Vec<Vec<f32>>,
 }
 
 impl EmbedCache {
     fn new(slots: usize) -> Self {
         EmbedCache {
-            slots: (slots > 0).then(|| DirectMappedCache::new(slots)),
+            tags: vec![None; slots],
+            rows: vec![Vec::new(); slots],
         }
     }
 
+    #[inline]
     fn key(base: u64, row: u64) -> u64 {
         mix64(base).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ row
     }
 
-    fn get(&mut self, base: u64, row: u64, stats: &mut HitStats) -> Option<Arc<[f32]>> {
-        let cache = self.slots.as_mut()?;
-        match cache.get(Self::key(base, row)) {
-            Some((b, r, v)) if *b == base && *r == row => {
-                stats.hit();
-                Some(v.clone())
-            }
-            _ => {
-                stats.miss();
-                None
-            }
+    #[inline]
+    fn slot(&self, base: u64, row: u64) -> usize {
+        (Self::key(base, row) % self.tags.len() as u64) as usize
+    }
+
+    fn get(&self, base: u64, row: u64, stats: &mut HitStats) -> Option<&[f32]> {
+        if self.tags.is_empty() {
+            return None;
+        }
+        let slot = self.slot(base, row);
+        if self.tags[slot] == Some((base, row)) {
+            stats.hit();
+            Some(&self.rows[slot])
+        } else {
+            stats.miss();
+            None
         }
     }
 
-    fn insert(&mut self, base: u64, row: u64, v: Arc<[f32]>) {
-        if let Some(cache) = self.slots.as_mut() {
-            cache.insert(Self::key(base, row), (base, row, v));
+    fn insert(&mut self, base: u64, row: u64, v: &[f32]) {
+        if self.tags.is_empty() {
+            return;
         }
+        let slot = self.slot(base, row);
+        self.tags[slot] = Some((base, row));
+        let buf = &mut self.rows[slot];
+        buf.clear();
+        buf.extend_from_slice(v);
     }
 
     fn enabled(&self) -> bool {
-        self.slots.is_some()
+        !self.tags.is_empty()
     }
 }
 
@@ -166,10 +197,29 @@ enum FwJob {
     },
     Translate {
         request: u64,
-        page: u64,
+        /// Index into the entry's `page_work`.
+        widx: usize,
         data: Arc<[u8]>,
         duration: SimDuration,
     },
+}
+
+/// One distinct flash page of a request: its work items are
+/// `work_items[start..start + len]`.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageWork {
+    page: u64,
+    start: u32,
+    len: u32,
+}
+
+/// Pooled per-entry buffers, recycled across requests so steady-state
+/// request processing allocates nothing for them.
+#[derive(Debug, Default)]
+struct EntryBufs {
+    results: SlsOutput,
+    work_items: Vec<(usize, u32)>,
+    page_work: Vec<PageWork>,
 }
 
 #[derive(Debug)]
@@ -179,12 +229,14 @@ struct SlsEntry {
     table_base: u64,
     raw_config: Option<Box<[u8]>>,
     cfg: Option<SlsConfig>,
-    /// Relative page → (byte offset, result slot) work items, ordered so
-    /// issue order is deterministic.
-    page_work: BTreeMap<u64, Vec<(usize, u32)>>,
-    pages_total: usize,
+    /// `(byte offset, result slot)` items, grouped by page in `page_work`
+    /// order (pages ascending — the §4.3 sorted-pair contract makes the
+    /// grouping a single linear scan).
+    work_items: Vec<(usize, u32)>,
+    /// One record per distinct page, ascending page order.
+    page_work: Vec<PageWork>,
     pages_pending: usize,
-    results: Vec<f32>,
+    results: SlsOutput,
     results_ready: bool,
     read_cmd: Option<(u16, u16, u32)>,
     // Instrumentation (Fig. 8 categories).
@@ -205,13 +257,17 @@ struct SlsEntry {
 #[derive(Debug)]
 pub struct NdpSlsEngine {
     cfg: NdpConfig,
-    entries: HashMap<u64, SlsEntry>,
-    fw_jobs: HashMap<u64, FwJob>,
+    entries: FxHashMap<u64, SlsEntry>,
+    fw_jobs: FxHashMap<u64, FwJob>,
     next_tag: u64,
-    dma_in: HashMap<XferId, u64>,
-    dma_out: HashMap<XferId, u64>,
-    reads: HashMap<ReqId, (u64, u64)>,
+    dma_in: FxHashMap<XferId, u64>,
+    dma_out: FxHashMap<XferId, u64>,
+    reads: FxHashMap<ReqId, (u64, usize)>,
     cache: EmbedCache,
+    /// Reused decode buffer for the cache-fill path.
+    row_scratch: Vec<f32>,
+    /// Free-list of recycled entry buffers.
+    buf_pool: Vec<EntryBufs>,
     stats: NdpStats,
 }
 
@@ -221,12 +277,14 @@ impl NdpSlsEngine {
         NdpSlsEngine {
             cache: EmbedCache::new(cfg.embed_cache_slots),
             cfg,
-            entries: HashMap::new(),
-            fw_jobs: HashMap::new(),
+            entries: FxHashMap::default(),
+            fw_jobs: FxHashMap::default(),
             next_tag: 0,
-            dma_in: HashMap::new(),
-            dma_out: HashMap::new(),
-            reads: HashMap::new(),
+            dma_in: FxHashMap::default(),
+            dma_out: FxHashMap::default(),
+            reads: FxHashMap::default(),
+            row_scratch: Vec::new(),
+            buf_pool: Vec::new(),
             stats: NdpStats::default(),
         }
     }
@@ -259,65 +317,82 @@ impl NdpSlsEngine {
         ftl.charge_firmware(ctx.now, dur, tag, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
     }
 
+    /// Returns an entry's buffers to the free-list pool.
+    fn recycle(&mut self, entry: SlsEntry) {
+        if self.buf_pool.len() < self.cfg.max_entries {
+            self.buf_pool.push(EntryBufs {
+                results: entry.results,
+                work_items: entry.work_items,
+                page_work: entry.page_work,
+            });
+        }
+    }
+
     /// Step 2/3: configuration processed — build work lists, absorb cache
     /// hits, issue page reads, and complete the config-write command.
     fn process_config(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
         let page_bytes = ctx.ftl.page_bytes();
         let entry = self.entries.get_mut(&request).expect("entry exists");
         let raw = entry.raw_config.take().expect("config payload present");
-        let cfg = match SlsConfig::decode(&raw) {
-            Ok(cfg) => cfg,
-            Err(_) => {
-                let (qid, cid) = (entry.qid, entry.write_cid);
-                self.entries.remove(&request);
-                ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::InvalidField));
-                return;
-            }
-        };
-        if cfg.row_bytes() * cfg.rows_per_page as usize > page_bytes {
+        let cfg = SlsConfig::decode(&raw)
+            .ok()
+            .filter(|cfg| cfg.row_bytes() * cfg.rows_per_page as usize <= page_bytes);
+        let Some(cfg) = cfg else {
             let (qid, cid) = (entry.qid, entry.write_cid);
-            self.entries.remove(&request);
+            let entry = self.entries.remove(&request).expect("entry exists");
+            self.recycle(entry);
             ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::InvalidField));
             return;
-        }
+        };
 
-        entry.results = vec![0.0f32; cfg.n_results as usize * cfg.dim as usize];
+        // Build the flat per-page work lists with one scan of the sorted
+        // pair list (step 2), folding embedding-cache hits straight into
+        // the result scratchpad (step 2a). Disjoint-field borrows let the
+        // cache lend slices while the entry accumulates.
+        let Self {
+            cache,
+            entries,
+            stats,
+            ..
+        } = self;
+        let entry = entries.get_mut(&request).expect("entry exists");
+        entry
+            .results
+            .reset(cfg.n_results as usize, cfg.dim as usize);
         entry.lookups = cfg.pairs.len() as u64;
+        entry.work_items.clear();
+        entry.page_work.clear();
         let base = entry.table_base;
-        // Separate inputs by flash page (step 2), with the embedding-cache
-        // fast path (step 2a).
-        let mut cached: Vec<(Arc<[f32]>, u32)> = Vec::new();
         for &(row, slot) in &cfg.pairs {
-            if let Some(vec) = self.cache.get(base, row, &mut self.stats.embed_cache) {
-                cached.push((vec, slot));
+            if let Some(vec) = cache.get(base, row, &mut stats.embed_cache) {
+                entry.cache_hits += 1;
+                for (o, v) in entry.results.row_mut(slot as usize).iter_mut().zip(vec) {
+                    *o += *v;
+                }
                 continue;
             }
             let (page, offset) = cfg.locate_row(row);
-            entry
-                .page_work
-                .entry(page)
-                .or_default()
-                .push((offset, slot));
-        }
-        let dim = cfg.dim as usize;
-        for (vec, slot) in cached {
-            entry.cache_hits += 1;
-            let out = &mut entry.results[slot as usize * dim..(slot as usize + 1) * dim];
-            for (o, v) in out.iter_mut().zip(vec.iter()) {
-                *o += *v;
+            match entry.page_work.last_mut() {
+                Some(w) if w.page == page => w.len += 1,
+                _ => entry.page_work.push(PageWork {
+                    page,
+                    start: entry.work_items.len() as u32,
+                    len: 1,
+                }),
             }
+            entry.work_items.push((offset, slot));
         }
-        entry.pages_total = entry.page_work.len();
-        entry.pages_pending = entry.pages_total;
+        let n_pages = entry.page_work.len();
+        entry.pages_pending = n_pages;
         entry.cfg = Some(cfg);
         entry.t_processed = ctx.now;
         entry.t_last_page = ctx.now;
+        let (qid, write_cid) = (entry.qid, entry.write_cid);
 
         // Issue all page reads through the FTL's page scheduler (step 3a);
         // FTL page-cache hits are processed directly (step 3b).
-        let pages: Vec<u64> = entry.page_work.keys().copied().collect();
-        let (qid, write_cid) = (entry.qid, entry.write_cid);
-        for page in pages {
+        for widx in 0..n_pages {
+            let page = self.entries[&request].page_work[widx].page;
             self.stats.pages_requested.inc();
             let lpn = recssd_ftl::Lpn(base + page);
             let started = {
@@ -328,16 +403,16 @@ impl NdpSlsEngine {
             };
             match started {
                 ReadStarted::Pending(req) => {
-                    self.reads.insert(req, (request, page));
+                    self.reads.insert(req, (request, widx));
                 }
                 ReadStarted::CacheHit(data) => {
-                    self.start_translation(ctx, request, page, data);
+                    self.start_translation(ctx, request, widx, data);
                 }
                 ReadStarted::Unmapped => {
                     // Reads as zeros; translate a zero page so timing and
                     // accounting stay uniform.
                     let zeros: Arc<[u8]> = vec![0u8; page_bytes].into();
-                    self.start_translation(ctx, request, page, zeros);
+                    self.start_translation(ctx, request, widx, zeros);
                 }
             }
         }
@@ -351,16 +426,16 @@ impl NdpSlsEngine {
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         request: u64,
-        page: u64,
+        widx: usize,
         data: Arc<[u8]>,
     ) {
         let entry = &self.entries[&request];
         let cfg = entry.cfg.as_ref().expect("configured");
-        let vectors = entry.page_work[&page].len();
+        let vectors = entry.page_work[widx].len as usize;
         let duration = self.cfg.translate_time(vectors * cfg.row_bytes());
         let tag = self.alloc_tag(FwJob::Translate {
             request,
-            page,
+            widx,
             data,
             duration,
         });
@@ -368,39 +443,59 @@ impl NdpSlsEngine {
     }
 
     /// Step 5: translation done — extract vectors, accumulate, fill the
-    /// embedding cache.
+    /// embedding cache. The fused `decode_accumulate` path allocates
+    /// nothing; with the embedding cache enabled, vectors pass through
+    /// the engine's reused `row_scratch` so cache fills stay
+    /// allocation-free too.
     fn apply_translation(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         request: u64,
-        page: u64,
+        widx: usize,
         data: &[u8],
         duration: SimDuration,
     ) {
-        let entry = self.entries.get_mut(&request).expect("entry exists");
+        let Self {
+            cache,
+            entries,
+            row_scratch,
+            ..
+        } = self;
+        let entry = entries.get_mut(&request).expect("entry exists");
         let cfg = entry.cfg.as_ref().expect("configured");
         let dim = cfg.dim as usize;
         let row_bytes = cfg.row_bytes();
         let rows_per_page = cfg.rows_per_page as u64;
-        let quant = cfg.quant;
-        let work = entry.page_work.get(&page).expect("work list").clone();
-        let mut inserts: Vec<(u64, Arc<[f32]>)> = Vec::new();
-        for (offset, slot) in work {
-            let vec = quant.decode(&data[offset..], dim);
-            let out = &mut entry.results[slot as usize * dim..(slot as usize + 1) * dim];
-            for (o, v) in out.iter_mut().zip(&vec) {
-                *o += *v;
+        let quant: Quantization = cfg.quant;
+        let w = entry.page_work[widx];
+        let base = entry.table_base;
+        let items = w.start as usize..(w.start + w.len) as usize;
+        if cache.enabled() {
+            row_scratch.clear();
+            row_scratch.resize(dim, 0.0);
+            for i in items {
+                let (offset, slot) = entry.work_items[i];
+                quant.decode_into(&data[offset..], row_scratch);
+                for (o, v) in entry
+                    .results
+                    .row_mut(slot as usize)
+                    .iter_mut()
+                    .zip(&*row_scratch)
+                {
+                    *o += *v;
+                }
+                let row = w.page * rows_per_page + (offset / row_bytes) as u64;
+                cache.insert(base, row, row_scratch);
             }
-            let row = page * rows_per_page + (offset / row_bytes) as u64;
-            inserts.push((row, vec.into()));
+        } else {
+            for i in items {
+                let (offset, slot) = entry.work_items[i];
+                quant.decode_accumulate(&data[offset..], entry.results.row_mut(slot as usize));
+            }
         }
         entry.translation += duration;
         entry.pages_pending -= 1;
         entry.t_last_page = ctx.now;
-        let base = entry.table_base;
-        for (row, vec) in inserts {
-            self.cache.insert(base, row, vec);
-        }
         self.maybe_finish(ctx, request);
     }
 
@@ -435,12 +530,15 @@ impl NdpSlsEngine {
     }
 
     /// Finalises an entry after its result DMA: complete the read command,
-    /// record the report, deallocate.
+    /// record the report, deallocate (returning its buffers to the pool).
     fn finish(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
         let entry = self.entries.remove(&request).expect("entry exists");
         let (qid, cid, _) = entry.read_cmd.expect("read command pending");
-        let data = SlsConfig::encode_results(&entry.results, ctx.ftl.page_bytes());
-        ctx.complete(qid, NvmeCompletion::success(cid, Some(data.into_boxed_slice())));
+        let data = SlsConfig::encode_results(entry.results.as_slice(), ctx.ftl.page_bytes());
+        ctx.complete(
+            qid,
+            NvmeCompletion::success(cid, Some(data.into_boxed_slice())),
+        );
 
         let flash_span = entry.t_last_page.saturating_since(entry.t_processed);
         self.stats.sls_requests.inc();
@@ -450,10 +548,11 @@ impl NdpSlsEngine {
             translation: entry.translation,
             flash_read: flash_span.saturating_sub(entry.translation),
             total: entry.t_last_page.saturating_since(entry.t_arrive),
-            pages: entry.pages_total,
+            pages: entry.page_work.len(),
             cache_hits: entry.cache_hits,
             lookups: entry.lookups,
         });
+        self.recycle(entry);
     }
 }
 
@@ -464,16 +563,22 @@ impl NdpEngine for NdpSlsEngine {
             NvmeOpcode::Write => {
                 // Step 1a: allocate an entry and DMA the configuration.
                 let Some(payload) = cmd.payload else {
-                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    ctx.complete(
+                        qid,
+                        NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField),
+                    );
                     return;
                 };
-                if self.entries.len() >= self.cfg.max_entries
-                    || self.entries.contains_key(&request)
+                if self.entries.len() >= self.cfg.max_entries || self.entries.contains_key(&request)
                 {
-                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InternalError));
+                    ctx.complete(
+                        qid,
+                        NvmeCompletion::error(cmd.cid, NvmeStatus::InternalError),
+                    );
                     return;
                 }
                 let bytes = payload.len();
+                let bufs = self.buf_pool.pop().unwrap_or_default();
                 self.entries.insert(
                     request,
                     SlsEntry {
@@ -482,10 +587,10 @@ impl NdpEngine for NdpSlsEngine {
                         table_base,
                         raw_config: Some(payload),
                         cfg: None,
-                        page_work: BTreeMap::new(),
-                        pages_total: 0,
+                        work_items: bufs.work_items,
+                        page_work: bufs.page_work,
                         pages_pending: 0,
-                        results: Vec::new(),
+                        results: bufs.results,
                         results_ready: false,
                         read_cmd: None,
                         t_arrive: ctx.now,
@@ -510,11 +615,17 @@ impl NdpEngine for NdpSlsEngine {
             NvmeOpcode::Read => {
                 // Step 1b: associate the result-read with its entry.
                 let Some(entry) = self.entries.get_mut(&request) else {
-                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    ctx.complete(
+                        qid,
+                        NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField),
+                    );
                     return;
                 };
                 if entry.table_base != table_base || entry.read_cmd.is_some() {
-                    ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+                    ctx.complete(
+                        qid,
+                        NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField),
+                    );
                     return;
                 }
                 entry.read_cmd = Some((qid, cmd.cid, cmd.nlb));
@@ -535,20 +646,20 @@ impl NdpEngine for NdpSlsEngine {
                     }
                     FwJob::Translate {
                         request,
-                        page,
+                        widx,
                         data,
                         duration,
                     } => {
-                        self.apply_translation(ctx, request, page, &data, duration);
+                        self.apply_translation(ctx, request, widx, &data, duration);
                     }
                 }
                 true
             }
             FtlOutcome::ReadDone { req, data, .. } => {
-                let Some((request, page)) = self.reads.remove(req) else {
+                let Some((request, widx)) = self.reads.remove(req) else {
                     return false;
                 };
-                self.start_translation(ctx, request, page, data.clone());
+                self.start_translation(ctx, request, widx, data.clone());
                 true
             }
             FtlOutcome::WriteDone { .. } => false,

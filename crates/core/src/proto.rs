@@ -14,6 +14,119 @@ const MAGIC: u32 = 0x5245_4353; // "RECS"
 const HEADER_BYTES: usize = 32;
 const PAIR_BYTES: usize = 12;
 
+/// A block of SLS result vectors stored flat: `n` vectors of `dim`
+/// elements in one contiguous `data` buffer with stride `dim`.
+///
+/// This is the shape results keep end to end — the device scratchpad
+/// accumulates into it, the host merges into it and [`crate::OpResult`]
+/// hands it to the caller — so the datapath never materialises per-vector
+/// `Vec`s. Buffers are reusable: [`SlsOutput::reset`] reshapes in place
+/// without shrinking capacity, which is what the engine's and host's
+/// free-list pools rely on.
+///
+/// # Example
+///
+/// ```
+/// use recssd::SlsOutput;
+/// let mut out = SlsOutput::zeroed(2, 4);
+/// out.row_mut(1)[3] = 7.0;
+/// assert_eq!(out.row(1), &[0.0, 0.0, 0.0, 7.0]);
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlsOutput {
+    data: Vec<f32>,
+    dim: usize,
+    n: usize,
+}
+
+impl SlsOutput {
+    /// `n` zero vectors of `dim` elements.
+    pub fn zeroed(n: usize, dim: usize) -> Self {
+        SlsOutput {
+            data: vec![0.0; n * dim],
+            dim,
+            n,
+        }
+    }
+
+    /// Reshapes to `n × dim` and zero-fills, reusing the existing
+    /// allocation when capacity allows — the pool-recycling entry point.
+    pub fn reset(&mut self, n: usize, dim: usize) {
+        self.data.clear();
+        self.data.resize(n * dim, 0.0);
+        self.n = n;
+        self.dim = dim;
+    }
+
+    /// Number of result vectors.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Elements per vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Result vector `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable result vector `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// All vectors in slot order (exactly `len()` of them, even for
+    /// zero-dim outputs).
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        (0..self.n).map(|i| self.row(i))
+    }
+
+    /// The flat `n × dim` backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat `n × dim` backing slice, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Copies out to the legacy nested shape (tests, display).
+    pub fn to_nested(&self) -> Vec<Vec<f32>> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+
+    /// Builds from the legacy nested shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner vectors have unequal lengths.
+    pub fn from_nested(nested: &[Vec<f32>]) -> Self {
+        let dim = nested.first().map_or(0, |v| v.len());
+        let mut out = SlsOutput::zeroed(nested.len(), dim);
+        for (i, v) in nested.iter().enumerate() {
+            assert_eq!(v.len(), dim, "ragged nested results");
+            out.row_mut(i).copy_from_slice(v);
+        }
+        out
+    }
+}
+
 /// Decoded SLS configuration as the device firmware sees it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlsConfig {
@@ -63,7 +176,10 @@ impl std::fmt::Display for SlsConfigError {
             SlsConfigError::ZeroField => f.write_str("zero-valued config field"),
             SlsConfigError::UnsortedPairs => f.write_str("pair list not sorted by input id"),
             SlsConfigError::ResultSlotOutOfRange { slot, n_results } => {
-                write!(f, "result slot {slot} out of range (n_results = {n_results})")
+                write!(
+                    f,
+                    "result slot {slot} out of range (n_results = {n_results})"
+                )
             }
             SlsConfigError::LengthMismatch => f.write_str("pair count disagrees with payload"),
         }
@@ -91,6 +207,7 @@ fn quant_from_code(c: u8) -> Option<Quantization> {
 
 impl SlsConfig {
     /// Encoded bytes per row, derived from dim and quantization.
+    #[inline]
     pub fn row_bytes(&self) -> usize {
         self.quant.row_bytes(self.dim as usize)
     }
@@ -108,6 +225,7 @@ impl SlsConfig {
 
     /// `(relative page, byte offset)` of an input row under this config's
     /// layout.
+    #[inline]
     pub fn locate_row(&self, row: u64) -> (u64, usize) {
         let page = row / self.rows_per_page as u64;
         let slot = (row % self.rows_per_page as u64) as usize;
@@ -181,7 +299,10 @@ impl SlsConfig {
         })
     }
 
-    /// Packs result vectors into the result-read data block.
+    /// Packs result vectors into a fresh result-read data block, padded
+    /// to whole blocks. One allocation per completed request — the NVMe
+    /// completion takes ownership of the block, so this buffer cannot be
+    /// pooled.
     pub fn encode_results(results: &[f32], block_bytes: usize) -> Vec<u8> {
         let mut out = vec![0u8; (results.len() * 4).div_ceil(block_bytes).max(1) * block_bytes];
         for (i, v) in results.iter().enumerate() {
@@ -190,22 +311,32 @@ impl SlsConfig {
         out
     }
 
+    /// Unpacks and *adds* `acc.len()` f32 values from result-read data
+    /// into `acc` — the host-side merge of device partial sums, with no
+    /// intermediate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `acc.len() * 4`.
+    #[inline]
+    pub fn accumulate_results(bytes: &[u8], acc: &mut [f32]) {
+        assert!(bytes.len() >= acc.len() * 4, "result data truncated");
+        for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
+            *a += f32::from_le_bytes(c.try_into().expect("4 bytes"));
+        }
+    }
+
     /// Unpacks `n_results × dim` f32 values from result-read data.
+    /// Allocating wrapper used by tests and tools; the host runtime
+    /// merges with [`SlsConfig::accumulate_results`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is too short.
     pub fn decode_results(bytes: &[u8], n_results: usize, dim: usize) -> Vec<Vec<f32>> {
-        (0..n_results)
-            .map(|r| {
-                (0..dim)
-                    .map(|j| {
-                        let off = (r * dim + j) * 4;
-                        f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
-                    })
-                    .collect()
-            })
-            .collect()
+        let mut out = SlsOutput::zeroed(n_results, dim);
+        Self::accumulate_results(bytes, out.as_mut_slice());
+        out.to_nested()
     }
 }
 
@@ -257,7 +388,10 @@ mod tests {
         cfg.pairs = vec![(1, 4)];
         assert_eq!(
             SlsConfig::decode(&cfg.encode()),
-            Err(SlsConfigError::ResultSlotOutOfRange { slot: 4, n_results: 4 })
+            Err(SlsConfigError::ResultSlotOutOfRange {
+                slot: 4,
+                n_results: 4
+            })
         );
     }
 
@@ -272,14 +406,20 @@ mod tests {
         assert_eq!(SlsConfig::decode(&bytes), Err(SlsConfigError::BadQuant(99)));
         let mut bytes = sample().encode();
         bytes.truncate(HEADER_BYTES + 2);
-        assert_eq!(SlsConfig::decode(&bytes), Err(SlsConfigError::LengthMismatch));
+        assert_eq!(
+            SlsConfig::decode(&bytes),
+            Err(SlsConfigError::LengthMismatch)
+        );
     }
 
     #[test]
     fn zero_fields_rejected() {
         let mut cfg = sample();
         cfg.dim = 0;
-        assert_eq!(SlsConfig::decode(&cfg.encode()), Err(SlsConfigError::ZeroField));
+        assert_eq!(
+            SlsConfig::decode(&cfg.encode()),
+            Err(SlsConfigError::ZeroField)
+        );
     }
 
     #[test]
@@ -314,5 +454,54 @@ mod tests {
         let out = SlsConfig::decode_results(&bytes, 3, 4);
         assert_eq!(out[0], vec![0.0, 0.25, 0.5, 0.75]);
         assert_eq!(out[2], vec![2.0, 2.25, 2.5, 2.75]);
+    }
+
+    #[test]
+    fn accumulate_results_adds_in_place() {
+        let vals: Vec<f32> = vec![1.0, 2.0, 3.0];
+        let bytes = SlsConfig::encode_results(&vals, 64);
+        let mut acc = vec![0.5f32, 0.5, 0.5];
+        SlsConfig::accumulate_results(&bytes, &mut acc);
+        assert_eq!(acc, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn sls_output_rows_and_reset() {
+        let mut out = SlsOutput::zeroed(3, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.dim(), 2);
+        out.row_mut(1).copy_from_slice(&[4.0, 5.0]);
+        assert_eq!(out.row(1), &[4.0, 5.0]);
+        assert_eq!(out.rows().count(), 3);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 4.0, 5.0, 0.0, 0.0]);
+        // Reset reshapes and zeroes without losing capacity.
+        let cap = out.as_slice().len();
+        out.reset(2, 3);
+        assert_eq!((out.len(), out.dim()), (2, 3));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(out.as_slice().len(), cap);
+    }
+
+    #[test]
+    fn sls_output_zero_dim_stays_consistent() {
+        let out = SlsOutput::zeroed(3, 0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.rows().count(), 3);
+        assert_eq!(out.to_nested(), vec![Vec::<f32>::new(); 3]);
+        assert_eq!(SlsOutput::from_nested(&out.to_nested()).len(), 3);
+    }
+
+    #[test]
+    fn sls_output_nested_round_trip() {
+        let nested = vec![vec![1.0f32, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let flat = SlsOutput::from_nested(&nested);
+        assert_eq!(flat.to_nested(), nested);
+        assert_eq!(flat.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn sls_output_rejects_ragged_nested() {
+        SlsOutput::from_nested(&[vec![1.0], vec![2.0, 3.0]]);
     }
 }

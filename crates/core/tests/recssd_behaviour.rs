@@ -14,7 +14,13 @@ fn small_system() -> System {
     System::new(RecSsdConfig::small())
 }
 
-fn spread_table(sys: &mut System, rows: u64, dim: usize, quant: Quantization, seed: u64) -> recssd::TableId {
+fn spread_table(
+    sys: &mut System,
+    rows: u64,
+    dim: usize,
+    quant: Quantization,
+    seed: u64,
+) -> recssd::TableId {
     let spec = TableSpec::new(rows, dim, quant);
     sys.add_table(TableImage::new(
         EmbeddingTable::procedural(spec, seed),
@@ -23,7 +29,13 @@ fn spread_table(sys: &mut System, rows: u64, dim: usize, quant: Quantization, se
     ))
 }
 
-fn dense_table(sys: &mut System, rows: u64, dim: usize, quant: Quantization, seed: u64) -> recssd::TableId {
+fn dense_table(
+    sys: &mut System,
+    rows: u64,
+    dim: usize,
+    quant: Quantization,
+    seed: u64,
+) -> recssd::TableId {
     let spec = TableSpec::new(rows, dim, quant);
     sys.add_table(TableImage::new(
         EmbeddingTable::procedural(spec, seed),
@@ -76,7 +88,11 @@ fn baseline_matches_dram_reference() {
     let table = dense_table(&mut sys, 3_000, 32, Quantization::F32, 9);
     let mut rng = Xoshiro256::seed_from(4);
     let batch = random_batch(&mut rng, 3_000, 6, 25);
-    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let base = sys.submit(OpKind::baseline_sls(
+        table,
+        batch.clone(),
+        SlsOptions::default(),
+    ));
     let dram = sys.submit(OpKind::dram_sls(table, batch));
     sys.run_until_idle();
     assert_eq!(sys.result(base).outputs, sys.result(dram).outputs);
@@ -189,7 +205,10 @@ fn ssd_embed_cache_matches_and_hits_on_repeats() {
     );
     // The cached request avoided flash pages.
     let last = stats.reports.last().expect("reports recorded");
-    assert!(last.pages < 25 * 4, "cache hits must reduce pages: {last:?}");
+    assert!(
+        last.pages < 25 * 4,
+        "cache hits must reduce pages: {last:?}"
+    );
 }
 
 #[test]
@@ -201,7 +220,11 @@ fn ndp_beats_baseline_on_low_locality_spread_access() {
     let table = spread_table(&mut sys, 1000, 32, Quantization::F32, 4);
     let mut rng = Xoshiro256::seed_from(11);
     let batch = random_batch(&mut rng, 1000, 8, 20); // 160 distinct-ish pages
-    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let base = sys.submit(OpKind::baseline_sls(
+        table,
+        batch.clone(),
+        SlsOptions::default(),
+    ));
     sys.run_until_idle();
     sys.device_mut().ftl_mut().drop_caches();
     let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
@@ -223,7 +246,11 @@ fn baseline_wins_on_sequential_dense_access() {
     let table = dense_table(&mut sys, 50_000, 32, Quantization::F32, 5);
     let ids: Vec<u64> = (0..512).collect(); // 4 dense pages in total
     let batch = LookupBatch::new(vec![ids]);
-    let base = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let base = sys.submit(OpKind::baseline_sls(
+        table,
+        batch.clone(),
+        SlsOptions::default(),
+    ));
     sys.run_until_idle();
     sys.device_mut().ftl_mut().drop_caches();
     let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));

@@ -1,0 +1,120 @@
+//! The flat `SlsOutput` results coming out of `System` must equal the
+//! golden `sls_reference` for every execution path — DRAM, baseline SSD
+//! and NDP — across layouts and quantizations.
+
+use proptest::prelude::*;
+use recssd::{LookupBatch, OpKind, RecSsdConfig, SlsOptions, SlsOutput, System};
+use recssd_embedding::{
+    sls_reference, EmbeddingTable, PageLayout, Quantization, TableImage, TableSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+
+const PAGE: usize = 16 * 1024;
+
+fn system_with_table(
+    rows: u64,
+    dim: usize,
+    quant: Quantization,
+    layout: PageLayout,
+    seed: u64,
+) -> (System, recssd::TableId, EmbeddingTable) {
+    let mut sys = System::new(RecSsdConfig::small());
+    let spec = TableSpec::new(rows, dim, quant);
+    let table = EmbeddingTable::procedural(spec, seed);
+    let id = sys.add_table(TableImage::new(table.clone(), layout, PAGE));
+    (sys, id, table)
+}
+
+fn random_batch(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
+    LookupBatch::new(
+        (0..outputs)
+            .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())
+            .collect(),
+    )
+}
+
+/// Row-by-row, bit-for-bit comparison of a flat output against the
+/// nested reference.
+fn assert_matches_reference(out: &SlsOutput, reference: &[Vec<f32>], what: &str) {
+    assert_eq!(out.len(), reference.len(), "{what}: row count");
+    for (i, want) in reference.iter().enumerate() {
+        assert_eq!(out.row(i), &want[..], "{what}: row {i}");
+    }
+    // And the nested copy-out agrees wholesale.
+    assert_eq!(&out.to_nested(), reference, "{what}: nested view");
+}
+
+#[test]
+fn all_three_paths_equal_reference_all_quants() {
+    for quant in [Quantization::F32, Quantization::F16, Quantization::Int8] {
+        for layout in [PageLayout::Spread, PageLayout::Dense] {
+            let (mut sys, id, table) = system_with_table(700, 24, quant, layout, 11);
+            let mut rng = Xoshiro256::seed_from(5);
+            let batch = random_batch(&mut rng, 700, 5, 18);
+            let reference = sls_reference(&table, &batch);
+
+            let dram = sys.submit(OpKind::dram_sls(id, batch.clone()));
+            let base = sys.submit(OpKind::baseline_sls(
+                id,
+                batch.clone(),
+                SlsOptions::default(),
+            ));
+            let ndp = sys.submit(OpKind::ndp_sls(id, batch, SlsOptions::default()));
+            sys.run_until_idle();
+
+            let what = format!("{quant:?}/{layout:?}");
+            let out = |op| sys.result(op).outputs.as_ref().expect("SLS output");
+            assert_matches_reference(out(dram), &reference, &format!("dram {what}"));
+            assert_matches_reference(out(base), &reference, &format!("baseline {what}"));
+            assert_matches_reference(out(ndp), &reference, &format!("ndp {what}"));
+        }
+    }
+}
+
+#[test]
+fn recycled_buffers_never_leak_between_requests() {
+    // Run differently-shaped batches back to back through the same
+    // system, draining and recycling each result: pooled buffer reuse
+    // must never let one request's data bleed into the next.
+    let (mut sys, id, table) = system_with_table(400, 16, Quantization::F32, PageLayout::Spread, 3);
+    let mut rng = Xoshiro256::seed_from(9);
+    for round in 0..6 {
+        let outputs = 1 + (round % 4);
+        let lookups = 3 + round * 5;
+        let batch = random_batch(&mut rng, 400, outputs, lookups);
+        let reference = sls_reference(&table, &batch);
+        let op = sys.submit(OpKind::ndp_sls(id, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        let result = sys.take_result(op);
+        let out = result.outputs.expect("SLS output");
+        assert_matches_reference(&out, &reference, &format!("round {round}"));
+        sys.recycle_outputs(out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary batch shapes: flat results equal the reference on every
+    /// path.
+    #[test]
+    fn flat_results_equal_reference(
+        seed in 0u64..500,
+        outputs in 1usize..5,
+        lookups in 1usize..20,
+    ) {
+        let (mut sys, id, table) =
+            system_with_table(300, 8, Quantization::F32, PageLayout::Spread, seed);
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x5A5A);
+        let batch = random_batch(&mut rng, 300, outputs, lookups);
+        let reference = sls_reference(&table, &batch);
+        let dram = sys.submit(OpKind::dram_sls(id, batch.clone()));
+        let base = sys.submit(OpKind::baseline_sls(id, batch.clone(), SlsOptions::default()));
+        let ndp = sys.submit(OpKind::ndp_sls(id, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        for (op, what) in [(dram, "dram"), (base, "baseline"), (ndp, "ndp")] {
+            let out = sys.result(op).outputs.as_ref().expect("SLS output");
+            prop_assert_eq!(&out.to_nested(), &reference, "{}", what);
+        }
+    }
+}

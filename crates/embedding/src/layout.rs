@@ -79,6 +79,7 @@ impl TableImage {
     }
 
     /// Rows stored per page.
+    #[inline]
     pub fn rows_per_page(&self) -> u64 {
         match self.layout {
             PageLayout::Spread => 1,
@@ -96,6 +97,7 @@ impl TableImage {
     /// # Panics
     ///
     /// Panics if `row` is out of range.
+    #[inline]
     pub fn page_of_row(&self, row: u64) -> (u64, usize) {
         assert!(row < self.table.spec().rows, "row out of range");
         let rpp = self.rows_per_page();
@@ -105,6 +107,7 @@ impl TableImage {
     }
 
     /// Rows residing on relative page `page` (clamped to the table size).
+    #[inline]
     pub fn rows_in_page(&self, page: u64) -> std::ops::Range<u64> {
         let rpp = self.rows_per_page();
         let start = page * rpp;
@@ -116,17 +119,47 @@ impl TableImage {
     /// page `page`.
     pub fn fill_relative_page(&self, page: u64, out: &mut [u8]) {
         let row_bytes = self.table.spec().row_bytes();
+        let mut scratch = crate::RowScratch::default();
         for (i, row) in self.rows_in_page(page).enumerate() {
             let off = i * row_bytes;
-            self.table.encode_row(row, &mut out[off..off + row_bytes]);
+            self.table
+                .encode_row_with(row, &mut scratch, &mut out[off..off + row_bytes]);
         }
     }
 
-    /// Decodes the row stored at `(page, offset)` from raw page bytes —
-    /// the operation RecSSD's Translation step performs on the device.
-    pub fn decode_row_at(&self, page_data: &[u8], offset: usize) -> Vec<f32> {
+    /// Decodes the row stored at `(page, offset)` into `out` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim` or the page bytes are truncated.
+    #[inline]
+    pub fn decode_row_into(&self, page_data: &[u8], offset: usize, out: &mut [f32]) {
         let spec = self.table.spec();
-        spec.quant.decode(&page_data[offset..], spec.dim)
+        assert_eq!(out.len(), spec.dim, "output has wrong dim");
+        spec.quant.decode_into(&page_data[offset..], out);
+    }
+
+    /// Accumulates the row stored at `(page, offset)` into `acc` — the
+    /// fused gather+reduce RecSSD's Translation step performs on the
+    /// device, with no intermediate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != dim` or the page bytes are truncated.
+    #[inline]
+    pub fn accumulate_row_at(&self, page_data: &[u8], offset: usize, acc: &mut [f32]) {
+        let spec = self.table.spec();
+        assert_eq!(acc.len(), spec.dim, "accumulator has wrong dim");
+        spec.quant.decode_accumulate(&page_data[offset..], acc);
+    }
+
+    /// Decodes the row stored at `(page, offset)` from raw page bytes.
+    /// Allocating wrapper over [`TableImage::decode_row_into`].
+    pub fn decode_row_at(&self, page_data: &[u8], offset: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.table.spec().dim];
+        self.decode_row_into(page_data, offset, &mut out);
+        out
     }
 }
 
@@ -190,7 +223,11 @@ mod tests {
     #[test]
     fn quantization_shrinks_page_count() {
         let f32_img = TableImage::new(table(1000, 32, Quantization::F32), PageLayout::Dense, 16384);
-        let i8_img = TableImage::new(table(1000, 32, Quantization::Int8), PageLayout::Dense, 16384);
+        let i8_img = TableImage::new(
+            table(1000, 32, Quantization::Int8),
+            PageLayout::Dense,
+            16384,
+        );
         assert!(i8_img.pages() < f32_img.pages());
         assert_eq!(i8_img.rows_per_page(), (16384 / 36) as u64);
     }

@@ -19,6 +19,7 @@ pub enum Quantization {
 
 impl Quantization {
     /// Encoded size in bytes of one `dim`-element row.
+    #[inline]
     pub fn row_bytes(self, dim: usize) -> usize {
         match self {
             Quantization::F32 => 4 * dim,
@@ -67,33 +68,77 @@ impl Quantization {
         }
     }
 
-    /// Decodes a row of `dim` elements from `bytes` into f32.
+    /// The single decode implementation: every decoded element is folded
+    /// into `out` through `fold`, so assignment ([`Quantization::decode_into`])
+    /// and fused accumulation ([`Quantization::decode_accumulate`]) share
+    /// one loop and cannot drift apart numerically.
+    #[inline(always)]
+    fn decode_with<F: Fn(&mut f32, f32)>(self, bytes: &[u8], out: &mut [f32], fold: F) {
+        let dim = out.len();
+        let need = self.row_bytes(dim);
+        assert!(bytes.len() >= need, "row bytes truncated");
+        match self {
+            Quantization::F32 => {
+                for (o, c) in out.iter_mut().zip(bytes[..need].chunks_exact(4)) {
+                    fold(o, f32::from_le_bytes(c.try_into().expect("4-byte chunk")));
+                }
+            }
+            Quantization::F16 => {
+                for (o, c) in out.iter_mut().zip(bytes[..need].chunks_exact(2)) {
+                    let bits = u16::from_le_bytes(c.try_into().expect("2-byte chunk"));
+                    fold(o, f16_bits_to_f32(bits));
+                }
+            }
+            Quantization::Int8 => {
+                let scale = f32::from_le_bytes(bytes[..4].try_into().expect("scale"));
+                for (o, &b) in out.iter_mut().zip(&bytes[4..need]) {
+                    fold(o, b as i8 as f32 * scale);
+                }
+            }
+        }
+    }
+
+    /// Decodes a row of `out.len()` elements from `bytes` into `out`
+    /// without allocating — the steady-state Translation primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the encoded row.
+    #[inline]
+    pub fn decode_into(self, bytes: &[u8], out: &mut [f32]) {
+        self.decode_with(bytes, out, |o, v| *o = v);
+    }
+
+    /// Fused decode + add: accumulates the decoded row into `acc`
+    /// element-wise. This is the operation RecSSD's Translation step
+    /// actually performs — gathered vectors are never materialised, they
+    /// are summed straight into the result slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the encoded row.
+    #[inline]
+    pub fn decode_accumulate(self, bytes: &[u8], acc: &mut [f32]) {
+        self.decode_with(bytes, acc, |o, v| *o += v);
+    }
+
+    /// Decodes a row of `dim` elements from `bytes` into a fresh `Vec`.
+    /// Allocating convenience wrapper over [`Quantization::decode_into`];
+    /// hot paths should pass a reused buffer to the `_into` variant.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is shorter than the encoded row.
     pub fn decode(self, bytes: &[u8], dim: usize) -> Vec<f32> {
-        let need = self.row_bytes(dim);
-        assert!(bytes.len() >= need, "row bytes truncated");
-        match self {
-            Quantization::F32 => bytes[..need]
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-                .collect(),
-            Quantization::F16 => bytes[..need]
-                .chunks_exact(2)
-                .map(|c| f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2-byte chunk"))))
-                .collect(),
-            Quantization::Int8 => {
-                let scale = f32::from_le_bytes(bytes[..4].try_into().expect("scale"));
-                bytes[4..need].iter().map(|&b| b as i8 as f32 * scale).collect()
-            }
-        }
+        let mut out = vec![0.0f32; dim];
+        self.decode_into(bytes, &mut out);
+        out
     }
 }
 
 /// Converts an f32 to IEEE binary16 bits (round-to-nearest-even, with
 /// overflow to infinity and subnormal support).
+#[inline]
 pub fn f32_to_f16_bits(x: f32) -> u16 {
     let bits = x.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;
@@ -140,6 +185,7 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
 }
 
 /// Converts IEEE binary16 bits to f32.
+#[inline]
 pub fn f16_bits_to_f32(h: u16) -> f32 {
     let sign = ((h & 0x8000) as u32) << 16;
     let exp = (h >> 10) & 0x1F;
@@ -244,7 +290,9 @@ mod tests {
         let q = Quantization::Int8;
         let mut rng = recssd_sim::rng::Xoshiro256::seed_from(9);
         for _ in 0..1000 {
-            let row: Vec<f32> = (0..32).map(|_| (rng.next_f64() * 4.0 - 2.0) as f32).collect();
+            let row: Vec<f32> = (0..32)
+                .map(|_| (rng.next_f64() * 4.0 - 2.0) as f32)
+                .collect();
             let mut buf = vec![0u8; q.row_bytes(32)];
             q.encode(&row, &mut buf);
             let dec = q.decode(&buf, 32);

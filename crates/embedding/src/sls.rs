@@ -1,6 +1,6 @@
 //! The reference SparseLengthsSum operator.
 
-use crate::EmbeddingTable;
+use crate::{EmbeddingTable, RowScratch};
 
 /// One batch of embedding lookups against a single table: for each output
 /// slot, the list of input rows whose vectors are summed.
@@ -102,20 +102,34 @@ impl LookupBatch {
 /// ```
 pub fn sls_reference(table: &EmbeddingTable, batch: &LookupBatch) -> Vec<Vec<f32>> {
     let dim = table.spec().dim;
-    batch
-        .per_output()
-        .iter()
-        .map(|ids| {
-            let mut acc = vec![0.0f32; dim];
-            for &id in ids {
-                let row = table.row_f32(id);
-                for (a, v) in acc.iter_mut().zip(row) {
-                    *a += v;
-                }
-            }
-            acc
-        })
-        .collect()
+    let mut flat = vec![0.0f32; batch.outputs() * dim];
+    sls_reference_into(table, batch, &mut flat);
+    flat.chunks_exact(dim).map(|c| c.to_vec()).collect()
+}
+
+/// [`sls_reference`] into a flat `outputs × dim` accumulator (zeroed
+/// first), allocating nothing per lookup — the form the host runtime's
+/// DRAM path uses.
+///
+/// # Panics
+///
+/// Panics if `out.len() != batch.outputs() * dim` or any row index
+/// exceeds the table.
+pub fn sls_reference_into(table: &EmbeddingTable, batch: &LookupBatch, out: &mut [f32]) {
+    let dim = table.spec().dim;
+    assert_eq!(
+        out.len(),
+        batch.outputs() * dim,
+        "flat output has wrong length"
+    );
+    out.fill(0.0);
+    let mut scratch = RowScratch::default();
+    for (slot, ids) in batch.per_output().iter().enumerate() {
+        let acc = &mut out[slot * dim..(slot + 1) * dim];
+        for &id in ids {
+            table.accumulate_row(id, &mut scratch, acc);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -74,10 +74,7 @@ impl fmt::Debug for TableSource {
             TableSource::Procedural { seed } => {
                 f.debug_struct("Procedural").field("seed", seed).finish()
             }
-            TableSource::Dense(v) => f
-                .debug_struct("Dense")
-                .field("values", &v.len())
-                .finish(),
+            TableSource::Dense(v) => f.debug_struct("Dense").field("values", &v.len()).finish(),
         }
     }
 }
@@ -151,20 +148,61 @@ impl EmbeddingTable {
         }
     }
 
+    /// Raw row values into `vals` (cleared first; no allocation once the
+    /// buffer has grown to `dim`).
+    fn fill_raw_values(&self, row: u64, vals: &mut Vec<f32>) {
+        vals.clear();
+        vals.extend((0..self.spec.dim).map(|j| self.raw_value(row, j)));
+    }
+
+    /// Encodes `row` into its on-device byte format using `scratch` for
+    /// the intermediate raw values (no allocation once warm).
+    pub fn encode_row_with(&self, row: u64, scratch: &mut RowScratch, out: &mut [u8]) {
+        self.fill_raw_values(row, &mut scratch.vals);
+        self.spec.quant.encode(&scratch.vals, out);
+    }
+
     /// Encodes `row` into its on-device byte format.
     pub fn encode_row(&self, row: u64, out: &mut [u8]) {
-        let vals: Vec<f32> = (0..self.spec.dim).map(|j| self.raw_value(row, j)).collect();
-        self.spec.quant.encode(&vals, out);
+        self.encode_row_with(row, &mut RowScratch::default(), out);
+    }
+
+    /// Accumulates the *decoded* row (after the quantisation round trip)
+    /// into `acc` without allocating once `scratch` is warm — the
+    /// host-DRAM gather primitive of the DRAM reference and the static
+    /// hot partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `acc.len() != dim`.
+    pub fn accumulate_row(&self, row: u64, scratch: &mut RowScratch, acc: &mut [f32]) {
+        assert_eq!(acc.len(), self.spec.dim, "accumulator has wrong dim");
+        let row_bytes = self.spec.row_bytes();
+        scratch.bytes.clear();
+        scratch.bytes.resize(row_bytes, 0);
+        // Split borrow: encode reads `vals`, writes `bytes`.
+        let RowScratch { vals, bytes } = scratch;
+        self.fill_raw_values(row, vals);
+        self.spec.quant.encode(vals, bytes);
+        self.spec.quant.decode_accumulate(bytes, acc);
     }
 
     /// The row as the *decoded* f32 vector — i.e. after the quantisation
     /// round trip, which is what every execution path (DRAM reference,
     /// baseline SSD, NDP) observes.
     pub fn row_f32(&self, row: u64) -> Vec<f32> {
-        let mut buf = vec![0u8; self.spec.row_bytes()];
-        self.encode_row(row, &mut buf);
-        self.spec.quant.decode(&buf, self.spec.dim)
+        let mut out = vec![0.0f32; self.spec.dim];
+        self.accumulate_row(row, &mut RowScratch::default(), &mut out);
+        out
     }
+}
+
+/// Reusable buffers for per-row encode/decode round trips. One scratch
+/// serves any table; its buffers grow to the largest row seen and stay.
+#[derive(Debug, Default, Clone)]
+pub struct RowScratch {
+    vals: Vec<f32>,
+    bytes: Vec<u8>,
 }
 
 #[cfg(test)]

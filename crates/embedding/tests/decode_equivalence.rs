@@ -1,0 +1,114 @@
+//! Property tests pinning the decode-path refactor: the allocation-free
+//! `decode_into` / `decode_accumulate` variants must bit-match the legacy
+//! `decode` across every quantization and dimension (odd dims included),
+//! and the `TableImage` row accessors must agree with each other.
+
+use proptest::prelude::*;
+use recssd_embedding::{
+    EmbeddingTable, PageLayout, Quantization, RowScratch, TableImage, TableSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+
+fn quant_from(k: u8) -> Quantization {
+    match k % 3 {
+        0 => Quantization::F32,
+        1 => Quantization::F16,
+        _ => Quantization::Int8,
+    }
+}
+
+/// Random row values in (-4, 4) — wider than the procedural grid so the
+/// equivalence holds for values that do *not* survive quantisation
+/// exactly.
+fn random_row(seed: u64, dim: usize) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..dim)
+        .map(|_| (rng.next_f64() * 8.0 - 4.0) as f32)
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `decode_into` writes exactly what `decode` returns, bit for bit.
+    #[test]
+    fn decode_into_bit_matches_decode(qk in 0u8..3, dim in 1usize..67, seed in 0u64..100_000) {
+        let q = quant_from(qk);
+        let vals = random_row(seed, dim);
+        let mut buf = vec![0u8; q.row_bytes(dim)];
+        q.encode(&vals, &mut buf);
+
+        let legacy = q.decode(&buf, dim);
+        let mut into = vec![7.5f32; dim]; // poisoned: every slot must be overwritten
+        q.decode_into(&buf, &mut into);
+        prop_assert_eq!(bits(&legacy), bits(&into), "quant {:?} dim {}", q, dim);
+    }
+
+    /// `decode_accumulate` equals decode-then-add with the same operand
+    /// order, bit for bit.
+    #[test]
+    fn decode_accumulate_bit_matches_decode_then_add(
+        qk in 0u8..3,
+        dim in 1usize..67,
+        seed in 0u64..100_000,
+    ) {
+        let q = quant_from(qk);
+        let vals = random_row(seed, dim);
+        let mut buf = vec![0u8; q.row_bytes(dim)];
+        q.encode(&vals, &mut buf);
+
+        let base = random_row(seed ^ 0xABCD_EF01, dim);
+        let mut fused = base.clone();
+        q.decode_accumulate(&buf, &mut fused);
+
+        let legacy = q.decode(&buf, dim);
+        let manual: Vec<f32> = base.iter().zip(&legacy).map(|(a, v)| a + v).collect();
+        prop_assert_eq!(bits(&manual), bits(&fused), "quant {:?} dim {}", q, dim);
+    }
+
+    /// The `TableImage` page-level accessors agree: `accumulate_row_at`
+    /// on a zeroed accumulator equals `decode_row_at`, which equals the
+    /// table's own round-tripped row.
+    #[test]
+    fn table_image_row_accessors_agree(qk in 0u8..3, dim in 1usize..33, seed in 0u64..1000) {
+        let q = quant_from(qk);
+        let rows = 64u64;
+        let img = TableImage::new(
+            EmbeddingTable::procedural(TableSpec::new(rows, dim, q), seed),
+            PageLayout::Dense,
+            4096,
+        );
+        let row = seed % rows;
+        let (page, off) = img.page_of_row(row);
+        let mut page_buf = vec![0u8; 4096];
+        img.fill_relative_page(page, &mut page_buf);
+
+        let legacy = img.decode_row_at(&page_buf, off);
+        let mut via_into = vec![3.25f32; dim];
+        img.decode_row_into(&page_buf, off, &mut via_into);
+        let mut via_acc = vec![0.0f32; dim];
+        img.accumulate_row_at(&page_buf, off, &mut via_acc);
+
+        prop_assert_eq!(bits(&legacy), bits(&via_into));
+        prop_assert_eq!(bits(&legacy), bits(&via_acc));
+        prop_assert_eq!(bits(&legacy), bits(&img.table().row_f32(row)));
+    }
+
+    /// `EmbeddingTable::accumulate_row` with a reused scratch matches the
+    /// allocating `row_f32`, for every quantization.
+    #[test]
+    fn table_accumulate_row_matches_row_f32(qk in 0u8..3, dim in 1usize..50, seed in 0u64..1000) {
+        let q = quant_from(qk);
+        let table = EmbeddingTable::procedural(TableSpec::new(32, dim, q), seed);
+        let mut scratch = RowScratch::default();
+        for row in [0u64, 13, 31] {
+            let mut acc = vec![0.0f32; dim];
+            table.accumulate_row(row, &mut scratch, &mut acc);
+            prop_assert_eq!(bits(&acc), bits(&table.row_f32(row)));
+        }
+    }
+}

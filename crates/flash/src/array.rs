@@ -141,7 +141,10 @@ impl fmt::Display for FlashError {
         match self {
             FlashError::InvalidPpa(ppa) => write!(f, "physical address out of range: {ppa}"),
             FlashError::DataTooLarge { len, page_bytes } => {
-                write!(f, "program payload of {len} bytes exceeds page size {page_bytes}")
+                write!(
+                    f,
+                    "program payload of {len} bytes exceeds page size {page_bytes}"
+                )
             }
             FlashError::ProgramOutOfOrder { ppa, expected_page } => write!(
                 f,
@@ -531,8 +534,7 @@ mod tests {
     #[test]
     fn single_read_latency_is_tr_plus_transfer() {
         let cfg = FlashConfig::cosmos_small();
-        let expected =
-            cfg.timing.read_time() + cfg.timing.transfer_time(cfg.geometry.page_bytes);
+        let expected = cfg.timing.read_time() + cfg.timing.transfer_time(cfg.geometry.page_bytes);
         let mut flash = FlashArray::new(cfg);
         let mut q = EventQueue::new();
         submit(

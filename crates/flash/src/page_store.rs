@@ -54,10 +54,7 @@ impl PageStore {
 
     /// Stores explicitly written page contents (trailing zeros trimmed).
     pub fn write(&mut self, page_index: u64, data: &[u8]) {
-        let trimmed_len = data
-            .iter()
-            .rposition(|&b| b != 0)
-            .map_or(0, |p| p + 1);
+        let trimmed_len = data.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
         self.explicit
             .insert(page_index, data[..trimmed_len].to_vec().into_boxed_slice());
         self.tombstones.remove(&page_index);

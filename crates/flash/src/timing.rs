@@ -40,9 +40,9 @@ impl FlashTiming {
     /// Cosmos+ OpenSSD-like timing (see crate docs for calibration).
     pub fn cosmos() -> Self {
         FlashTiming {
-            read_ns: 60_000,            // tR = 60 us
-            program_ns: 600_000,        // tPROG = 600 us
-            erase_ns: 3_000_000,        // tERASE = 3 ms
+            read_ns: 60_000,              // tR = 60 us
+            program_ns: 600_000,          // tPROG = 600 us
+            erase_ns: 3_000_000,          // tERASE = 3 ms
             channel_bytes_per_sec: 175e6, // ~175 MB/s bus => 16 KB in ~94 us
             cmd_overhead_ns: 2_000,
         }

@@ -92,7 +92,8 @@ impl BlockAllocator {
             removed,
             "reserve of non-free block ch{channel}/die{die}/blk{block}"
         );
-        self.reserved.insert(self.g.block_index(channel, die, block));
+        self.reserved
+            .insert(self.g.block_index(channel, die, block));
     }
 
     /// Allocates the next physical page, striping round-robin across dies.
@@ -214,7 +215,10 @@ mod tests {
     #[test]
     fn allocations_stripe_round_robin() {
         let mut a = BlockAllocator::new(small());
-        let dies: Vec<(u32, u32)> = (0..4).map(|_| a.alloc_page().unwrap()).map(|p| (p.channel, p.die)).collect();
+        let dies: Vec<(u32, u32)> = (0..4)
+            .map(|_| a.alloc_page().unwrap())
+            .map(|p| (p.channel, p.die))
+            .collect();
         let distinct: std::collections::HashSet<_> = dies.iter().collect();
         assert_eq!(distinct.len(), 4, "4 allocations hit 4 distinct dies");
     }

@@ -1,7 +1,6 @@
 //! The GreedyFTL: read/write paths, page cache, firmware core and
 //! asynchronous greedy garbage collection.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -10,7 +9,7 @@ use recssd_flash::{
     FlashArray, FlashCompletion, FlashError, FlashEvent, FlashOp, FlashOpId, PageOracle, Ppa,
 };
 use recssd_sim::stats::{Counter, HitStats};
-use recssd_sim::{SimDuration, SimTime};
+use recssd_sim::{FxHashMap, SimDuration, SimTime};
 
 use crate::{BlockAllocator, FtlConfig, FwCore, FwTag, Lpn, MappingTable};
 
@@ -132,11 +131,32 @@ pub struct FtlStats {
 
 #[derive(Debug)]
 enum Pending {
-    HostRead { req: ReqId, lpn: Lpn, ppa: Ppa },
-    HostWrite { req: ReqId, lpn: Lpn },
-    GcRead { die: usize, lpn: Lpn, old: Ppa },
-    GcWrite { die: usize, lpn: Lpn, old: Ppa, new: Ppa },
-    GcErase { die: usize, channel: u32, die_in_ch: u32, block: u32 },
+    HostRead {
+        req: ReqId,
+        lpn: Lpn,
+        ppa: Ppa,
+    },
+    HostWrite {
+        req: ReqId,
+        lpn: Lpn,
+    },
+    GcRead {
+        die: usize,
+        lpn: Lpn,
+        old: Ppa,
+    },
+    GcWrite {
+        die: usize,
+        lpn: Lpn,
+        old: Ppa,
+        new: Ppa,
+    },
+    GcErase {
+        die: usize,
+        channel: u32,
+        die_in_ch: u32,
+        block: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -156,10 +176,10 @@ pub struct GreedyFtl {
     map: MappingTable,
     alloc: BlockAllocator,
     cache: LruCache<u64, Arc<[u8]>>,
-    write_buffer: HashMap<u64, Arc<[u8]>>,
+    write_buffer: FxHashMap<u64, Arc<[u8]>>,
     fw: FwCore,
-    pending: HashMap<FlashOpId, Pending>,
-    gc_jobs: HashMap<usize, GcJob>,
+    pending: FxHashMap<FlashOpId, Pending>,
+    gc_jobs: FxHashMap<usize, GcJob>,
     reserved: std::collections::HashSet<u64>,
     next_req: u64,
     stats: FtlStats,
@@ -179,10 +199,10 @@ impl GreedyFtl {
             map: MappingTable::new(),
             alloc: BlockAllocator::new(config.flash.geometry),
             cache: LruCache::new(config.page_cache_pages),
-            write_buffer: HashMap::new(),
+            write_buffer: FxHashMap::default(),
             fw: FwCore::new(),
-            pending: HashMap::new(),
-            gc_jobs: HashMap::new(),
+            pending: FxHashMap::default(),
+            gc_jobs: FxHashMap::default(),
             reserved: std::collections::HashSet::new(),
             next_req: 0,
             stats: FtlStats::default(),
@@ -294,7 +314,8 @@ impl GreedyFtl {
     }
 
     fn reserved_blocks_contains(&self, c: u32, d: u32, b: u32) -> bool {
-        self.reserved.contains(&self.config.flash.geometry.block_index(c, d, b))
+        self.reserved
+            .contains(&self.config.flash.geometry.block_index(c, d, b))
     }
 
     fn reserved_blocks_insert(&mut self, c: u32, d: u32, b: u32) {
@@ -430,9 +451,9 @@ impl GreedyFtl {
                 vec![FtlOutcome::FwTaskDone { tag }]
             }
             FtlEvent::Flash(fev) => {
-                let completion = self.flash.handle(now, fev, &mut |d, fe| {
-                    sched(d, FtlEvent::Flash(fe))
-                });
+                let completion = self
+                    .flash
+                    .handle(now, fev, &mut |d, fe| sched(d, FtlEvent::Flash(fe)));
                 let mut out = Vec::new();
                 if let Some(c) = completion {
                     self.on_flash_completion(now, c, sched, &mut out);
@@ -478,7 +499,8 @@ impl GreedyFtl {
                         sched(d, FtlEvent::Flash(fe))
                     })
                     .expect("GC program must be well-formed");
-                self.pending.insert(op, Pending::GcWrite { die, lpn, old, new });
+                self.pending
+                    .insert(op, Pending::GcWrite { die, lpn, old, new });
                 let job = self.gc_jobs.get_mut(&die).expect("GC read without job");
                 job.reads_left -= 1;
                 job.writes_left += 1;
@@ -528,13 +550,18 @@ impl GreedyFtl {
             .used_blocks_in_die(die)
             .iter()
             .copied()
-            .min_by_key(|&b| self.map.valid_in_block(g.block_index(channel, die_in_ch, b)));
+            .min_by_key(|&b| {
+                self.map
+                    .valid_in_block(g.block_index(channel, die_in_ch, b))
+            });
         let Some(victim) = victim else {
             return; // nothing reclaimable yet
         };
         // A fully valid victim frees nothing: relocating it consumes as many
         // pages as the erase reclaims. Wait for garbage to accumulate.
-        if self.map.valid_in_block(g.block_index(channel, die_in_ch, victim))
+        if self
+            .map
+            .valid_in_block(g.block_index(channel, die_in_ch, victim))
             >= g.pages_per_block
         {
             return;
@@ -560,7 +587,8 @@ impl GreedyFtl {
                     sched(d, FtlEvent::Flash(fe))
                 })
                 .expect("GC read must be well-formed");
-            self.pending.insert(op, Pending::GcRead { die, lpn, old: ppa });
+            self.pending
+                .insert(op, Pending::GcRead { die, lpn, old: ppa });
         }
     }
 

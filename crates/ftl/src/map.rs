@@ -1,9 +1,9 @@
 //! Logical → physical mapping with validity tracking.
 
-use std::collections::HashMap;
 use std::ops::Range;
 
 use recssd_flash::{FlashGeometry, Ppa};
+use recssd_sim::FxHashMap;
 
 use crate::Lpn;
 
@@ -29,9 +29,11 @@ use crate::Lpn;
 /// ```
 #[derive(Debug, Default)]
 pub struct MappingTable {
-    l2p: HashMap<u64, Ppa>,
-    p2l: HashMap<u64, u64>,
-    valid: HashMap<u64, u32>,
+    // Fx-hashed: these maps key on page indices and sit on the per-read
+    // lookup path, where SipHash is pure overhead.
+    l2p: FxHashMap<u64, Ppa>,
+    p2l: FxHashMap<u64, u64>,
+    valid: FxHashMap<u64, u32>,
     identity: Vec<Range<u64>>,
 }
 

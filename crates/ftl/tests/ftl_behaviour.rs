@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use recssd_flash::PageOracle;
-use recssd_ftl::{FtlConfig, FtlError, FtlEvent, FtlOutcome, FwTag, GreedyFtl, Lpn, ReadStarted, ReqId};
+use recssd_ftl::{
+    FtlConfig, FtlError, FtlEvent, FtlOutcome, FwTag, GreedyFtl, Lpn, ReadStarted, ReqId,
+};
 use recssd_sim::{EventQueue, SimDuration, SimTime};
 
 /// Minimal event loop around a [`GreedyFtl`].
@@ -29,9 +31,7 @@ impl Harness {
         let mut out = Vec::new();
         while let Some((now, ev)) = self.q.pop() {
             let mut fresh = Vec::new();
-            let outcomes = self
-                .ftl
-                .handle(now, ev, &mut |d, e| fresh.push((d, e)));
+            let outcomes = self.ftl.handle(now, ev, &mut |d, e| fresh.push((d, e)));
             for (d, e) in fresh {
                 self.q.push_after(d, e);
             }
@@ -201,11 +201,7 @@ fn gc_reclaims_space_and_preserves_all_data() {
     h.ftl.drop_caches();
     for (&lpn, &want) in &shadow {
         let data = h.read_sync(lpn);
-        assert_eq!(
-            &data[..8],
-            &want.to_le_bytes(),
-            "lpn {lpn} corrupted by GC"
-        );
+        assert_eq!(&data[..8], &want.to_le_bytes(), "lpn {lpn} corrupted by GC");
     }
 }
 
@@ -241,10 +237,15 @@ fn device_full_surfaces_when_writes_outrun_gc() {
     for lpn in 0..total_physical {
         let Harness { ftl, q } = &mut h;
         let mut fresh = Vec::new();
-        let r = ftl.write_page(q.now(), Lpn(lpn % ftl.config().logical_pages), {
-            // Unique lpns until logical wraps; stop before overwrites start.
-            payload(lpn)
-        }, &mut |d, e| fresh.push((d, e)));
+        let r = ftl.write_page(
+            q.now(),
+            Lpn(lpn % ftl.config().logical_pages),
+            {
+                // Unique lpns until logical wraps; stop before overwrites start.
+                payload(lpn)
+            },
+            &mut |d, e| fresh.push((d, e)),
+        );
         for (d, e) in fresh {
             q.push_after(d, e);
         }
@@ -338,10 +339,7 @@ fn firmware_tasks_serialise_fifo() {
         .collect();
     assert_eq!(
         done,
-        vec![
-            (SimTime::from_us(10), 1),
-            (SimTime::from_us(15), 2),
-        ],
+        vec![(SimTime::from_us(10), 1), (SimTime::from_us(15), 2),],
         "second task starts only after the first finishes"
     );
     assert_eq!(h.ftl.firmware_busy(), SimDuration::from_us(15));
@@ -356,7 +354,11 @@ fn identical_workloads_are_deterministic() {
         }
         let out = h.drain();
         let final_t = out.last().map(|(t, _)| *t).unwrap();
-        (final_t, h.ftl.stats().host_writes.get(), h.ftl.flash().stats().programs.get())
+        (
+            final_t,
+            h.ftl.stats().host_writes.get(),
+            h.ftl.flash().stats().programs.get(),
+        )
     };
     assert_eq!(run(), run());
 }

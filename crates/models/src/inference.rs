@@ -146,8 +146,7 @@ impl ModelInstance {
         let tables = (0..cfg.tables)
             .map(|t| {
                 let spec = TableSpec::new(cfg.rows_per_table, cfg.dim, cfg.quant);
-                let table =
-                    EmbeddingTable::procedural(spec, seed.wrapping_add(t as u64 * 0x9E37));
+                let table = EmbeddingTable::procedural(spec, seed.wrapping_add(t as u64 * 0x9E37));
                 sys.add_table(TableImage::new(table, layout, page_bytes))
             })
             .collect();

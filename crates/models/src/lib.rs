@@ -18,9 +18,9 @@
 //!
 //! [`ModelInstance`] materialises a config's embedding tables on the
 //! simulated device and [`ModelInstance::run_inference`] executes the
-//! model graph — bottom MLP ∥ per-table SLS, then the feature-interaction
-//! + top MLP — on the [`recssd::System`] virtual clock, with the
-//! embedding path selected by [`EmbeddingMode`].
+//! model graph — bottom MLP ∥ per-table SLS, then the
+//! feature-interaction + top MLP — on the [`recssd::System`] virtual
+//! clock, with the embedding path selected by [`EmbeddingMode`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -272,10 +272,7 @@ mod tests {
         let ratio = |m: &ModelConfig| m.lookups(64) as f64 / m.dense_flops(64);
         let rm1 = ratio(&ModelConfig::dlrm_rmc1());
         let wnd = ratio(&ModelConfig::wnd());
-        assert!(
-            rm1 > 100.0 * wnd,
-            "RM1 ratio {rm1:e} vs WND {wnd:e}"
-        );
+        assert!(rm1 > 100.0 * wnd, "RM1 ratio {rm1:e} vs WND {wnd:e}");
     }
 
     #[test]

@@ -144,7 +144,10 @@ fn pipelining_overlaps_batches() {
         "pipelining must overlap: makespan {makespan} vs {n}x {}",
         single.latency
     );
-    assert!(mean_latency >= single.latency / 2, "sanity on per-batch latency");
+    assert!(
+        mean_latency >= single.latency / 2,
+        "sanity on per-batch latency"
+    );
 }
 
 #[test]

@@ -195,12 +195,18 @@ mod tests {
     fn transfers_serialise_fifo() {
         let mut link = PcieLink::new(PcieConfig::gen2_x8());
         let mut q = EventQueue::new();
-        let a = link.request(q.now(), 16 * 1024, XferDirection::DeviceToHost, &mut |d, e| {
-            q.push_after(d, e)
-        });
-        let b = link.request(q.now(), 16 * 1024, XferDirection::DeviceToHost, &mut |d, e| {
-            q.push_after(d, e)
-        });
+        let a = link.request(
+            q.now(),
+            16 * 1024,
+            XferDirection::DeviceToHost,
+            &mut |d, e| q.push_after(d, e),
+        );
+        let b = link.request(
+            q.now(),
+            16 * 1024,
+            XferDirection::DeviceToHost,
+            &mut |d, e| q.push_after(d, e),
+        );
         let done = drive(&mut link, &mut q);
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].1, a);

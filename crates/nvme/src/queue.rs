@@ -110,7 +110,10 @@ impl QueuePair {
     ///
     /// Panics if there is no outstanding command to complete.
     pub fn complete(&mut self, completion: NvmeCompletion) {
-        assert!(self.outstanding > 0, "completion without outstanding command");
+        assert!(
+            self.outstanding > 0,
+            "completion without outstanding command"
+        );
         self.outstanding -= 1;
         self.completed.inc();
         self.cq.push_back(completion);

@@ -119,7 +119,7 @@ impl NvmeCommand {
     /// Panics if `request_id` does not fit below the alignment.
     pub fn ndp_slba(table_base: u64, request_id: u64, table_align: u64) -> u64 {
         assert!(
-            table_base % table_align == 0,
+            table_base.is_multiple_of(table_align),
             "table base must be aligned to the agreed table alignment"
         );
         assert!(

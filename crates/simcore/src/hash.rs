@@ -1,0 +1,152 @@
+//! Fast deterministic hashing for hot simulator maps.
+//!
+//! The standard library's `HashMap` defaults to SipHash-1-3 behind a
+//! per-process random seed. Both properties are wrong for this workspace:
+//! the simulator is single-threaded and never hashes attacker-controlled
+//! keys, so DoS hardening is pure overhead on the per-page and per-command
+//! maps of the FTL, the NDP engine and the host runtime — and the random
+//! seed makes iteration order (and therefore any accidental
+//! order-dependence) vary between runs. [`FxHasher`] is the Firefox /
+//! rustc word-at-a-time multiply-xor hash: a handful of cycles per `u64`
+//! key, fully deterministic across runs and platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use recssd_sim::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "page");
+//! assert_eq!(m.get(&7), Some(&"page"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (the 64-bit golden-ratio fraction, forced odd).
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+const ROTATE: u32 = 5;
+
+/// The Fx word-at-a-time hash. Each ingested word is folded into the
+/// state with a rotate, xor and multiply; trailing bytes are read in the
+/// widest units available so short keys stay cheap.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add_word(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add_word(u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_word(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash — drop-in for hot simulator maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        for k in [0u64, 1, 7, u64::MAX, 0x9E37_79B9] {
+            assert_eq!(hash_of(&k), hash_of(&k));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            seen.insert(hash_of(&k));
+        }
+        assert_eq!(seen.len(), 10_000, "sequential u64 keys must not collide");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_structure() {
+        // Tuples and slices must hash consistently with themselves.
+        let a = (3u64, 4u32);
+        assert_eq!(hash_of(&a), hash_of(&a));
+        let s: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        assert_eq!(hash_of(&s), hash_of(&s));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u16, u16), u64> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m[&(1, 2)], 3);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn small_keys_separate() {
+        // (Zero hashes to zero — a fixed point the real Fx hash shares —
+        // but any non-zero key must separate from it and from each other.)
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`rng`] — small, dependency-free deterministic generators
 //!   (SplitMix64 / xoshiro256**) so traces and table contents are stable
 //!   across platforms and toolchain versions.
+//! * [`hash`] — the Fx multiply-xor hash plus [`hash::FxHashMap`] /
+//!   [`hash::FxHashSet`] aliases for the simulator's hot maps, which key
+//!   on small integers and need neither SipHash's DoS hardening nor its
+//!   per-process random seed.
 //!
 //! # Example
 //!
@@ -36,8 +40,11 @@
 mod queue;
 mod time;
 
+pub mod alloc_count;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

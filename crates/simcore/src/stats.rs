@@ -516,7 +516,7 @@ mod tests {
         assert_eq!(h.percentile(1.0), Some(0));
         assert_eq!(h.percentile(100.0), Some(1024));
         let p50 = h.percentile(50.0).unwrap();
-        assert!(p50 >= 1 && p50 < 1024, "p50 was {p50}");
+        assert!((1..1024).contains(&p50), "p50 was {p50}");
     }
 
     #[test]

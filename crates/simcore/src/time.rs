@@ -359,7 +359,10 @@ mod tests {
         assert_eq!(SimTime::from_us(12).to_string(), "12.000us");
         assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
         assert_eq!(SimTime::from_secs(12).to_string(), "12.000s");
-        assert_eq!(format!("{:?}", SimDuration::from_us(1)), "SimDuration(1.000us)");
+        assert_eq!(
+            format!("{:?}", SimDuration::from_us(1)),
+            "SimDuration(1.000us)"
+        );
     }
 
     #[test]

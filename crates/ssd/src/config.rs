@@ -105,8 +105,9 @@ mod tests {
         // ~1.3 GB/s figure, while single-block commands are firmware-bound.
         let cfg = SsdConfig::cosmos();
         let fw = cfg.fw_command_time(64);
-        let flash_per_page = 1e9 / (cfg.ftl.flash.timing.channel_read_iops(cfg.block_bytes())
-            * cfg.ftl.flash.geometry.channels as f64);
+        let flash_per_page = 1e9
+            / (cfg.ftl.flash.timing.channel_read_iops(cfg.block_bytes())
+                * cfg.ftl.flash.geometry.channels as f64);
         let flash_64 = flash_per_page * 64.0;
         assert!(
             (fw.as_ns() as f64) < flash_64,

@@ -1,7 +1,5 @@
 //! The device core: command fetch, firmware charging, data paths.
 
-use std::collections::HashMap;
-
 use recssd_flash::PageOracle;
 use recssd_ftl::{FtlEvent, FtlOutcome, FwTag, GreedyFtl, Lpn, ReadStarted, ReqId};
 use recssd_nvme::{
@@ -9,7 +7,7 @@ use recssd_nvme::{
     XferDirection, XferId,
 };
 use recssd_sim::stats::Counter;
-use recssd_sim::{SimDuration, SimTime};
+use recssd_sim::{FxHashMap, SimDuration, SimTime};
 
 use crate::extension::{DeviceCtx, NdpEngine, EXT_TAG_BIT};
 use crate::{NoNdp, SsdConfig};
@@ -55,12 +53,12 @@ pub struct SsdDevice<X: NdpEngine = NoNdp> {
     pcie: PcieLink,
     queues: Vec<QueuePair>,
     ext: X,
-    cmds: HashMap<(u16, u16), CmdState>,
-    fw_tags: HashMap<u64, (u16, u16)>,
-    read_reqs: HashMap<ReqId, (u16, u16, u32)>,
-    write_reqs: HashMap<ReqId, (u16, u16)>,
-    dma_out: HashMap<XferId, (u16, u16)>,
-    dma_in: HashMap<XferId, (u16, u16)>,
+    cmds: FxHashMap<(u16, u16), CmdState>,
+    fw_tags: FxHashMap<u64, (u16, u16)>,
+    read_reqs: FxHashMap<ReqId, (u16, u16, u32)>,
+    write_reqs: FxHashMap<ReqId, (u16, u16)>,
+    dma_out: FxHashMap<XferId, (u16, u16)>,
+    dma_in: FxHashMap<XferId, (u16, u16)>,
     next_tag: u64,
     stats: SsdStats,
 }
@@ -88,12 +86,12 @@ impl<X: NdpEngine> SsdDevice<X> {
             pcie: PcieLink::new(config.pcie),
             queues,
             ext,
-            cmds: HashMap::new(),
-            fw_tags: HashMap::new(),
-            read_reqs: HashMap::new(),
-            write_reqs: HashMap::new(),
-            dma_out: HashMap::new(),
-            dma_in: HashMap::new(),
+            cmds: FxHashMap::default(),
+            fw_tags: FxHashMap::default(),
+            read_reqs: FxHashMap::default(),
+            write_reqs: FxHashMap::default(),
+            dma_out: FxHashMap::default(),
+            dma_in: FxHashMap::default(),
             next_tag: 0,
             stats: SsdStats::default(),
             config,
@@ -240,12 +238,11 @@ impl<X: NdpEngine> SsdDevice<X> {
                             data: Vec::new(),
                         },
                     );
-                    let xfer = self.pcie.request(
-                        now,
-                        bytes,
-                        XferDirection::HostToDevice,
-                        &mut |d, e| sched(d, SsdEvent::Pcie(e)),
-                    );
+                    let xfer =
+                        self.pcie
+                            .request(now, bytes, XferDirection::HostToDevice, &mut |d, e| {
+                                sched(d, SsdEvent::Pcie(e))
+                            });
                     self.dma_in.insert(xfer, (qid, cid));
                 }
             }
@@ -388,7 +385,10 @@ impl<X: NdpEngine> SsdDevice<X> {
                         .expect("validated range");
                     self.write_reqs.insert(req, (qid, cid));
                 }
-                self.cmds.get_mut(&(qid, cid)).expect("command state").pages_left = nlb;
+                self.cmds
+                    .get_mut(&(qid, cid))
+                    .expect("command state")
+                    .pages_left = nlb;
             }
         }
     }

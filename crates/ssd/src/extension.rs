@@ -33,7 +33,9 @@ pub struct DeviceCtx<'a> {
 
 impl std::fmt::Debug for DeviceCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeviceCtx").field("now", &self.now).finish_non_exhaustive()
+        f.debug_struct("DeviceCtx")
+            .field("now", &self.now)
+            .finish_non_exhaustive()
     }
 }
 
@@ -78,7 +80,10 @@ pub struct NoNdp;
 
 impl NdpEngine for NoNdp {
     fn on_ndp_command(&mut self, ctx: &mut DeviceCtx<'_>, qid: u16, cmd: NvmeCommand) {
-        ctx.complete(qid, NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField));
+        ctx.complete(
+            qid,
+            NvmeCompletion::error(cmd.cid, NvmeStatus::InvalidField),
+        );
     }
 
     fn on_ftl_outcome(&mut self, _ctx: &mut DeviceCtx<'_>, _outcome: &FtlOutcome) -> bool {

@@ -70,11 +70,14 @@ fn page_payload(tag: u8, len: usize) -> Vec<u8> {
 fn write_then_read_round_trips_through_the_full_stack() {
     let mut h = Host::new(SsdConfig::cosmos_small());
     let page = h.dev.config().block_bytes();
-    h.submit(0, NvmeCommand::write(1, 7, 2, {
-        let mut p = page_payload(0xA1, page);
-        p.extend(page_payload(0xB2, page));
-        p
-    }));
+    h.submit(
+        0,
+        NvmeCommand::write(1, 7, 2, {
+            let mut p = page_payload(0xA1, page);
+            p.extend(page_payload(0xB2, page));
+            p
+        }),
+    );
     h.drain();
     let done = h.poll(0);
     assert_eq!(done.len(), 1);
@@ -171,7 +174,10 @@ fn random_single_block_reads_are_firmware_bound() {
         "cannot be faster than serial firmware: {end}"
     );
     let max = SimTime::ZERO + expected_fw + expected_fw / 3;
-    assert!(end <= max, "random reads should be firmware-bound: {end} vs {max}");
+    assert!(
+        end <= max,
+        "random reads should be firmware-bound: {end} vs {max}"
+    );
     let iops = n as f64 / end.as_secs_f64();
     assert!(
         (10_000.0..25_000.0).contains(&iops),
@@ -194,7 +200,10 @@ fn large_sequential_reads_are_flash_bound_near_advertised_bandwidth() {
     let nlb = 64u32;
     let cmds = 16u64;
     for i in 0..cmds {
-        h.submit((i % 4) as u16, NvmeCommand::read(i as u16, i * nlb as u64, nlb));
+        h.submit(
+            (i % 4) as u16,
+            NvmeCommand::read(i as u16, i * nlb as u64, nlb),
+        );
     }
     let end = h.drain();
     let bytes = cmds as f64 * nlb as f64 * page as f64;
@@ -213,13 +222,13 @@ fn repeated_runs_are_deterministic() {
         let page = h.dev.config().block_bytes();
         for i in 0..20u16 {
             h.submit(
-                (i % 3) as u16,
+                i % 3,
                 NvmeCommand::write(i, i as u64 * 3, 1, page_payload(i as u8, page / 2)),
             );
         }
         let t1 = h.drain();
         for i in 0..20u16 {
-            h.submit((i % 3) as u16, NvmeCommand::read(100 + i, i as u64 * 3, 1));
+            h.submit(i % 3, NvmeCommand::read(100 + i, i as u64 * 3, 1));
         }
         let t2 = h.drain();
         (t1, t2)
@@ -232,7 +241,10 @@ fn interleaved_queues_all_complete() {
     let mut h = Host::new(SsdConfig::cosmos_small());
     let page = h.dev.config().block_bytes();
     for i in 0..8u16 {
-        h.submit(i % 8, NvmeCommand::write(i, i as u64, 1, page_payload(i as u8, page)));
+        h.submit(
+            i % 8,
+            NvmeCommand::write(i, i as u64, 1, page_payload(i as u8, page)),
+        );
     }
     h.drain();
     for i in 0..8u16 {

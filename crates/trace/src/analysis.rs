@@ -37,7 +37,10 @@ pub struct ReusePoint {
 ///
 /// Panics if `granularity_bytes < row_bytes` or either is zero.
 pub fn reuse_cdf(ids: &[u64], granularity_bytes: usize, row_bytes: usize) -> Vec<ReusePoint> {
-    assert!(row_bytes > 0 && granularity_bytes >= row_bytes, "bad page sizes");
+    assert!(
+        row_bytes > 0 && granularity_bytes >= row_bytes,
+        "bad page sizes"
+    );
     let rows_per_page = (granularity_bytes / row_bytes) as u64;
     let mut hits: HashMap<u64, u64> = HashMap::new();
     let mut seen: HashMap<u64, bool> = HashMap::new();
@@ -60,7 +63,11 @@ pub fn reuse_cdf(ids: &[u64], granularity_bytes: usize, row_bytes: usize) -> Vec
             cum += c;
             ReusePoint {
                 pages: i + 1,
-                cum_fraction: if total == 0 { 0.0 } else { cum as f64 / total as f64 },
+                cum_fraction: if total == 0 {
+                    0.0
+                } else {
+                    cum as f64 / total as f64
+                },
             }
         })
         .collect()
@@ -95,7 +102,10 @@ pub fn page_cache_sweep(
     granularity_bytes: usize,
     row_bytes: usize,
 ) -> Vec<(usize, f64)> {
-    assert!(row_bytes > 0 && granularity_bytes >= row_bytes, "bad page sizes");
+    assert!(
+        row_bytes > 0 && granularity_bytes >= row_bytes,
+        "bad page sizes"
+    );
     let rows_per_page = (granularity_bytes / row_bytes) as u64;
     capacities_bytes
         .iter()
@@ -156,13 +166,7 @@ mod tests {
     fn cache_sweep_hit_rate_grows_with_capacity() {
         let mut z = ZipfTrace::new(100_000, 1.2, 3);
         let ids = z.take_ids(50_000);
-        let sweep = page_cache_sweep(
-            &ids,
-            &[64 << 10, 1 << 20, 16 << 20],
-            16,
-            4096,
-            128,
-        );
+        let sweep = page_cache_sweep(&ids, &[64 << 10, 1 << 20, 16 << 20], 16, 4096, 128);
         assert_eq!(sweep.len(), 3);
         assert!(sweep[0].1 <= sweep[1].1 && sweep[1].1 <= sweep[2].1);
         assert!(sweep[2].1 > sweep[0].1, "capacity must matter");

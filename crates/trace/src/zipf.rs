@@ -142,7 +142,9 @@ mod tests {
     fn higher_exponent_concentrates_mass() {
         let mild = rank_frequencies(10_000, 1.1, 100_000);
         let steep = rank_frequencies(10_000, 2.0, 100_000);
-        let top10 = |f: &HashMap<u64, u64>| -> u64 { (0..10).map(|k| f.get(&k).copied().unwrap_or(0)).sum() };
+        let top10 = |f: &HashMap<u64, u64>| -> u64 {
+            (0..10).map(|k| f.get(&k).copied().unwrap_or(0)).sum()
+        };
         assert!(
             top10(&steep) > top10(&mild),
             "steeper Zipf must concentrate more accesses in the head"
@@ -167,7 +169,11 @@ mod tests {
         for _ in 0..50_000 {
             *freq.entry(z.next_id()).or_insert(0u64) += 1;
         }
-        let hottest = freq.iter().max_by_key(|(_, &c)| c).map(|(&id, _)| id).unwrap();
+        let hottest = freq
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&id, _)| id)
+            .unwrap();
         assert_ne!(hottest, 0, "scatter should move the head off row 0");
     }
 

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest's API the workspace tests use: the
+//! [`proptest!`] macro (including `#![proptest_config(...)]`), integer
+//! range strategies, tuples of strategies, [`bool::ANY`],
+//! [`collection::vec`] and the `prop_assert*` macros.
+//!
+//! Inputs are drawn from a deterministic SplitMix64 stream seeded per
+//! test (by test name), so failures reproduce exactly across runs and
+//! platforms. Shrinking is not implemented — a failing case panics with
+//! the values visible in the assertion message. Swap the
+//! `[workspace.dependencies]` entry for the real proptest when network
+//! access is available; no test source changes are needed.
+
+use std::ops::Range;
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream; tests derive the seed from their name so cases
+    /// differ between tests but never between runs.
+    pub fn seed_from(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded draw; bias is negligible for test inputs.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Signed-safe span: i128 holds every supported domain,
+                // including negative starts and the full u64 range.
+                let span = (self.end as i128) - (self.start as i128);
+                if span > u64::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy over `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Stable seed from a test's name, so each property gets its own
+/// deterministic stream.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a, enough to decorrelate test streams.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::seed_from($crate::seed_for(stringify!($name)));
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let run = || -> () { $body };
+                let _ = case;
+                run();
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::seed_from(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::sample(&(0usize..1), &mut rng);
+            assert_eq!(s, 0);
+        }
+    }
+
+    #[test]
+    fn full_u64_domain_does_not_panic() {
+        let mut rng = crate::TestRng::seed_from(2);
+        for _ in 0..100 {
+            let _ = Strategy::sample(&(0u64..u64::MAX), &mut rng);
+        }
+    }
+
+    #[test]
+    fn negative_signed_ranges_respect_bounds() {
+        let mut rng = crate::TestRng::seed_from(7);
+        let mut saw_negative = false;
+        for _ in 0..500 {
+            let v = Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+            let w = Strategy::sample(&(i64::MIN..i64::MAX), &mut rng);
+            let _ = w;
+        }
+        assert!(saw_negative, "negative half of the range never sampled");
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::TestRng::seed_from(3);
+        for _ in 0..200 {
+            let v = Strategy::sample(&crate::collection::vec((0u8..4, 0u64..9), 1..30), &mut rng);
+            assert!((1..30).contains(&v.len()));
+            assert!(v.iter().all(|(k, x)| *k < 4 && *x < 9));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut rng = crate::TestRng::seed_from(crate::seed_for("x"));
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, flip in crate::bool::ANY) {
+            prop_assert!(a < 100);
+            let _ = flip;
+        }
+    }
+}

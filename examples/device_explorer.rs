@@ -75,7 +75,10 @@ fn main() {
     let n = 64u64;
     let t0 = host.q.now();
     for i in 0..n {
-        host.submit((i % 4) as u16, NvmeCommand::read(100 + i as u16, i * 3 % 512, 1));
+        host.submit(
+            (i % 4) as u16,
+            NvmeCommand::read(100 + i as u16, i * 3 % 512, 1),
+        );
     }
     let t1 = host.drain();
     let iops = n as f64 / t1.saturating_since(t0).as_secs_f64();

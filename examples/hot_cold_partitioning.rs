@@ -76,8 +76,14 @@ fn main() {
         stats.accesses(),
         stats.hit_rate() * 100.0
     );
-    println!("NDP without partition: {}", sys.result(plain).service_time());
-    println!("NDP with partition   : {}", sys.result(parted).service_time());
+    println!(
+        "NDP without partition: {}",
+        sys.result(plain).service_time()
+    );
+    println!(
+        "NDP with partition   : {}",
+        sys.result(parted).service_time()
+    );
     println!(
         "partitioning speedup  : {:.2}x (results bit-identical to DRAM)",
         sys.result(plain).service_time().as_ns() as f64

@@ -31,7 +31,11 @@ fn main() {
 
     // Run the same batch three ways.
     let dram = sys.submit(OpKind::dram_sls(table, batch.clone()));
-    let baseline = sys.submit(OpKind::baseline_sls(table, batch.clone(), SlsOptions::default()));
+    let baseline = sys.submit(OpKind::baseline_sls(
+        table,
+        batch.clone(),
+        SlsOptions::default(),
+    ));
     let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
     sys.run_until_idle();
 

@@ -43,7 +43,12 @@ fn main() {
 
         let t_dram = run(&mut sys, &model, &EmbeddingMode::Dram, 5);
         let t_base = run(&mut sys, &model, &EmbeddingMode::BaselineSsd(base_opts), 5);
-        let t_ndp = run(&mut sys, &model, &EmbeddingMode::Ndp(SlsOptions::default()), 5);
+        let t_ndp = run(
+            &mut sys,
+            &model,
+            &EmbeddingMode::Ndp(SlsOptions::default()),
+            5,
+        );
 
         println!(
             "\n{k}: DRAM {}  |  COTS SSD {}  |  RecSSD {}",

@@ -43,7 +43,9 @@ pub mod prelude {
     pub use recssd_embedding::{
         sls_reference, EmbeddingTable, PageLayout, Quantization, TableImage, TableSpec,
     };
-    pub use recssd_models::{BatchGen, EmbeddingMode, MlpSpec, ModelClass, ModelConfig, ModelInstance};
+    pub use recssd_models::{
+        BatchGen, EmbeddingMode, MlpSpec, ModelClass, ModelConfig, ModelInstance,
+    };
     pub use recssd_sim::{SimDuration, SimTime};
     pub use recssd_trace::{LocalityK, LocalityTrace, ZipfTrace};
 }

@@ -67,7 +67,11 @@ fn every_path_agrees_across_warm_and_cold_caches() {
         let want = sys.result(dram).outputs.clone();
         assert_eq!(sys.result(base).outputs, want, "baseline round {round}");
         assert_eq!(sys.result(ndp).outputs, want, "ndp round {round}");
-        assert_eq!(sys.result(parted).outputs, want, "partitioned round {round}");
+        assert_eq!(
+            sys.result(parted).outputs,
+            want,
+            "partitioned round {round}"
+        );
     }
     // The caches actually engaged.
     assert!(sys.host_cache_stats(table).unwrap().hits() > 0);
@@ -104,7 +108,10 @@ fn model_serving_pipeline_stays_consistent_and_ordered() {
     let mode = EmbeddingMode::Ndp(SlsOptions::default());
     let mut gen = BatchGen::locality(2000, LocalityK::K1, cfg.tables, 17);
     let (makespan, mean_latency) = model.run_pipelined(&mut sys, 4, 5, &mode, &mut gen);
-    assert!(makespan >= mean_latency, "makespan bounds per-batch latency");
+    assert!(
+        makespan >= mean_latency,
+        "makespan bounds per-batch latency"
+    );
     assert!(mean_latency > SimDuration::ZERO);
     // The device ends quiescent and the FTL leaked nothing.
     assert!(sys.device().idle());
@@ -130,7 +137,11 @@ fn headline_performance_orderings_hold() {
     // (1) DRAM vs cold SSD.
     let dram = sys.submit(OpKind::dram_sls(table, uniform_batch.clone()));
     sys.run_until_idle();
-    let base_cold = sys.submit(OpKind::baseline_sls(table, uniform_batch.clone(), SlsOptions::default()));
+    let base_cold = sys.submit(OpKind::baseline_sls(
+        table,
+        uniform_batch.clone(),
+        SlsOptions::default(),
+    ));
     sys.run_until_idle();
     assert!(
         sys.result(base_cold).service_time() > sys.result(dram).service_time() * 50,
@@ -149,7 +160,11 @@ fn headline_performance_orderings_hold() {
     // (3) High-locality traffic with a warm host LRU: baseline wins.
     let mut hot = LocalityTrace::new(rows, 0.02, 100.0, 5);
     let hot_batch = |t: &mut LocalityTrace| {
-        LookupBatch::new((0..8).map(|_| (0..20).map(|_| t.next_id()).collect()).collect())
+        LookupBatch::new(
+            (0..8)
+                .map(|_| (0..20).map(|_| t.next_id()).collect())
+                .collect(),
+        )
     };
     let cached_opts = SlsOptions {
         use_host_cache: true,
@@ -157,7 +172,11 @@ fn headline_performance_orderings_hold() {
     };
     // Warm the cache to steady state.
     for _ in 0..4 {
-        let warm = sys.submit(OpKind::baseline_sls(table, hot_batch(&mut hot), cached_opts));
+        let warm = sys.submit(OpKind::baseline_sls(
+            table,
+            hot_batch(&mut hot),
+            cached_opts,
+        ));
         sys.run_until_idle();
         let _ = sys.result(warm);
     }
@@ -189,7 +208,10 @@ fn statistics_reconcile_across_the_stack() {
     assert_eq!(engine.pages_requested.get() as usize, distinct);
     assert_eq!(sys.device().stats().ndp_commands.get(), 2, "write + read");
     // Spread layout: every distinct row is one flash page read.
-    assert_eq!(sys.device().ftl().flash().stats().reads.get() as usize, distinct);
+    assert_eq!(
+        sys.device().ftl().flash().stats().reads.get() as usize,
+        distinct
+    );
 }
 
 /// Determinism across the entire stack: two identical sessions produce
