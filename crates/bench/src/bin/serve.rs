@@ -1,0 +1,237 @@
+//! Serving-layer benchmark: sweeps shard count × scheduling policy for all
+//! three execution paths under closed-loop Zipf traffic and writes
+//! `BENCH_serving.json` with throughput plus p50/p95/p99/p999 latency.
+//!
+//! ```text
+//! cargo run --release -p recssd-bench --bin serve
+//! RECSSD_PAPER_SCALE=1 cargo run --release -p recssd-bench --bin serve
+//! ```
+//!
+//! At any scale the run asserts the serving subsystem's acceptance bar:
+//! aggregate NDP throughput grows at least 2x from 1 shard to 4 shards,
+//! and a sample of merged sharded outputs bit-matches `sls_reference`.
+
+use std::fmt::Write as _;
+
+use recssd::SlsOptions;
+use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+use recssd_serving::{
+    LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
+    TrafficSpec,
+};
+use recssd_sim::stats::Quantiles;
+use recssd_sim::SimDuration;
+
+struct Params {
+    tables: usize,
+    rows_per_table: u64,
+    dim: usize,
+    spec: TrafficSpec,
+    clients: usize,
+    requests: usize,
+    verify_every: u64,
+}
+
+impl Params {
+    fn from_env() -> Self {
+        if std::env::var("RECSSD_PAPER_SCALE").as_deref() == Ok("1") {
+            Params {
+                tables: 4,
+                rows_per_table: 4096,
+                dim: 32,
+                spec: TrafficSpec {
+                    outputs: 4,
+                    lookups_per_output: 10,
+                    zipf_exponent: 1.2,
+                },
+                clients: 16,
+                requests: 512,
+                verify_every: 16,
+            }
+        } else {
+            Params {
+                tables: 2,
+                rows_per_table: 2048,
+                dim: 32,
+                spec: TrafficSpec {
+                    outputs: 4,
+                    lookups_per_output: 8,
+                    zipf_exponent: 1.2,
+                },
+                clients: 12,
+                requests: 96,
+                verify_every: 8,
+            }
+        }
+    }
+}
+
+struct ConfigReport {
+    shards: usize,
+    policy: &'static str,
+    path: &'static str,
+    report: LoadReport,
+    batching: f64,
+}
+
+fn run_config(p: &Params, shards: usize, policy: SchedulePolicy, path: SlsPath) -> ConfigReport {
+    let cfg = ServingConfig::small_wide(shards, policy);
+    let mut rt = ServingRuntime::new(&cfg);
+    let tables: Vec<_> = (0..p.tables)
+        .map(|t| {
+            rt.add_table(EmbeddingTable::procedural(
+                TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
+                t as u64,
+            ))
+        })
+        .collect();
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        p.spec,
+        LoadMode::Closed {
+            clients: p.clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(&mut rt, path, p.requests);
+    assert!(
+        report.verified > 0,
+        "verification sample was empty — bit-match unchecked"
+    );
+    let batching = report.batching_factor;
+    ConfigReport {
+        shards,
+        policy: policy.name(),
+        path: path.name(),
+        report,
+        batching,
+    }
+}
+
+fn q_json(q: &Quantiles) -> String {
+    format!(
+        "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"mean_us\": {:.2}, \"max_us\": {:.2}",
+        q.p50 as f64 / 1e3,
+        q.p95 as f64 / 1e3,
+        q.p99 as f64 / 1e3,
+        q.p999 as f64 / 1e3,
+        q.mean / 1e3,
+        q.max as f64 / 1e3,
+    )
+}
+
+fn write_json(p: &Params, configs: &[ConfigReport]) -> String {
+    // Hand-rolled JSON: the workspace has no serde and the schema is flat.
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"recssd-serving/v1\",\n");
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
+         \"lookups_per_output\": {}, \"zipf_exponent\": {}, \"clients\": {}, \"requests\": {}}},",
+        p.tables,
+        p.rows_per_table,
+        p.dim,
+        p.spec.outputs,
+        p.spec.lookups_per_output,
+        p.spec.zipf_exponent,
+        p.clients,
+        p.requests
+    );
+    s.push_str("  \"configs\": [\n");
+    for (i, c) in configs.iter().enumerate() {
+        let r = &c.report;
+        let _ = write!(
+            s,
+            "    {{\"shards\": {}, \"policy\": \"{}\", \"path\": \"{}\", \"requests\": {}, \
+             \"lookups\": {}, \"sim_secs\": {:.6}, \"lookups_per_sim_sec\": {:.0}, \
+             \"batching_factor\": {:.2}, \"verified\": {}, {}, \"queue_p99_us\": {:.2}}}",
+            c.shards,
+            c.policy,
+            c.path,
+            r.requests,
+            r.lookups,
+            r.makespan.as_secs_f64(),
+            r.lookups_per_sim_sec,
+            c.batching,
+            r.verified,
+            q_json(&r.e2e),
+            r.queue.p99 as f64 / 1e3,
+        );
+        s.push_str(if i + 1 < configs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let p = Params::from_env();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    println!(
+        "workload: {} tables x {} rows (dim {}), {} outputs x {} lookups/request, \
+         {} closed-loop clients, {} requests per config",
+        p.tables,
+        p.rows_per_table,
+        p.dim,
+        p.spec.outputs,
+        p.spec.lookups_per_output,
+        p.clients,
+        p.requests
+    );
+
+    let paths = [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ];
+    let policies = [
+        SchedulePolicy::Fifo,
+        SchedulePolicy::micro_batch(16, SimDuration::from_us(200)),
+    ];
+    let mut configs = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        for &policy in &policies {
+            for &path in &paths {
+                let c = run_config(&p, shards, policy, path);
+                println!(
+                    "{:>8} {:<10} {} shard(s): {:>12.0} lookups/sim-sec  \
+                     p50 {:>8.1}us  p99 {:>9.1}us  p999 {:>9.1}us  (batching {:.2}x)",
+                    c.path,
+                    c.policy,
+                    c.shards,
+                    c.report.lookups_per_sim_sec,
+                    c.report.e2e.p50 as f64 / 1e3,
+                    c.report.e2e.p99 as f64 / 1e3,
+                    c.report.e2e.p999 as f64 / 1e3,
+                    c.batching,
+                );
+                configs.push(c);
+            }
+        }
+    }
+
+    // Acceptance bar: NDP throughput scales >= 2x from 1 to 4 shards
+    // (FIFO, like for like).
+    let tput = |shards: usize| {
+        configs
+            .iter()
+            .find(|c| c.shards == shards && c.policy == "fifo" && c.path == "ndp")
+            .expect("config present")
+            .report
+            .lookups_per_sim_sec
+    };
+    let scaling = tput(4) / tput(1);
+    println!("NDP FIFO shard scaling 1→4: {scaling:.2}x");
+    assert!(
+        scaling >= 2.0,
+        "NDP throughput scaled only {scaling:.2}x from 1 to 4 shards"
+    );
+
+    let json = write_json(&p, &configs);
+    std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
+    println!("wrote {out_path}");
+}

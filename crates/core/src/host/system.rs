@@ -10,7 +10,7 @@
 //! advanced by device completions and host-compute timer events, all on
 //! one deterministic virtual clock.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use recssd_cache::{LruCache, StaticPartition};
@@ -188,15 +188,46 @@ enum SysEvent {
     Worker { pool: PoolKind, worker: usize },
 }
 
+/// One distinct flash page of a baseline op: its work items are
+/// `items[start..start + len]`.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageRun {
+    page: u64,
+    start: u32,
+    len: u32,
+}
+
+/// Pooled per-op buffers of the baseline I/O planner, recycled across
+/// operators so steady-state baseline requests allocate nothing for them.
+#[derive(Debug, Default)]
+struct BaseIoBufs {
+    /// Staging triples `(page, offset, slot)` sorted by page.
+    stage: Vec<(u64, u32, u32)>,
+    /// One record per distinct page, ascending page order.
+    runs: Vec<PageRun>,
+    /// `(byte offset, result slot)` items grouped by `runs`.
+    items: Vec<(u32, u32)>,
+    outstanding: FxHashMap<u16, usize>, // cid → index into `runs`
+    backlog: VecDeque<usize>,
+    data: FxHashMap<usize, Box<[u8]>>,
+}
+
+impl BaseIoBufs {
+    fn clear(&mut self) {
+        self.stage.clear();
+        self.runs.clear();
+        self.items.clear();
+        self.outstanding.clear();
+        self.backlog.clear();
+        self.data.clear();
+    }
+}
+
 #[derive(Debug)]
 struct BaseIo {
-    /// Remaining `(relative page, work items)` to issue, in page order.
-    pages: Vec<(u64, Vec<(usize, u32)>)>,
+    bufs: BaseIoBufs,
     next: usize,
-    outstanding: FxHashMap<u16, usize>, // cid → index into `pages`
-    backlog: VecDeque<usize>,
     accum_current: Option<(usize, Box<[u8]>)>,
-    data: FxHashMap<usize, Box<[u8]>>,
     pages_done: usize,
     io_concurrency: usize,
     use_host_cache: bool,
@@ -210,6 +241,10 @@ struct NdpPlan {
     result_data: Option<Box<[u8]>>,
 }
 
+// The BaseIo variant is big, but boxing it would re-introduce a per-op
+// heap allocation on the steady-state baseline path that the pooled
+// planner buffers exist to avoid.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Phase {
     Pending,
@@ -260,6 +295,10 @@ pub struct System {
     /// Free-list of recycled flat result buffers (see
     /// [`System::recycle_outputs`]).
     out_pool: Vec<SlsOutput>,
+    /// Free-list of recycled baseline I/O planner buffers.
+    baseio_pool: Vec<BaseIoBufs>,
+    /// Reused completion-drain scratch.
+    completions: Vec<(u16, NvmeCompletion)>,
     /// Reused encode/decode scratch for host-DRAM row gathers.
     row_scratch: RowScratch,
 }
@@ -290,9 +329,28 @@ impl System {
             next_request: 0,
             results: FxHashMap::default(),
             out_pool: Vec::new(),
+            baseio_pool: Vec::new(),
+            completions: Vec::new(),
             row_scratch: RowScratch::default(),
             cfg,
         }
+    }
+
+    /// Advances the idle system's virtual clock to `to` (no-op if the
+    /// clock is already there or past it). A serving runtime that owns
+    /// several systems uses this to re-anchor an idle shard to the global
+    /// arrival instant before submitting work, so per-shard timestamps
+    /// stay on one shared timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operators are still in flight.
+    pub fn advance_clock(&mut self, to: SimTime) {
+        assert!(
+            self.ops.is_empty(),
+            "advance_clock requires an idle system (operators in flight)"
+        );
+        self.q.advance_to(to);
     }
 
     /// The system configuration.
@@ -590,6 +648,7 @@ impl System {
             ops,
             registry,
             host_caches,
+            baseio_pool,
             cfg,
             ..
         } = self;
@@ -605,7 +664,8 @@ impl System {
         let image = registry.binding(table).image.clone();
         let dim = image.table().spec().dim;
         op.outputs.reset(batch.outputs(), dim);
-        let mut work: BTreeMap<u64, Vec<(usize, u32)>> = BTreeMap::new();
+        let mut bufs = baseio_pool.pop().unwrap_or_default();
+        bufs.clear();
         let cache = opts
             .use_host_cache
             .then(|| host_caches.get_mut(&table.0))
@@ -619,7 +679,7 @@ impl System {
                         }
                     } else {
                         let (page, off) = image.page_of_row(row);
-                        work.entry(page).or_default().push((off, slot as u32));
+                        bufs.stage.push((page, off as u32, slot as u32));
                     }
                 }
             }
@@ -627,21 +687,33 @@ impl System {
             for (slot, ids) in batch.per_output().iter().enumerate() {
                 for &row in ids {
                     let (page, off) = image.page_of_row(row);
-                    work.entry(page).or_default().push((off, slot as u32));
+                    bufs.stage.push((page, off as u32, slot as u32));
                 }
             }
         }
-        if work.is_empty() {
+        if bufs.stage.is_empty() {
+            baseio_pool.push(bufs);
             self.finish_op(now, id);
             return;
         }
+        // Group by page into the flat run/item lists (in-place sort keeps
+        // the planner allocation-free once the pooled buffers are warm).
+        bufs.stage.sort_unstable();
+        for &(page, off, slot) in &bufs.stage {
+            match bufs.runs.last_mut() {
+                Some(r) if r.page == page => r.len += 1,
+                _ => bufs.runs.push(PageRun {
+                    page,
+                    start: bufs.items.len() as u32,
+                    len: 1,
+                }),
+            }
+            bufs.items.push((off, slot));
+        }
         let mut io = BaseIo {
-            pages: work.into_iter().collect(),
+            bufs,
             next: 0,
-            outstanding: FxHashMap::default(),
-            backlog: VecDeque::new(),
             accum_current: None,
-            data: FxHashMap::default(),
             pages_done: 0,
             io_concurrency: opts.io_concurrency,
             use_host_cache: opts.use_host_cache,
@@ -658,12 +730,12 @@ impl System {
         };
         let base = self.registry.binding(table).base_lpn;
         let qid = self.ops[&id].qid;
-        while io.outstanding.len() < io.io_concurrency && io.next < io.pages.len() {
+        while io.bufs.outstanding.len() < io.io_concurrency && io.next < io.bufs.runs.len() {
             let idx = io.next;
             io.next += 1;
-            let (page, _) = io.pages[idx];
+            let page = io.bufs.runs[idx].page;
             let cid = self.alloc_cid(qid);
-            io.outstanding.insert(cid, idx);
+            io.bufs.outstanding.insert(cid, idx);
             self.pending_cmd.insert((qid, cid), id);
             self.submit_cmd(now, qid, NvmeCommand::read(cid, base + page, 1));
         }
@@ -679,9 +751,9 @@ impl System {
             let Phase::BaseIo(io) = &mut phase else {
                 unreachable!("completion outside BaseIo phase")
             };
-            let idx = io.outstanding.remove(&cid).expect("tracked command");
-            io.data.insert(idx, data);
-            io.backlog.push_back(idx);
+            let idx = io.bufs.outstanding.remove(&cid).expect("tracked command");
+            io.bufs.data.insert(idx, data);
+            io.bufs.backlog.push_back(idx);
             self.baseline_issue(now, id, io);
             if io.accum_current.is_none() {
                 self.baseline_start_accum(id, io);
@@ -693,11 +765,11 @@ impl System {
     /// Starts the host-side completion-processing + accumulate charge for
     /// the next backlogged page.
     fn baseline_start_accum(&mut self, id: OpId, io: &mut BaseIo) {
-        let Some(idx) = io.backlog.pop_front() else {
+        let Some(idx) = io.bufs.backlog.pop_front() else {
             return;
         };
-        let data = io.data.remove(&idx).expect("page data stored");
-        let vectors = io.pages[idx].1.len();
+        let data = io.bufs.data.remove(&idx).expect("page data stored");
+        let vectors = io.bufs.runs[idx].len as usize;
         let host = self.host();
         let table = match &self.ops[&id].kind {
             OpKind::BaselineSls { table, .. } => *table,
@@ -735,30 +807,39 @@ impl System {
         let table = *table;
         let image = &registry.binding(table).image;
         let spec = image.table().spec();
-        let (page, work) = &io.pages[idx];
+        let run = io.bufs.runs[idx];
+        let work = &io.bufs.items[run.start as usize..(run.start + run.len) as usize];
         let cache = io
             .use_host_cache
             .then(|| host_caches.get_mut(&table.0))
             .flatten();
         if let Some(cache) = cache {
             for &(off, slot) in work {
+                let off = off as usize;
                 let mut dec = vec![0.0f32; spec.dim];
                 spec.quant.decode_into(&data[off..], &mut dec);
                 for (o, v) in op.outputs.row_mut(slot as usize).iter_mut().zip(&dec) {
                     *o += *v;
                 }
-                let row = page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
+                let row = run.page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
                 cache.insert(row, dec.into());
             }
         } else {
             for &(off, slot) in work {
                 spec.quant
-                    .decode_accumulate(&data[off..], op.outputs.row_mut(slot as usize));
+                    .decode_accumulate(&data[off as usize..], op.outputs.row_mut(slot as usize));
             }
         }
+        // The page has been folded in; its transfer buffer goes back to
+        // the device pool so the next read command reuses it.
+        self.dev.recycle_buffer(data.into_vec());
         io.pages_done += 1;
-        if io.backlog.is_empty() && io.outstanding.is_empty() && io.next == io.pages.len() {
-            debug_assert_eq!(io.pages_done, io.pages.len());
+        if io.bufs.backlog.is_empty()
+            && io.bufs.outstanding.is_empty()
+            && io.next == io.bufs.runs.len()
+        {
+            debug_assert_eq!(io.pages_done, io.bufs.runs.len());
+            self.baseio_pool.push(io.bufs);
             self.finish_op(now, id);
             return;
         }
@@ -908,6 +989,7 @@ impl System {
         // Device partial sums fold straight into the flat accumulator —
         // no intermediate nested vectors.
         SlsConfig::accumulate_results(&data, op.outputs.as_mut_slice());
+        self.dev.recycle_buffer(data.into_vec());
         self.finish_op(now, id);
     }
 
@@ -926,13 +1008,14 @@ impl System {
     }
 
     fn poll_completions(&mut self, now: SimTime) {
-        let mut completions: Vec<(u16, NvmeCompletion)> = Vec::new();
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
         for qid in 0..self.cfg.ssd.io_queues as u16 {
             while let Some(c) = self.dev.queue(qid).poll() {
                 completions.push((qid, c));
             }
         }
-        for (qid, c) in completions {
+        for (qid, c) in completions.drain(..) {
             let id = self
                 .pending_cmd
                 .remove(&(qid, c.cid))
@@ -961,6 +1044,7 @@ impl System {
                 }
             }
         }
+        self.completions = completions;
     }
 
     fn finish_op(&mut self, now: SimTime, id: OpId) {

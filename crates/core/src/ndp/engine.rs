@@ -651,6 +651,10 @@ impl NdpEngine for NdpSlsEngine {
                         duration,
                     } => {
                         self.apply_translation(ctx, request, widx, &data, duration);
+                        // Last consumer of this page image: offer it back
+                        // to the FTL's pool (a no-op while the page cache
+                        // still holds it).
+                        ctx.ftl.recycle_page_image(data);
                     }
                 }
                 true

@@ -49,20 +49,15 @@ fn measured_round(sys: &mut System, kind: OpKind) -> u64 {
     allocs
 }
 
-#[test]
-fn steady_state_sls_allocations_do_not_scale_with_lookups() {
-    let rows = 2000u64;
-    let mut sys = System::new(RecSsdConfig::small());
-    // Dense layout keeps the flash-page working set tiny, so after the
-    // warm-up rounds every page is in the FTL page cache and the measured
-    // rounds exercise exactly the steady-state gather/reduce loop.
-    let spec = TableSpec::new(rows, 16, Quantization::F32);
-    let table = sys.add_table(TableImage::new(
-        EmbeddingTable::procedural(spec, 1),
-        PageLayout::Dense,
-        16 * 1024,
-    ));
-
+/// Runs the scaling assertion for one table layout. With
+/// [`PageLayout::Dense`] the flash working set fits the FTL page cache, so
+/// the rounds exercise the pure gather/reduce loop; with
+/// [`PageLayout::Spread`] every distinct row is a distinct flash page and
+/// the table dwarfs the page cache, so the big round drives ~512 full
+/// page-miss services (flash read buffer → FTL page image → NVMe transfer
+/// buffer). The page-buffer pools along that path must absorb all of it —
+/// before pooling, the spread case cost ~3 allocations *per page*.
+fn assert_rounds_flat(sys: &mut System, table: recssd::TableId, rows: u64, layout: &str) {
     let small = batch(16, rows);
     let big = batch(512, rows);
 
@@ -81,23 +76,54 @@ fn steady_state_sls_allocations_do_not_scale_with_lookups() {
     ] {
         // Warm-up: grow every pool, cache and map to its steady size.
         for _ in 0..3 {
-            measured_round(&mut sys, mk(&big));
-            measured_round(&mut sys, mk(&small));
+            measured_round(sys, mk(&big));
+            measured_round(sys, mk(&small));
         }
-        let a_small = measured_round(&mut sys, mk(&small));
-        let a_big = measured_round(&mut sys, mk(&big));
-        let a_small2 = measured_round(&mut sys, mk(&small));
+        let a_small = measured_round(sys, mk(&small));
+        let a_big = measured_round(sys, mk(&big));
+        let a_small2 = measured_round(sys, mk(&small));
 
-        // 32x the gathered vectors must not add per-vector allocations.
+        // 32x the gathered vectors (and, for the spread layout, 32x the
+        // flash pages) must not add per-vector or per-page allocations.
         assert!(
             a_big <= a_small.max(a_small2) + FIXED_MARGIN,
-            "{label}: steady-state allocations scale with lookups: \
+            "{label}/{layout}: steady-state allocations scale with lookups: \
              small {a_small}/{a_small2}, big {a_big}"
         );
         // And steady state really is steady: repeat rounds stay put.
         assert!(
             a_small2 <= a_small + FIXED_MARGIN,
-            "{label}: repeated identical rounds drift: {a_small} -> {a_small2}"
+            "{label}/{layout}: repeated identical rounds drift: {a_small} -> {a_small2}"
         );
     }
+}
+
+#[test]
+fn steady_state_sls_allocations_do_not_scale_with_lookups() {
+    let rows = 2000u64;
+    // The wide small config: its 4096-page table-alignment slots fit the
+    // 2000-page spread table below.
+    let mut sys = System::new(RecSsdConfig::small_wide());
+    // Dense layout: the flash-page working set is tiny, so after the
+    // warm-up rounds every page is in the FTL page cache and the measured
+    // rounds exercise exactly the steady-state gather/reduce loop.
+    let spec = TableSpec::new(rows, 16, Quantization::F32);
+    let dense = sys.add_table(TableImage::new(
+        EmbeddingTable::procedural(spec, 1),
+        PageLayout::Dense,
+        16 * 1024,
+    ));
+    assert_rounds_flat(&mut sys, dense, rows, "dense");
+
+    // Spread layout: one page per row, 2000 pages against a 32-page FTL
+    // cache — (almost) every lookup is a full flash-page service. This is
+    // the tightened bound: the page-buffer pools through
+    // flash → FTL → device → host must make the miss path steady-state
+    // allocation-free too.
+    let spread = sys.add_table(TableImage::new(
+        EmbeddingTable::procedural(spec, 2),
+        PageLayout::Spread,
+        16 * 1024,
+    ));
+    assert_rounds_flat(&mut sys, spread, rows, "spread");
 }

@@ -117,14 +117,24 @@ impl TableImage {
 
     /// Fills a page buffer with the encoded rows that live on relative
     /// page `page`.
+    ///
+    /// Pages are regenerated on every flash-read miss (the oracle-backed
+    /// store synthesises contents on demand), so the encode scratch is
+    /// thread-local: steady-state page fills allocate nothing.
     pub fn fill_relative_page(&self, page: u64, out: &mut [u8]) {
-        let row_bytes = self.table.spec().row_bytes();
-        let mut scratch = crate::RowScratch::default();
-        for (i, row) in self.rows_in_page(page).enumerate() {
-            let off = i * row_bytes;
-            self.table
-                .encode_row_with(row, &mut scratch, &mut out[off..off + row_bytes]);
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<crate::RowScratch> =
+                std::cell::RefCell::new(crate::RowScratch::default());
         }
+        let row_bytes = self.table.spec().row_bytes();
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            for (i, row) in self.rows_in_page(page).enumerate() {
+                let off = i * row_bytes;
+                self.table
+                    .encode_row_with(row, scratch, &mut out[off..off + row_bytes]);
+            }
+        });
     }
 
     /// Decodes the row stored at `(page, offset)` into `out` without

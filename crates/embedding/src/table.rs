@@ -95,6 +95,10 @@ impl fmt::Debug for TableSource {
 pub struct EmbeddingTable {
     spec: TableSpec,
     source: TableSource,
+    /// Offset added to row indices before consulting `source`: a slice
+    /// created by [`EmbeddingTable::slice`] views rows
+    /// `base_row..base_row + spec.rows` of the parent table.
+    base_row: u64,
 }
 
 impl EmbeddingTable {
@@ -103,6 +107,7 @@ impl EmbeddingTable {
         EmbeddingTable {
             spec,
             source: TableSource::Procedural { seed },
+            base_row: 0,
         }
     }
 
@@ -120,7 +125,49 @@ impl EmbeddingTable {
         EmbeddingTable {
             spec,
             source: TableSource::Dense(Arc::new(values)),
+            base_row: 0,
         }
+    }
+
+    /// A zero-copy row-range view: local row `j` of the slice holds the
+    /// exact contents of row `range.start + j` of this table. This is the
+    /// primitive behind row-range sharding — each shard registers a slice
+    /// of the full table, so shard-local lookups are bit-identical to the
+    /// parent's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the table.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+    /// let t = EmbeddingTable::procedural(TableSpec::new(100, 8, Quantization::F32), 3);
+    /// let s = t.slice(40..60);
+    /// assert_eq!(s.spec().rows, 20);
+    /// assert_eq!(s.row_f32(5), t.row_f32(45));
+    /// ```
+    pub fn slice(&self, range: std::ops::Range<u64>) -> EmbeddingTable {
+        assert!(
+            range.start < range.end && range.end <= self.spec.rows,
+            "slice {range:?} out of range for a {}-row table",
+            self.spec.rows
+        );
+        EmbeddingTable {
+            spec: TableSpec {
+                rows: range.end - range.start,
+                ..self.spec
+            },
+            source: self.source.clone(),
+            base_row: self.base_row + range.start,
+        }
+    }
+
+    /// First parent row this table views (0 unless created by
+    /// [`EmbeddingTable::slice`]).
+    pub fn base_row(&self) -> u64 {
+        self.base_row
     }
 
     /// The table's spec.
@@ -136,6 +183,7 @@ impl EmbeddingTable {
     pub fn raw_value(&self, row: u64, j: usize) -> f32 {
         assert!(row < self.spec.rows, "row out of range");
         assert!(j < self.spec.dim, "feature out of range");
+        let row = self.base_row + row;
         match &self.source {
             TableSource::Procedural { seed } => {
                 // Values on the grid k/64 with |k| <= 127: exactly
@@ -253,6 +301,32 @@ mod tests {
         t.encode_row(2, &mut buf);
         let dec = Quantization::F32.decode(&buf, 4);
         assert_eq!(dec, t.row_f32(2));
+    }
+
+    #[test]
+    fn slices_view_parent_rows_exactly() {
+        let t = EmbeddingTable::procedural(TableSpec::new(100, 4, Quantization::F32), 9);
+        let s = t.slice(30..70);
+        assert_eq!(s.spec().rows, 40);
+        assert_eq!(s.base_row(), 30);
+        for local in [0u64, 17, 39] {
+            assert_eq!(s.row_f32(local), t.row_f32(30 + local));
+        }
+        // Slices of slices compose.
+        let ss = s.slice(10..20);
+        assert_eq!(ss.row_f32(3), t.row_f32(43));
+        // Dense tables slice too.
+        let d = EmbeddingTable::dense(
+            TableSpec::new(3, 2, Quantization::F32),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        );
+        assert_eq!(d.slice(1..3).row_f32(1), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a")]
+    fn oversized_slice_panics() {
+        EmbeddingTable::procedural(TableSpec::new(10, 2, Quantization::F32), 0).slice(5..11);
     }
 
     #[test]

@@ -189,10 +189,18 @@ struct Resource {
 #[derive(Debug)]
 struct OpState {
     op: FlashOp,
-    phases: Vec<(ResKey, SimDuration)>,
+    /// At most two phases per operation; a fixed array avoids a per-op
+    /// heap allocation on the hottest submit path.
+    phases: [(ResKey, SimDuration); 2],
+    n_phases: usize,
     cur: usize,
     submitted_at: SimTime,
 }
+
+/// Largest number of recycled page buffers the array keeps. Sized to cover
+/// the deepest realistic read backlog (an NDP request fanning a full batch
+/// out across the channels) so steady-state reads allocate nothing.
+const PAGE_BUF_POOL_CAP: usize = 1024;
 
 /// The NAND flash array: geometry, timing, per-resource scheduling and page
 /// contents. See the [crate docs](crate) for the usage pattern.
@@ -205,6 +213,9 @@ pub struct FlashArray {
     block_write_ptr: HashMap<u64, u32>,
     ops: HashMap<FlashOpId, OpState>,
     next_op: u64,
+    /// Free-list of full-page read buffers (see
+    /// [`FlashArray::recycle_page_buf`]).
+    buf_pool: Vec<Box<[u8]>>,
     stats: FlashStats,
 }
 
@@ -220,6 +231,7 @@ impl FlashArray {
             block_write_ptr: HashMap::new(),
             ops: HashMap::new(),
             next_op: 0,
+            buf_pool: Vec::new(),
             stats: FlashStats {
                 channel_busy: vec![SimDuration::ZERO; n_channels],
                 ..FlashStats::default()
@@ -305,6 +317,27 @@ impl FlashArray {
         self.store.read_into(idx, out);
     }
 
+    /// Returns a consumed full-page read buffer to the free-list; the next
+    /// completed read fills it instead of allocating. Wrong-sized buffers
+    /// are dropped (the pool only serves whole pages).
+    pub fn recycle_page_buf(&mut self, buf: Box<[u8]>) {
+        if buf.len() == self.config.geometry.page_bytes && self.buf_pool.len() < PAGE_BUF_POOL_CAP {
+            self.buf_pool.push(buf);
+        }
+    }
+
+    /// A page-sized buffer from the pool (or a fresh allocation) holding
+    /// the contents of linear page `idx`.
+    fn read_page_pooled(&mut self, idx: u64) -> Box<[u8]> {
+        match self.buf_pool.pop() {
+            Some(mut buf) => {
+                self.store.read_into(idx, &mut buf);
+                buf
+            }
+            None => self.store.read(idx, self.config.geometry.page_bytes),
+        }
+    }
+
     /// The next page expected by the sequential-program rule for `block`
     /// on `(channel, die)`.
     pub fn next_program_page(&self, channel: u32, die: u32, block: u32) -> u32 {
@@ -363,16 +396,23 @@ impl FlashArray {
         let die_key = ResKey::Die((ppa.channel * g.dies_per_channel + ppa.die) as usize);
         let chan_key = ResKey::Channel(ppa.channel as usize);
         let t = &self.config.timing;
-        let phases = match op.kind() {
-            FlashOpKind::Read => vec![
-                (die_key, t.read_time()),
-                (chan_key, t.transfer_time(g.page_bytes)),
-            ],
-            FlashOpKind::Program => vec![
-                (chan_key, t.transfer_time(g.page_bytes)),
-                (die_key, t.program_time()),
-            ],
-            FlashOpKind::Erase => vec![(die_key, t.erase_time())],
+        let idle = (die_key, SimDuration::ZERO);
+        let (phases, n_phases) = match op.kind() {
+            FlashOpKind::Read => (
+                [
+                    (die_key, t.read_time()),
+                    (chan_key, t.transfer_time(g.page_bytes)),
+                ],
+                2,
+            ),
+            FlashOpKind::Program => (
+                [
+                    (chan_key, t.transfer_time(g.page_bytes)),
+                    (die_key, t.program_time()),
+                ],
+                2,
+            ),
+            FlashOpKind::Erase => ([(die_key, t.erase_time()), idle], 1),
         };
 
         let id = FlashOpId(self.next_op);
@@ -382,6 +422,7 @@ impl FlashArray {
             OpState {
                 op,
                 phases,
+                n_phases,
                 cur: 0,
                 submitted_at: now,
             },
@@ -434,7 +475,7 @@ impl FlashArray {
             let st = self.ops.get_mut(&id).expect("phase event for unknown op");
             let key = st.phases[st.cur].0;
             st.cur += 1;
-            (key, st.cur == st.phases.len())
+            (key, st.cur == st.n_phases)
         };
 
         // Release the resource and start the next waiter, if any.
@@ -468,11 +509,14 @@ impl FlashArray {
         let data = match st.op {
             FlashOp::Read { ppa } => {
                 self.stats.reads.inc();
-                Some(self.store.read(g.linear_index(ppa), g.page_bytes))
+                Some(self.read_page_pooled(g.linear_index(ppa)))
             }
             FlashOp::Program { ppa, data } => {
                 self.stats.programs.inc();
                 self.store.write(g.linear_index(ppa), &data);
+                // GC relocations program whole pages; their buffers go
+                // straight back to the read pool.
+                self.recycle_page_buf(data);
                 None
             }
             FlashOp::Erase { ppa } => {

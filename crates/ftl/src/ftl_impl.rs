@@ -166,6 +166,10 @@ struct GcJob {
     writes_left: usize,
 }
 
+/// Largest number of recycled `Arc<[u8]>` page images the FTL keeps.
+/// Covers the page-cache eviction churn of a deep read backlog.
+const ARC_POOL_CAP: usize = 1024;
+
 /// The greedy FTL modelled on the Cosmos+ OpenSSD firmware. See the
 /// [crate docs](crate) for the architecture overview and the event-driven
 /// usage pattern.
@@ -182,6 +186,10 @@ pub struct GreedyFtl {
     gc_jobs: FxHashMap<usize, GcJob>,
     reserved: std::collections::HashSet<u64>,
     next_req: u64,
+    /// Free-list of exclusively-owned page images, refilled by cache
+    /// eviction; completed flash reads copy into one of these instead of
+    /// allocating a fresh `Arc`.
+    arc_pool: Vec<Arc<[u8]>>,
     stats: FtlStats,
 }
 
@@ -205,8 +213,53 @@ impl GreedyFtl {
             gc_jobs: FxHashMap::default(),
             reserved: std::collections::HashSet::new(),
             next_req: 0,
+            arc_pool: Vec::new(),
             stats: FtlStats::default(),
             config,
+        }
+    }
+
+    /// Consumer-side return path for page images handed out via
+    /// [`FtlOutcome::ReadDone`] / [`ReadStarted::CacheHit`]: once a reader
+    /// has folded a page in, it offers the `Arc` back. The image is pooled
+    /// only when this was the last reference (it may still sit in the page
+    /// cache, in which case this is a no-op).
+    pub fn recycle_page_image(&mut self, arc: Arc<[u8]>) {
+        self.recycle_arc(arc);
+    }
+
+    /// Keeps `arc` for reuse if this FTL is its sole owner (typically a
+    /// page image just evicted from the page cache whose readers have all
+    /// dropped their clones).
+    fn recycle_arc(&mut self, arc: Arc<[u8]>) {
+        if Arc::strong_count(&arc) == 1
+            && arc.len() == self.page_bytes()
+            && self.arc_pool.len() < ARC_POOL_CAP
+        {
+            self.arc_pool.push(arc);
+        }
+    }
+
+    /// Wraps a completed flash read in an `Arc` page image, reusing a
+    /// pooled one when available (and returning the flash buffer to the
+    /// array's pool) — the steady-state read path allocates nothing here.
+    fn pooled_arc_from(&mut self, data: Box<[u8]>) -> Arc<[u8]> {
+        match self.arc_pool.pop() {
+            Some(mut arc) => {
+                Arc::get_mut(&mut arc)
+                    .expect("pooled arcs are exclusively owned")
+                    .copy_from_slice(&data);
+                self.flash.recycle_page_buf(data);
+                arc
+            }
+            None => data.into(),
+        }
+    }
+
+    /// Inserts into the page cache, recycling whatever the insert evicts.
+    fn cache_insert(&mut self, lpn: u64, data: Arc<[u8]>) {
+        if let Some((_, old)) = self.cache.insert(lpn, data) {
+            self.recycle_arc(old);
         }
     }
 
@@ -395,11 +448,23 @@ impl GreedyFtl {
         let ppa = self.alloc.alloc_page().ok_or(FtlError::DeviceFull)?;
         self.map.map(lpn, ppa, &g);
         // Keep a full-page image resident until the program completes.
-        let mut page = vec![0u8; g.page_bytes];
-        page[..data.len()].copy_from_slice(&data);
-        let arc: Arc<[u8]> = page.into();
-        self.write_buffer.insert(lpn.0, arc.clone());
-        self.cache.insert(lpn.0, arc);
+        let arc: Arc<[u8]> = match self.arc_pool.pop() {
+            Some(mut arc) => {
+                let page = Arc::get_mut(&mut arc).expect("pooled arcs are exclusively owned");
+                page.fill(0);
+                page[..data.len()].copy_from_slice(&data);
+                arc
+            }
+            None => {
+                let mut page = vec![0u8; g.page_bytes];
+                page[..data.len()].copy_from_slice(&data);
+                page.into()
+            }
+        };
+        if let Some(old) = self.write_buffer.insert(lpn.0, arc.clone()) {
+            self.recycle_arc(old);
+        }
+        self.cache_insert(lpn.0, arc);
         let op = self
             .flash
             .submit(
@@ -435,30 +500,31 @@ impl GreedyFtl {
         }
     }
 
-    /// Processes one FTL event, returning zero or more outcomes.
+    /// Processes one FTL event, appending zero or more outcomes to `out`
+    /// (an out-parameter so the caller's scratch buffer is reused across
+    /// events instead of allocating a fresh `Vec` per event).
     pub fn handle(
         &mut self,
         now: SimTime,
         ev: FtlEvent,
         sched: &mut dyn FnMut(SimDuration, FtlEvent),
-    ) -> Vec<FtlOutcome> {
+        out: &mut Vec<FtlOutcome>,
+    ) {
         match ev {
             FtlEvent::FwDone => {
                 let (tag, next) = self.fw.finish();
                 if let Some(d) = next {
                     sched(d, FtlEvent::FwDone);
                 }
-                vec![FtlOutcome::FwTaskDone { tag }]
+                out.push(FtlOutcome::FwTaskDone { tag });
             }
             FtlEvent::Flash(fev) => {
                 let completion = self
                     .flash
                     .handle(now, fev, &mut |d, fe| sched(d, FtlEvent::Flash(fe)));
-                let mut out = Vec::new();
                 if let Some(c) = completion {
-                    self.on_flash_completion(now, c, sched, &mut out);
+                    self.on_flash_completion(now, c, sched, out);
                 }
-                out
             }
         }
     }
@@ -473,17 +539,19 @@ impl GreedyFtl {
         let g = self.config.flash.geometry;
         match self.pending.remove(&c.op).expect("untracked flash op") {
             Pending::HostRead { req, lpn, ppa } => {
-                let data: Arc<[u8]> = c.data.expect("read completion carries data").into();
+                let data = self.pooled_arc_from(c.data.expect("read completion carries data"));
                 // Cache only if the mapping still points at what we read —
                 // a concurrent overwrite must not be shadowed by stale data.
                 if self.map.lookup(lpn, &g) == Some(ppa) && !self.write_buffer.contains_key(&lpn.0)
                 {
-                    self.cache.insert(lpn.0, data.clone());
+                    self.cache_insert(lpn.0, data.clone());
                 }
                 out.push(FtlOutcome::ReadDone { req, lpn, data });
             }
             Pending::HostWrite { req, lpn } => {
-                self.write_buffer.remove(&lpn.0);
+                if let Some(arc) = self.write_buffer.remove(&lpn.0) {
+                    self.recycle_arc(arc);
+                }
                 out.push(FtlOutcome::WriteDone { req, lpn });
             }
             Pending::GcRead { die, lpn, old } => {

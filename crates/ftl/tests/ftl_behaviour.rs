@@ -31,7 +31,9 @@ impl Harness {
         let mut out = Vec::new();
         while let Some((now, ev)) = self.q.pop() {
             let mut fresh = Vec::new();
-            let outcomes = self.ftl.handle(now, ev, &mut |d, e| fresh.push((d, e)));
+            let mut outcomes = Vec::new();
+            self.ftl
+                .handle(now, ev, &mut |d, e| fresh.push((d, e)), &mut outcomes);
             for (d, e) in fresh {
                 self.q.push_after(d, e);
             }

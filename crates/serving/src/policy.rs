@@ -1,0 +1,49 @@
+//! Shard-queue scheduling policies.
+
+use recssd_sim::SimDuration;
+
+/// How a shard's queue of sub-batches is turned into device operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// One sub-batch per operator, strict arrival order. The baseline:
+    /// every request pays the full per-operator fixed cost (driver
+    /// software, NVMe command handling, NDP config processing).
+    Fifo,
+    /// Size/deadline-aware micro-batching: while a shard is busy, queued
+    /// sub-batches that target the same table over the same path coalesce
+    /// into one operator, up to `max_outputs` output slots; an idle shard
+    /// holds a sub-batch back for up to `max_delay` hoping to coalesce
+    /// with concurrent arrivals. This amortises the per-operator fixed
+    /// costs that dominate small requests (RecNMP/MicroRec-style request
+    /// batching) at a bounded latency cost.
+    MicroBatch {
+        /// Largest number of output slots per merged operator.
+        max_outputs: usize,
+        /// Longest an idle shard defers the queue head waiting for more
+        /// mergeable arrivals.
+        max_delay: SimDuration,
+    },
+}
+
+impl SchedulePolicy {
+    /// A micro-batching configuration with sensible bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outputs` is zero.
+    pub fn micro_batch(max_outputs: usize, max_delay: SimDuration) -> Self {
+        assert!(max_outputs > 0, "micro-batch needs at least one output");
+        SchedulePolicy::MicroBatch {
+            max_outputs,
+            max_delay,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::MicroBatch { .. } => "microbatch",
+        }
+    }
+}

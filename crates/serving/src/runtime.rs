@@ -1,0 +1,518 @@
+//! The sharded serving runtime: N simulated systems on one timeline.
+//!
+//! The runtime owns one [`System`] per shard and keeps them on a single
+//! virtual clock: shards are *non-preemptive servers* — a dispatched
+//! operator runs to completion on its shard (whose internal event loop
+//! models the device's full concurrency) while later arrivals queue at the
+//! runtime level. Dispatch re-anchors the idle shard's clock to the global
+//! instant with [`System::advance_clock`], so queueing delay, service time
+//! and end-to-end latency all live on one comparable timeline.
+//!
+//! A request's lifecycle:
+//!
+//! 1. [`ServingRuntime::submit_at`] splits its batch into per-shard
+//!    sub-batches of local rows ([`crate::ShardMap`]) and schedules the
+//!    arrival.
+//! 2. Each shard queue dispatches per the [`SchedulePolicy`] — FIFO, or
+//!    micro-batching that coalesces queued sub-batches targeting the same
+//!    table and path into one device operator.
+//! 3. Each shard's partial [`SlsOutput`] is folded into the request's
+//!    accumulator through the fused accumulate path (exact for the grid
+//!    values of procedural tables, so sharded results bit-match the
+//!    unsharded reference).
+//! 4. When the last shard finishes, the request completes; queue/service/
+//!    end-to-end latencies are recorded into the HDR-style histograms of
+//!    [`ServingStats`].
+
+use std::collections::VecDeque;
+
+use recssd::{LookupBatch, OpKind, RecSsdConfig, SlsOutput, System};
+use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
+use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
+
+use crate::shard::{split_batch, SubBatch};
+use crate::{SchedulePolicy, ServingStats, ShardMap, SlsPath};
+
+/// Identifier of a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Identifier of a table registered with the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServedTableId(pub usize);
+
+/// Configuration of the serving runtime.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Number of device shards (each a full simulated [`System`]).
+    pub shards: usize,
+    /// Per-shard system configuration.
+    pub system: RecSsdConfig,
+    /// Shard-queue scheduling policy.
+    pub policy: SchedulePolicy,
+    /// On-SSD layout of every registered table.
+    pub layout: PageLayout,
+}
+
+impl ServingConfig {
+    /// A small-geometry runtime with the full eight channels per shard.
+    pub fn small_wide(shards: usize, policy: SchedulePolicy) -> Self {
+        ServingConfig {
+            shards,
+            system: RecSsdConfig::small_wide(),
+            policy,
+            layout: PageLayout::Spread,
+        }
+    }
+}
+
+/// A finished request, handed out by [`ServingRuntime::step`].
+#[derive(Debug)]
+pub struct CompletedRequest {
+    /// The request's id.
+    pub id: RequestId,
+    /// Caller-supplied client tag (closed-loop generators key on it).
+    pub client: u64,
+    /// The served table.
+    pub table: ServedTableId,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When the last shard partial was merged.
+    pub finish: SimTime,
+    /// Arrival → first sub-batch began service.
+    pub queue: SimDuration,
+    /// First service start → completion.
+    pub service: SimDuration,
+    /// The original batch (global rows), for verification.
+    pub batch: LookupBatch,
+    /// The merged output vectors.
+    pub outputs: SlsOutput,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency.
+    pub fn e2e(&self) -> SimDuration {
+        self.queue + self.service
+    }
+}
+
+#[derive(Debug)]
+struct Inflight {
+    client: u64,
+    table: usize,
+    arrival: SimTime,
+    first_start: Option<SimTime>,
+    finish: SimTime,
+    pending: usize,
+    acc: SlsOutput,
+    batch: LookupBatch,
+}
+
+#[derive(Debug)]
+struct Shard {
+    sys: System,
+    busy: bool,
+    queue: VecDeque<SubBatch>,
+    deadline_armed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival(u64),
+    ShardReady(usize),
+    Deadline(usize),
+    Completed(u64),
+}
+
+#[derive(Debug)]
+struct ServedTable {
+    /// Full-table contents (procedural tables make this cheap), kept for
+    /// reference verification.
+    table: EmbeddingTable,
+    map: ShardMap,
+    /// The table's id within each shard's [`System`].
+    per_shard: Vec<recssd::TableId>,
+}
+
+/// The sharded serving runtime. See the [module docs](self) for the
+/// architecture.
+#[derive(Debug)]
+pub struct ServingRuntime {
+    policy: SchedulePolicy,
+    layout: PageLayout,
+    shards: Vec<Shard>,
+    tables: Vec<ServedTable>,
+    events: EventQueue<Ev>,
+    inflight: FxHashMap<u64, Inflight>,
+    /// Sub-batches of requests whose arrival event has not fired yet.
+    pending_arrivals: FxHashMap<u64, Vec<(usize, SubBatch)>>,
+    next_req: u64,
+    completed: VecDeque<CompletedRequest>,
+    stats: ServingStats,
+    /// Free-list of request accumulators.
+    out_pool: Vec<SlsOutput>,
+    /// Reused reference scratch for [`ServingRuntime::verify_bitmatch`].
+    ref_scratch: Vec<f32>,
+}
+
+impl ServingRuntime {
+    /// Builds a runtime of `cfg.shards` independent systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: &ServingConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let shards = (0..cfg.shards)
+            .map(|_| Shard {
+                sys: System::new(cfg.system.clone()),
+                busy: false,
+                queue: VecDeque::new(),
+                deadline_armed: false,
+            })
+            .collect();
+        ServingRuntime {
+            policy: cfg.policy,
+            layout: cfg.layout,
+            shards,
+            tables: Vec::new(),
+            events: EventQueue::new(),
+            inflight: FxHashMap::default(),
+            pending_arrivals: FxHashMap::default(),
+            next_req: 0,
+            completed: VecDeque::new(),
+            stats: ServingStats::default(),
+            out_pool: Vec::new(),
+            ref_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current global virtual time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Serving statistics accumulated so far.
+    pub fn stats(&self) -> &ServingStats {
+        &self.stats
+    }
+
+    /// Resets serving statistics (between warm-up and measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Direct access to one shard's [`System`] (cache/partition setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_system_mut(&mut self, shard: usize) -> &mut System {
+        &mut self.shards[shard].sys
+    }
+
+    /// Row-range-shards `table` across every shard system and registers
+    /// the slices on their devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has fewer rows than there are shards.
+    pub fn add_table(&mut self, table: EmbeddingTable) -> ServedTableId {
+        let map = ShardMap::new(table.spec().rows, self.shards.len());
+        let per_shard = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, shard)| {
+                let slice = table.slice(map.range(i));
+                let page_bytes = shard.sys.config().ssd.block_bytes();
+                shard
+                    .sys
+                    .add_table(TableImage::new(slice, self.layout, page_bytes))
+            })
+            .collect();
+        let id = ServedTableId(self.tables.len());
+        self.tables.push(ServedTable {
+            table,
+            map,
+            per_shard,
+        });
+        id
+    }
+
+    /// The sharding of `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was not issued by this runtime.
+    pub fn shard_map(&self, table: ServedTableId) -> &ShardMap {
+        &self.tables[table.0].map
+    }
+
+    /// Submits a request arriving at absolute time `at` (tagged `client`
+    /// for closed-loop generators). Completions surface from
+    /// [`ServingRuntime::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `table` is unknown.
+    pub fn submit_at(
+        &mut self,
+        at: SimTime,
+        client: u64,
+        table: ServedTableId,
+        batch: LookupBatch,
+        path: SlsPath,
+    ) -> RequestId {
+        let t = &self.tables[table.0];
+        let req = self.next_req;
+        self.next_req += 1;
+        let subs = split_batch(&t.map, req, table.0, path, &batch, at);
+        let mut acc = self.out_pool.pop().unwrap_or_default();
+        acc.reset(batch.outputs(), t.table.spec().dim);
+        self.inflight.insert(
+            req,
+            Inflight {
+                client,
+                table: table.0,
+                arrival: at,
+                first_start: None,
+                finish: at,
+                pending: subs.len(),
+                acc,
+                batch,
+            },
+        );
+        self.pending_arrivals.insert(req, subs);
+        self.events.push_at(at, Ev::Arrival(req));
+        RequestId(req)
+    }
+
+    /// Returns a consumed request output to the accumulator pool.
+    pub fn recycle_output(&mut self, outputs: SlsOutput) {
+        if self.out_pool.len() < 4096 {
+            self.out_pool.push(outputs);
+        }
+    }
+
+    /// Computes the unsharded reference for `done` with
+    /// [`sls_reference_into`] and asserts the merged sharded output is
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch.
+    pub fn verify_bitmatch(&mut self, done: &CompletedRequest) {
+        let table = &self.tables[done.table.0].table;
+        let dim = table.spec().dim;
+        self.ref_scratch.clear();
+        self.ref_scratch.resize(done.batch.outputs() * dim, 0.0);
+        sls_reference_into(table, &done.batch, &mut self.ref_scratch);
+        assert_eq!(
+            done.outputs.as_slice(),
+            &self.ref_scratch[..],
+            "request {:?}: sharded output diverged from sls_reference",
+            done.id
+        );
+    }
+
+    /// Advances the simulation until the next request completes, or until
+    /// nothing is left to do. Completions are returned in finish-time
+    /// order.
+    pub fn step(&mut self) -> Option<CompletedRequest> {
+        loop {
+            if let Some(done) = self.completed.pop_front() {
+                return Some(done);
+            }
+            let (now, ev) = self.events.pop()?;
+            match ev {
+                Ev::Arrival(req) => {
+                    let subs = self
+                        .pending_arrivals
+                        .remove(&req)
+                        .expect("arrival without sub-batches");
+                    for (shard, sub) in subs {
+                        self.shards[shard].queue.push_back(sub);
+                        self.try_dispatch(shard, now);
+                    }
+                }
+                Ev::ShardReady(shard) => {
+                    self.shards[shard].busy = false;
+                    self.try_dispatch(shard, now);
+                }
+                Ev::Deadline(shard) => {
+                    // The armed deadline may be stale (its sub-batch was
+                    // size-triggered earlier); re-evaluate the policy for
+                    // whatever fronts the queue now — try_dispatch only
+                    // dispatches if the *current* front's window expired,
+                    // and re-arms otherwise. A queued sub's own deadline
+                    // is never earlier than any previously armed one
+                    // (queues are FIFO), so nothing over-waits.
+                    self.shards[shard].deadline_armed = false;
+                    self.try_dispatch(shard, now);
+                }
+                Ev::Completed(req) => {
+                    let inf = self.inflight.remove(&req).expect("completed twice");
+                    let first_start = inf.first_start.expect("served before completing");
+                    let queue = first_start.saturating_since(inf.arrival);
+                    let service = inf.finish.saturating_since(first_start);
+                    self.stats.record(
+                        inf.arrival,
+                        queue,
+                        service,
+                        inf.finish,
+                        inf.batch.total_lookups() as u64,
+                    );
+                    self.completed.push_back(CompletedRequest {
+                        id: RequestId(req),
+                        client: inf.client,
+                        table: ServedTableId(inf.table),
+                        arrival: inf.arrival,
+                        finish: inf.finish,
+                        queue,
+                        service,
+                        batch: inf.batch,
+                        outputs: inf.acc,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs until every submitted request has completed, returning the
+    /// completions in finish order.
+    pub fn run_until_idle(&mut self) -> Vec<CompletedRequest> {
+        let mut done = Vec::new();
+        while let Some(c) = self.step() {
+            done.push(c);
+        }
+        assert!(
+            self.inflight.is_empty(),
+            "requests stuck with no pending events"
+        );
+        done
+    }
+
+    /// Dispatches from `shard`'s queue if the policy is satisfied.
+    fn try_dispatch(&mut self, shard: usize, now: SimTime) {
+        let s = &self.shards[shard];
+        if s.busy || s.queue.is_empty() {
+            return;
+        }
+        match self.policy {
+            SchedulePolicy::Fifo => self.dispatch(shard, now),
+            SchedulePolicy::MicroBatch {
+                max_outputs,
+                max_delay,
+            } => {
+                let front = s.queue.front().expect("checked non-empty");
+                let key = front.merge_key();
+                let ready: usize = s
+                    .queue
+                    .iter()
+                    .filter(|sub| sub.merge_key() == key)
+                    .map(|sub| sub.slots.len())
+                    .sum();
+                let deadline = front.enqueued + max_delay;
+                if ready >= max_outputs || now >= deadline {
+                    self.dispatch(shard, now);
+                } else if !s.deadline_armed {
+                    self.shards[shard].deadline_armed = true;
+                    self.events.push_at(deadline, Ev::Deadline(shard));
+                }
+            }
+        }
+    }
+
+    /// Merges the front of `shard`'s queue into one device operator, runs
+    /// it to completion on the shard's system, and folds the partial
+    /// outputs into the owning requests.
+    fn dispatch(&mut self, shard: usize, now: SimTime) {
+        let s = &mut self.shards[shard];
+        // Select sub-batches: FIFO takes the head; micro-batching drains
+        // every queued sub-batch mergeable with the head (in order) up to
+        // the output cap.
+        let head = s.queue.pop_front().expect("dispatch on empty queue");
+        let key = head.merge_key();
+        let mut cap = match self.policy {
+            SchedulePolicy::Fifo => head.slots.len(),
+            SchedulePolicy::MicroBatch { max_outputs, .. } => max_outputs.max(head.slots.len()),
+        };
+        cap -= head.slots.len();
+        let mut taken = vec![head];
+        if cap > 0 {
+            let mut i = 0;
+            while i < s.queue.len() && cap > 0 {
+                if s.queue[i].merge_key() == key && s.queue[i].slots.len() <= cap {
+                    let sub = s.queue.remove(i).expect("index checked");
+                    cap -= sub.slots.len();
+                    taken.push(sub);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Merge into one operator-sized batch; remember each component's
+        // slice of the merged output block.
+        let mut per_output: Vec<Vec<u64>> = Vec::new();
+        let mut parts: Vec<(u64, Vec<u32>, usize)> = Vec::new(); // (req, global slots, offset)
+        let (table, path) = key;
+        for sub in taken {
+            parts.push((sub.req, sub.slots, per_output.len()));
+            per_output.extend(sub.per_output);
+        }
+        let merged = LookupBatch::new(per_output);
+        let device_table = self.tables[table].per_shard[shard];
+        let kind = match path {
+            SlsPath::Dram => OpKind::dram_sls(device_table, merged),
+            SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
+            SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
+        };
+
+        // Run the operator on the shard's own system, re-anchored to the
+        // global instant; its virtual finish time is the service endpoint.
+        s.sys.advance_clock(now);
+        let start = s.sys.now();
+        let op = s.sys.submit(kind);
+        s.sys.run_until_idle();
+        let finish = s.sys.now();
+        let result = s.sys.take_result(op);
+        let outputs = result.outputs.expect("SLS ops produce outputs");
+
+        self.stats.ops_dispatched.inc();
+        self.stats.subs_dispatched.add(parts.len() as u64);
+
+        // Fold each component's rows into its request accumulator via the
+        // flat fused-accumulate path, then recycle the shard buffer.
+        for (req, slots, offset) in parts {
+            let inf = self.inflight.get_mut(&req).expect("in flight");
+            for (i, &slot) in slots.iter().enumerate() {
+                let src = outputs.row(offset + i);
+                for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
+                    *o += *v;
+                }
+            }
+            inf.first_start = Some(match inf.first_start {
+                Some(t) => t.min(start),
+                None => start,
+            });
+            inf.finish = inf.finish.max(finish);
+            inf.pending -= 1;
+            if inf.pending == 0 {
+                let at = inf.finish;
+                self.events.push_at(at, Ev::Completed(req));
+            }
+        }
+        s.sys.recycle_outputs(outputs);
+
+        let s = &mut self.shards[shard];
+        s.busy = true;
+        self.events.push_at(finish, Ev::ShardReady(shard));
+    }
+}

@@ -1,0 +1,252 @@
+//! Row-range sharding of embedding tables across devices.
+//!
+//! Each logical table is split into contiguous row ranges, one per shard;
+//! shard `i` registers `table.slice(range_i)` with its own simulated
+//! [`recssd::System`], so a global row `r` lives at local row
+//! `r - range_i.start` on exactly one device. An incoming lookup batch is
+//! split into per-shard *sub-batches* carrying local rows plus the global
+//! output slot each local output folds into.
+
+use recssd::{LookupBatch, SlsOptions};
+use recssd_sim::SimTime;
+
+/// Where a request's embedding lookups execute — the three paths the paper
+/// compares, here selectable per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlsPath {
+    /// Tables in host DRAM (the DRAM baseline).
+    Dram,
+    /// Conventional NVMe reads + host accumulation (COTS SSD).
+    Baseline(SlsOptions),
+    /// The RecSSD NDP offload.
+    Ndp(SlsOptions),
+}
+
+impl SlsPath {
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SlsPath::Dram => "dram",
+            SlsPath::Baseline(_) => "baseline",
+            SlsPath::Ndp(_) => "ndp",
+        }
+    }
+}
+
+/// An even partition of `rows` into `shards` contiguous ranges (the first
+/// `rows % shards` ranges get one extra row).
+///
+/// # Example
+///
+/// ```
+/// use recssd_serving::ShardMap;
+/// let m = ShardMap::new(10, 3);
+/// assert_eq!(m.range(0), 0..4);
+/// assert_eq!(m.range(1), 4..7);
+/// assert_eq!(m.range(2), 7..10);
+/// assert_eq!(m.shard_of(6), 1);
+/// assert_eq!(m.local_row(6), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    rows: u64,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Creates a map of `rows` over `shards` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds `rows` (an empty shard would
+    /// serve nothing).
+    pub fn new(rows: u64, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            shards as u64 <= rows,
+            "cannot split {rows} rows over {shards} shards"
+        );
+        ShardMap { rows, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total rows sharded.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn base(&self) -> u64 {
+        self.rows / self.shards as u64
+    }
+
+    fn rem(&self) -> u64 {
+        self.rows % self.shards as u64
+    }
+
+    /// The contiguous row range owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn range(&self, shard: usize) -> std::ops::Range<u64> {
+        assert!(shard < self.shards, "shard out of range");
+        let (base, rem) = (self.base(), self.rem());
+        let s = shard as u64;
+        let start = s * base + s.min(rem);
+        let len = base + u64::from(s < rem);
+        start..start + len
+    }
+
+    /// The shard owning global `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn shard_of(&self, row: u64) -> usize {
+        assert!(row < self.rows, "row out of range");
+        let (base, rem) = (self.base(), self.rem());
+        let fat = rem * (base + 1);
+        if row < fat {
+            (row / (base + 1)) as usize
+        } else {
+            (rem + (row - fat) / base) as usize
+        }
+    }
+
+    /// The row index local to its owning shard.
+    #[inline]
+    pub fn local_row(&self, row: u64) -> u64 {
+        row - self.range(self.shard_of(row)).start
+    }
+}
+
+/// One shard's slice of a request: local rows per (local) output, plus the
+/// global output slot each folds into.
+#[derive(Debug, Clone)]
+pub(crate) struct SubBatch {
+    /// Owning request.
+    pub req: u64,
+    /// Logical (served) table index.
+    pub table: usize,
+    /// Execution path (merge compatibility key with `table`).
+    pub path: SlsPath,
+    /// Local rows per local output slot (every entry non-empty).
+    pub per_output: Vec<Vec<u64>>,
+    /// Global output slot per local output.
+    pub slots: Vec<u32>,
+    /// When the sub-batch entered its shard queue.
+    pub enqueued: SimTime,
+}
+
+impl SubBatch {
+    /// Merge compatibility: sub-batches coalesce only when they target the
+    /// same table over the same path.
+    pub fn merge_key(&self) -> (usize, SlsPath) {
+        (self.table, self.path)
+    }
+
+    /// Total lookups carried.
+    #[cfg(test)]
+    pub fn lookups(&self) -> usize {
+        self.per_output.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// Splits `batch` (global rows) into per-shard sub-batches. Returns one
+/// entry per shard that owns at least one looked-up row, in shard order.
+pub(crate) fn split_batch(
+    map: &ShardMap,
+    req: u64,
+    table: usize,
+    path: SlsPath,
+    batch: &LookupBatch,
+    enqueued: SimTime,
+) -> Vec<(usize, SubBatch)> {
+    let mut per_shard: Vec<Option<SubBatch>> = (0..map.shards()).map(|_| None).collect();
+    for (slot, ids) in batch.per_output().iter().enumerate() {
+        // Mark which shards this output touches while distributing ids.
+        for &row in ids {
+            let shard = map.shard_of(row);
+            let local = map.local_row(row);
+            let sub = per_shard[shard].get_or_insert_with(|| SubBatch {
+                req,
+                table,
+                path,
+                per_output: Vec::new(),
+                slots: Vec::new(),
+                enqueued,
+            });
+            if sub.slots.last() != Some(&(slot as u32)) {
+                sub.slots.push(slot as u32);
+                sub.per_output.push(Vec::new());
+            }
+            sub.per_output.last_mut().expect("just ensured").push(local);
+        }
+    }
+    per_shard
+        .into_iter()
+        .enumerate()
+        .filter_map(|(shard, sub)| sub.map(|s| (shard, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_rows_exactly_once() {
+        for (rows, shards) in [(10u64, 1usize), (10, 3), (7, 7), (1000, 4), (5, 2)] {
+            let m = ShardMap::new(rows, shards);
+            let mut next = 0;
+            for s in 0..shards {
+                let r = m.range(s);
+                assert_eq!(r.start, next, "gap before shard {s}");
+                assert!(!r.is_empty(), "empty shard {s}");
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+            for row in 0..rows {
+                let s = m.shard_of(row);
+                assert!(m.range(s).contains(&row));
+                assert_eq!(m.range(s).start + m.local_row(row), row);
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_every_lookup() {
+        let m = ShardMap::new(100, 3);
+        let batch = LookupBatch::new(vec![vec![0, 50, 99, 50], vec![33, 34]]);
+        let subs = split_batch(&m, 7, 0, SlsPath::Dram, &batch, SimTime::ZERO);
+        let total: usize = subs.iter().map(|(_, s)| s.lookups()).sum();
+        assert_eq!(total, batch.total_lookups());
+        // Reassemble: every (global row, slot) pair appears exactly once
+        // per occurrence.
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        for (shard, sub) in &subs {
+            let start = m.range(*shard).start;
+            for (ids, &slot) in sub.per_output.iter().zip(&sub.slots) {
+                for &local in ids {
+                    pairs.push((start + local, slot));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        assert_eq!(
+            pairs,
+            vec![(0, 0), (33, 1), (34, 1), (50, 0), (50, 0), (99, 0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_shards_than_rows_rejected() {
+        ShardMap::new(3, 4);
+    }
+}

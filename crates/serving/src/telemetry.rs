@@ -1,0 +1,89 @@
+//! Per-request latency telemetry of the serving runtime.
+
+use recssd_sim::stats::{Counter, LogHistogram, Quantiles};
+use recssd_sim::{SimDuration, SimTime};
+
+/// Aggregate serving statistics: request latency decomposed into queueing
+/// (arrival → first sub-batch starts service) and service (first start →
+/// last shard finished), each recorded into an HDR-style histogram so
+/// p50/p95/p99/p999 are reportable per run.
+#[derive(Debug, Default)]
+pub struct ServingStats {
+    /// Arrival → first shard begins serving the request.
+    pub queue: LogHistogram,
+    /// First service start → last shard partial merged.
+    pub service: LogHistogram,
+    /// Arrival → completion (queue + service).
+    pub e2e: LogHistogram,
+    /// Requests completed.
+    pub requests: Counter,
+    /// Embedding lookups completed.
+    pub lookups: Counter,
+    /// Device operators dispatched (merged sub-batches count once).
+    pub ops_dispatched: Counter,
+    /// Sub-batches dispatched (`/ ops_dispatched` = mean batching factor).
+    pub subs_dispatched: Counter,
+    first_arrival: Option<SimTime>,
+    last_finish: SimTime,
+}
+
+impl ServingStats {
+    /// Records one completed request.
+    pub(crate) fn record(
+        &mut self,
+        arrival: SimTime,
+        queue: SimDuration,
+        service: SimDuration,
+        finish: SimTime,
+        lookups: u64,
+    ) {
+        self.queue.record_duration(queue);
+        self.service.record_duration(service);
+        self.e2e.record_duration(queue + service);
+        self.requests.inc();
+        self.lookups.add(lookups);
+        self.first_arrival = Some(match self.first_arrival {
+            Some(t) => t.min(arrival),
+            None => arrival,
+        });
+        self.last_finish = self.last_finish.max(finish);
+    }
+
+    /// First request arrival → last request completion.
+    pub fn makespan(&self) -> SimDuration {
+        match self.first_arrival {
+            Some(t0) => self.last_finish.saturating_since(t0),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Completed lookups per simulated second over the makespan (0 if the
+    /// makespan is empty).
+    pub fn lookups_per_sim_sec(&self) -> f64 {
+        let secs = self.makespan().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.lookups.get() as f64 / secs
+        }
+    }
+
+    /// Mean sub-batches per dispatched operator (1.0 = no coalescing).
+    pub fn batching_factor(&self) -> f64 {
+        if self.ops_dispatched.get() == 0 {
+            0.0
+        } else {
+            self.subs_dispatched.get() as f64 / self.ops_dispatched.get() as f64
+        }
+    }
+
+    /// End-to-end latency quantile summary.
+    pub fn e2e_quantiles(&self) -> Quantiles {
+        self.e2e.quantiles()
+    }
+
+    /// Resets all statistics.
+    pub fn reset(&mut self) {
+        *self = ServingStats::default();
+    }
+}

@@ -1,0 +1,248 @@
+//! Behavioural contracts of the serving runtime: queueing discipline,
+//! micro-batch coalescing, telemetry accounting, shard scaling and the
+//! load generator's two pacing modes.
+
+use recssd::SlsOptions;
+use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+use recssd_serving::{
+    LoadGen, LoadMode, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
+};
+use recssd_sim::{SimDuration, SimTime};
+use recssd_trace::ArrivalProcess;
+
+fn runtime(
+    shards: usize,
+    policy: SchedulePolicy,
+) -> (ServingRuntime, recssd_serving::ServedTableId) {
+    let cfg = ServingConfig::small_wide(shards, policy);
+    let mut rt = ServingRuntime::new(&cfg);
+    let table = rt.add_table(EmbeddingTable::procedural(
+        TableSpec::new(2048, 16, Quantization::F32),
+        3,
+    ));
+    (rt, table)
+}
+
+fn spec() -> TrafficSpec {
+    TrafficSpec {
+        outputs: 4,
+        lookups_per_output: 8,
+        zipf_exponent: 1.2,
+    }
+}
+
+#[test]
+fn closed_loop_serves_every_request_and_records_latency() {
+    let (mut rt, table) = runtime(2, SchedulePolicy::Fifo);
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![table],
+        spec(),
+        LoadMode::Closed {
+            clients: 4,
+            think: SimDuration::ZERO,
+        },
+        11,
+    )
+    .with_verify_every(1);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 24);
+    assert_eq!(report.requests, 24);
+    assert_eq!(report.verified, 24);
+    assert_eq!(report.lookups, 24 * spec().lookups_per_request() as u64);
+    assert!(report.makespan > SimDuration::ZERO);
+    assert!(report.lookups_per_sim_sec > 0.0);
+    // Quantiles are ordered and the mean lies within [p50-ish, max].
+    assert!(report.e2e.p50 <= report.e2e.p95);
+    assert!(report.e2e.p95 <= report.e2e.p99);
+    assert!(report.e2e.p99 <= report.e2e.p999);
+    assert!(report.e2e.p999 <= report.e2e.max);
+    // With 4 clients against 2 shards, someone queued.
+    assert!(
+        report.queue.max > 0,
+        "no queueing under 2x oversubscription"
+    );
+}
+
+#[test]
+fn open_loop_overload_shows_tail_growth() {
+    // A slow path (baseline SSD) hammered at a rate far above capacity:
+    // later requests must queue, so p99 >> p50.
+    let (mut rt, table) = runtime(1, SchedulePolicy::Fifo);
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![table],
+        spec(),
+        LoadMode::Open(ArrivalProcess::poisson(5_000.0, 7)),
+        13,
+    );
+    let report = gen.run(&mut rt, SlsPath::Baseline(SlsOptions::default()), 32);
+    assert_eq!(report.requests, 32);
+    assert!(
+        report.e2e.p99 > report.e2e.p50 * 2,
+        "overload should stretch the tail: p50 {} p99 {}",
+        report.e2e.p50,
+        report.e2e.p99
+    );
+}
+
+#[test]
+fn micro_batching_coalesces_and_amortises() {
+    // Eight requests arrive together; FIFO serves them as eight operators,
+    // micro-batching folds mergeable sub-batches into fewer operators and
+    // finishes sooner on the command-cost-dominated NDP path.
+    let run = |policy| {
+        let (mut rt, table) = runtime(2, policy);
+        let mut gen = LoadGen::new(
+            &rt,
+            vec![table],
+            spec(),
+            LoadMode::Closed {
+                clients: 8,
+                think: SimDuration::ZERO,
+            },
+            21,
+        )
+        .with_verify_every(1);
+        let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 32);
+        assert_eq!(report.verified, 32, "merged outputs must stay bit-exact");
+        report
+    };
+    let fifo = run(SchedulePolicy::Fifo);
+    let micro = run(SchedulePolicy::micro_batch(16, SimDuration::from_us(200)));
+    assert!(
+        (fifo.batching_factor - 1.0).abs() < 1e-9,
+        "FIFO never merges"
+    );
+    assert!(
+        micro.batching_factor > 1.2,
+        "micro-batching never coalesced (factor {})",
+        micro.batching_factor
+    );
+    assert!(
+        micro.lookups_per_sim_sec > fifo.lookups_per_sim_sec,
+        "batching should raise throughput: fifo {} vs micro {}",
+        fifo.lookups_per_sim_sec,
+        micro.lookups_per_sim_sec
+    );
+}
+
+#[test]
+fn ndp_throughput_scales_with_shard_count() {
+    // The acceptance bar of the serving subsystem: under a fixed closed
+    // -loop population, aggregate NDP throughput at 4 shards is at least
+    // 2x the 1-shard figure.
+    let run = |shards| {
+        let (mut rt, table) = runtime(shards, SchedulePolicy::Fifo);
+        let mut gen = LoadGen::new(
+            &rt,
+            vec![table],
+            spec(),
+            LoadMode::Closed {
+                clients: 12,
+                think: SimDuration::ZERO,
+            },
+            5,
+        );
+        gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 48)
+            .lookups_per_sim_sec
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four >= one * 2.0,
+        "1→4 shards scaled only {:.2}x ({one:.0} → {four:.0} lookups/s)",
+        four / one
+    );
+}
+
+#[test]
+fn idle_shard_defers_until_deadline_then_dispatches() {
+    // A single request against an idle micro-batching shard must not wait
+    // longer than max_delay before being served.
+    let max_delay = SimDuration::from_us(100);
+    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(64, max_delay));
+    let batch = recssd::LookupBatch::new(vec![vec![1, 2, 3]]);
+    rt.submit_at(SimTime::ZERO, 0, table, batch, SlsPath::Dram);
+    let done = rt.run_until_idle();
+    assert_eq!(done.len(), 1);
+    assert!(
+        done[0].queue >= max_delay,
+        "idle shard should have held the batch for the full delay window"
+    );
+    assert!(done[0].queue < max_delay + SimDuration::from_us(10));
+}
+
+#[test]
+fn mixed_tables_and_paths_interleave_without_cross_merging() {
+    // Two tables' requests never merge into one operator, but both are
+    // served and verified.
+    let cfg = ServingConfig::small_wide(
+        2,
+        SchedulePolicy::micro_batch(32, SimDuration::from_us(500)),
+    );
+    let mut rt = ServingRuntime::new(&cfg);
+    let a = rt.add_table(EmbeddingTable::procedural(
+        TableSpec::new(512, 8, Quantization::F32),
+        1,
+    ));
+    let b = rt.add_table(EmbeddingTable::procedural(
+        TableSpec::new(1024, 8, Quantization::F32),
+        2,
+    ));
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![a, b],
+        spec(),
+        LoadMode::Closed {
+            clients: 6,
+            think: SimDuration::ZERO,
+        },
+        31,
+    )
+    .with_verify_every(1);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 30);
+    assert_eq!(report.requests, 30);
+    assert_eq!(report.verified, 30);
+}
+
+#[test]
+fn closed_loop_issues_exactly_the_requested_count() {
+    // A client population larger than the request budget must not inflate
+    // the run: exactly `total_requests` are issued and reported.
+    let (mut rt, table) = runtime(2, SchedulePolicy::Fifo);
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![table],
+        spec(),
+        LoadMode::Closed {
+            clients: 32,
+            think: SimDuration::ZERO,
+        },
+        3,
+    );
+    let report = gen.run(&mut rt, SlsPath::Dram, 10);
+    assert_eq!(report.requests, 10);
+}
+
+#[test]
+fn stale_deadline_does_not_dispatch_a_later_arrival_early() {
+    // Two arrivals at t=0 size-trigger an immediate dispatch, leaving the
+    // first arrival's armed deadline event stale. A third request arriving
+    // later must still get its own full coalescing window, not be
+    // force-dispatched when the stale event fires.
+    let max_delay = SimDuration::from_us(100);
+    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(2, max_delay));
+    let batch = || recssd::LookupBatch::new(vec![vec![1, 2]]);
+    rt.submit_at(SimTime::ZERO, 0, table, batch(), SlsPath::Dram);
+    rt.submit_at(SimTime::ZERO, 1, table, batch(), SlsPath::Dram);
+    let t2 = SimTime::from_us(20);
+    rt.submit_at(t2, 2, table, batch(), SlsPath::Dram);
+    let done = rt.run_until_idle();
+    let third = done.iter().find(|d| d.client == 2).expect("served");
+    assert!(
+        third.queue >= max_delay,
+        "third request lost {} of its {} coalescing window to a stale deadline",
+        max_delay - third.queue,
+        max_delay
+    );
+}

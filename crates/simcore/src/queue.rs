@@ -115,6 +115,28 @@ impl<E> EventQueue<E> {
         self.push_at(self.now + delay, event);
     }
 
+    /// Advances the clock to `at` without popping anything — how a host
+    /// runtime re-anchors an idle component's clock to an external
+    /// (wall-of-simulation) instant before handing it new work. Moving
+    /// backwards is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is pending before `at` (skipping scheduled work
+    /// would corrupt the simulation).
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at <= self.now {
+            return;
+        }
+        if let Some(t) = self.peek_time() {
+            assert!(
+                at <= t,
+                "advance_to({at}) would skip an event pending at {t}"
+            );
+        }
+        self.now = at;
+    }
+
     /// Pops the earliest event and advances the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {

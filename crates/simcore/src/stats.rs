@@ -278,6 +278,199 @@ impl Histogram {
     }
 }
 
+/// Number of linear sub-buckets per power-of-two octave in
+/// [`LogHistogram`]: 32 sub-buckets bound the relative quantile error at
+/// ~3 %, HDR-histogram style.
+const LOG_SUB_BITS: u32 = 5;
+const LOG_SUB: usize = 1 << LOG_SUB_BITS;
+const LOG_BUCKETS: usize = (64 - LOG_SUB_BITS as usize + 1) * LOG_SUB;
+
+/// An HDR-style histogram: power-of-two octaves split into [`LOG_SUB`]
+/// linear sub-buckets, so quantiles carry ~two significant digits across
+/// the full `u64` range at a fixed ~15 KB footprint. This is the
+/// tail-latency recorder of the serving runtime (p50/p95/p99/p999 per
+/// request), where the plain [`Histogram`]'s power-of-two buckets are too
+/// coarse to separate a p99 from a p999.
+///
+/// Count, sum, min and max are exact; quantiles are bucket upper bounds
+/// clamped to the exact max.
+///
+/// # Example
+///
+/// ```
+/// use recssd_sim::stats::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let q = h.quantiles();
+/// assert_eq!(q.count, 1000);
+/// assert!(q.p50 >= 490 && q.p50 <= 520, "p50 = {}", q.p50);
+/// assert!(q.p99 >= 975 && q.p99 <= 1000, "p99 = {}", q.p99);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Box<[u64; LOG_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// A quantile summary snapshot of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Quantiles {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Median (approximate, ~3 % relative error).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact largest sample (0 if empty).
+    pub max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Box::new([0; LOG_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index(value: u64) -> usize {
+        if value < LOG_SUB as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - LOG_SUB_BITS;
+        let sub = ((value >> shift) as usize) & (LOG_SUB - 1);
+        (((msb - LOG_SUB_BITS + 1) as usize) << LOG_SUB_BITS) | sub
+    }
+
+    /// Largest value mapping to bucket `idx` (inclusive). Computed in
+    /// `u128`: the topmost bucket's exclusive bound is 2^64, which would
+    /// wrap in `u64`.
+    fn bucket_upper(idx: usize) -> u64 {
+        let octave = idx >> LOG_SUB_BITS;
+        let sub = (idx & (LOG_SUB - 1)) as u128;
+        if octave == 0 {
+            return sub as u64;
+        }
+        let shift = octave as u32 - 1;
+        let upper = ((LOG_SUB as u128 + sub + 1) << shift) - 1;
+        upper.min(u64::MAX as u128) as u64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`SimDuration`] sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_ns());
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`): the upper bound of the
+    /// bucket containing the `p`-th percentile sample, clamped to the
+    /// exact min/max. Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The standard serving-latency summary: p50/p95/p99/p999 plus exact
+    /// count, mean and max.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0).unwrap_or(0),
+            p95: self.percentile(95.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+            p999: self.percentile(99.9).unwrap_or(0),
+            max: self.max().unwrap_or(0),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&mut self) {
+        *self = LogHistogram::new();
+    }
+}
+
 /// Per-component accumulation of simulated time, keyed by a caller-supplied
 /// label type (typically an enum). Used for the Fig. 8 FTL breakdowns
 /// (Config Write / Config Process / Translation / Flash Read).
@@ -537,6 +730,51 @@ mod tests {
         let mut h = Histogram::new();
         h.record_duration(SimDuration::from_us(1));
         assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_tight() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        // Sub-bucketed octaves keep the relative error within ~1/32.
+        for (p, exact) in [(50.0, 50_000u64), (95.0, 95_000), (99.0, 99_000)] {
+            let got = h.percentile(p).unwrap();
+            assert!(
+                got >= exact && got as f64 <= exact as f64 * 1.04,
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100_000));
+    }
+
+    #[test]
+    fn log_histogram_handles_extreme_values() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX); // tops the last bucket: must not overflow
+        assert_eq!(h.percentile(1.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        let q = h.quantiles();
+        assert_eq!(q.count, 2);
+        assert_eq!(q.max, u64::MAX);
+    }
+
+    #[test]
+    fn log_histogram_merge_and_reset() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record_duration(SimDuration::from_us(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1000));
+        a.reset();
+        assert_eq!(a.quantiles(), Quantiles::default());
     }
 
     #[test]

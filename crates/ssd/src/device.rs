@@ -44,6 +44,9 @@ struct CmdState {
     data: Vec<u8>,
 }
 
+/// Largest number of recycled host-transfer buffers the device keeps.
+const HOST_BUF_POOL_CAP: usize = 1024;
+
 /// The simulated SSD: NVMe frontend + FTL + flash, with a pluggable NDP
 /// engine. See the [crate docs](crate) for the data-path description.
 #[derive(Debug)]
@@ -60,6 +63,11 @@ pub struct SsdDevice<X: NdpEngine = NoNdp> {
     dma_out: FxHashMap<XferId, (u16, u16)>,
     dma_in: FxHashMap<XferId, (u16, u16)>,
     next_tag: u64,
+    /// Free-list of recycled command-data buffers (see
+    /// [`SsdDevice::recycle_buffer`]).
+    host_buf_pool: Vec<Vec<u8>>,
+    /// Reused scratch for FTL outcomes drained per event.
+    ftl_scratch: Vec<FtlOutcome>,
     stats: SsdStats,
 }
 
@@ -93,8 +101,37 @@ impl<X: NdpEngine> SsdDevice<X> {
             dma_out: FxHashMap::default(),
             dma_in: FxHashMap::default(),
             next_tag: 0,
+            host_buf_pool: Vec::new(),
+            ftl_scratch: Vec::new(),
             stats: SsdStats::default(),
             config,
+        }
+    }
+
+    /// Returns a consumed completion-data buffer to the device's free-list
+    /// so the next read command fills it instead of allocating — the host
+    /// runtime hands back every page/result buffer it has finished
+    /// accumulating. Buffers keep their exact size class; a buffer is only
+    /// reused for a command of the same transfer length.
+    pub fn recycle_buffer(&mut self, buf: Vec<u8>) {
+        if !buf.is_empty()
+            && buf.capacity() == buf.len()
+            && self.host_buf_pool.len() < HOST_BUF_POOL_CAP
+        {
+            self.host_buf_pool.push(buf);
+        }
+    }
+
+    /// A zeroed buffer of exactly `len` bytes, reusing a same-sized pooled
+    /// buffer when one is available.
+    fn take_buffer(&mut self, len: usize) -> Vec<u8> {
+        match self.host_buf_pool.iter().rposition(|b| b.len() == len) {
+            Some(i) => {
+                let mut buf = self.host_buf_pool.swap_remove(i);
+                buf.fill(0);
+                buf
+            }
+            None => vec![0u8; len],
         }
     }
 
@@ -213,12 +250,13 @@ impl<X: NdpEngine> SsdDevice<X> {
                     self.stats.blocks_read.add(cmd.nlb as u64);
                     let nlb = cmd.nlb;
                     let buf_len = nlb as usize * self.config.block_bytes();
+                    let data = self.take_buffer(buf_len);
                     self.cmds.insert(
                         (qid, cid),
                         CmdState {
                             cmd,
                             pages_left: nlb,
-                            data: vec![0u8; buf_len],
+                            data,
                         },
                     );
                     let tag = self.alloc_tag(qid, cid);
@@ -258,12 +296,18 @@ impl<X: NdpEngine> SsdDevice<X> {
     ) {
         match ev {
             SsdEvent::Ftl(fev) => {
-                let outcomes = self
-                    .ftl
-                    .handle(now, fev, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
-                for o in outcomes {
+                let mut outcomes = std::mem::take(&mut self.ftl_scratch);
+                outcomes.clear();
+                self.ftl.handle(
+                    now,
+                    fev,
+                    &mut |d, e| sched(d, SsdEvent::Ftl(e)),
+                    &mut outcomes,
+                );
+                for o in outcomes.drain(..) {
                     self.dispatch_ftl(now, o, sched);
                 }
+                self.ftl_scratch = outcomes;
             }
             SsdEvent::Pcie(pev) => {
                 let xfer = self
@@ -280,24 +324,26 @@ impl<X: NdpEngine> SsdDevice<X> {
         outcome: FtlOutcome,
         sched: &mut dyn FnMut(SimDuration, SsdEvent),
     ) {
-        match &outcome {
+        match outcome {
             FtlOutcome::FwTaskDone { tag } if self.fw_tags.contains_key(&tag.0) => {
                 let (qid, cid) = self.fw_tags.remove(&tag.0).expect("checked above");
                 self.on_command_processed(now, qid, cid, sched);
             }
-            FtlOutcome::ReadDone { req, data, .. } if self.read_reqs.contains_key(req) => {
-                let (qid, cid, page_idx) = self.read_reqs.remove(req).expect("checked above");
+            FtlOutcome::ReadDone { req, data, .. } if self.read_reqs.contains_key(&req) => {
+                let (qid, cid, page_idx) = self.read_reqs.remove(&req).expect("checked above");
                 let page_bytes = self.config.block_bytes();
                 let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
                 let off = page_idx as usize * page_bytes;
-                st.data[off..off + page_bytes].copy_from_slice(data);
+                st.data[off..off + page_bytes].copy_from_slice(&data);
+                // This was the page image's last reader; hand it back.
+                self.ftl.recycle_page_image(data);
                 st.pages_left -= 1;
                 if st.pages_left == 0 {
                     self.start_read_dma(now, qid, cid, sched);
                 }
             }
-            FtlOutcome::WriteDone { req, .. } if self.write_reqs.contains_key(req) => {
-                let (qid, cid) = self.write_reqs.remove(req).expect("checked above");
+            FtlOutcome::WriteDone { req, .. } if self.write_reqs.contains_key(&req) => {
+                let (qid, cid) = self.write_reqs.remove(&req).expect("checked above");
                 let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
                 st.pages_left -= 1;
                 if st.pages_left == 0 {
@@ -305,7 +351,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                     self.queues[qid as usize].complete(NvmeCompletion::success(cid, None));
                 }
             }
-            _ => {
+            other => {
                 let Self {
                     ftl,
                     pcie,
@@ -320,8 +366,8 @@ impl<X: NdpEngine> SsdDevice<X> {
                     queues,
                     sched,
                 };
-                let claimed = ext.on_ftl_outcome(&mut ctx, &outcome);
-                assert!(claimed, "orphan FTL outcome: {outcome:?}");
+                let claimed = ext.on_ftl_outcome(&mut ctx, &other);
+                assert!(claimed, "orphan FTL outcome: {other:?}");
             }
         }
     }

@@ -1,0 +1,135 @@
+//! Request arrival processes for open-loop load generation.
+//!
+//! Production recommendation serving sees batches arrive from the frontend
+//! continuously, not back-to-back: an open-loop generator keeps issuing at
+//! the configured rate even while the system is backed up, which is what
+//! exposes queueing delay and latency tails. The processes here supply the
+//! inter-arrival gaps; the serving runtime (the `recssd-serving` crate)
+//! consumes them.
+
+use recssd_sim::rng::Xoshiro256;
+use recssd_sim::SimDuration;
+
+/// An inter-arrival-time generator.
+///
+/// # Example
+///
+/// ```
+/// use recssd_trace::ArrivalProcess;
+/// use recssd_sim::SimDuration;
+///
+/// // A Poisson stream at 10k requests per simulated second.
+/// let mut arr = ArrivalProcess::poisson(10_000.0, 42);
+/// let gap = arr.next_gap();
+/// assert!(gap > SimDuration::ZERO);
+///
+/// // A deterministic stream at fixed spacing.
+/// let mut uni = ArrivalProcess::uniform(SimDuration::from_us(100));
+/// assert_eq!(uni.next_gap(), SimDuration::from_us(100));
+/// ```
+#[derive(Debug)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps with the given mean rate
+    /// (requests per simulated second). The standard open-loop traffic
+    /// model for tail-latency studies.
+    Poisson {
+        /// Mean arrival rate in requests per simulated second.
+        rate_per_sec: f64,
+        /// Deterministic generator state.
+        rng: Xoshiro256,
+    },
+    /// Deterministic arrivals at a fixed gap (a perfectly paced frontend).
+    Uniform {
+        /// The fixed inter-arrival gap.
+        gap: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// A Poisson process with the given mean rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive and finite.
+    pub fn poisson(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        ArrivalProcess::Poisson {
+            rate_per_sec,
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// A deterministic process with fixed `gap` spacing.
+    pub fn uniform(gap: SimDuration) -> Self {
+        ArrivalProcess::Uniform { gap }
+    }
+
+    /// The mean inter-arrival gap of this process.
+    pub fn mean_gap(&self) -> SimDuration {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec, .. } => {
+                SimDuration::from_secs_f64(1.0 / rate_per_sec)
+            }
+            ArrivalProcess::Uniform { gap } => *gap,
+        }
+    }
+
+    /// Draws the gap to the next arrival.
+    pub fn next_gap(&mut self) -> SimDuration {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec, rng } => {
+                // Inverse-CDF exponential draw; `1 - u` keeps ln() finite
+                // (u is in [0, 1)).
+                let u = rng.next_f64();
+                SimDuration::from_secs_f64(-(1.0 - u).ln() / *rate_per_sec)
+            }
+            ArrivalProcess::Uniform { gap } => *gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_average_to_the_rate() {
+        let rate = 50_000.0; // 20 us mean gap
+        let mut arr = ArrivalProcess::poisson(rate, 7);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| arr.next_gap().as_ns()).sum();
+        let mean_ns = total as f64 / n as f64;
+        let want_ns = 1e9 / rate;
+        assert!(
+            (mean_ns - want_ns).abs() < want_ns * 0.05,
+            "mean gap {mean_ns} ns, want ≈ {want_ns} ns"
+        );
+        assert_eq!(arr.mean_gap(), SimDuration::from_us(20));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mut a = ArrivalProcess::poisson(1000.0, 3);
+        let mut b = ArrivalProcess::poisson(1000.0, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+
+    #[test]
+    fn uniform_gaps_are_fixed() {
+        let mut u = ArrivalProcess::uniform(SimDuration::from_ms(1));
+        assert_eq!(u.next_gap(), SimDuration::from_ms(1));
+        assert_eq!(u.next_gap(), SimDuration::from_ms(1));
+        assert_eq!(u.mean_gap(), SimDuration::from_ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_rate_rejected() {
+        ArrivalProcess::poisson(0.0, 0);
+    }
+}

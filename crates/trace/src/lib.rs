@@ -18,6 +18,8 @@
 //!   artifact appendix marks non-reproducible).
 //! * [`patterns`] — the SEQ (contiguous ids) and STR (one page per id)
 //!   microbenchmark patterns of Fig. 8.
+//! * [`ArrivalProcess`] — Poisson / uniform inter-arrival gaps for the
+//!   serving layer's open-loop load generation.
 //! * [`analysis`] — reuse CDFs by page granularity (Fig. 3) and N-way LRU
 //!   page-cache hit-rate sweeps (Fig. 4).
 
@@ -25,10 +27,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod arrivals;
 mod locality;
 pub mod patterns;
 mod zipf;
 
+pub use arrivals::ArrivalProcess;
 pub use locality::{LocalityK, LocalityTrace};
 pub use zipf::ZipfTrace;
 

@@ -30,6 +30,7 @@ pub use recssd_flash;
 pub use recssd_ftl;
 pub use recssd_models;
 pub use recssd_nvme;
+pub use recssd_serving;
 pub use recssd_sim;
 pub use recssd_ssd;
 pub use recssd_trace;
@@ -46,6 +47,10 @@ pub mod prelude {
     pub use recssd_models::{
         BatchGen, EmbeddingMode, MlpSpec, ModelClass, ModelConfig, ModelInstance,
     };
+    pub use recssd_serving::{
+        LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, ShardMap,
+        SlsPath, TrafficSpec,
+    };
     pub use recssd_sim::{SimDuration, SimTime};
-    pub use recssd_trace::{LocalityK, LocalityTrace, ZipfTrace};
+    pub use recssd_trace::{ArrivalProcess, LocalityK, LocalityTrace, ZipfTrace};
 }
