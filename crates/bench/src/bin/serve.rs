@@ -1,15 +1,20 @@
-//! Serving-layer benchmark: sweeps shard count × scheduling policy for all
-//! three execution paths under closed-loop Zipf traffic and writes
-//! `BENCH_serving.json` with throughput plus p50/p95/p99/p999 latency.
+//! Serving-layer benchmark: sweeps shard count × scheduling policy ×
+//! operator queue depth for all three execution paths under closed-loop
+//! Zipf traffic, then sweeps open-loop offered load (Poisson arrivals)
+//! against latency per path, and writes `BENCH_serving.json` (v2 schema)
+//! with throughput, p50/p95/p99/p999 latency, per-shard operator
+//! occupancy and flash channel utilisation.
 //!
 //! ```text
 //! cargo run --release -p recssd-bench --bin serve
 //! RECSSD_PAPER_SCALE=1 cargo run --release -p recssd-bench --bin serve
 //! ```
 //!
-//! At any scale the run asserts the serving subsystem's acceptance bar:
+//! At any scale the run asserts the serving subsystem's acceptance bars:
 //! aggregate NDP throughput grows at least 2x from 1 shard to 4 shards,
-//! and a sample of merged sharded outputs bit-matches `sls_reference`.
+//! intra-shard pipelining (queue depth 4) gains at least 1.5x over depth
+//! 1 on the 1-shard NDP FIFO configuration, and a sample of merged
+//! sharded outputs bit-matches `sls_reference`.
 
 use std::fmt::Write as _;
 
@@ -21,6 +26,7 @@ use recssd_serving::{
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::SimDuration;
+use recssd_trace::ArrivalProcess;
 
 struct Params {
     tables: usize,
@@ -30,6 +36,10 @@ struct Params {
     clients: usize,
     requests: usize,
     verify_every: u64,
+    depths: &'static [usize],
+    /// Offered load as a fraction of the measured pipelined capacity.
+    open_loads: &'static [f64],
+    open_requests: usize,
 }
 
 impl Params {
@@ -47,6 +57,9 @@ impl Params {
                 clients: 16,
                 requests: 512,
                 verify_every: 16,
+                depths: &[1, 2, 4, 8],
+                open_loads: &[0.25, 0.5, 0.75, 0.95],
+                open_requests: 256,
             }
         } else {
             Params {
@@ -61,23 +74,20 @@ impl Params {
                 clients: 12,
                 requests: 96,
                 verify_every: 8,
+                depths: &[1, 2, 4],
+                open_loads: &[0.25, 0.5, 0.75, 0.95],
+                open_requests: 96,
             }
         }
     }
 }
 
-struct ConfigReport {
-    shards: usize,
-    policy: &'static str,
-    path: &'static str,
-    report: LoadReport,
-    batching: f64,
-}
-
-fn run_config(p: &Params, shards: usize, policy: SchedulePolicy, path: SlsPath) -> ConfigReport {
-    let cfg = ServingConfig::small_wide(shards, policy);
-    let mut rt = ServingRuntime::new(&cfg);
-    let tables: Vec<_> = (0..p.tables)
+fn build_runtime(
+    p: &Params,
+    cfg: &ServingConfig,
+) -> (ServingRuntime, Vec<recssd_serving::ServedTableId>) {
+    let mut rt = ServingRuntime::new(cfg);
+    let tables = (0..p.tables)
         .map(|t| {
             rt.add_table(EmbeddingTable::procedural(
                 TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
@@ -85,6 +95,26 @@ fn run_config(p: &Params, shards: usize, policy: SchedulePolicy, path: SlsPath) 
             ))
         })
         .collect();
+    (rt, tables)
+}
+
+struct ConfigReport {
+    shards: usize,
+    depth: usize,
+    policy: &'static str,
+    path: &'static str,
+    report: LoadReport,
+}
+
+fn run_config(
+    p: &Params,
+    shards: usize,
+    depth: usize,
+    policy: SchedulePolicy,
+    path: SlsPath,
+) -> ConfigReport {
+    let cfg = ServingConfig::small_wide(shards, policy).with_depth(depth);
+    let (mut rt, tables) = build_runtime(p, &cfg);
     let mut gen = LoadGen::new(
         &rt,
         tables,
@@ -101,13 +131,47 @@ fn run_config(p: &Params, shards: usize, policy: SchedulePolicy, path: SlsPath) 
         report.verified > 0,
         "verification sample was empty — bit-match unchecked"
     );
-    let batching = report.batching_factor;
     ConfigReport {
         shards,
+        depth,
         policy: policy.name(),
         path: path.name(),
         report,
-        batching,
+    }
+}
+
+struct OpenReport {
+    path: &'static str,
+    depth: usize,
+    /// Fraction of the measured closed-loop capacity offered.
+    load: f64,
+    /// Offered arrival rate, requests per simulated second.
+    rate_rps: f64,
+    report: LoadReport,
+}
+
+/// Open-loop latency-vs-offered-load point: Poisson arrivals at a fixed
+/// fraction of the path's measured pipelined capacity, 1 shard, FIFO.
+fn run_open(p: &Params, path: SlsPath, depth: usize, load: f64, capacity_rps: f64) -> OpenReport {
+    let rate_rps = load * capacity_rps;
+    let cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+    let (mut rt, tables) = build_runtime(p, &cfg);
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        p.spec,
+        LoadMode::Open(ArrivalProcess::poisson(rate_rps, 99)),
+        71,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(&mut rt, path, p.open_requests);
+    assert!(report.verified > 0, "open-loop bit-match unchecked");
+    OpenReport {
+        path: path.name(),
+        depth,
+        load,
+        rate_rps,
+        report,
     }
 }
 
@@ -123,10 +187,10 @@ fn q_json(q: &Quantiles) -> String {
     )
 }
 
-fn write_json(p: &Params, configs: &[ConfigReport]) -> String {
+fn write_json(p: &Params, configs: &[ConfigReport], open: &[OpenReport]) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v1\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v2\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -145,22 +209,50 @@ fn write_json(p: &Params, configs: &[ConfigReport]) -> String {
         let r = &c.report;
         let _ = write!(
             s,
-            "    {{\"shards\": {}, \"policy\": \"{}\", \"path\": \"{}\", \"requests\": {}, \
-             \"lookups\": {}, \"sim_secs\": {:.6}, \"lookups_per_sim_sec\": {:.0}, \
-             \"batching_factor\": {:.2}, \"verified\": {}, {}, \"queue_p99_us\": {:.2}}}",
+            "    {{\"shards\": {}, \"depth\": {}, \"policy\": \"{}\", \"path\": \"{}\", \
+             \"requests\": {}, \"lookups\": {}, \"sim_secs\": {:.6}, \
+             \"lookups_per_sim_sec\": {:.0}, \"batching_factor\": {:.2}, \
+             \"occupancy\": {:.3}, \"channel_util\": {:.4}, \"verified\": {}, {}, \
+             \"queue_p99_us\": {:.2}}}",
             c.shards,
+            c.depth,
             c.policy,
             c.path,
             r.requests,
             r.lookups,
             r.makespan.as_secs_f64(),
             r.lookups_per_sim_sec,
-            c.batching,
+            r.batching_factor,
+            r.mean_occupancy(),
+            r.mean_channel_util(),
             r.verified,
             q_json(&r.e2e),
             r.queue.p99 as f64 / 1e3,
         );
         s.push_str(if i + 1 < configs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"open_loop\": [\n");
+    for (i, o) in open.iter().enumerate() {
+        let r = &o.report;
+        let _ = write!(
+            s,
+            "    {{\"path\": \"{}\", \"shards\": 1, \"policy\": \"fifo\", \"depth\": {}, \
+             \"offered_load\": {:.2}, \"rate_rps\": {:.0}, \"requests\": {}, \
+             \"lookups_per_sim_sec\": {:.0}, \"occupancy\": {:.3}, \"channel_util\": {:.4}, \
+             \"verified\": {}, {}, \"queue_p99_us\": {:.2}}}",
+            o.path,
+            o.depth,
+            o.load,
+            o.rate_rps,
+            r.requests,
+            r.lookups_per_sim_sec,
+            r.mean_occupancy(),
+            r.mean_channel_util(),
+            r.verified,
+            q_json(&r.e2e),
+            r.queue.p99 as f64 / 1e3,
+        );
+        s.push_str(if i + 1 < open.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
@@ -173,14 +265,15 @@ fn main() {
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
     println!(
         "workload: {} tables x {} rows (dim {}), {} outputs x {} lookups/request, \
-         {} closed-loop clients, {} requests per config",
+         {} closed-loop clients, {} requests per config, depths {:?}",
         p.tables,
         p.rows_per_table,
         p.dim,
         p.spec.outputs,
         p.spec.lookups_per_output,
         p.clients,
-        p.requests
+        p.requests,
+        p.depths,
     );
 
     let paths = [
@@ -188,50 +281,93 @@ fn main() {
         SlsPath::Baseline(SlsOptions::default()),
         SlsPath::Ndp(SlsOptions::default()),
     ];
-    let policies = [
-        SchedulePolicy::Fifo,
-        SchedulePolicy::micro_batch(16, SimDuration::from_us(200)),
-    ];
+    let policies = [SchedulePolicy::Fifo, SchedulePolicy::micro_batch(16)];
     let mut configs = Vec::new();
     for &shards in &[1usize, 2, 4] {
-        for &policy in &policies {
-            for &path in &paths {
-                let c = run_config(&p, shards, policy, path);
-                println!(
-                    "{:>8} {:<10} {} shard(s): {:>12.0} lookups/sim-sec  \
-                     p50 {:>8.1}us  p99 {:>9.1}us  p999 {:>9.1}us  (batching {:.2}x)",
-                    c.path,
-                    c.policy,
-                    c.shards,
-                    c.report.lookups_per_sim_sec,
-                    c.report.e2e.p50 as f64 / 1e3,
-                    c.report.e2e.p99 as f64 / 1e3,
-                    c.report.e2e.p999 as f64 / 1e3,
-                    c.batching,
-                );
-                configs.push(c);
+        for &depth in p.depths {
+            for &policy in &policies {
+                for &path in &paths {
+                    let c = run_config(&p, shards, depth, policy, path);
+                    println!(
+                        "{:>8} {:<10} {} shard(s) depth {}: {:>12.0} lookups/sim-sec  \
+                         p50 {:>8.1}us  p99 {:>9.1}us  occ {:>4.2}  chan {:>5.1}%  (batching {:.2}x)",
+                        c.path,
+                        c.policy,
+                        c.shards,
+                        c.depth,
+                        c.report.lookups_per_sim_sec,
+                        c.report.e2e.p50 as f64 / 1e3,
+                        c.report.e2e.p99 as f64 / 1e3,
+                        c.report.mean_occupancy(),
+                        c.report.mean_channel_util() * 100.0,
+                        c.report.batching_factor,
+                    );
+                    configs.push(c);
+                }
             }
         }
     }
 
-    // Acceptance bar: NDP throughput scales >= 2x from 1 to 4 shards
-    // (FIFO, like for like).
-    let tput = |shards: usize| {
-        configs
-            .iter()
-            .find(|c| c.shards == shards && c.policy == "fifo" && c.path == "ndp")
-            .expect("config present")
-            .report
-            .lookups_per_sim_sec
-    };
-    let scaling = tput(4) / tput(1);
-    println!("NDP FIFO shard scaling 1→4: {scaling:.2}x");
+    // Acceptance bar 1: NDP throughput scales >= 2x from 1 to 4 shards
+    // (FIFO, depth 1, like for like).
+    let tput = |shards, depth| fifo_tput(&configs, shards, depth, "ndp");
+    let scaling = tput(4, 1) / tput(1, 1);
+    println!("NDP FIFO shard scaling 1→4 (depth 1): {scaling:.2}x");
     assert!(
         scaling >= 2.0,
         "NDP throughput scaled only {scaling:.2}x from 1 to 4 shards"
     );
 
-    let json = write_json(&p, &configs);
+    // Acceptance bar 2: intra-shard pipelining pays — depth 4 gains
+    // >= 1.5x over depth 1 at one shard on the NDP FIFO path.
+    let pipe_depth = if p.depths.contains(&4) {
+        4
+    } else {
+        p.depths[p.depths.len() - 1]
+    };
+    let pipelining = tput(1, pipe_depth) / tput(1, 1);
+    println!("NDP FIFO queue-depth scaling 1→{pipe_depth} (1 shard): {pipelining:.2}x");
+    assert!(
+        pipelining >= 1.5,
+        "operator pipelining gained only {pipelining:.2}x at depth {pipe_depth}"
+    );
+
+    // Open-loop offered-load vs latency curves, per path, on the
+    // pipelined 1-shard configuration. Rates are fractions of each
+    // path's own measured closed-loop capacity.
+    println!("open-loop sweep ({} requests per point):", p.open_requests);
+    let mut open = Vec::new();
+    for &path in &paths {
+        let capacity_rps =
+            fifo_tput(&configs, 1, pipe_depth, path.name()) / p.spec.lookups_per_request() as f64;
+        for &load in p.open_loads {
+            let o = run_open(&p, path, pipe_depth, load, capacity_rps);
+            println!(
+                "{:>8} load {:.2} ({:>8.0} req/s): p50 {:>8.1}us  p99 {:>9.1}us  \
+                 queue-p99 {:>9.1}us  occ {:>4.2}",
+                o.path,
+                o.load,
+                o.rate_rps,
+                o.report.e2e.p50 as f64 / 1e3,
+                o.report.e2e.p99 as f64 / 1e3,
+                o.report.queue.p99 as f64 / 1e3,
+                o.report.mean_occupancy(),
+            );
+            open.push(o);
+        }
+    }
+
+    let json = write_json(&p, &configs, &open);
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");
+}
+
+/// The FIFO closed-loop throughput of `path` at (`shards`, `depth`).
+fn fifo_tput(configs: &[ConfigReport], shards: usize, depth: usize, path: &str) -> f64 {
+    configs
+        .iter()
+        .find(|c| c.shards == shards && c.depth == depth && c.policy == "fifo" && c.path == path)
+        .expect("config present")
+        .report
+        .lookups_per_sim_sec
 }

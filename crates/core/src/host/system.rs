@@ -25,6 +25,9 @@ use crate::{RecSsdConfig, SlsConfig, SlsOutput, TableRegistry};
 /// Largest number of recycled result buffers the host keeps around.
 const OUT_POOL_CAP: usize = 256;
 
+/// Largest number of recycled NDP pair-list buffers the host keeps.
+const PAIR_POOL_CAP: usize = 256;
+
 /// Identifier of a submitted operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(u64);
@@ -297,6 +300,9 @@ pub struct System {
     out_pool: Vec<SlsOutput>,
     /// Free-list of recycled baseline I/O planner buffers.
     baseio_pool: Vec<BaseIoBufs>,
+    /// Free-list of recycled NDP pair-list buffers (plan staging,
+    /// hot/cold partitions).
+    pair_pool: Vec<Vec<(u64, u32)>>,
     /// Reused completion-drain scratch.
     completions: Vec<(u16, NvmeCompletion)>,
     /// Reused encode/decode scratch for host-DRAM row gathers.
@@ -330,6 +336,7 @@ impl System {
             results: FxHashMap::default(),
             out_pool: Vec::new(),
             baseio_pool: Vec::new(),
+            pair_pool: Vec::new(),
             completions: Vec::new(),
             row_scratch: RowScratch::default(),
             cfg,
@@ -344,13 +351,44 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if operators are still in flight.
+    /// Panics if operators are still in flight (use
+    /// [`System::run_until`] to merge clocks with work outstanding).
     pub fn advance_clock(&mut self, to: SimTime) {
         assert!(
             self.ops.is_empty(),
             "advance_clock requires an idle system (operators in flight)"
         );
         self.q.advance_to(to);
+    }
+
+    /// Processes every pending event up to and including `to`, then
+    /// advances the clock to exactly `to` — the non-asserting clock-merge
+    /// path that lets a caller keep several operators in flight while
+    /// staying on an external timeline. Unlike [`System::advance_clock`]
+    /// this is valid mid-operator: work scheduled past `to` stays
+    /// pending, and finished operators become visible to
+    /// [`System::try_take_result`].
+    ///
+    /// Calling with `to` in the past (relative to the system clock) only
+    /// processes events at or before `to` that are already due, which is
+    /// a no-op for a causally driven caller.
+    pub fn run_until(&mut self, to: SimTime) {
+        while self.q.peek_time().is_some_and(|t| t <= to) {
+            let (now, ev) = self.q.pop().expect("peeked a pending event");
+            self.handle_event(now, ev);
+        }
+        self.q.advance_to(to);
+    }
+
+    /// Timestamp of the system's next internal event, if any — what an
+    /// external co-simulation loop uses to schedule its next visit.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    /// Number of operators currently submitted and unfinished.
+    pub fn in_flight_ops(&self) -> usize {
+        self.ops.len()
     }
 
     /// The system configuration.
@@ -493,6 +531,14 @@ impl System {
             .expect("operator not finished; run_until_idle() first")
     }
 
+    /// Non-panicking completion poll: removes and returns the result if
+    /// `op` has finished, `None` while it is still in flight. The polling
+    /// companion of [`System::run_until`] for callers tracking multiple
+    /// outstanding operators without a single drain point.
+    pub fn try_take_result(&mut self, op: OpId) -> Option<OpResult> {
+        self.results.remove(&op)
+    }
+
     /// Returns a consumed result buffer to the free-list pool; the next
     /// submitted SLS operator reuses it instead of allocating.
     pub fn recycle_outputs(&mut self, outputs: SlsOutput) {
@@ -509,18 +555,7 @@ impl System {
     /// dependency cycle or an operator stuck waiting).
     pub fn run_until_idle(&mut self) {
         while let Some((now, ev)) = self.q.pop() {
-            match ev {
-                SysEvent::Dev(dev_ev) => {
-                    {
-                        let Self { dev, q, .. } = self;
-                        dev.handle(now, dev_ev, &mut |d, e| q.push_after(d, SysEvent::Dev(e)));
-                    }
-                    self.poll_completions(now);
-                }
-                SysEvent::Worker { pool, worker } => {
-                    self.on_worker_event(now, pool, worker);
-                }
-            }
+            self.handle_event(now, ev);
         }
         assert!(
             self.ops.is_empty(),
@@ -528,6 +563,21 @@ impl System {
             self.ops.keys().collect::<Vec<_>>()
         );
         assert!(self.dev.idle(), "device busy with no pending events");
+    }
+
+    fn handle_event(&mut self, now: SimTime, ev: SysEvent) {
+        match ev {
+            SysEvent::Dev(dev_ev) => {
+                {
+                    let Self { dev, q, .. } = self;
+                    dev.handle(now, dev_ev, &mut |d, e| q.push_after(d, SysEvent::Dev(e)));
+                }
+                self.poll_completions(now);
+            }
+            SysEvent::Worker { pool, worker } => {
+                self.on_worker_event(now, pool, worker);
+            }
+        }
     }
 
     fn pool_mut(&mut self, pool: PoolKind) -> &mut Pool {
@@ -582,11 +632,13 @@ impl System {
                 let bytes = lookups as f64 * image.table().spec().row_bytes() as f64
                     + (batch.outputs() * image.table().spec().dim * 4) as f64;
                 // Functional result: the golden reference, accumulated
-                // straight into the pooled flat buffer.
+                // straight into the pooled flat buffer through the
+                // system-owned row scratch (no per-operator allocation).
                 op.outputs.reset(batch.outputs(), image.table().spec().dim);
-                recssd_embedding::sls_reference_into(
+                recssd_embedding::sls_reference_with(
                     image.table(),
                     batch,
+                    &mut self.row_scratch,
                     op.outputs.as_mut_slice(),
                 );
                 op.phase = Phase::Compute;
@@ -859,6 +911,7 @@ impl System {
             partition_stats,
             cfg,
             next_request,
+            pair_pool,
             ..
         } = self;
         let op = ops.get_mut(&id).expect("op");
@@ -869,16 +922,31 @@ impl System {
         let binding = registry.binding(table);
         let image = &binding.image;
         let spec = image.table().spec();
-        let pairs = batch.pairs();
-        let (hot_pairs, cold_pairs): (Vec<_>, Vec<_>) = match opts
+        // All pair lists come from (and return to) the pool, so the plan
+        // allocates nothing once warm.
+        let mut pairs = pair_pool.pop().unwrap_or_default();
+        batch.pairs_into(&mut pairs);
+        let (hot_pairs, cold_pairs) = match opts
             .use_partition
             .then(|| partitions.get(&table.0))
             .flatten()
         {
-            Some(partition) => pairs
-                .into_iter()
-                .partition(|(row, _)| partition.is_hot(*row)),
-            None => (Vec::new(), pairs),
+            Some(partition) => {
+                let mut hot = pair_pool.pop().unwrap_or_default();
+                let mut cold = pair_pool.pop().unwrap_or_default();
+                for pair in pairs.drain(..) {
+                    if partition.is_hot(pair.0) {
+                        hot.push(pair);
+                    } else {
+                        cold.push(pair);
+                    }
+                }
+                if pair_pool.len() < PAIR_POOL_CAP {
+                    pair_pool.push(pairs);
+                }
+                (hot, cold)
+            }
+            None => (pair_pool.pop().unwrap_or_default(), pairs),
         };
         if opts.use_partition {
             let stats = partition_stats.entry(table.0).or_default();
@@ -922,6 +990,7 @@ impl System {
             registry,
             row_scratch,
             cfg,
+            dev,
             ..
         } = self;
         let op = ops.get_mut(&id).expect("op");
@@ -943,7 +1012,11 @@ impl System {
             self.finish_op(now, id);
             return;
         }
-        let payload = plan.cold_cfg.encode();
+        // Encode into a recycled transfer buffer: the engine hands the
+        // spent payload back to the same pool after parsing it, closing
+        // the config-write allocation loop.
+        let mut payload = dev.take_host_buffer(plan.cold_cfg.encoded_len());
+        plan.cold_cfg.encode_into(&mut payload);
         let slba = NvmeCommand::ndp_slba(base, plan.request_id, align);
         let qid = op.qid;
         op.phase = Phase::NdpAwaitWrite;
@@ -1047,8 +1120,19 @@ impl System {
         self.completions = completions;
     }
 
+    fn recycle_pairs(&mut self, mut pairs: Vec<(u64, u32)>) {
+        if self.pair_pool.len() < PAIR_POOL_CAP {
+            pairs.clear();
+            self.pair_pool.push(pairs);
+        }
+    }
+
     fn finish_op(&mut self, now: SimTime, id: OpId) {
-        let op = self.ops.remove(&id).expect("op exists");
+        let mut op = self.ops.remove(&id).expect("op exists");
+        if let Some(plan) = op.ndp.take() {
+            self.recycle_pairs(plan.cold_cfg.pairs);
+            self.recycle_pairs(plan.hot_pairs);
+        }
         let outputs = match &op.kind {
             OpKind::HostCompute { .. } => None,
             _ => Some(op.outputs),

@@ -220,6 +220,8 @@ struct EntryBufs {
     results: SlsOutput,
     work_items: Vec<(usize, u32)>,
     page_work: Vec<PageWork>,
+    /// Recycled pair-list buffer for [`SlsConfig::decode_pooled`].
+    pairs: Vec<(u64, u32)>,
 }
 
 #[derive(Debug)]
@@ -228,6 +230,8 @@ struct SlsEntry {
     write_cid: u16,
     table_base: u64,
     raw_config: Option<Box<[u8]>>,
+    /// Pooled pair buffer handed to the config decode.
+    pairs_buf: Vec<(u64, u32)>,
     cfg: Option<SlsConfig>,
     /// `(byte offset, result slot)` items, grouped by page in `page_work`
     /// order (pages ascending — the §4.3 sorted-pair contract makes the
@@ -320,10 +324,17 @@ impl NdpSlsEngine {
     /// Returns an entry's buffers to the free-list pool.
     fn recycle(&mut self, entry: SlsEntry) {
         if self.buf_pool.len() < self.cfg.max_entries {
+            // The decoded pair list lives inside `cfg` once configured;
+            // reclaim whichever buffer holds the capacity.
+            let pairs = match entry.cfg {
+                Some(cfg) => cfg.pairs,
+                None => entry.pairs_buf,
+            };
             self.buf_pool.push(EntryBufs {
                 results: entry.results,
                 work_items: entry.work_items,
                 page_work: entry.page_work,
+                pairs,
             });
         }
     }
@@ -334,9 +345,13 @@ impl NdpSlsEngine {
         let page_bytes = ctx.ftl.page_bytes();
         let entry = self.entries.get_mut(&request).expect("entry exists");
         let raw = entry.raw_config.take().expect("config payload present");
-        let cfg = SlsConfig::decode(&raw)
+        let pairs_buf = std::mem::take(&mut entry.pairs_buf);
+        let cfg = SlsConfig::decode_pooled(&raw, pairs_buf)
             .ok()
             .filter(|cfg| cfg.row_bytes() * cfg.rows_per_page as usize <= page_bytes);
+        // The config payload has been parsed; its buffer rejoins the
+        // device's transfer pool so the host's next config-write reuses it.
+        ctx.recycle_buffer(raw.into_vec());
         let Some(cfg) = cfg else {
             let (qid, cid) = (entry.qid, entry.write_cid);
             let entry = self.entries.remove(&request).expect("entry exists");
@@ -534,7 +549,10 @@ impl NdpSlsEngine {
     fn finish(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
         let entry = self.entries.remove(&request).expect("entry exists");
         let (qid, cid, _) = entry.read_cmd.expect("read command pending");
-        let data = SlsConfig::encode_results(entry.results.as_slice(), ctx.ftl.page_bytes());
+        let block_bytes = ctx.ftl.page_bytes();
+        let results = entry.results.as_slice();
+        let mut data = ctx.take_buffer(SlsConfig::padded_result_len(results.len(), block_bytes));
+        SlsConfig::encode_results_into(results, block_bytes, &mut data);
         ctx.complete(
             qid,
             NvmeCompletion::success(cid, Some(data.into_boxed_slice())),
@@ -586,6 +604,7 @@ impl NdpEngine for NdpSlsEngine {
                         write_cid: cmd.cid,
                         table_base,
                         raw_config: Some(payload),
+                        pairs_buf: bufs.pairs,
                         cfg: None,
                         work_items: bufs.work_items,
                         page_work: bufs.page_work,

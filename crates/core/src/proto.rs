@@ -232,9 +232,24 @@ impl SlsConfig {
         (page, slot * self.row_bytes())
     }
 
+    /// Exact encoded payload length.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + self.pairs.len() * PAIR_BYTES
+    }
+
     /// Serialises to the command payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_BYTES + self.pairs.len() * PAIR_BYTES);
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialises into a caller-supplied buffer (cleared first); a pooled
+    /// buffer of [`SlsConfig::encoded_len`] capacity makes steady-state
+    /// encoding allocation-free.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&self.dim.to_le_bytes());
         out.push(quant_code(self.quant));
@@ -248,7 +263,7 @@ impl SlsConfig {
             out.extend_from_slice(&row.to_le_bytes());
             out.extend_from_slice(&slot.to_le_bytes());
         }
-        out
+        debug_assert_eq!(out.len(), self.encoded_len());
     }
 
     /// Parses and validates a command payload.
@@ -257,6 +272,21 @@ impl SlsConfig {
     ///
     /// Any [`SlsConfigError`] listed above.
     pub fn decode(bytes: &[u8]) -> Result<SlsConfig, SlsConfigError> {
+        Self::decode_pooled(bytes, Vec::new())
+    }
+
+    /// [`SlsConfig::decode`] reusing a recycled pair buffer (cleared
+    /// first) for the parsed list, so steady-state firmware decoding
+    /// allocates nothing. The buffer is dropped on the (cold) error
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SlsConfigError`] listed above.
+    pub fn decode_pooled(
+        bytes: &[u8],
+        mut pairs: Vec<(u64, u32)>,
+    ) -> Result<SlsConfig, SlsConfigError> {
         if bytes.len() < HEADER_BYTES {
             return Err(SlsConfigError::Truncated);
         }
@@ -275,7 +305,8 @@ impl SlsConfig {
         if bytes.len() < HEADER_BYTES + n_pairs * PAIR_BYTES {
             return Err(SlsConfigError::LengthMismatch);
         }
-        let mut pairs = Vec::with_capacity(n_pairs);
+        pairs.clear();
+        pairs.reserve(n_pairs);
         let mut prev_row = 0u64;
         for i in 0..n_pairs {
             let off = HEADER_BYTES + i * PAIR_BYTES;
@@ -299,16 +330,30 @@ impl SlsConfig {
         })
     }
 
+    /// Bytes of the padded result block for `n` f32 values.
+    pub fn padded_result_len(n: usize, block_bytes: usize) -> usize {
+        (n * 4).div_ceil(block_bytes).max(1) * block_bytes
+    }
+
     /// Packs result vectors into a fresh result-read data block, padded
-    /// to whole blocks. One allocation per completed request — the NVMe
-    /// completion takes ownership of the block, so this buffer cannot be
-    /// pooled.
+    /// to whole blocks.
     pub fn encode_results(results: &[f32], block_bytes: usize) -> Vec<u8> {
-        let mut out = vec![0u8; (results.len() * 4).div_ceil(block_bytes).max(1) * block_bytes];
+        let mut out = Vec::new();
+        Self::encode_results_into(results, block_bytes, &mut out);
+        out
+    }
+
+    /// [`SlsConfig::encode_results`] into a caller-supplied buffer
+    /// (cleared and re-zeroed); the NVMe completion takes ownership of
+    /// the block, so callers wanting steady-state allocation freedom pull
+    /// the buffer from the device's transfer-buffer pool and the host
+    /// hands it back there after merging.
+    pub fn encode_results_into(results: &[f32], block_bytes: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(Self::padded_result_len(results.len(), block_bytes), 0);
         for (i, v) in results.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
-        out
     }
 
     /// Unpacks and *adds* `acc.len()` f32 values from result-read data

@@ -126,4 +126,40 @@ fn steady_state_sls_allocations_do_not_scale_with_lookups() {
         16 * 1024,
     ));
     assert_rounds_flat(&mut sys, spread, rows, "spread");
+
+    // Absolute steady-state pin: beyond not *scaling*, warm rounds must
+    // allocate (essentially) nothing at all. The NDP path historically
+    // leaked ~7 events per operator through the plan/encode/decode/
+    // result-encode chain (915 allocs over a 128-batch throughput run);
+    // the pair-list, config-payload and result-block pools drive that to
+    // zero. A tiny slack absorbs one-off container growth (hash maps,
+    // event heap) that is not per-round.
+    const ROUNDS: u64 = 8;
+    const TOTAL_SLACK: u64 = 8;
+    for (label, mk) in [
+        (
+            "ndp",
+            &(|b: &LookupBatch| OpKind::ndp_sls(spread, b.clone(), SlsOptions::default()))
+                as &dyn Fn(&LookupBatch) -> OpKind,
+        ),
+        ("baseline", &|b: &LookupBatch| {
+            OpKind::baseline_sls(spread, b.clone(), SlsOptions::default())
+        }),
+        ("dram", &|b: &LookupBatch| {
+            OpKind::dram_sls(spread, b.clone())
+        }),
+    ] {
+        let big = batch(512, rows);
+        for _ in 0..3 {
+            measured_round(&mut sys, mk(&big));
+        }
+        let total: u64 = (0..ROUNDS)
+            .map(|_| measured_round(&mut sys, mk(&big)))
+            .sum();
+        assert!(
+            total <= TOTAL_SLACK,
+            "{label}/spread: {total} allocations over {ROUNDS} warm rounds \
+             (want ~0; the steady-state pools have a leak)"
+        );
+    }
 }

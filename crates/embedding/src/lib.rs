@@ -35,5 +35,5 @@ mod table;
 pub use layout::{PageLayout, TableImage, TableImageOracle};
 pub use quant::Quantization;
 pub use recssd_flash::PageOracle;
-pub use sls::{sls_reference, sls_reference_into, LookupBatch};
+pub use sls::{sls_reference, sls_reference_into, sls_reference_with, LookupBatch};
 pub use table::{EmbeddingTable, RowScratch, TableId, TableSource, TableSpec};

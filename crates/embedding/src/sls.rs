@@ -59,14 +59,21 @@ impl LookupBatch {
     /// restriction that this list be sorted by input ID enables more
     /// efficient processing on the SSD system."
     pub fn pairs(&self) -> Vec<(u64, u32)> {
-        let mut pairs: Vec<(u64, u32)> = self
-            .per_output
-            .iter()
-            .enumerate()
-            .flat_map(|(slot, ids)| ids.iter().map(move |&id| (id, slot as u32)))
-            .collect();
-        pairs.sort_unstable();
+        let mut pairs = Vec::new();
+        self.pairs_into(&mut pairs);
         pairs
+    }
+
+    /// [`LookupBatch::pairs`] into a caller-supplied buffer (cleared
+    /// first), so a pooled vector makes steady-state flattening
+    /// allocation-free.
+    pub fn pairs_into(&self, out: &mut Vec<(u64, u32)>) {
+        out.clear();
+        out.reserve(self.total_lookups());
+        for (slot, ids) in self.per_output.iter().enumerate() {
+            out.extend(ids.iter().map(|&id| (id, slot as u32)));
+        }
+        out.sort_unstable();
     }
 
     /// Every distinct row referenced, ascending.
@@ -116,6 +123,23 @@ pub fn sls_reference(table: &EmbeddingTable, batch: &LookupBatch) -> Vec<Vec<f32
 /// Panics if `out.len() != batch.outputs() * dim` or any row index
 /// exceeds the table.
 pub fn sls_reference_into(table: &EmbeddingTable, batch: &LookupBatch, out: &mut [f32]) {
+    sls_reference_with(table, batch, &mut RowScratch::default(), out);
+}
+
+/// [`sls_reference_into`] through a caller-owned [`RowScratch`], so a
+/// runtime issuing many reference gathers (the DRAM path) reuses one
+/// scratch instead of allocating per operator.
+///
+/// # Panics
+///
+/// Panics if `out.len() != batch.outputs() * dim` or any row index
+/// exceeds the table.
+pub fn sls_reference_with(
+    table: &EmbeddingTable,
+    batch: &LookupBatch,
+    scratch: &mut RowScratch,
+    out: &mut [f32],
+) {
     let dim = table.spec().dim;
     assert_eq!(
         out.len(),
@@ -123,11 +147,10 @@ pub fn sls_reference_into(table: &EmbeddingTable, batch: &LookupBatch, out: &mut
         "flat output has wrong length"
     );
     out.fill(0.0);
-    let mut scratch = RowScratch::default();
     for (slot, ids) in batch.per_output().iter().enumerate() {
         let acc = &mut out[slot * dim..(slot + 1) * dim];
         for &id in ids {
-            table.accumulate_row(id, &mut scratch, acc);
+            table.accumulate_row(id, scratch, acc);
         }
     }
 }

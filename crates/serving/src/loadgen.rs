@@ -70,6 +70,33 @@ pub struct LoadReport {
     pub e2e: Quantiles,
     /// Requests verified bit-identical to `sls_reference`.
     pub verified: u64,
+    /// Time-averaged in-flight operator count per shard (pipelining
+    /// shows up as values above 1; see
+    /// [`crate::ServingRuntime::shard_occupancy`]).
+    pub occupancy: Vec<f64>,
+    /// Mean flash channel-bus busy fraction per shard (see
+    /// [`crate::ServingRuntime::channel_utilisation`]).
+    pub channel_util: Vec<f64>,
+}
+
+impl LoadReport {
+    /// Mean operator occupancy across shards.
+    pub fn mean_occupancy(&self) -> f64 {
+        mean(&self.occupancy)
+    }
+
+    /// Mean channel utilisation across shards.
+    pub fn mean_channel_util(&self) -> f64 {
+        mean(&self.channel_util)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
 }
 
 /// The closed-/open-loop generator. One instance drives one run.
@@ -204,6 +231,8 @@ impl LoadGen {
         }
         assert_eq!(completed, rt.stats().requests.get(), "lost completions");
 
+        let occupancy = rt.shard_occupancy();
+        let channel_util = rt.channel_utilisation();
         let stats = rt.stats();
         LoadReport {
             requests: stats.requests.get(),
@@ -215,6 +244,8 @@ impl LoadGen {
             service: stats.service.quantiles(),
             e2e: stats.e2e.quantiles(),
             verified,
+            occupancy,
+            channel_util,
         }
     }
 

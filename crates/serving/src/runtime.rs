@@ -1,12 +1,17 @@
 //! The sharded serving runtime: N simulated systems on one timeline.
 //!
 //! The runtime owns one [`System`] per shard and keeps them on a single
-//! virtual clock: shards are *non-preemptive servers* — a dispatched
-//! operator runs to completion on its shard (whose internal event loop
-//! models the device's full concurrency) while later arrivals queue at the
-//! runtime level. Dispatch re-anchors the idle shard's clock to the global
-//! instant with [`System::advance_clock`], so queueing delay, service time
-//! and end-to-end latency all live on one comparable timeline.
+//! virtual clock. Shards are *pipelined servers*: up to
+//! [`ServingConfig::depth`] operators are in flight on one device at a
+//! time, so host-side NVMe submission, FTL service and flash channel/die
+//! occupancy overlap across requests instead of draining between
+//! operators (the RecSSD/RecNMP point that SLS throughput comes from
+//! saturating the device's internal parallelism). The co-simulation
+//! works by bounded stepping: a shard's system is only ever advanced to
+//! the global instant with [`System::run_until`], completed operators
+//! are harvested by polling [`System::try_take_result`], and a
+//! *shard-tick* event is armed at the shard's next internal event time
+//! so the global loop revisits it exactly when something happens.
 //!
 //! A request's lifecycle:
 //!
@@ -15,18 +20,20 @@
 //!    arrival.
 //! 2. Each shard queue dispatches per the [`SchedulePolicy`] — FIFO, or
 //!    micro-batching that coalesces queued sub-batches targeting the same
-//!    table and path into one device operator.
+//!    table and path into one device operator — whenever the shard has a
+//!    free operator slot.
 //! 3. Each shard's partial [`SlsOutput`] is folded into the request's
 //!    accumulator through the fused accumulate path (exact for the grid
 //!    values of procedural tables, so sharded results bit-match the
-//!    unsharded reference).
+//!    unsharded reference regardless of completion interleaving).
 //! 4. When the last shard finishes, the request completes; queue/service/
 //!    end-to-end latencies are recorded into the HDR-style histograms of
-//!    [`ServingStats`].
+//!    [`ServingStats`], and per-shard operator occupancy plus flash
+//!    channel utilisation are tracked so pipelining wins are visible.
 
 use std::collections::VecDeque;
 
-use recssd::{LookupBatch, OpKind, RecSsdConfig, SlsOutput, System};
+use recssd::{LookupBatch, OpId, OpKind, OpResult, RecSsdConfig, SlsOutput, System};
 use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
@@ -46,6 +53,12 @@ pub struct ServedTableId(pub usize);
 pub struct ServingConfig {
     /// Number of device shards (each a full simulated [`System`]).
     pub shards: usize,
+    /// Operator queue depth per shard: how many device operators the
+    /// runtime keeps in flight on one shard simultaneously. Depth 1 is
+    /// the classic drain-between-operators regime; deeper pipelines
+    /// overlap NVMe submission, firmware service and flash channel/die
+    /// occupancy across operators.
+    pub depth: usize,
     /// Per-shard system configuration.
     pub system: RecSsdConfig,
     /// Shard-queue scheduling policy.
@@ -55,14 +68,27 @@ pub struct ServingConfig {
 }
 
 impl ServingConfig {
-    /// A small-geometry runtime with the full eight channels per shard.
+    /// A small-geometry runtime with the full eight channels per shard
+    /// and a depth-1 (unpipelined) operator queue.
     pub fn small_wide(shards: usize, policy: SchedulePolicy) -> Self {
         ServingConfig {
             shards,
+            depth: 1,
             system: RecSsdConfig::small_wide(),
             policy,
             layout: PageLayout::Spread,
         }
+    }
+
+    /// Sets the per-shard operator queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        self.depth = depth;
+        self
     }
 }
 
@@ -108,19 +134,72 @@ struct Inflight {
     batch: LookupBatch,
 }
 
+/// One component of a (possibly merged) device operator: the owning
+/// request, its global output slots, and its offset into the merged
+/// output block.
+#[derive(Debug)]
+struct Part {
+    req: u64,
+    slots: Vec<u32>,
+    offset: usize,
+}
+
+/// A device operator in flight on a shard, awaiting harvest.
+#[derive(Debug)]
+struct InflightOp {
+    op: OpId,
+    parts: Vec<Part>,
+}
+
 #[derive(Debug)]
 struct Shard {
     sys: System,
-    busy: bool,
+    /// Operators submitted to `sys` and not yet harvested.
+    inflight: Vec<InflightOp>,
     queue: VecDeque<SubBatch>,
-    deadline_armed: bool,
+    /// Earliest armed shard-tick not yet fired (ticks are only ever
+    /// armed earlier, never cancelled; late duplicates are harmless).
+    next_tick: Option<SimTime>,
+    // --- occupancy / utilisation telemetry ---
+    /// Time-integral of in-flight operator count, in op-nanoseconds.
+    occ_weighted_ns: u64,
+    /// Instant of the last occupancy change.
+    occ_last: SimTime,
+    /// Start of the current stats window.
+    window_start: SimTime,
+    /// Flash channel-busy total at the last stats reset (the flash
+    /// counters are cumulative).
+    chan_busy_base_ns: u64,
+}
+
+impl Shard {
+    /// Accumulates the occupancy integral up to `at` (monotone per
+    /// shard; out-of-window times saturate to zero-length intervals).
+    fn note_occupancy(&mut self, at: SimTime) {
+        let span = at.saturating_since(self.occ_last);
+        self.occ_weighted_ns += self.inflight.len() as u64 * span.as_ns();
+        self.occ_last = self.occ_last.max(at);
+    }
+
+    fn chan_busy_total_ns(&self) -> u64 {
+        self.sys
+            .device()
+            .ftl()
+            .flash()
+            .stats()
+            .channel_busy
+            .iter()
+            .map(|d| d.as_ns())
+            .sum()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Arrival(u64),
-    ShardReady(usize),
-    Deadline(usize),
+    /// Revisit a shard at its next internal event time: advance its
+    /// system clock, harvest finished operators, dispatch more.
+    ShardTick(usize),
     Completed(u64),
 }
 
@@ -139,6 +218,7 @@ struct ServedTable {
 #[derive(Debug)]
 pub struct ServingRuntime {
     policy: SchedulePolicy,
+    depth: usize,
     layout: PageLayout,
     shards: Vec<Shard>,
     tables: Vec<ServedTable>,
@@ -153,6 +233,8 @@ pub struct ServingRuntime {
     out_pool: Vec<SlsOutput>,
     /// Reused reference scratch for [`ServingRuntime::verify_bitmatch`].
     ref_scratch: Vec<f32>,
+    /// Reused harvest scratch (ops completed during one shard sync).
+    harvest_scratch: Vec<(InflightOp, OpResult)>,
 }
 
 impl ServingRuntime {
@@ -163,16 +245,22 @@ impl ServingRuntime {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: &ServingConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.depth > 0, "queue depth must be at least 1");
         let shards = (0..cfg.shards)
             .map(|_| Shard {
                 sys: System::new(cfg.system.clone()),
-                busy: false,
+                inflight: Vec::new(),
                 queue: VecDeque::new(),
-                deadline_armed: false,
+                next_tick: None,
+                occ_weighted_ns: 0,
+                occ_last: SimTime::ZERO,
+                window_start: SimTime::ZERO,
+                chan_busy_base_ns: 0,
             })
             .collect();
         ServingRuntime {
             policy: cfg.policy,
+            depth: cfg.depth,
             layout: cfg.layout,
             shards,
             tables: Vec::new(),
@@ -184,12 +272,18 @@ impl ServingRuntime {
             stats: ServingStats::default(),
             out_pool: Vec::new(),
             ref_scratch: Vec::new(),
+            harvest_scratch: Vec::new(),
         }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Per-shard operator queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// The current global virtual time.
@@ -202,9 +296,56 @@ impl ServingRuntime {
         &self.stats
     }
 
-    /// Resets serving statistics (between warm-up and measurement).
+    /// Resets serving statistics (between warm-up and measurement),
+    /// re-basing the per-shard occupancy and channel-utilisation windows
+    /// at the current instant.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        let now = self.events.now();
+        for s in &mut self.shards {
+            s.occ_weighted_ns = 0;
+            s.occ_last = s.occ_last.max(now);
+            s.window_start = now;
+            s.chan_busy_base_ns = s.chan_busy_total_ns();
+        }
+    }
+
+    /// Time-averaged in-flight operator count per shard since the last
+    /// stats reset (up to the current instant). With depth 1 this is the
+    /// classic utilisation ρ; pipelining shows up as values above 1.
+    pub fn shard_occupancy(&self) -> Vec<f64> {
+        let now = self.events.now();
+        self.shards
+            .iter()
+            .map(|s| {
+                let window = now.saturating_since(s.window_start).as_ns();
+                if window == 0 {
+                    return 0.0;
+                }
+                // Extend the integral to `now` at the current count.
+                let tail = now.saturating_since(s.occ_last).as_ns() * s.inflight.len() as u64;
+                (s.occ_weighted_ns + tail) as f64 / window as f64
+            })
+            .collect()
+    }
+
+    /// Mean flash channel-bus busy fraction per shard since the last
+    /// stats reset — the §2.2 resource whose saturation is the point of
+    /// operator pipelining.
+    pub fn channel_utilisation(&self) -> Vec<f64> {
+        let now = self.events.now();
+        self.shards
+            .iter()
+            .map(|s| {
+                let window = now.saturating_since(s.window_start).as_ns();
+                if window == 0 {
+                    return 0.0;
+                }
+                let channels = s.sys.config().ssd.ftl.flash.geometry.channels as u64;
+                let busy = s.chan_busy_total_ns() - s.chan_busy_base_ns;
+                busy as f64 / (window * channels) as f64
+            })
+            .collect()
     }
 
     /// Direct access to one shard's [`System`] (cache/partition setup).
@@ -272,7 +413,7 @@ impl ServingRuntime {
         let t = &self.tables[table.0];
         let req = self.next_req;
         self.next_req += 1;
-        let subs = split_batch(&t.map, req, table.0, path, &batch, at);
+        let subs = split_batch(&t.map, req, table.0, path, &batch);
         let mut acc = self.out_pool.pop().unwrap_or_default();
         acc.reset(batch.outputs(), t.table.spec().dim);
         self.inflight.insert(
@@ -338,23 +479,14 @@ impl ServingRuntime {
                         .expect("arrival without sub-batches");
                     for (shard, sub) in subs {
                         self.shards[shard].queue.push_back(sub);
-                        self.try_dispatch(shard, now);
+                        self.pump_shard(shard, now);
                     }
                 }
-                Ev::ShardReady(shard) => {
-                    self.shards[shard].busy = false;
-                    self.try_dispatch(shard, now);
-                }
-                Ev::Deadline(shard) => {
-                    // The armed deadline may be stale (its sub-batch was
-                    // size-triggered earlier); re-evaluate the policy for
-                    // whatever fronts the queue now — try_dispatch only
-                    // dispatches if the *current* front's window expired,
-                    // and re-arms otherwise. A queued sub's own deadline
-                    // is never earlier than any previously armed one
-                    // (queues are FIFO), so nothing over-waits.
-                    self.shards[shard].deadline_armed = false;
-                    self.try_dispatch(shard, now);
+                Ev::ShardTick(shard) => {
+                    if self.shards[shard].next_tick == Some(now) {
+                        self.shards[shard].next_tick = None;
+                    }
+                    self.pump_shard(shard, now);
                 }
                 Ev::Completed(req) => {
                     let inf = self.inflight.remove(&req).expect("completed twice");
@@ -398,41 +530,102 @@ impl ServingRuntime {
         done
     }
 
-    /// Dispatches from `shard`'s queue if the policy is satisfied.
-    fn try_dispatch(&mut self, shard: usize, now: SimTime) {
-        let s = &self.shards[shard];
-        if s.busy || s.queue.is_empty() {
-            return;
+    /// One full visit of a shard at the global instant: merge clocks,
+    /// harvest completed operators, dispatch while capacity allows, and
+    /// re-arm the shard's wake-up tick.
+    fn pump_shard(&mut self, shard: usize, now: SimTime) {
+        self.sync_shard(shard, now);
+        while self.shards[shard].inflight.len() < self.depth && !self.shards[shard].queue.is_empty()
+        {
+            self.dispatch_one(shard, now);
         }
-        match self.policy {
-            SchedulePolicy::Fifo => self.dispatch(shard, now),
-            SchedulePolicy::MicroBatch {
-                max_outputs,
-                max_delay,
-            } => {
-                let front = s.queue.front().expect("checked non-empty");
-                let key = front.merge_key();
-                let ready: usize = s
-                    .queue
-                    .iter()
-                    .filter(|sub| sub.merge_key() == key)
-                    .map(|sub| sub.slots.len())
-                    .sum();
-                let deadline = front.enqueued + max_delay;
-                if ready >= max_outputs || now >= deadline {
-                    self.dispatch(shard, now);
-                } else if !s.deadline_armed {
-                    self.shards[shard].deadline_armed = true;
-                    self.events.push_at(deadline, Ev::Deadline(shard));
+        self.arm_tick(shard, now);
+    }
+
+    /// Advances `shard`'s system to the global instant and folds every
+    /// operator that completed at or before it into its owning requests.
+    fn sync_shard(&mut self, shard: usize, now: SimTime) {
+        // Phase 1 (shard borrow): advance the clock, collect finished
+        // operators, and settle the occupancy integral in completion-time
+        // order so it is exact under arbitrary interleavings.
+        let mut harvested = std::mem::take(&mut self.harvest_scratch);
+        {
+            let s = &mut self.shards[shard];
+            s.sys.run_until(now);
+            if s.inflight.is_empty() {
+                self.harvest_scratch = harvested;
+                return;
+            }
+            let mut i = 0;
+            while i < s.inflight.len() {
+                if let Some(result) = s.sys.try_take_result(s.inflight[i].op) {
+                    harvested.push((s.inflight.swap_remove(i), result));
+                } else {
+                    i += 1;
                 }
+            }
+            harvested.sort_by_key(|(_, r)| r.finished);
+            // Walking completions oldest-first: before the k-th one, the
+            // still-unfinished remainder plus every later harvest were
+            // all in flight.
+            let base = s.inflight.len() as u64;
+            let n = harvested.len() as u64;
+            for (k, (_, r)) in harvested.iter().enumerate() {
+                let span = r.finished.saturating_since(s.occ_last);
+                s.occ_weighted_ns += (base + n - k as u64) * span.as_ns();
+                s.occ_last = s.occ_last.max(r.finished);
+            }
+        }
+
+        // Phase 2: fold each harvested operator's partial sums into its
+        // owning requests and schedule completions.
+        for (infop, result) in harvested.drain(..) {
+            let outputs = result.outputs.expect("SLS ops produce outputs");
+            for part in infop.parts {
+                let inf = self.inflight.get_mut(&part.req).expect("in flight");
+                for (i, &slot) in part.slots.iter().enumerate() {
+                    let src = outputs.row(part.offset + i);
+                    for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
+                        *o += *v;
+                    }
+                }
+                inf.first_start = Some(match inf.first_start {
+                    Some(t) => t.min(result.started),
+                    None => result.started,
+                });
+                inf.finish = inf.finish.max(result.finished);
+                inf.pending -= 1;
+                if inf.pending == 0 {
+                    // `inf.finish <= now`: every contribution was
+                    // harvested at a global instant at or after it.
+                    self.events.push_at(now, Ev::Completed(part.req));
+                }
+            }
+            self.shards[shard].sys.recycle_outputs(outputs);
+        }
+        self.harvest_scratch = harvested;
+    }
+
+    /// Arms a wake-up tick at the shard's next internal event time.
+    /// Ticks are monotone: one is only pushed when it is earlier than
+    /// the earliest already armed, so the global queue sees at most a
+    /// handful of (idempotent) ticks per shard event.
+    fn arm_tick(&mut self, shard: usize, now: SimTime) {
+        let s = &mut self.shards[shard];
+        if let Some(t) = s.sys.next_event_time() {
+            let t = t.max(now);
+            if s.next_tick.is_none_or(|armed| t < armed) {
+                s.next_tick = Some(t);
+                self.events.push_at(t, Ev::ShardTick(shard));
             }
         }
     }
 
-    /// Merges the front of `shard`'s queue into one device operator, runs
-    /// it to completion on the shard's system, and folds the partial
-    /// outputs into the owning requests.
-    fn dispatch(&mut self, shard: usize, now: SimTime) {
+    /// Merges the front of `shard`'s queue (plus, under micro-batching,
+    /// every queued mergeable sub-batch up to the output cap) into one
+    /// device operator and submits it — without draining the shard, so
+    /// multiple operators pipeline on the device.
+    fn dispatch_one(&mut self, shard: usize, now: SimTime) {
         let s = &mut self.shards[shard];
         // Select sub-batches: FIFO takes the head; micro-batching drains
         // every queued sub-batch mergeable with the head (in order) up to
@@ -461,10 +654,14 @@ impl ServingRuntime {
         // Merge into one operator-sized batch; remember each component's
         // slice of the merged output block.
         let mut per_output: Vec<Vec<u64>> = Vec::new();
-        let mut parts: Vec<(u64, Vec<u32>, usize)> = Vec::new(); // (req, global slots, offset)
+        let mut parts: Vec<Part> = Vec::new();
         let (table, path) = key;
         for sub in taken {
-            parts.push((sub.req, sub.slots, per_output.len()));
+            parts.push(Part {
+                req: sub.req,
+                slots: sub.slots,
+                offset: per_output.len(),
+            });
             per_output.extend(sub.per_output);
         }
         let merged = LookupBatch::new(per_output);
@@ -475,44 +672,16 @@ impl ServingRuntime {
             SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
         };
 
-        // Run the operator on the shard's own system, re-anchored to the
-        // global instant; its virtual finish time is the service endpoint.
-        s.sys.advance_clock(now);
-        let start = s.sys.now();
+        // Submit onto the shard's system (already synced to `now` by the
+        // caller) and leave it in flight; completions are harvested by
+        // later shard syncs.
+        debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
+        let n_subs = parts.len() as u64;
+        s.note_occupancy(now);
         let op = s.sys.submit(kind);
-        s.sys.run_until_idle();
-        let finish = s.sys.now();
-        let result = s.sys.take_result(op);
-        let outputs = result.outputs.expect("SLS ops produce outputs");
+        s.inflight.push(InflightOp { op, parts });
 
         self.stats.ops_dispatched.inc();
-        self.stats.subs_dispatched.add(parts.len() as u64);
-
-        // Fold each component's rows into its request accumulator via the
-        // flat fused-accumulate path, then recycle the shard buffer.
-        for (req, slots, offset) in parts {
-            let inf = self.inflight.get_mut(&req).expect("in flight");
-            for (i, &slot) in slots.iter().enumerate() {
-                let src = outputs.row(offset + i);
-                for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
-                    *o += *v;
-                }
-            }
-            inf.first_start = Some(match inf.first_start {
-                Some(t) => t.min(start),
-                None => start,
-            });
-            inf.finish = inf.finish.max(finish);
-            inf.pending -= 1;
-            if inf.pending == 0 {
-                let at = inf.finish;
-                self.events.push_at(at, Ev::Completed(req));
-            }
-        }
-        s.sys.recycle_outputs(outputs);
-
-        let s = &mut self.shards[shard];
-        s.busy = true;
-        self.events.push_at(finish, Ev::ShardReady(shard));
+        self.stats.subs_dispatched.add(n_subs);
     }
 }

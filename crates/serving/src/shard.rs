@@ -8,7 +8,6 @@
 //! output slot each local output folds into.
 
 use recssd::{LookupBatch, SlsOptions};
-use recssd_sim::SimTime;
 
 /// Where a request's embedding lookups execute — the three paths the paper
 /// compares, here selectable per request.
@@ -139,8 +138,6 @@ pub(crate) struct SubBatch {
     pub per_output: Vec<Vec<u64>>,
     /// Global output slot per local output.
     pub slots: Vec<u32>,
-    /// When the sub-batch entered its shard queue.
-    pub enqueued: SimTime,
 }
 
 impl SubBatch {
@@ -165,7 +162,6 @@ pub(crate) fn split_batch(
     table: usize,
     path: SlsPath,
     batch: &LookupBatch,
-    enqueued: SimTime,
 ) -> Vec<(usize, SubBatch)> {
     let mut per_shard: Vec<Option<SubBatch>> = (0..map.shards()).map(|_| None).collect();
     for (slot, ids) in batch.per_output().iter().enumerate() {
@@ -179,7 +175,6 @@ pub(crate) fn split_batch(
                 path,
                 per_output: Vec::new(),
                 slots: Vec::new(),
-                enqueued,
             });
             if sub.slots.last() != Some(&(slot as u32)) {
                 sub.slots.push(slot as u32);
@@ -223,7 +218,7 @@ mod tests {
     fn split_preserves_every_lookup() {
         let m = ShardMap::new(100, 3);
         let batch = LookupBatch::new(vec![vec![0, 50, 99, 50], vec![33, 34]]);
-        let subs = split_batch(&m, 7, 0, SlsPath::Dram, &batch, SimTime::ZERO);
+        let subs = split_batch(&m, 7, 0, SlsPath::Dram, &batch);
         let total: usize = subs.iter().map(|(_, s)| s.lookups()).sum();
         assert_eq!(total, batch.total_lookups());
         // Reassemble: every (global row, slot) pair appears exactly once

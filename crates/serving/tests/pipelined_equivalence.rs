@@ -1,0 +1,183 @@
+//! The pipelining tentpole's correctness contract: running a shard with
+//! operator queue depth > 1 changes *when* operators execute and how
+//! their completions interleave, but never *what* they compute. Merged
+//! outputs must stay bit-identical to depth-1 FIFO execution (and to the
+//! unsharded `sls_reference`) on all three backends, and every request
+//! must report exactly the lookups it submitted.
+//!
+//! Procedural tables hold values on the 1/64 grid, so f32 accumulation
+//! is exact and any association of partial sums reproduces the reference
+//! bit for bit — which is what makes completion interleaving invisible.
+
+use proptest::prelude::*;
+use recssd::{LookupBatch, SlsOptions};
+use recssd_embedding::{sls_reference, EmbeddingTable, Quantization, TableSpec};
+use recssd_serving::{
+    LoadGen, LoadMode, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+use recssd_sim::{SimDuration, SimTime};
+
+fn batch_of(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
+    LookupBatch::new(
+        (0..outputs)
+            .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())
+            .collect(),
+    )
+}
+
+fn paths() -> [SlsPath; 3] {
+    [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ]
+}
+
+/// Runs `batches` (with per-request arrival offsets) through a runtime at
+/// the given depth and returns each request's merged output plus its
+/// reported lookup count, in request order.
+fn run_at_depth(
+    shards: usize,
+    depth: usize,
+    policy: SchedulePolicy,
+    table: &EmbeddingTable,
+    batches: &[(LookupBatch, u64)],
+    path: SlsPath,
+) -> Vec<(Vec<Vec<f32>>, usize)> {
+    let cfg = ServingConfig::small_wide(shards, policy).with_depth(depth);
+    let mut rt = ServingRuntime::new(&cfg);
+    let t = rt.add_table(table.clone());
+    for (i, (b, offset_us)) in batches.iter().enumerate() {
+        rt.submit_at(SimTime::from_us(*offset_us), i as u64, t, b.clone(), path);
+    }
+    let mut done = rt.run_until_idle();
+    done.sort_by_key(|d| d.id);
+    done.iter()
+        .map(|d| (d.outputs.to_nested(), d.batch.total_lookups()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Depth>1 == depth-1 FIFO == reference, bit for bit, every backend,
+    /// under randomized arrival staggering (which randomizes how
+    /// operator completions interleave on the pipelined device).
+    #[test]
+    fn any_queue_depth_bit_matches_depth_one_fifo(
+        rows in 16u64..300,
+        dim in 1usize..20,
+        shards in 1usize..4,
+        depth in 2usize..9,
+        outputs in 1usize..4,
+        lookups in 1usize..8,
+        n_batches in 2usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let shards = shards.min(rows as usize);
+        let table = EmbeddingTable::procedural(
+            TableSpec::new(rows, dim, Quantization::F32),
+            seed,
+        );
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x51C0);
+        // Randomized arrival times create runs where the pipeline is
+        // full, half-full and empty, shuffling completion interleavings.
+        let batches: Vec<(LookupBatch, u64)> = (0..n_batches)
+            .map(|_| {
+                let b = batch_of(&mut rng, rows, outputs, lookups);
+                (b, rng.gen_range(0..200))
+            })
+            .collect();
+        let reference: Vec<Vec<Vec<f32>>> =
+            batches.iter().map(|(b, _)| sls_reference(&table, b)).collect();
+
+        for path in paths() {
+            let baseline = run_at_depth(
+                shards, 1, SchedulePolicy::Fifo, &table, &batches, path,
+            );
+            for policy in [
+                SchedulePolicy::Fifo,
+                SchedulePolicy::micro_batch(8),
+            ] {
+                let piped = run_at_depth(shards, depth, policy, &table, &batches, path);
+                for (i, ((out, lookups_done), reference)) in
+                    piped.iter().zip(&reference).enumerate()
+                {
+                    prop_assert_eq!(
+                        out, reference,
+                        "{} path, {} policy, depth {}, request {}: diverged from sls_reference",
+                        path.name(), policy.name(), depth, i
+                    );
+                    prop_assert_eq!(
+                        *lookups_done, batches[i].0.total_lookups(),
+                        "request {} lost lookups", i
+                    );
+                }
+                prop_assert_eq!(
+                    &piped, &baseline,
+                    "{} path, {} policy: depth-{} run != depth-1 FIFO",
+                    path.name(), policy.name(), depth
+                );
+            }
+        }
+    }
+}
+
+/// Pipelining must actually pipeline: at one shard, depth 4 keeps more
+/// than one operator in flight on average under a saturating closed loop
+/// and beats depth-1 FIFO throughput on the NDP path.
+#[test]
+fn depth_four_pipelines_and_outruns_depth_one_on_ndp() {
+    let run = |depth: usize| {
+        let cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+        let mut rt = ServingRuntime::new(&cfg);
+        let table = rt.add_table(EmbeddingTable::procedural(
+            TableSpec::new(2048, 16, Quantization::F32),
+            3,
+        ));
+        let mut gen = LoadGen::new(
+            &rt,
+            vec![table],
+            TrafficSpec {
+                outputs: 4,
+                lookups_per_output: 8,
+                zipf_exponent: 1.2,
+            },
+            LoadMode::Closed {
+                clients: 12,
+                think: SimDuration::ZERO,
+            },
+            5,
+        )
+        .with_verify_every(4);
+        let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 48);
+        assert!(report.verified > 0, "bit-match went unchecked");
+        report
+    };
+    let d1 = run(1);
+    let d4 = run(4);
+    assert!(
+        d1.mean_occupancy() <= 1.0 + 1e-9,
+        "depth 1 cannot exceed one op in flight (got {})",
+        d1.mean_occupancy()
+    );
+    assert!(
+        d4.mean_occupancy() > 1.2,
+        "depth 4 never pipelined: mean occupancy {}",
+        d4.mean_occupancy()
+    );
+    assert!(
+        d4.mean_channel_util() > d1.mean_channel_util(),
+        "pipelining should raise channel utilisation ({} vs {})",
+        d4.mean_channel_util(),
+        d1.mean_channel_util()
+    );
+    assert!(
+        d4.lookups_per_sim_sec >= 1.5 * d1.lookups_per_sim_sec,
+        "depth 4 gained only {:.2}x over depth 1 ({:.0} vs {:.0} lookups/sim-sec)",
+        d4.lookups_per_sim_sec / d1.lookups_per_sim_sec,
+        d4.lookups_per_sim_sec,
+        d1.lookups_per_sim_sec
+    );
+}

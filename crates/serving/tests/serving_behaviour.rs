@@ -108,7 +108,7 @@ fn micro_batching_coalesces_and_amortises() {
         report
     };
     let fifo = run(SchedulePolicy::Fifo);
-    let micro = run(SchedulePolicy::micro_batch(16, SimDuration::from_us(200)));
+    let micro = run(SchedulePolicy::micro_batch(16));
     assert!(
         (fifo.batching_factor - 1.0).abs() < 1e-9,
         "FIFO never merges"
@@ -156,30 +156,28 @@ fn ndp_throughput_scales_with_shard_count() {
 }
 
 #[test]
-fn idle_shard_defers_until_deadline_then_dispatches() {
-    // A single request against an idle micro-batching shard must not wait
-    // longer than max_delay before being served.
-    let max_delay = SimDuration::from_us(100);
-    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(64, max_delay));
+fn idle_micro_batching_shard_dispatches_immediately() {
+    // A request hitting a shard with free operator capacity must begin
+    // service at once — holding a fast path idle hoping for co-batching
+    // material was the 4-shard DRAM anomaly (p95 209 µs vs 41 µs FIFO).
+    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(64));
     let batch = recssd::LookupBatch::new(vec![vec![1, 2, 3]]);
     rt.submit_at(SimTime::ZERO, 0, table, batch, SlsPath::Dram);
     let done = rt.run_until_idle();
     assert_eq!(done.len(), 1);
-    assert!(
-        done[0].queue >= max_delay,
-        "idle shard should have held the batch for the full delay window"
+    assert_eq!(
+        done[0].queue,
+        SimDuration::ZERO,
+        "idle shard deferred an immediately serveable batch by {}",
+        done[0].queue
     );
-    assert!(done[0].queue < max_delay + SimDuration::from_us(10));
 }
 
 #[test]
 fn mixed_tables_and_paths_interleave_without_cross_merging() {
     // Two tables' requests never merge into one operator, but both are
     // served and verified.
-    let cfg = ServingConfig::small_wide(
-        2,
-        SchedulePolicy::micro_batch(32, SimDuration::from_us(500)),
-    );
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(32));
     let mut rt = ServingRuntime::new(&cfg);
     let a = rt.add_table(EmbeddingTable::procedural(
         TableSpec::new(512, 8, Quantization::F32),
@@ -225,24 +223,30 @@ fn closed_loop_issues_exactly_the_requested_count() {
 }
 
 #[test]
-fn stale_deadline_does_not_dispatch_a_later_arrival_early() {
-    // Two arrivals at t=0 size-trigger an immediate dispatch, leaving the
-    // first arrival's armed deadline event stale. A third request arriving
-    // later must still get its own full coalescing window, not be
-    // force-dispatched when the stale event fires.
-    let max_delay = SimDuration::from_us(100);
-    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(2, max_delay));
-    let batch = || recssd::LookupBatch::new(vec![vec![1, 2]]);
-    rt.submit_at(SimTime::ZERO, 0, table, batch(), SlsPath::Dram);
-    rt.submit_at(SimTime::ZERO, 1, table, batch(), SlsPath::Dram);
-    let t2 = SimTime::from_us(20);
-    rt.submit_at(t2, 2, table, batch(), SlsPath::Dram);
+fn saturated_shard_coalesces_queued_mergeable_arrivals() {
+    // Batches form from genuine queueing, not idle waiting: the first
+    // arrival dispatches immediately; three more arriving while the
+    // depth-1 shard is occupied coalesce into one merged operator when
+    // the slot frees.
+    let (mut rt, table) = runtime(1, SchedulePolicy::micro_batch(16));
+    let batch = || recssd::LookupBatch::new(vec![vec![1, 2], vec![3]]);
+    let path = SlsPath::Ndp(SlsOptions::default());
+    rt.submit_at(SimTime::ZERO, 0, table, batch(), path);
+    for c in 1..4u64 {
+        rt.submit_at(SimTime::from_us(c), c, table, batch(), path);
+    }
     let done = rt.run_until_idle();
-    let third = done.iter().find(|d| d.client == 2).expect("served");
-    assert!(
-        third.queue >= max_delay,
-        "third request lost {} of its {} coalescing window to a stale deadline",
-        max_delay - third.queue,
-        max_delay
+    assert_eq!(done.len(), 4);
+    assert_eq!(
+        rt.stats().ops_dispatched.get(),
+        2,
+        "expected one immediate dispatch plus one merged operator"
+    );
+    assert_eq!(rt.stats().subs_dispatched.get(), 4);
+    let first = done.iter().find(|d| d.client == 0).expect("served");
+    assert_eq!(
+        first.queue,
+        SimDuration::ZERO,
+        "head dispatch must not wait"
     );
 }

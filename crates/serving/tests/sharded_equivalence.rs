@@ -14,7 +14,7 @@ use recssd_embedding::{
 };
 use recssd_serving::{SchedulePolicy, ServingConfig, ServingRuntime, SlsPath};
 use recssd_sim::rng::Xoshiro256;
-use recssd_sim::{SimDuration, SimTime};
+use recssd_sim::SimTime;
 
 fn batch_of(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
     LookupBatch::new(
@@ -86,7 +86,7 @@ proptest! {
         for path in paths() {
             for policy in [
                 SchedulePolicy::Fifo,
-                SchedulePolicy::micro_batch(8, SimDuration::from_us(50)),
+                SchedulePolicy::micro_batch(8),
             ] {
                 let sharded = run_sharded(shards, policy, layout, &table, &batches, path);
                 prop_assert_eq!(

@@ -47,6 +47,33 @@ struct CmdState {
 /// Largest number of recycled host-transfer buffers the device keeps.
 const HOST_BUF_POOL_CAP: usize = 1024;
 
+/// Pool insert shared by [`SsdDevice::recycle_buffer`] and
+/// [`crate::DeviceCtx::recycle_buffer`]: exact size classes only.
+pub(crate) fn pool_recycle(pool: &mut Vec<Vec<u8>>, buf: Vec<u8>) {
+    if !buf.is_empty() && buf.capacity() == buf.len() && pool.len() < HOST_BUF_POOL_CAP {
+        pool.push(buf);
+    }
+}
+
+/// Zeroed pool take, used where stale contents could leak through (the
+/// conventional read path leaves unmapped pages untouched, relying on a
+/// zeroed buffer).
+pub(crate) fn pool_take(pool: &mut Vec<Vec<u8>>, len: usize) -> Vec<u8> {
+    let mut buf = pool_take_raw(pool, len);
+    buf.fill(0);
+    buf
+}
+
+/// Exact-`len` buffer with **unspecified contents** — for callers that
+/// overwrite every byte themselves (payload/result encoders), skipping
+/// the redundant memset a zeroed take would pay.
+pub(crate) fn pool_take_raw(pool: &mut Vec<Vec<u8>>, len: usize) -> Vec<u8> {
+    match pool.iter().rposition(|b| b.len() == len) {
+        Some(i) => pool.swap_remove(i),
+        None => vec![0u8; len],
+    }
+}
+
 /// The simulated SSD: NVMe frontend + FTL + flash, with a pluggable NDP
 /// engine. See the [crate docs](crate) for the data-path description.
 #[derive(Debug)]
@@ -114,25 +141,22 @@ impl<X: NdpEngine> SsdDevice<X> {
     /// accumulating. Buffers keep their exact size class; a buffer is only
     /// reused for a command of the same transfer length.
     pub fn recycle_buffer(&mut self, buf: Vec<u8>) {
-        if !buf.is_empty()
-            && buf.capacity() == buf.len()
-            && self.host_buf_pool.len() < HOST_BUF_POOL_CAP
-        {
-            self.host_buf_pool.push(buf);
-        }
+        pool_recycle(&mut self.host_buf_pool, buf);
+    }
+
+    /// A buffer of exactly `len` bytes with **unspecified contents**
+    /// from the transfer-buffer pool (or a fresh allocation). Hosts
+    /// building command payloads pull from here — and overwrite every
+    /// byte — so the payload allocation closes the same recycle loop as
+    /// completion data without a redundant memset.
+    pub fn take_host_buffer(&mut self, len: usize) -> Vec<u8> {
+        pool_take_raw(&mut self.host_buf_pool, len)
     }
 
     /// A zeroed buffer of exactly `len` bytes, reusing a same-sized pooled
     /// buffer when one is available.
     fn take_buffer(&mut self, len: usize) -> Vec<u8> {
-        match self.host_buf_pool.iter().rposition(|b| b.len() == len) {
-            Some(i) => {
-                let mut buf = self.host_buf_pool.swap_remove(i);
-                buf.fill(0);
-                buf
-            }
-            None => vec![0u8; len],
-        }
+        pool_take(&mut self.host_buf_pool, len)
     }
 
     /// The device configuration.
@@ -220,6 +244,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                     pcie,
                     queues,
                     ext,
+                    host_buf_pool,
                     ..
                 } = self;
                 let mut ctx = DeviceCtx {
@@ -227,6 +252,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                     ftl,
                     pcie,
                     queues,
+                    bufs: host_buf_pool,
                     sched,
                 };
                 ext.on_ndp_command(&mut ctx, qid, cmd);
@@ -357,6 +383,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                     pcie,
                     queues,
                     ext,
+                    host_buf_pool,
                     ..
                 } = self;
                 let mut ctx = DeviceCtx {
@@ -364,6 +391,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                     ftl,
                     pcie,
                     queues,
+                    bufs: host_buf_pool,
                     sched,
                 };
                 let claimed = ext.on_ftl_outcome(&mut ctx, &other);
@@ -482,6 +510,7 @@ impl<X: NdpEngine> SsdDevice<X> {
             pcie,
             queues,
             ext,
+            host_buf_pool,
             ..
         } = self;
         let mut ctx = DeviceCtx {
@@ -489,6 +518,7 @@ impl<X: NdpEngine> SsdDevice<X> {
             ftl,
             pcie,
             queues,
+            bufs: host_buf_pool,
             sched,
         };
         let claimed = ext.on_pcie_done(&mut ctx, xfer);

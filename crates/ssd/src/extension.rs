@@ -27,6 +27,10 @@ pub struct DeviceCtx<'a> {
     pub pcie: &'a mut PcieLink,
     /// The NVMe queue pairs (for posting completions).
     pub queues: &'a mut [QueuePair],
+    /// The device's host-transfer-buffer free-list (shared with the
+    /// conventional read path), so engines can serve result blocks from
+    /// recycled buffers and hand spent command payloads back.
+    pub bufs: &'a mut Vec<Vec<u8>>,
     /// Event scheduler into the device's global queue.
     pub sched: &'a mut dyn FnMut(SimDuration, SsdEvent),
 }
@@ -47,6 +51,19 @@ impl DeviceCtx<'_> {
     /// Panics if `qid` is out of range.
     pub fn complete(&mut self, qid: u16, completion: NvmeCompletion) {
         self.queues[qid as usize].complete(completion);
+    }
+
+    /// A buffer of exactly `len` bytes with **unspecified contents**
+    /// from the device's transfer-buffer pool (or a fresh allocation) —
+    /// the caller must overwrite every byte (result encoders do).
+    pub fn take_buffer(&mut self, len: usize) -> Vec<u8> {
+        crate::device::pool_take_raw(self.bufs, len)
+    }
+
+    /// Returns a spent buffer to the device's transfer-buffer pool (see
+    /// [`crate::SsdDevice::recycle_buffer`] for the size-class rule).
+    pub fn recycle_buffer(&mut self, buf: Vec<u8>) {
+        crate::device::pool_recycle(self.bufs, buf);
     }
 }
 

@@ -30,10 +30,7 @@ fn main() {
 
     for (name, policy) in [
         ("FIFO          ", SchedulePolicy::Fifo),
-        (
-            "micro-batching",
-            SchedulePolicy::micro_batch(16, SimDuration::from_us(200)),
-        ),
+        ("micro-batching", SchedulePolicy::micro_batch(16)),
     ] {
         println!("--- {name} scheduler ---");
         for path in [
