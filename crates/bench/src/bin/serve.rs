@@ -1,9 +1,11 @@
 //! Serving-layer benchmark: sweeps shard count × scheduling policy ×
 //! operator queue depth for all three execution paths under closed-loop
-//! Zipf traffic, then sweeps open-loop offered load (Poisson arrivals)
-//! against latency per path, and writes `BENCH_serving.json` (v2 schema)
-//! with throughput, p50/p95/p99/p999 latency, per-shard operator
-//! occupancy and flash channel utilisation.
+//! Zipf traffic, sweeps open-loop offered load (Poisson arrivals)
+//! against latency per path, sweeps hot-fraction × Zipf skew × path for
+//! the frequency-profiled hybrid DRAM+NDP placement subsystem, and
+//! writes `BENCH_serving.json` (v3 schema) with throughput,
+//! p50/p95/p99/p999 latency, per-shard operator occupancy, flash channel
+//! utilisation, DRAM-tier hit-rate and per-tier latency telemetry.
 //!
 //! ```text
 //! cargo run --release -p recssd-bench --bin serve
@@ -13,20 +15,24 @@
 //! At any scale the run asserts the serving subsystem's acceptance bars:
 //! aggregate NDP throughput grows at least 2x from 1 shard to 4 shards,
 //! intra-shard pipelining (queue depth 4) gains at least 1.5x over depth
-//! 1 on the 1-shard NDP FIFO configuration, and a sample of merged
-//! sharded outputs bit-matches `sls_reference`.
+//! 1 on the 1-shard NDP FIFO configuration, hybrid DRAM+NDP placement
+//! beats the all-NDP baseline by at least 1.3x at every swept skew
+//! (all ≥ 0.9), frequency-ordered cold packing does not lower the FTL
+//! page-cache hit rate, and a sample of merged outputs bit-matches
+//! `sls_reference` in every sweep.
 
 use std::fmt::Write as _;
 
 use recssd::SlsOptions;
-use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
+use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
     LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
     TrafficSpec,
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::SimDuration;
-use recssd_trace::ArrivalProcess;
+use recssd_trace::{ArrivalProcess, ZipfTrace};
 
 struct Params {
     tables: usize,
@@ -40,6 +46,15 @@ struct Params {
     /// Offered load as a fraction of the measured pipelined capacity.
     open_loads: &'static [f64],
     open_requests: usize,
+    /// Zipf exponents of the placement sweep (the paper's skew axis).
+    skews: &'static [f64],
+    /// DRAM-tier budgets of the placement sweep, as row fractions
+    /// (0 = the unplaced all-device baseline).
+    hot_fractions: &'static [f64],
+    /// Profiling samples per table feeding the placement plan.
+    profile_samples: usize,
+    /// Rows of the dense-layout packing A/B table.
+    packing_rows: u64,
 }
 
 impl Params {
@@ -60,6 +75,10 @@ impl Params {
                 depths: &[1, 2, 4, 8],
                 open_loads: &[0.25, 0.5, 0.75, 0.95],
                 open_requests: 256,
+                skews: &[1.05, 1.2, 1.5, 2.0],
+                hot_fractions: &[0.0, 0.02, 0.05, 0.1, 0.2],
+                profile_samples: 200_000,
+                packing_rows: 16_384,
             }
         } else {
             Params {
@@ -77,6 +96,10 @@ impl Params {
                 depths: &[1, 2, 4],
                 open_loads: &[0.25, 0.5, 0.75, 0.95],
                 open_requests: 96,
+                skews: &[1.05, 1.2, 1.5],
+                hot_fractions: &[0.0, 0.05, 0.2],
+                profile_samples: 50_000,
+                packing_rows: 8_192,
             }
         }
     }
@@ -175,6 +198,129 @@ fn run_open(p: &Params, path: SlsPath, depth: usize, load: f64, capacity_rps: f6
     }
 }
 
+struct PlacementReport {
+    path: &'static str,
+    skew: f64,
+    hot_fraction: f64,
+    hot_rows: usize,
+    report: LoadReport,
+}
+
+/// Profiles one decorrelated Zipf stream per table at `skew` — static
+/// placement relies on the distribution, not the exact replay, so one
+/// profile serves every (path × hot-fraction) point of that skew.
+fn profile_skew(p: &Params, skew: f64) -> FreqProfiler {
+    let mut prof = FreqProfiler::new();
+    for t in 0..p.tables {
+        let id = prof.add_table(p.rows_per_table);
+        let mut zipf = ZipfTrace::new(p.rows_per_table, skew, 0x9E37 + t as u64 * 7919);
+        prof.profile_zipf(id, &mut zipf, p.profile_samples);
+    }
+    prof
+}
+
+/// One hybrid-placement point: pin the plan's hot rows into the DRAM
+/// tier (no plan = the unplaced all-device baseline) and serve
+/// closed-loop traffic of the profiled skew. Two shards, pipelined
+/// FIFO, like for like across hot fractions.
+fn run_placement(
+    p: &Params,
+    path: SlsPath,
+    depth: usize,
+    skew: f64,
+    hot_fraction: f64,
+    plan: Option<&PlacementPlan>,
+) -> PlacementReport {
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo).with_depth(depth);
+    let mut rt = ServingRuntime::new(&cfg);
+    let mut hot_rows = 0;
+    let tables = (0..p.tables)
+        .map(|t| {
+            let table = EmbeddingTable::procedural(
+                TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
+                t as u64,
+            );
+            match plan {
+                Some(plan) => {
+                    hot_rows += plan.table(t).hot_count();
+                    rt.add_table_placed(table, plan.table(t))
+                }
+                None => rt.add_table(table),
+            }
+        })
+        .collect();
+    let spec = TrafficSpec {
+        zipf_exponent: skew,
+        ..p.spec
+    };
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        spec,
+        LoadMode::Closed {
+            clients: p.clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(&mut rt, path, p.requests);
+    assert!(report.verified > 0, "placement bit-match unchecked");
+    PlacementReport {
+        path: path.name(),
+        skew,
+        hot_fraction,
+        hot_rows,
+        report,
+    }
+}
+
+struct PackingReport {
+    packed: bool,
+    report: LoadReport,
+}
+
+/// Frequency-ordered cold packing A/B: one dense-layout table much
+/// larger than the 32-page FTL cache, zero hot budget (packing only),
+/// NDP path. Packed images put the co-hot head of the Zipf stream on
+/// shared pages, so the FTL page cache covers far more of the traffic.
+fn run_packing(p: &Params, depth: usize, packed: bool) -> PackingReport {
+    let skew = 1.2;
+    let mut cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+    cfg.layout = PageLayout::Dense;
+    let mut rt = ServingRuntime::new(&cfg);
+    let table =
+        EmbeddingTable::procedural(TableSpec::new(p.packing_rows, p.dim, Quantization::F32), 1);
+    let id = if packed {
+        let mut prof = FreqProfiler::new();
+        let t = prof.add_table(p.packing_rows);
+        let mut zipf = ZipfTrace::new(p.packing_rows, skew, 0x9E37);
+        prof.profile_zipf(t, &mut zipf, p.profile_samples);
+        let plan = PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(0.0));
+        rt.add_table_placed(table, plan.table(0))
+    } else {
+        rt.add_table(table)
+    };
+    let spec = TrafficSpec {
+        zipf_exponent: skew,
+        ..p.spec
+    };
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![id],
+        spec,
+        LoadMode::Closed {
+            clients: p.clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), p.requests);
+    assert!(report.verified > 0, "packing bit-match unchecked");
+    PackingReport { packed, report }
+}
+
 fn q_json(q: &Quantiles) -> String {
     format!(
         "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"mean_us\": {:.2}, \"max_us\": {:.2}",
@@ -187,10 +333,16 @@ fn q_json(q: &Quantiles) -> String {
     )
 }
 
-fn write_json(p: &Params, configs: &[ConfigReport], open: &[OpenReport]) -> String {
+fn write_json(
+    p: &Params,
+    configs: &[ConfigReport],
+    open: &[OpenReport],
+    placement: &[PlacementReport],
+    packing: &[PackingReport],
+) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v2\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v3\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -253,6 +405,55 @@ fn write_json(p: &Params, configs: &[ConfigReport], open: &[OpenReport]) -> Stri
             r.queue.p99 as f64 / 1e3,
         );
         s.push_str(if i + 1 < open.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"placement\": [\n");
+    for (i, pl) in placement.iter().enumerate() {
+        let r = &pl.report;
+        let _ = write!(
+            s,
+            "    {{\"path\": \"{}\", \"skew\": {:.2}, \"hot_fraction\": {:.3}, \
+             \"hot_rows\": {}, \"requests\": {}, \"lookups_per_sim_sec\": {:.0}, \
+             \"tier_hit_rate\": {:.4}, \"tier_lookups\": {}, \"tier_occupancy\": {:.3}, \
+             \"tier_p50_us\": {:.2}, \"tier_p99_us\": {:.2}, \
+             \"device_p50_us\": {:.2}, \"device_p99_us\": {:.2}, \
+             \"ftl_cache_hit_rate\": {:.4}, \"ftl_cache_occupancy\": {:.4}, \
+             \"verified\": {}, {}}}",
+            pl.path,
+            pl.skew,
+            pl.hot_fraction,
+            pl.hot_rows,
+            r.requests,
+            r.lookups_per_sim_sec,
+            r.tier_hit_rate,
+            r.tier_lookups,
+            r.tier_occupancy,
+            r.tier_service.p50 as f64 / 1e3,
+            r.tier_service.p99 as f64 / 1e3,
+            r.device_service.p50 as f64 / 1e3,
+            r.device_service.p99 as f64 / 1e3,
+            r.ftl_cache_hit_rate,
+            r.ftl_cache_occupancy,
+            r.verified,
+            q_json(&r.e2e),
+        );
+        s.push_str(if i + 1 < placement.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"packing\": [\n");
+    for (i, pk) in packing.iter().enumerate() {
+        let r = &pk.report;
+        let _ = write!(
+            s,
+            "    {{\"packed\": {}, \"rows\": {}, \"lookups_per_sim_sec\": {:.0}, \
+             \"ftl_cache_hit_rate\": {:.4}, \"ftl_cache_occupancy\": {:.4}, \
+             \"verified\": {}}}",
+            pk.packed,
+            p.packing_rows,
+            r.lookups_per_sim_sec,
+            r.ftl_cache_hit_rate,
+            r.ftl_cache_occupancy,
+            r.verified,
+        );
+        s.push_str(if i + 1 < packing.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
@@ -357,7 +558,86 @@ fn main() {
         }
     }
 
-    let json = write_json(&p, &configs, &open);
+    // Hybrid placement sweep: hot-fraction × skew × path, on the
+    // pipelined 2-shard FIFO configuration.
+    println!(
+        "placement sweep (skews {:?}, hot fractions {:?}, {} requests per point):",
+        p.skews, p.hot_fractions, p.requests
+    );
+    let mut placement = Vec::new();
+    for &skew in p.skews {
+        let prof = profile_skew(&p, skew);
+        for &hot in p.hot_fractions {
+            let plan = (hot > 0.0)
+                .then(|| PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(hot)));
+            for &path in &paths {
+                let pl = run_placement(&p, path, pipe_depth, skew, hot, plan.as_ref());
+                println!(
+                    "{:>8} skew {:.2} hot {:>5.1}% ({:>4} rows): {:>12.0} lookups/sim-sec  \
+                     tier-hit {:>5.1}%  tier-occ {:>4.2}  ftl-cache {:>5.1}%  p99 {:>9.1}us",
+                    pl.path,
+                    pl.skew,
+                    pl.hot_fraction * 100.0,
+                    pl.hot_rows,
+                    pl.report.lookups_per_sim_sec,
+                    pl.report.tier_hit_rate * 100.0,
+                    pl.report.tier_occupancy,
+                    pl.report.ftl_cache_hit_rate * 100.0,
+                    pl.report.e2e.p99 as f64 / 1e3,
+                );
+                placement.push(pl);
+            }
+        }
+    }
+
+    // Acceptance bar 3: at every swept skew (all >= 0.9), the best hybrid
+    // DRAM+NDP configuration beats the all-NDP baseline by >= 1.3x.
+    for &skew in p.skews {
+        let point = |hot: f64| {
+            placement
+                .iter()
+                .find(|pl| pl.path == "ndp" && pl.skew == skew && pl.hot_fraction == hot)
+                .expect("placement point present")
+                .report
+                .lookups_per_sim_sec
+        };
+        let all_ndp = point(0.0);
+        let best = p.hot_fractions[1..]
+            .iter()
+            .map(|&h| point(h))
+            .fold(f64::MIN, f64::max);
+        let gain = best / all_ndp;
+        println!("hybrid DRAM+NDP vs all-NDP at skew {skew:.2}: {gain:.2}x");
+        assert!(
+            gain >= 1.3,
+            "hybrid placement gained only {gain:.2}x over all-NDP at skew {skew:.2}"
+        );
+    }
+
+    // Cold-tail packing A/B: frequency-ordered dense images must not
+    // lower (and should raise) the FTL page-cache hit rate.
+    let packing = vec![
+        run_packing(&p, pipe_depth, false),
+        run_packing(&p, pipe_depth, true),
+    ];
+    let (unpacked, packed) = (&packing[0].report, &packing[1].report);
+    println!(
+        "cold packing (dense, {} rows): ftl-cache {:.1}% -> {:.1}%, \
+         {:.0} -> {:.0} lookups/sim-sec",
+        p.packing_rows,
+        unpacked.ftl_cache_hit_rate * 100.0,
+        packed.ftl_cache_hit_rate * 100.0,
+        unpacked.lookups_per_sim_sec,
+        packed.lookups_per_sim_sec,
+    );
+    assert!(
+        packed.ftl_cache_hit_rate >= unpacked.ftl_cache_hit_rate,
+        "frequency-ordered packing lowered the FTL page-cache hit rate: {:.4} -> {:.4}",
+        unpacked.ftl_cache_hit_rate,
+        packed.ftl_cache_hit_rate
+    );
+
+    let json = write_json(&p, &configs, &open, &placement, &packing);
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");
 }

@@ -43,6 +43,15 @@ impl StaticPartitionBuilder {
         }
     }
 
+    /// Records `n` accesses to `id` at once — the bulk entry point for
+    /// callers that already hold aggregated frequency counts (e.g. the
+    /// placement profiler), avoiding an O(accesses) replay.
+    pub fn observe_count(&mut self, id: u64, n: u64) {
+        if n > 0 {
+            *self.counts.entry(id).or_insert(0) += n;
+        }
+    }
+
     /// Number of distinct ids observed.
     pub fn distinct_ids(&self) -> usize {
         self.counts.len()
@@ -79,6 +88,18 @@ impl StaticPartition {
     /// configuration.
     pub fn empty() -> Self {
         StaticPartition::default()
+    }
+
+    /// Builds a partition from an explicit hot set — for callers that
+    /// already ranked their profile (e.g. the placement planner), so one
+    /// selection is the single source of truth. `profiled_ids` is the
+    /// size of the profiled id universe (feeds
+    /// [`StaticPartition::hot_fraction`]).
+    pub fn from_hot_ids<I: IntoIterator<Item = u64>>(hot: I, profiled_ids: usize) -> Self {
+        StaticPartition {
+            hot: hot.into_iter().collect(),
+            profiled_ids,
+        }
     }
 
     /// `true` if `id` lives in host DRAM.
@@ -152,6 +173,23 @@ mod tests {
     }
 
     #[test]
+    fn observe_count_matches_repeated_observe() {
+        let mut a = StaticPartitionBuilder::new();
+        let mut b = StaticPartitionBuilder::new();
+        for _ in 0..7 {
+            a.observe(3);
+        }
+        a.observe(9);
+        b.observe_count(3, 7);
+        b.observe_count(9, 1);
+        b.observe_count(4, 0); // zero-count ids are not recorded
+        assert_eq!(b.distinct_ids(), 2);
+        let (pa, pb) = (a.build(1), b.build(1));
+        assert!(pa.is_hot(3) && pb.is_hot(3));
+        assert!(!pb.is_hot(9) && !pb.is_hot(4));
+    }
+
+    #[test]
     fn capacity_larger_than_ids_takes_all() {
         let mut b = StaticPartitionBuilder::new();
         b.observe_all([1, 2, 3]);
@@ -176,6 +214,14 @@ mod tests {
         let (hot, cold) = p.split(&[20, 10, 30, 10]);
         assert_eq!(hot, vec![10, 10]);
         assert_eq!(cold, vec![20, 30]);
+    }
+
+    #[test]
+    fn from_hot_ids_builds_the_given_membership() {
+        let p = StaticPartition::from_hot_ids([4, 9], 8);
+        assert!(p.is_hot(4) && p.is_hot(9) && !p.is_hot(1));
+        assert_eq!(p.len(), 2);
+        assert!((p.hot_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

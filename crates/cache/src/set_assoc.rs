@@ -87,6 +87,11 @@ impl<V> SetAssocCache<V> {
         self.stats
     }
 
+    /// Resident fraction: `len / capacity`, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
     /// Resets statistics without touching contents.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
@@ -263,6 +268,15 @@ mod tests {
             set4.stats().hits() > 0,
             "set-associative cache escapes whole-loop thrash"
         );
+    }
+
+    #[test]
+    fn occupancy_tracks_resident_fraction() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(8, 2);
+        assert_eq!(c.occupancy(), 0.0);
+        c.insert(1, 0);
+        c.insert(2, 0);
+        assert_eq!(c.occupancy(), 0.25);
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct EmbeddingTable {
     /// created by [`EmbeddingTable::slice`] views rows
     /// `base_row..base_row + spec.rows` of the parent table.
     base_row: u64,
+    /// Row indirection applied *before* `base_row`: a gather view created
+    /// by [`EmbeddingTable::select`] stores at local row `j` the contents
+    /// of parent row `base_row + remap[j]`.
+    remap: Option<Arc<Vec<u64>>>,
 }
 
 impl EmbeddingTable {
@@ -108,6 +112,7 @@ impl EmbeddingTable {
             spec,
             source: TableSource::Procedural { seed },
             base_row: 0,
+            remap: None,
         }
     }
 
@@ -126,6 +131,7 @@ impl EmbeddingTable {
             spec,
             source: TableSource::Dense(Arc::new(values)),
             base_row: 0,
+            remap: None,
         }
     }
 
@@ -154,13 +160,75 @@ impl EmbeddingTable {
             "slice {range:?} out of range for a {}-row table",
             self.spec.rows
         );
+        let spec = TableSpec {
+            rows: range.end - range.start,
+            ..self.spec
+        };
+        match &self.remap {
+            // A contiguous slice of a gather view is itself a (smaller)
+            // gather view over the same base.
+            Some(m) => EmbeddingTable {
+                spec,
+                source: self.source.clone(),
+                base_row: self.base_row,
+                remap: Some(Arc::new(
+                    m[range.start as usize..range.end as usize].to_vec(),
+                )),
+            },
+            None => EmbeddingTable {
+                spec,
+                source: self.source.clone(),
+                base_row: self.base_row + range.start,
+                remap: None,
+            },
+        }
+    }
+
+    /// A zero-copy *gather* view: local row `j` of the view holds the
+    /// exact contents of row `rows[j]` of this table. Rows may appear in
+    /// any order (and may repeat), which makes this the primitive behind
+    /// frequency-ordered placement — a packed on-flash image stores the
+    /// same vectors as the logical table, just at permuted storage rows,
+    /// and a host DRAM tier views exactly the pinned hot rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or any index is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+    /// let t = EmbeddingTable::procedural(TableSpec::new(100, 8, Quantization::F32), 3);
+    /// let v = t.select(&[90, 7, 7]);
+    /// assert_eq!(v.spec().rows, 3);
+    /// assert_eq!(v.row_f32(0), t.row_f32(90));
+    /// assert_eq!(v.row_f32(1), v.row_f32(2));
+    /// ```
+    pub fn select(&self, rows: &[u64]) -> EmbeddingTable {
+        assert!(!rows.is_empty(), "gather view must select at least one row");
+        let remap: Vec<u64> = rows
+            .iter()
+            .map(|&r| {
+                assert!(
+                    r < self.spec.rows,
+                    "selected row {r} out of range for a {}-row table",
+                    self.spec.rows
+                );
+                match &self.remap {
+                    Some(m) => m[r as usize],
+                    None => r,
+                }
+            })
+            .collect();
         EmbeddingTable {
             spec: TableSpec {
-                rows: range.end - range.start,
+                rows: rows.len() as u64,
                 ..self.spec
             },
             source: self.source.clone(),
-            base_row: self.base_row + range.start,
+            base_row: self.base_row,
+            remap: Some(Arc::new(remap)),
         }
     }
 
@@ -183,6 +251,10 @@ impl EmbeddingTable {
     pub fn raw_value(&self, row: u64, j: usize) -> f32 {
         assert!(row < self.spec.rows, "row out of range");
         assert!(j < self.spec.dim, "feature out of range");
+        let row = match &self.remap {
+            Some(m) => m[row as usize],
+            None => row,
+        };
         let row = self.base_row + row;
         match &self.source {
             TableSource::Procedural { seed } => {
@@ -321,6 +393,42 @@ mod tests {
             vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
         );
         assert_eq!(d.slice(1..3).row_f32(1), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn select_gathers_arbitrary_rows() {
+        let t = EmbeddingTable::procedural(TableSpec::new(100, 4, Quantization::F32), 9);
+        let v = t.select(&[99, 0, 42, 42]);
+        assert_eq!(v.spec().rows, 4);
+        assert_eq!(v.row_f32(0), t.row_f32(99));
+        assert_eq!(v.row_f32(1), t.row_f32(0));
+        assert_eq!(v.row_f32(2), t.row_f32(42));
+        assert_eq!(v.row_f32(3), t.row_f32(42));
+        // Views compose: select of a slice, slice of a select, select of
+        // a select all resolve to the same parent rows.
+        let s = t.slice(30..70);
+        assert_eq!(s.select(&[5]).row_f32(0), t.row_f32(35));
+        assert_eq!(v.slice(2..4).row_f32(0), t.row_f32(42));
+        assert_eq!(v.select(&[1]).row_f32(0), t.row_f32(0));
+        // Dense tables gather too.
+        let d = EmbeddingTable::dense(
+            TableSpec::new(3, 2, Quantization::F32),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        );
+        assert_eq!(d.select(&[2, 0]).row_f32(0), vec![5.0, 6.0]);
+        assert_eq!(d.select(&[2, 0]).row_f32(1), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selected row 5 out of range")]
+    fn select_out_of_range_panics() {
+        EmbeddingTable::procedural(TableSpec::new(5, 2, Quantization::F32), 0).select(&[0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn select_empty_panics() {
+        EmbeddingTable::procedural(TableSpec::new(5, 2, Quantization::F32), 0).select(&[]);
     }
 
     #[test]

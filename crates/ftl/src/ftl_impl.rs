@@ -278,6 +278,11 @@ impl GreedyFtl {
         self.cache.stats()
     }
 
+    /// Resident fraction of the SSD-DRAM page cache (`len / capacity`).
+    pub fn cache_occupancy(&self) -> f64 {
+        self.cache.occupancy()
+    }
+
     /// Resets page-cache hit statistics (between experiment phases).
     pub fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();

@@ -1,0 +1,296 @@
+//! Freezing a heat profile into a placement plan.
+
+use std::ops::Range;
+
+use recssd_cache::StaticPartition;
+
+use crate::{FreqProfiler, TableHeat};
+
+/// How much of each table the plan may pin into the host DRAM tier.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementPolicy {
+    budget: Budget,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Budget {
+    Fraction(f64),
+    Rows(usize),
+}
+
+impl PlacementPolicy {
+    /// Pin the hottest `fraction` of each table's rows (0 disables the
+    /// DRAM tier; packing still applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction <= 1`.
+    pub fn hot_fraction(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "hot fraction must lie in [0, 1]"
+        );
+        PlacementPolicy {
+            budget: Budget::Fraction(fraction),
+        }
+    }
+
+    /// Pin at most `rows` hot rows per table (an absolute DRAM budget).
+    pub fn hot_rows(rows: usize) -> Self {
+        PlacementPolicy {
+            budget: Budget::Rows(rows),
+        }
+    }
+
+    /// The hot-row budget for a table of `rows` rows.
+    pub fn budget_for(&self, rows: u64) -> usize {
+        match self.budget {
+            Budget::Fraction(f) => (f * rows as f64).round() as usize,
+            Budget::Rows(n) => n.min(rows as usize),
+        }
+    }
+}
+
+/// The frozen placement of one table: which rows are DRAM-resident and
+/// how the cold tail is ordered on flash.
+#[derive(Debug, Clone)]
+pub struct TablePlacement {
+    rows: u64,
+    /// Hot rows in descending heat order (tier-local row `j` of the DRAM
+    /// tier's gather view holds parent row `hot_rows[j]`).
+    hot_rows: Vec<u64>,
+    /// Membership test for "resident in host DRAM" (never changes at
+    /// inference time — the property that lets the router decide before
+    /// issuing any device command).
+    partition: StaticPartition,
+    /// Global heat rank per row (0 = hottest); the packing key.
+    heat_rank: Vec<u32>,
+    /// Fraction of profiled accesses landing on the hot set.
+    expected_hit_rate: f64,
+}
+
+impl TablePlacement {
+    /// Builds the placement of one table under `policy`.
+    ///
+    /// The hot set is the `policy` budget's worth of hottest rows that
+    /// were *actually accessed* during profiling (pinning never-accessed
+    /// rows would spend DRAM on rows the profile says are dead).
+    pub fn build(heat: &TableHeat, policy: &PlacementPolicy) -> Self {
+        let rows = heat.rows();
+        let budget = policy.budget_for(rows);
+        let ranking = heat.ranking();
+        let mut heat_rank = vec![0u32; rows as usize];
+        for (i, &r) in ranking.iter().enumerate() {
+            heat_rank[r as usize] = i as u32;
+        }
+        let hot_rows: Vec<u64> = ranking
+            .into_iter()
+            .take(budget)
+            .filter(|&r| heat.count(r) > 0)
+            .collect();
+        // One selection is the source of truth: the membership partition
+        // is built from the very rows the tier will hold.
+        let partition =
+            StaticPartition::from_hot_ids(hot_rows.iter().copied(), heat.accessed_rows());
+        let hot_mass: u64 = hot_rows.iter().map(|&r| heat.count(r)).sum();
+        let expected_hit_rate = if heat.total() == 0 {
+            0.0
+        } else {
+            hot_mass as f64 / heat.total() as f64
+        };
+        TablePlacement {
+            rows,
+            hot_rows,
+            partition,
+            heat_rank,
+            expected_hit_rate,
+        }
+    }
+
+    /// Rows in the placed table.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Hot rows in descending heat order.
+    pub fn hot_rows(&self) -> &[u64] {
+        &self.hot_rows
+    }
+
+    /// Number of DRAM-resident rows.
+    pub fn hot_count(&self) -> usize {
+        self.hot_rows.len()
+    }
+
+    /// `true` if `row` is pinned in the DRAM tier.
+    pub fn is_hot(&self, row: u64) -> bool {
+        self.partition.is_hot(row)
+    }
+
+    /// The underlying membership partition.
+    pub fn partition(&self) -> &StaticPartition {
+        &self.partition
+    }
+
+    /// Fraction of profiled accesses the hot set would have absorbed —
+    /// the DRAM tier's asymptotic hit rate on stationary traffic.
+    pub fn expected_hit_rate(&self) -> f64 {
+        self.expected_hit_rate
+    }
+
+    /// Frequency-ordered page packing of one row range (a shard's slice):
+    /// returns range-local rows in *storage order* — the hottest cold
+    /// rows first, so the still-accessed head of the cold tail shares
+    /// flash pages under a dense layout, and the DRAM-resident hot rows
+    /// last (flash copies that serving traffic never touches).
+    ///
+    /// The result is a permutation of `0..range.len()`: storage slot `s`
+    /// holds range-local row `pack[s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty or exceeds the table.
+    pub fn pack_order(&self, range: Range<u64>) -> Vec<u64> {
+        assert!(
+            range.start < range.end && range.end <= self.rows,
+            "pack range {range:?} out of range for a {}-row table",
+            self.rows
+        );
+        let start = range.start;
+        let mut rows: Vec<u64> = range.collect();
+        rows.sort_by_key(|&r| (self.is_hot(r), self.heat_rank[r as usize]));
+        for r in &mut rows {
+            *r -= start;
+        }
+        rows
+    }
+}
+
+/// The full multi-table plan: one [`TablePlacement`] per profiled table,
+/// in profile order.
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    tables: Vec<TablePlacement>,
+}
+
+impl PlacementPlan {
+    /// Freezes `profiler`'s counts into per-table placements.
+    pub fn build(profiler: &FreqProfiler, policy: &PlacementPolicy) -> Self {
+        PlacementPlan {
+            tables: (0..profiler.tables())
+                .map(|t| TablePlacement::build(profiler.heat(t), policy))
+                .collect(),
+        }
+    }
+
+    /// The placement of table `i` (profile order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn table(&self, i: usize) -> &TablePlacement {
+        &self.tables[i]
+    }
+
+    /// Number of placed tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if the plan places no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates the placements in profile order.
+    pub fn iter(&self) -> impl Iterator<Item = &TablePlacement> {
+        self.tables.iter()
+    }
+
+    /// Total DRAM-resident rows across tables.
+    pub fn total_hot_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.hot_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiled(rows: u64, stream: impl IntoIterator<Item = u64>) -> FreqProfiler {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(rows);
+        p.profile_stream(t, stream);
+        p
+    }
+
+    #[test]
+    fn hot_set_is_top_k_accessed_rows() {
+        let p = profiled(10, [5, 5, 5, 2, 2, 8]);
+        let plan = PlacementPlan::build(&p, &PlacementPolicy::hot_rows(2));
+        let t = plan.table(0);
+        assert_eq!(t.hot_rows(), &[5, 2]);
+        assert!(t.is_hot(5) && t.is_hot(2) && !t.is_hot(8));
+        assert!((t.expected_hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_never_pins_unaccessed_rows() {
+        let p = profiled(100, [1, 1, 3]);
+        // 50-row budget, but only two rows were ever touched.
+        let plan = PlacementPlan::build(&p, &PlacementPolicy::hot_fraction(0.5));
+        let t = plan.table(0);
+        assert_eq!(t.hot_count(), 2);
+        assert_eq!(t.hot_rows(), &[1, 3]);
+        assert!((t.expected_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_disables_the_tier() {
+        let p = profiled(10, [1, 2, 3]);
+        let plan = PlacementPlan::build(&p, &PlacementPolicy::hot_fraction(0.0));
+        assert_eq!(plan.table(0).hot_count(), 0);
+        assert_eq!(plan.total_hot_rows(), 0);
+    }
+
+    #[test]
+    fn pack_order_is_a_cold_first_heat_ordered_permutation() {
+        // Heat: row 4 (3x), row 1 (2x), row 6 (1x); hot budget 1 pins 4.
+        let p = profiled(8, [4, 4, 4, 1, 1, 6]);
+        let plan = PlacementPlan::build(&p, &PlacementPolicy::hot_rows(1));
+        let t = plan.table(0);
+        let pack = t.pack_order(0..8);
+        let mut sorted = pack.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "must be a permutation");
+        // Cold rows by heat (1, 6, then untouched 0,2,3,5,7 by id), hot 4 last.
+        assert_eq!(pack, vec![1, 6, 0, 2, 3, 5, 7, 4]);
+
+        // A sub-range is local to its start.
+        let pack = t.pack_order(4..8);
+        assert_eq!(pack, vec![2, 1, 3, 0]); // local: 6→2 first, then 5,7 cold, 4→0 last
+    }
+
+    #[test]
+    fn fraction_budget_rounds_on_table_size() {
+        let pol = PlacementPolicy::hot_fraction(0.1);
+        assert_eq!(pol.budget_for(4096), 410);
+        assert_eq!(pol.budget_for(5), 1); // 0.5 rounds up
+        assert_eq!(PlacementPolicy::hot_rows(7).budget_for(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn fraction_above_one_rejected() {
+        PlacementPolicy::hot_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a")]
+    fn pack_range_out_of_bounds_panics() {
+        let p = profiled(4, [0]);
+        PlacementPlan::build(&p, &PlacementPolicy::hot_rows(1))
+            .table(0)
+            .pack_order(0..5);
+    }
+}

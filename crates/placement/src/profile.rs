@@ -1,0 +1,205 @@
+//! Access-frequency profiling: traces in, per-table row-heat rankings out.
+
+use recssd_trace::ZipfTrace;
+
+/// Accumulates per-row access counts for a set of tables.
+///
+/// The profiler is the offline half of placement: run representative
+/// traffic through it (the paper profiles "input data" ahead of time,
+/// §4.2), then freeze the counts into a [`crate::PlacementPlan`]. Counts
+/// are dense per table — row id indexes directly — so observation is O(1)
+/// and ranking is one sort at plan-build time.
+#[derive(Debug, Default, Clone)]
+pub struct FreqProfiler {
+    tables: Vec<TableHeat>,
+}
+
+impl FreqProfiler {
+    /// Creates a profiler with no tables.
+    pub fn new() -> Self {
+        FreqProfiler::default()
+    }
+
+    /// Registers a table of `rows` rows, returning its profile index
+    /// (assign in the same order tables are registered with the serving
+    /// runtime so indices line up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn add_table(&mut self, rows: u64) -> usize {
+        assert!(rows > 0, "table must have rows");
+        self.tables.push(TableHeat {
+            counts: vec![0; rows as usize],
+            total: 0,
+        });
+        self.tables.len() - 1
+    }
+
+    /// Number of registered tables.
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Records one access to `row` of `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `row` is out of range.
+    #[inline]
+    pub fn observe(&mut self, table: usize, row: u64) {
+        let t = &mut self.tables[table];
+        t.counts[row as usize] += 1;
+        t.total += 1;
+    }
+
+    /// Records every access produced by `rows`.
+    pub fn profile_stream<I: IntoIterator<Item = u64>>(&mut self, table: usize, rows: I) {
+        for row in rows {
+            self.observe(table, row);
+        }
+    }
+
+    /// Draws `samples` ids from `trace` into `table`'s profile — the
+    /// synthetic stand-in for profiling production traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace produces ids outside the table.
+    pub fn profile_zipf(&mut self, table: usize, trace: &mut ZipfTrace, samples: usize) {
+        for _ in 0..samples {
+            let id = trace.next_id();
+            self.observe(table, id);
+        }
+    }
+
+    /// The accumulated heat of `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    pub fn heat(&self, table: usize) -> &TableHeat {
+        &self.tables[table]
+    }
+}
+
+/// Per-row access counts of one table, with ranking helpers.
+#[derive(Debug, Clone)]
+pub struct TableHeat {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl TableHeat {
+    /// Number of rows profiled.
+    pub fn rows(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Accesses recorded against `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn count(&self, row: u64) -> u64 {
+        self.counts[row as usize]
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rows with at least one recorded access.
+    pub fn accessed_rows(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// All rows ordered by descending access count; ties break toward the
+    /// smaller row id so rankings are deterministic.
+    pub fn ranking(&self) -> Vec<u64> {
+        let mut rows: Vec<u64> = (0..self.rows()).collect();
+        self.rank_in_place(&mut rows);
+        rows
+    }
+
+    /// Orders `rows` (arbitrary subset, e.g. one shard's range) by
+    /// descending heat in place, ties toward smaller row ids.
+    pub fn rank_in_place(&self, rows: &mut [u64]) {
+        rows.sort_by(|&a, &b| {
+            self.counts[b as usize]
+                .cmp(&self.counts[a as usize])
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Fraction of recorded accesses that hit the `k` hottest rows — the
+    /// best possible hit rate of a `k`-entry static DRAM tier on traffic
+    /// distributed like the profile.
+    pub fn mass_of_top(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut counts = self.counts.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u64 = counts.iter().take(k).sum();
+        hot as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_counts_accesses_per_row() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(10);
+        p.profile_stream(t, [3, 3, 3, 7, 7, 1]);
+        let h = p.heat(t);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(7), 2);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.accessed_rows(), 3);
+    }
+
+    #[test]
+    fn ranking_is_heat_descending_with_deterministic_ties() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(5);
+        p.profile_stream(t, [4, 4, 2, 2, 0]);
+        let r = p.heat(t).ranking();
+        // 2 and 4 tie at count 2 → smaller id first; 1 and 3 tie at 0.
+        assert_eq!(r, vec![2, 4, 0, 1, 3]);
+    }
+
+    #[test]
+    fn mass_of_top_reflects_concentration() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(100);
+        p.profile_stream(t, (0..90).map(|_| 5).chain(0..10));
+        let h = p.heat(t);
+        assert!((h.mass_of_top(1) - 0.91).abs() < 1e-12); // row 5: 90+1 of 100
+        assert_eq!(h.mass_of_top(0), 0.0);
+        assert_eq!(h.mass_of_top(100), 1.0);
+    }
+
+    #[test]
+    fn zipf_profiling_concentrates_mass() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(10_000);
+        let mut z = ZipfTrace::new(10_000, 1.3, 11);
+        p.profile_zipf(t, &mut z, 50_000);
+        let h = p.heat(t);
+        assert_eq!(h.total(), 50_000);
+        // 1% of rows must hold far more than 1% of a Zipf(1.3) stream.
+        assert!(h.mass_of_top(100) > 0.3, "{}", h.mass_of_top(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "table must have rows")]
+    fn zero_row_table_rejected() {
+        FreqProfiler::new().add_table(0);
+    }
+}

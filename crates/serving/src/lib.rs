@@ -19,6 +19,15 @@
 //!   overlap across requests instead of draining between operators; at
 //!   one shard, depth 4 roughly doubles NDP FIFO throughput and lifts
 //!   flash channel utilisation from ~40% to ~75%.
+//! * **Hybrid placement** — tables registered through
+//!   [`ServingRuntime::add_table_placed`] carry a frequency-profiled
+//!   `recssd_placement::TablePlacement`: their hottest rows are pinned
+//!   into a host **DRAM tier** (one more pipelined server on the same
+//!   timeline, always serving over the DRAM path), the cold tail is
+//!   packed onto flash in heat order so co-hot rows share pages, and
+//!   every request splits into a DRAM-tier partial plus per-shard device
+//!   sub-batches — merged bit-identically to the unplaced path
+//!   (property-tested in `tests/placement_equivalence.rs`).
 //! * [`SchedulePolicy`] — FIFO, or size-capped micro-batching that
 //!   coalesces *queued* sub-batches touching the same shard into one
 //!   device operator (amortising per-command fixed costs, the
@@ -26,9 +35,12 @@
 //!   capacity always dispatches immediately.
 //! * [`ServingStats`] — per-request queue/service/e2e latency recorded in
 //!   HDR-style log-bucket histograms (p50/p95/p99/p999), plus per-shard
-//!   operator occupancy and flash channel-utilisation telemetry
+//!   operator occupancy, flash channel-utilisation, DRAM-tier hit-rate /
+//!   occupancy / per-tier service-latency and FTL page-cache telemetry
 //!   ([`ServingRuntime::shard_occupancy`] /
-//!   [`ServingRuntime::channel_utilisation`]).
+//!   [`ServingRuntime::channel_utilisation`] /
+//!   [`ServingRuntime::tier_occupancy`] /
+//!   [`ServingRuntime::ftl_cache_stats`]).
 //! * [`LoadGen`] — open-loop (Poisson/uniform arrivals) and closed-loop
 //!   (client population) generators with Zipf-skewed per-table traffic.
 //!

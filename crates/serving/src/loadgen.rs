@@ -77,6 +77,23 @@ pub struct LoadReport {
     /// Mean flash channel-bus busy fraction per shard (see
     /// [`crate::ServingRuntime::channel_utilisation`]).
     pub channel_util: Vec<f64>,
+    /// Fraction of placed-table lookups absorbed by the host DRAM tier
+    /// (0 when the runtime serves no placed tables).
+    pub tier_hit_rate: f64,
+    /// Lookups the DRAM tier served.
+    pub tier_lookups: u64,
+    /// Time-averaged in-flight operator count of the DRAM tier.
+    pub tier_occupancy: f64,
+    /// Service-time quantiles of DRAM-tier operators (ns).
+    pub tier_service: Quantiles,
+    /// Service-time quantiles of device-shard operators (ns) — the other
+    /// half of the per-tier latency split.
+    pub device_service: Quantiles,
+    /// Mean hit rate of the device shards' FTL page caches over the run —
+    /// the counter frequency-ordered cold-tail packing is meant to raise.
+    pub ftl_cache_hit_rate: f64,
+    /// Mean resident fraction of the FTL page caches.
+    pub ftl_cache_occupancy: f64,
 }
 
 impl LoadReport {
@@ -233,6 +250,19 @@ impl LoadGen {
 
         let occupancy = rt.shard_occupancy();
         let channel_util = rt.channel_utilisation();
+        let tier_occupancy = rt.tier_occupancy();
+        let ftl = rt.ftl_cache_stats();
+        let ftl_cache_hit_rate = {
+            let (hits, accesses) = ftl
+                .iter()
+                .fold((0u64, 0u64), |(h, a), s| (h + s.hits(), a + s.accesses()));
+            if accesses == 0 {
+                0.0
+            } else {
+                hits as f64 / accesses as f64
+            }
+        };
+        let ftl_cache_occupancy = mean(&rt.ftl_cache_occupancy());
         let stats = rt.stats();
         LoadReport {
             requests: stats.requests.get(),
@@ -246,6 +276,13 @@ impl LoadGen {
             verified,
             occupancy,
             channel_util,
+            tier_hit_rate: stats.tier_hit_rate(),
+            tier_lookups: stats.tier.hits(),
+            tier_occupancy,
+            tier_service: stats.tier_service.quantiles(),
+            device_service: stats.device_service.quantiles(),
+            ftl_cache_hit_rate,
+            ftl_cache_occupancy,
         }
     }
 

@@ -35,9 +35,11 @@ use std::collections::VecDeque;
 
 use recssd::{LookupBatch, OpId, OpKind, OpResult, RecSsdConfig, SlsOutput, System};
 use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
+use recssd_placement::TablePlacement;
+use recssd_sim::stats::HitStats;
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
-use crate::shard::{split_batch, SubBatch};
+use crate::shard::{split_batch, Routing, SubBatch};
 use crate::{SchedulePolicy, ServingStats, ShardMap, SlsPath};
 
 /// Identifier of a submitted request.
@@ -173,6 +175,19 @@ struct Shard {
 }
 
 impl Shard {
+    fn new(cfg: &RecSsdConfig) -> Self {
+        Shard {
+            sys: System::new(cfg.clone()),
+            inflight: Vec::new(),
+            queue: VecDeque::new(),
+            next_tick: None,
+            occ_weighted_ns: 0,
+            occ_last: SimTime::ZERO,
+            window_start: SimTime::ZERO,
+            chan_busy_base_ns: 0,
+        }
+    }
+
     /// Accumulates the occupancy integral up to `at` (monotone per
     /// shard; out-of-window times saturate to zero-length intervals).
     fn note_occupancy(&mut self, at: SimTime) {
@@ -194,12 +209,21 @@ impl Shard {
     }
 }
 
+/// Which execution resource a sub-batch is queued on: a device shard or
+/// the host DRAM tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ix {
+    Dev(usize),
+    Tier,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Arrival(u64),
-    /// Revisit a shard at its next internal event time: advance its
-    /// system clock, harvest finished operators, dispatch more.
-    ShardTick(usize),
+    /// Revisit a shard (or the DRAM tier) at its next internal event
+    /// time: advance its system clock, harvest finished operators,
+    /// dispatch more.
+    ShardTick(Ix),
     Completed(u64),
 }
 
@@ -211,6 +235,9 @@ struct ServedTable {
     map: ShardMap,
     /// The table's id within each shard's [`System`].
     per_shard: Vec<recssd::TableId>,
+    /// Placement routing (hot set + packed storage order), if the table
+    /// was registered through [`ServingRuntime::add_table_placed`].
+    routing: Option<Routing>,
 }
 
 /// The sharded serving runtime. See the [module docs](self) for the
@@ -220,12 +247,19 @@ pub struct ServingRuntime {
     policy: SchedulePolicy,
     depth: usize,
     layout: PageLayout,
+    /// Per-shard system template, kept to spin up the DRAM tier lazily.
+    system_cfg: RecSsdConfig,
     shards: Vec<Shard>,
+    /// The host DRAM tier: one more pipelined server on the same
+    /// timeline, created by the first placed table with a non-empty hot
+    /// set. Its operators are always [`SlsPath::Dram`] gathers over the
+    /// pinned hot rows.
+    tier: Option<Shard>,
     tables: Vec<ServedTable>,
     events: EventQueue<Ev>,
     inflight: FxHashMap<u64, Inflight>,
     /// Sub-batches of requests whose arrival event has not fired yet.
-    pending_arrivals: FxHashMap<u64, Vec<(usize, SubBatch)>>,
+    pending_arrivals: FxHashMap<u64, Vec<(Ix, SubBatch)>>,
     next_req: u64,
     completed: VecDeque<CompletedRequest>,
     stats: ServingStats,
@@ -246,23 +280,14 @@ impl ServingRuntime {
     pub fn new(cfg: &ServingConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.depth > 0, "queue depth must be at least 1");
-        let shards = (0..cfg.shards)
-            .map(|_| Shard {
-                sys: System::new(cfg.system.clone()),
-                inflight: Vec::new(),
-                queue: VecDeque::new(),
-                next_tick: None,
-                occ_weighted_ns: 0,
-                occ_last: SimTime::ZERO,
-                window_start: SimTime::ZERO,
-                chan_busy_base_ns: 0,
-            })
-            .collect();
+        let shards = (0..cfg.shards).map(|_| Shard::new(&cfg.system)).collect();
         ServingRuntime {
             policy: cfg.policy,
             depth: cfg.depth,
             layout: cfg.layout,
+            system_cfg: cfg.system.clone(),
             shards,
+            tier: None,
             tables: Vec::new(),
             events: EventQueue::new(),
             inflight: FxHashMap::default(),
@@ -298,15 +323,17 @@ impl ServingRuntime {
 
     /// Resets serving statistics (between warm-up and measurement),
     /// re-basing the per-shard occupancy and channel-utilisation windows
-    /// at the current instant.
+    /// at the current instant and clearing the per-shard FTL page-cache
+    /// counters so reported hit rates cover exactly the measured window.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
         let now = self.events.now();
-        for s in &mut self.shards {
+        for s in self.shards.iter_mut().chain(self.tier.as_mut()) {
             s.occ_weighted_ns = 0;
             s.occ_last = s.occ_last.max(now);
             s.window_start = now;
             s.chan_busy_base_ns = s.chan_busy_total_ns();
+            s.sys.device_mut().ftl_mut().reset_cache_stats();
         }
     }
 
@@ -348,6 +375,43 @@ impl ServingRuntime {
             .collect()
     }
 
+    /// `true` once a placed table has pinned rows into the DRAM tier.
+    pub fn has_tier(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Time-averaged in-flight operator count of the DRAM tier since the
+    /// last stats reset (0 when no tier exists).
+    pub fn tier_occupancy(&self) -> f64 {
+        let now = self.events.now();
+        self.tier.as_ref().map_or(0.0, |s| {
+            let window = now.saturating_since(s.window_start).as_ns();
+            if window == 0 {
+                return 0.0;
+            }
+            let tail = now.saturating_since(s.occ_last).as_ns() * s.inflight.len() as u64;
+            (s.occ_weighted_ns + tail) as f64 / window as f64
+        })
+    }
+
+    /// Hit/miss statistics of each device shard's FTL page cache since
+    /// the last stats reset — where frequency-ordered cold-tail packing
+    /// shows up (co-hot rows sharing pages raise this rate).
+    pub fn ftl_cache_stats(&self) -> Vec<HitStats> {
+        self.shards
+            .iter()
+            .map(|s| s.sys.device().ftl().cache_stats())
+            .collect()
+    }
+
+    /// Resident fraction of each device shard's FTL page cache.
+    pub fn ftl_cache_occupancy(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .map(|s| s.sys.device().ftl().cache_occupancy())
+            .collect()
+    }
+
     /// Direct access to one shard's [`System`] (cache/partition setup).
     ///
     /// # Panics
@@ -382,6 +446,82 @@ impl ServingRuntime {
             table,
             map,
             per_shard,
+            routing: None,
+        });
+        id
+    }
+
+    /// Registers `table` under a frequency-profiled placement: the plan's
+    /// hot rows are pinned into the host DRAM tier (a gather view served
+    /// by an extra [`System`] on the same timeline, always over the DRAM
+    /// path), and each shard's on-flash image is re-ordered by
+    /// [`TablePlacement::pack_order`] so the hottest cold rows share
+    /// flash pages. Requests against the table split into a DRAM-tier
+    /// partial plus per-shard device sub-batches and merge bit-identically
+    /// to the unplaced `sls_reference` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement was built for a different row count or the
+    /// table has fewer rows than there are shards.
+    pub fn add_table_placed(
+        &mut self,
+        table: EmbeddingTable,
+        placement: &TablePlacement,
+    ) -> ServedTableId {
+        assert_eq!(
+            placement.rows(),
+            table.spec().rows,
+            "placement was built for a different table shape"
+        );
+        let map = ShardMap::new(table.spec().rows, self.shards.len());
+        let mut storage = Vec::with_capacity(self.shards.len());
+        let per_shard = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, shard)| {
+                let range = map.range(i);
+                let start = range.start;
+                let pack = placement.pack_order(range);
+                let mut inv = vec![0u32; pack.len()];
+                for (slot, &local) in pack.iter().enumerate() {
+                    inv[local as usize] = slot as u32;
+                }
+                storage.push(inv);
+                let packed = table.slice(start..start + pack.len() as u64).select(&pack);
+                let page_bytes = shard.sys.config().ssd.block_bytes();
+                shard
+                    .sys
+                    .add_table(TableImage::new(packed, self.layout, page_bytes))
+            })
+            .collect();
+        let tier_table = (placement.hot_count() > 0).then(|| {
+            if self.tier.is_none() {
+                self.tier = Some(Shard::new(&self.system_cfg));
+            }
+            let tier = self.tier.as_mut().expect("just ensured");
+            let hot_view = table.select(placement.hot_rows());
+            let page_bytes = tier.sys.config().ssd.block_bytes();
+            // Dense layout keeps the tier's (never-read) flash image
+            // within its registry slot whatever the hot count.
+            tier.sys
+                .add_table(TableImage::new(hot_view, PageLayout::Dense, page_bytes))
+        });
+        let mut hot_index = vec![crate::shard::COLD; placement.rows() as usize];
+        for (i, &row) in placement.hot_rows().iter().enumerate() {
+            hot_index[row as usize] = i as u32;
+        }
+        let id = ServedTableId(self.tables.len());
+        self.tables.push(ServedTable {
+            table,
+            map,
+            per_shard,
+            routing: Some(Routing {
+                hot_index,
+                storage,
+                tier_table,
+            }),
         });
         id
     }
@@ -413,7 +553,20 @@ impl ServingRuntime {
         let t = &self.tables[table.0];
         let req = self.next_req;
         self.next_req += 1;
-        let subs = split_batch(&t.map, req, table.0, path, &batch);
+        let (tier_sub, shard_subs) =
+            split_batch(&t.map, t.routing.as_ref(), req, table.0, path, &batch);
+        if t.routing.is_some() {
+            let hot: usize = tier_sub
+                .as_ref()
+                .map_or(0, |s| s.per_output.iter().map(|v| v.len()).sum());
+            self.stats.tier.add_hits(hot as u64);
+            self.stats
+                .tier
+                .add_misses((batch.total_lookups() - hot) as u64);
+        }
+        let mut subs: Vec<(Ix, SubBatch)> = Vec::with_capacity(shard_subs.len() + 1);
+        subs.extend(tier_sub.map(|s| (Ix::Tier, s)));
+        subs.extend(shard_subs.into_iter().map(|(i, s)| (Ix::Dev(i), s)));
         let mut acc = self.out_pool.pop().unwrap_or_default();
         acc.reset(batch.outputs(), t.table.spec().dim);
         self.inflight.insert(
@@ -477,16 +630,16 @@ impl ServingRuntime {
                         .pending_arrivals
                         .remove(&req)
                         .expect("arrival without sub-batches");
-                    for (shard, sub) in subs {
-                        self.shards[shard].queue.push_back(sub);
-                        self.pump_shard(shard, now);
+                    for (ix, sub) in subs {
+                        self.shard_mut(ix).queue.push_back(sub);
+                        self.pump_shard(ix, now);
                     }
                 }
-                Ev::ShardTick(shard) => {
-                    if self.shards[shard].next_tick == Some(now) {
-                        self.shards[shard].next_tick = None;
+                Ev::ShardTick(ix) => {
+                    if self.shard_mut(ix).next_tick == Some(now) {
+                        self.shard_mut(ix).next_tick = None;
                     }
-                    self.pump_shard(shard, now);
+                    self.pump_shard(ix, now);
                 }
                 Ev::Completed(req) => {
                     let inf = self.inflight.remove(&req).expect("completed twice");
@@ -530,27 +683,35 @@ impl ServingRuntime {
         done
     }
 
+    /// The shard (or DRAM tier) addressed by `ix`.
+    fn shard_mut(&mut self, ix: Ix) -> &mut Shard {
+        match ix {
+            Ix::Dev(i) => &mut self.shards[i],
+            Ix::Tier => self.tier.as_mut().expect("tier sub-batch without a tier"),
+        }
+    }
+
     /// One full visit of a shard at the global instant: merge clocks,
     /// harvest completed operators, dispatch while capacity allows, and
     /// re-arm the shard's wake-up tick.
-    fn pump_shard(&mut self, shard: usize, now: SimTime) {
-        self.sync_shard(shard, now);
-        while self.shards[shard].inflight.len() < self.depth && !self.shards[shard].queue.is_empty()
+    fn pump_shard(&mut self, ix: Ix, now: SimTime) {
+        self.sync_shard(ix, now);
+        while self.shard_mut(ix).inflight.len() < self.depth && !self.shard_mut(ix).queue.is_empty()
         {
-            self.dispatch_one(shard, now);
+            self.dispatch_one(ix, now);
         }
-        self.arm_tick(shard, now);
+        self.arm_tick(ix, now);
     }
 
-    /// Advances `shard`'s system to the global instant and folds every
+    /// Advances `ix`'s system to the global instant and folds every
     /// operator that completed at or before it into its owning requests.
-    fn sync_shard(&mut self, shard: usize, now: SimTime) {
+    fn sync_shard(&mut self, ix: Ix, now: SimTime) {
         // Phase 1 (shard borrow): advance the clock, collect finished
         // operators, and settle the occupancy integral in completion-time
         // order so it is exact under arbitrary interleavings.
         let mut harvested = std::mem::take(&mut self.harvest_scratch);
         {
-            let s = &mut self.shards[shard];
+            let s = self.shard_mut(ix);
             s.sys.run_until(now);
             if s.inflight.is_empty() {
                 self.harvest_scratch = harvested;
@@ -580,6 +741,11 @@ impl ServingRuntime {
         // Phase 2: fold each harvested operator's partial sums into its
         // owning requests and schedule completions.
         for (infop, result) in harvested.drain(..) {
+            let service = result.finished.saturating_since(result.started);
+            match ix {
+                Ix::Tier => self.stats.tier_service.record_duration(service),
+                Ix::Dev(_) => self.stats.device_service.record_duration(service),
+            }
             let outputs = result.outputs.expect("SLS ops produce outputs");
             for part in infop.parts {
                 let inf = self.inflight.get_mut(&part.req).expect("in flight");
@@ -601,7 +767,7 @@ impl ServingRuntime {
                     self.events.push_at(now, Ev::Completed(part.req));
                 }
             }
-            self.shards[shard].sys.recycle_outputs(outputs);
+            self.shard_mut(ix).sys.recycle_outputs(outputs);
         }
         self.harvest_scratch = harvested;
     }
@@ -610,13 +776,13 @@ impl ServingRuntime {
     /// Ticks are monotone: one is only pushed when it is earlier than
     /// the earliest already armed, so the global queue sees at most a
     /// handful of (idempotent) ticks per shard event.
-    fn arm_tick(&mut self, shard: usize, now: SimTime) {
-        let s = &mut self.shards[shard];
+    fn arm_tick(&mut self, ix: Ix, now: SimTime) {
+        let s = self.shard_mut(ix);
         if let Some(t) = s.sys.next_event_time() {
             let t = t.max(now);
             if s.next_tick.is_none_or(|armed| t < armed) {
                 s.next_tick = Some(t);
-                self.events.push_at(t, Ev::ShardTick(shard));
+                self.events.push_at(t, Ev::ShardTick(ix));
             }
         }
     }
@@ -625,14 +791,15 @@ impl ServingRuntime {
     /// every queued mergeable sub-batch up to the output cap) into one
     /// device operator and submits it — without draining the shard, so
     /// multiple operators pipeline on the device.
-    fn dispatch_one(&mut self, shard: usize, now: SimTime) {
-        let s = &mut self.shards[shard];
+    fn dispatch_one(&mut self, ix: Ix, now: SimTime) {
+        let policy = self.policy;
+        let s = self.shard_mut(ix);
         // Select sub-batches: FIFO takes the head; micro-batching drains
         // every queued sub-batch mergeable with the head (in order) up to
         // the output cap.
         let head = s.queue.pop_front().expect("dispatch on empty queue");
         let key = head.merge_key();
-        let mut cap = match self.policy {
+        let mut cap = match policy {
             SchedulePolicy::Fifo => head.slots.len(),
             SchedulePolicy::MicroBatch { max_outputs, .. } => max_outputs.max(head.slots.len()),
         };
@@ -665,7 +832,14 @@ impl ServingRuntime {
             per_output.extend(sub.per_output);
         }
         let merged = LookupBatch::new(per_output);
-        let device_table = self.tables[table].per_shard[shard];
+        let device_table = match ix {
+            Ix::Dev(shard) => self.tables[table].per_shard[shard],
+            Ix::Tier => self.tables[table]
+                .routing
+                .as_ref()
+                .and_then(|r| r.tier_table)
+                .expect("tier sub-batch for a table with no hot set"),
+        };
         let kind = match path {
             SlsPath::Dram => OpKind::dram_sls(device_table, merged),
             SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
@@ -675,8 +849,9 @@ impl ServingRuntime {
         // Submit onto the shard's system (already synced to `now` by the
         // caller) and leave it in flight; completions are harvested by
         // later shard syncs.
-        debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
         let n_subs = parts.len() as u64;
+        let s = self.shard_mut(ix);
+        debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
         s.note_occupancy(now);
         let op = s.sys.submit(kind);
         s.inflight.push(InflightOp { op, parts });

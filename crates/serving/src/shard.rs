@@ -154,28 +154,77 @@ impl SubBatch {
     }
 }
 
-/// Splits `batch` (global rows) into per-shard sub-batches. Returns one
-/// entry per shard that owns at least one looked-up row, in shard order.
+/// Sentinel in [`Routing::hot_index`] marking a row as cold
+/// (device-resident).
+pub(crate) const COLD: u32 = u32::MAX;
+
+/// Placement routing state of one served table, frozen from a
+/// [`recssd_placement::TablePlacement`] when the table is registered.
+#[derive(Debug)]
+pub(crate) struct Routing {
+    /// Global row → tier-local row of the DRAM tier's gather view
+    /// (position within the plan's heat-ordered hot list), dense per row
+    /// with [`COLD`] for device-resident rows — the split consults this
+    /// once per lookup, so it is an array access, not a hash probe.
+    pub hot_index: Vec<u32>,
+    /// Per device shard: shard-local logical row → packed storage row of
+    /// the frequency-ordered on-flash image.
+    pub storage: Vec<Vec<u32>>,
+    /// The table's id within the tier [`recssd::System`] (`None` when the
+    /// plan pinned nothing — packing still applies).
+    pub tier_table: Option<recssd::TableId>,
+}
+
+/// Splits `batch` (global rows) into per-shard sub-batches, plus — when
+/// `routing` carries a hot set — a DRAM-tier sub-batch of the hot rows
+/// (always executed over [`SlsPath::Dram`], whatever the request path).
+/// Device-shard rows are translated to packed storage rows so the
+/// frequency-ordered on-flash image is addressed correctly. Returns the
+/// optional tier sub-batch and one entry per device shard that owns at
+/// least one looked-up row, in shard order.
 pub(crate) fn split_batch(
     map: &ShardMap,
+    routing: Option<&Routing>,
     req: u64,
     table: usize,
     path: SlsPath,
     batch: &LookupBatch,
-) -> Vec<(usize, SubBatch)> {
+) -> (Option<SubBatch>, Vec<(usize, SubBatch)>) {
+    let mut tier: Option<SubBatch> = None;
     let mut per_shard: Vec<Option<SubBatch>> = (0..map.shards()).map(|_| None).collect();
+    let new_sub = |path: SlsPath| SubBatch {
+        req,
+        table,
+        path,
+        per_output: Vec::new(),
+        slots: Vec::new(),
+    };
     for (slot, ids) in batch.per_output().iter().enumerate() {
         // Mark which shards this output touches while distributing ids.
         for &row in ids {
-            let shard = map.shard_of(row);
-            let local = map.local_row(row);
-            let sub = per_shard[shard].get_or_insert_with(|| SubBatch {
-                req,
-                table,
-                path,
-                per_output: Vec::new(),
-                slots: Vec::new(),
-            });
+            let (sub, local) = match routing {
+                Some(r) => match r.hot_index[row as usize] {
+                    hot if hot != COLD => (
+                        tier.get_or_insert_with(|| new_sub(SlsPath::Dram)),
+                        u64::from(hot),
+                    ),
+                    _ => {
+                        let shard = map.shard_of(row);
+                        let local = r.storage[shard][map.local_row(row) as usize];
+                        (
+                            per_shard[shard].get_or_insert_with(|| new_sub(path)),
+                            u64::from(local),
+                        )
+                    }
+                },
+                None => {
+                    let shard = map.shard_of(row);
+                    (
+                        per_shard[shard].get_or_insert_with(|| new_sub(path)),
+                        map.local_row(row),
+                    )
+                }
+            };
             if sub.slots.last() != Some(&(slot as u32)) {
                 sub.slots.push(slot as u32);
                 sub.per_output.push(Vec::new());
@@ -183,11 +232,12 @@ pub(crate) fn split_batch(
             sub.per_output.last_mut().expect("just ensured").push(local);
         }
     }
-    per_shard
+    let shards = per_shard
         .into_iter()
         .enumerate()
         .filter_map(|(shard, sub)| sub.map(|s| (shard, s)))
-        .collect()
+        .collect();
+    (tier, shards)
 }
 
 #[cfg(test)]
@@ -218,7 +268,8 @@ mod tests {
     fn split_preserves_every_lookup() {
         let m = ShardMap::new(100, 3);
         let batch = LookupBatch::new(vec![vec![0, 50, 99, 50], vec![33, 34]]);
-        let subs = split_batch(&m, 7, 0, SlsPath::Dram, &batch);
+        let (tier, subs) = split_batch(&m, None, 7, 0, SlsPath::Dram, &batch);
+        assert!(tier.is_none(), "no routing, no tier sub-batch");
         let total: usize = subs.iter().map(|(_, s)| s.lookups()).sum();
         assert_eq!(total, batch.total_lookups());
         // Reassemble: every (global row, slot) pair appears exactly once
@@ -237,6 +288,31 @@ mod tests {
             pairs,
             vec![(0, 0), (33, 1), (34, 1), (50, 0), (50, 0), (99, 0)]
         );
+    }
+
+    #[test]
+    fn routed_split_sends_hot_rows_to_the_tier_and_packs_cold_rows() {
+        // Shards: 0..5, 5..10. Row 7 is hot (tier-local 0); storage is
+        // reversed within each shard.
+        let m = ShardMap::new(10, 2);
+        let mut hot_index = vec![COLD; 10];
+        hot_index[7] = 0;
+        let routing = Routing {
+            hot_index,
+            storage: vec![vec![4, 3, 2, 1, 0], vec![4, 3, 2, 1, 0]],
+            tier_table: None,
+        };
+        let batch = LookupBatch::new(vec![vec![7, 0, 9]]);
+        let (tier, subs) = split_batch(&m, Some(&routing), 1, 0, SlsPath::Dram, &batch);
+        let tier = tier.expect("hot row routed to the tier");
+        assert_eq!(tier.per_output, vec![vec![0]]);
+        assert!(matches!(tier.path, SlsPath::Dram));
+        // Row 0 → shard 0 local 0 → storage 4; row 9 → shard 1 local 4 → 0.
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].1.per_output, vec![vec![4]]);
+        assert_eq!(subs[1].1.per_output, vec![vec![0]]);
+        let total: usize = subs.iter().map(|(_, s)| s.lookups()).sum::<usize>() + tier.lookups();
+        assert_eq!(total, batch.total_lookups());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-request latency telemetry of the serving runtime.
 
-use recssd_sim::stats::{Counter, LogHistogram, Quantiles};
+use recssd_sim::stats::{Counter, HitStats, LogHistogram, Quantiles};
 use recssd_sim::{SimDuration, SimTime};
 
 /// Aggregate serving statistics: request latency decomposed into queueing
@@ -23,6 +23,16 @@ pub struct ServingStats {
     pub ops_dispatched: Counter,
     /// Sub-batches dispatched (`/ ops_dispatched` = mean batching factor).
     pub subs_dispatched: Counter,
+    /// Placement routing of lookups on *placed* tables: a hit is a lookup
+    /// served by the host DRAM tier, a miss goes to a device shard.
+    /// Unplaced tables never touch these counters.
+    pub tier: HitStats,
+    /// Service time of DRAM-tier operators (start → finish, per operator).
+    pub tier_service: LogHistogram,
+    /// Service time of device-shard operators (start → finish, per
+    /// operator) — the NDP/baseline/DRAM-path half of the per-tier
+    /// latency split.
+    pub device_service: LogHistogram,
     first_arrival: Option<SimTime>,
     last_finish: SimTime,
 }
@@ -80,6 +90,16 @@ impl ServingStats {
     /// End-to-end latency quantile summary.
     pub fn e2e_quantiles(&self) -> Quantiles {
         self.e2e.quantiles()
+    }
+
+    /// Fraction of placed-table lookups absorbed by the DRAM tier (0 when
+    /// no placed table served traffic).
+    pub fn tier_hit_rate(&self) -> f64 {
+        if self.tier.accesses() == 0 {
+            0.0
+        } else {
+            self.tier.hit_rate()
+        }
     }
 
     /// Resets all statistics.

@@ -1,0 +1,207 @@
+//! The placement subsystem's correctness contract: hybrid DRAM-tier +
+//! packed-flash serving produces **bit-identical** outputs to the
+//! unplaced `sls_reference` path — for any profile, any hot budget, any
+//! sharding, any layout, on all three execution backends and both
+//! scheduling policies, regardless of how tier and shard partials
+//! interleave.
+//!
+//! Procedural tables hold values on the 1/64 grid, so f32 accumulation
+//! is exact and any association of DRAM-tier + per-shard partial sums
+//! reproduces the reference bit for bit.
+
+use proptest::prelude::*;
+use recssd::{LookupBatch, SlsOptions};
+use recssd_embedding::{sls_reference, EmbeddingTable, PageLayout, Quantization, TableSpec};
+use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy};
+use recssd_serving::{SchedulePolicy, ServingConfig, ServingRuntime, SlsPath};
+use recssd_sim::rng::Xoshiro256;
+use recssd_sim::SimTime;
+
+fn batch_of(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
+    LookupBatch::new(
+        (0..outputs)
+            .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())
+            .collect(),
+    )
+}
+
+fn paths() -> [SlsPath; 3] {
+    [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ]
+}
+
+/// A skewed profile: a small scattered hot set plus a uniform tail, the
+/// §3.1 shape placement exists to exploit.
+fn skewed_profile(rows: u64, seed: u64) -> FreqProfiler {
+    let mut prof = FreqProfiler::new();
+    let t = prof.add_table(rows);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let hot_set = (rows / 8).max(1);
+    for _ in 0..2_000 {
+        let row = if rng.gen_bool(0.75) {
+            rng.gen_range(0..hot_set) * 7919 % rows
+        } else {
+            rng.gen_range(0..rows)
+        };
+        prof.observe(t, row);
+    }
+    prof
+}
+
+fn run_placed(
+    shards: usize,
+    policy: SchedulePolicy,
+    layout: PageLayout,
+    table: &EmbeddingTable,
+    plan: Option<&PlacementPlan>,
+    batches: &[LookupBatch],
+    path: SlsPath,
+) -> Vec<Vec<Vec<f32>>> {
+    let mut cfg = ServingConfig::small_wide(shards, policy);
+    cfg.layout = layout;
+    let mut rt = ServingRuntime::new(&cfg);
+    let t = match plan {
+        Some(plan) => rt.add_table_placed(table.clone(), plan.table(0)),
+        None => rt.add_table(table.clone()),
+    };
+    for (i, b) in batches.iter().enumerate() {
+        // Stagger arrivals so queues form and merging has material.
+        rt.submit_at(SimTime::from_us(i as u64), i as u64, t, b.clone(), path);
+    }
+    let mut done = rt.run_until_idle();
+    done.sort_by_key(|d| d.id);
+    for d in &done {
+        rt.verify_bitmatch(d);
+    }
+    done.iter().map(|d| d.outputs.to_nested()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Hybrid placement == unplaced sharding == reference, bit for bit,
+    /// every backend, every policy, every layout.
+    #[test]
+    fn any_placement_bit_matches_the_unplaced_path(
+        rows in 16u64..300,
+        dim in 1usize..20,
+        shards in 2usize..5,
+        hot_tenths in 0u32..11,
+        outputs in 1usize..4,
+        lookups in 1usize..8,
+        n_batches in 1usize..4,
+        seed in 0u64..10_000,
+        dense in proptest::bool::ANY,
+    ) {
+        let shards = shards.min(rows as usize);
+        let layout = if dense { PageLayout::Dense } else { PageLayout::Spread };
+        let table = EmbeddingTable::procedural(
+            TableSpec::new(rows, dim, Quantization::F32),
+            seed,
+        );
+        let prof = skewed_profile(rows, seed ^ 0x5EED);
+        let policy = PlacementPolicy::hot_fraction(hot_tenths as f64 / 10.0);
+        let plan = PlacementPlan::build(&prof, &policy);
+
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+        let batches: Vec<LookupBatch> = (0..n_batches)
+            .map(|_| batch_of(&mut rng, rows, outputs, lookups))
+            .collect();
+        let reference: Vec<Vec<Vec<f32>>> =
+            batches.iter().map(|b| sls_reference(&table, b)).collect();
+
+        for path in paths() {
+            for sched in [SchedulePolicy::Fifo, SchedulePolicy::micro_batch(8)] {
+                let placed = run_placed(
+                    shards, sched, layout, &table, Some(&plan), &batches, path,
+                );
+                prop_assert_eq!(
+                    &placed, &reference,
+                    "{} path, {} policy, {} shards, hot {}/10: placed output \
+                     diverged from sls_reference",
+                    path.name(), sched.name(), shards, hot_tenths
+                );
+                let unplaced = run_placed(
+                    shards, sched, layout, &table, None, &batches, path,
+                );
+                prop_assert_eq!(
+                    &placed, &unplaced,
+                    "{} path: placed output != unplaced output",
+                    path.name()
+                );
+            }
+        }
+    }
+}
+
+/// With every accessed row pinned hot, the DRAM tier absorbs all the
+/// traffic it was profiled on and the device shards see none of it.
+#[test]
+fn full_hot_coverage_routes_everything_to_the_tier() {
+    let rows = 256u64;
+    let table = EmbeddingTable::procedural(TableSpec::new(rows, 8, Quantization::F32), 2);
+    let mut prof = FreqProfiler::new();
+    let t = prof.add_table(rows);
+    prof.profile_stream(t, 0..rows); // every row accessed once
+    let plan = PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(1.0));
+
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo);
+    let mut rt = ServingRuntime::new(&cfg);
+    let id = rt.add_table_placed(table, plan.table(0));
+    assert!(rt.has_tier());
+    let mut rng = Xoshiro256::seed_from(9);
+    for i in 0..8u64 {
+        let batch = batch_of(&mut rng, rows, 2, 6);
+        rt.submit_at(
+            SimTime::from_us(i),
+            i,
+            id,
+            batch,
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    let done = rt.run_until_idle();
+    assert_eq!(done.len(), 8);
+    for d in &done {
+        rt.verify_bitmatch(d);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.tier.misses(), 0, "no lookup may reach a device shard");
+    assert_eq!(stats.tier.hits(), 8 * 2 * 6);
+    assert_eq!(stats.tier_hit_rate(), 1.0);
+    assert!(stats.tier_service.quantiles().count > 0);
+    assert_eq!(stats.device_service.quantiles().count, 0);
+}
+
+/// A zero hot budget still packs the flash image (and still bit-matches);
+/// the runtime never spins up a tier for it.
+#[test]
+fn zero_budget_packs_without_a_tier() {
+    let rows = 128u64;
+    let table = EmbeddingTable::procedural(TableSpec::new(rows, 4, Quantization::F32), 3);
+    let prof = skewed_profile(rows, 77);
+    let plan = PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(0.0));
+
+    let mut cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo);
+    cfg.layout = PageLayout::Dense;
+    let mut rt = ServingRuntime::new(&cfg);
+    let id = rt.add_table_placed(table.clone(), plan.table(0));
+    assert!(!rt.has_tier());
+    let mut rng = Xoshiro256::seed_from(1);
+    let batch = batch_of(&mut rng, rows, 3, 10);
+    let reference = sls_reference(&table, &batch);
+    rt.submit_at(
+        SimTime::ZERO,
+        0,
+        id,
+        batch,
+        SlsPath::Ndp(SlsOptions::default()),
+    );
+    let done = rt.run_until_idle();
+    assert_eq!(done[0].outputs.to_nested(), reference);
+    assert_eq!(rt.stats().tier.hits(), 0);
+    assert_eq!(rt.stats().tier_hit_rate(), 0.0);
+}

@@ -1,0 +1,91 @@
+//! Property tests of the Zipf sampler: the empirical frequency-rank
+//! curve must match the configured skew (a power law `f(k) ∝ k^-s` is a
+//! line of slope `-s` in log-log space), and streams must be
+//! reproducible per seed — the contract the placement profiler and the
+//! serving load generator both build on.
+
+use proptest::prelude::*;
+use recssd_trace::ZipfTrace;
+
+/// Least-squares slope of `log f(k)` against `log k` over the top ranks.
+fn rank_slope(rows: u64, s: f64, seed: u64, samples: usize, top: usize) -> f64 {
+    let mut z = ZipfTrace::new(rows, s, seed).without_scatter();
+    let mut freq = vec![0u64; top];
+    for _ in 0..samples {
+        let id = z.next_id() as usize;
+        if id < top {
+            freq[id] += 1;
+        }
+    }
+    let pts: Vec<(f64, f64)> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(k, &f)| (((k + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    assert!(pts.len() >= 3, "degenerate rank histogram");
+    let n = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(x, y), p| (x + p.0, y + p.1));
+    let (sxx, sxy): (f64, f64) = pts
+        .iter()
+        .fold((0.0, 0.0), |(xx, xy), p| (xx + p.0 * p.0, xy + p.0 * p.1));
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The log-log frequency-rank slope over the head of the
+    /// distribution recovers the configured exponent.
+    #[test]
+    fn frequency_rank_slope_matches_configured_skew(
+        s_tenths in 11u32..20,
+        seed in 0u64..1_000,
+    ) {
+        let s = s_tenths as f64 / 10.0;
+        let slope = rank_slope(50_000, s, seed, 300_000, 16);
+        prop_assert!(
+            (slope + s).abs() < 0.2,
+            "Zipf({s}) produced rank slope {slope:.3}, expected {:.3}",
+            -s
+        );
+    }
+
+    /// Same seed → identical stream; different seed → different stream
+    /// (with and without rank scattering).
+    #[test]
+    fn streams_are_deterministic_per_seed(
+        s_tenths in 11u32..25,
+        seed in 0u64..10_000,
+        rows in 100u64..1_000_000,
+        scatter in proptest::bool::ANY,
+    ) {
+        let s = s_tenths as f64 / 10.0;
+        let make = |seed| {
+            let z = ZipfTrace::new(rows, s, seed);
+            if scatter { z } else { z.without_scatter() }
+        };
+        let a = make(seed).take_ids(512);
+        let b = make(seed).take_ids(512);
+        prop_assert_eq!(&a, &b, "identical seeds must replay identically");
+        prop_assert!(a.iter().all(|&id| id < rows), "ids must stay in range");
+        let c = make(seed ^ 0xDEAD_BEEF).take_ids(512);
+        prop_assert_ne!(&a, &c, "distinct seeds must decorrelate");
+    }
+
+    /// Steeper exponents concentrate strictly more mass on the hottest
+    /// rank — monotonicity the hot-fraction sweep relies on.
+    #[test]
+    fn head_mass_grows_with_skew(seed in 0u64..1_000) {
+        let head = |s: f64| {
+            let mut z = ZipfTrace::new(10_000, s, seed).without_scatter();
+            (0..50_000).filter(|_| z.next_id() == 0).count()
+        };
+        let mild = head(1.1);
+        let steep = head(1.8);
+        prop_assert!(
+            steep > mild,
+            "Zipf(1.8) head {steep} not above Zipf(1.1) head {mild}"
+        );
+    }
+}

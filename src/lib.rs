@@ -30,6 +30,7 @@ pub use recssd_flash;
 pub use recssd_ftl;
 pub use recssd_models;
 pub use recssd_nvme;
+pub use recssd_placement;
 pub use recssd_serving;
 pub use recssd_sim;
 pub use recssd_ssd;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use recssd_models::{
         BatchGen, EmbeddingMode, MlpSpec, ModelClass, ModelConfig, ModelInstance,
     };
+    pub use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy, TablePlacement};
     pub use recssd_serving::{
         LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, ShardMap,
         SlsPath, TrafficSpec,
