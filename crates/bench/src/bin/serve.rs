@@ -2,10 +2,13 @@
 //! operator queue depth for all three execution paths under closed-loop
 //! Zipf traffic, sweeps open-loop offered load (Poisson arrivals)
 //! against latency per path, sweeps hot-fraction × Zipf skew × path for
-//! the frequency-profiled hybrid DRAM+NDP placement subsystem, and
-//! writes `BENCH_serving.json` (v3 schema) with throughput,
+//! the frequency-profiled hybrid DRAM+NDP placement subsystem, runs a
+//! drifting-skew sweep (stale static plan vs the online-adaptive runtime
+//! vs a per-phase oracle) plus a baseline-path pipelining A/B, and
+//! writes `BENCH_serving.json` (v4 schema) with throughput,
 //! p50/p95/p99/p999 latency, per-shard operator occupancy, flash channel
-//! utilisation, DRAM-tier hit-rate and per-tier latency telemetry.
+//! utilisation, DRAM-tier hit-rate, per-tier latency and plan-refresh /
+//! migration telemetry.
 //!
 //! ```text
 //! cargo run --release -p recssd-bench --bin serve
@@ -18,21 +21,24 @@
 //! 1 on the 1-shard NDP FIFO configuration, hybrid DRAM+NDP placement
 //! beats the all-NDP baseline by at least 1.3x at every swept skew
 //! (all ≥ 0.9), frequency-ordered cold packing does not lower the FTL
-//! page-cache hit rate, and a sample of merged outputs bit-matches
-//! `sls_reference` in every sweep.
+//! page-cache hit rate, online-adaptive placement recovers at least 70%
+//! of the per-phase-oracle throughput under churning skew while the
+//! stale static plan falls below it, heat-packed storage gives the
+//! baseline path at least 1.25x from queue depth 1 to 4, and a sample of
+//! merged outputs bit-matches `sls_reference` in every sweep.
 
 use std::fmt::Write as _;
 
 use recssd::SlsOptions;
 use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
-use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy};
+use recssd_placement::{plan_delta, FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
-    LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
-    TrafficSpec,
+    AdaptivePolicy, LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime,
+    SlsPath, TrafficSpec,
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::SimDuration;
-use recssd_trace::{ArrivalProcess, ZipfTrace};
+use recssd_trace::{ArrivalProcess, DriftingZipf, RowStream, ZipfTrace};
 
 struct Params {
     tables: usize,
@@ -55,6 +61,25 @@ struct Params {
     profile_samples: usize,
     /// Rows of the dense-layout packing A/B table.
     packing_rows: u64,
+    /// Drift sweep: rotation phases (phase 0 included).
+    drift_phases: u64,
+    /// Drift sweep: requests served per phase.
+    drift_requests_per_phase: usize,
+    /// Drift sweep: Zipf skew of the rotating distribution.
+    drift_skew: f64,
+    /// Drift sweep: fraction of the rank mapping that churns per phase.
+    drift_churn: f64,
+    /// Drift sweep: global DRAM row budget (all tables together) — kept
+    /// small enough that the head it buys is *learnable* from live
+    /// traffic, the regime where online re-profiling can actually chase
+    /// the oracle.
+    drift_budget_rows: usize,
+    /// Adaptive arm: admissions per re-planning epoch.
+    drift_epoch_requests: u64,
+    /// Drift sweep: closed-loop client population (high enough that
+    /// throughput reflects capacity — i.e. miss rate — not per-request
+    /// latency).
+    drift_clients: usize,
 }
 
 impl Params {
@@ -79,6 +104,13 @@ impl Params {
                 hot_fractions: &[0.0, 0.02, 0.05, 0.1, 0.2],
                 profile_samples: 200_000,
                 packing_rows: 16_384,
+                drift_phases: 4,
+                drift_requests_per_phase: 768,
+                drift_skew: 1.5,
+                drift_churn: 0.35,
+                drift_budget_rows: 512,
+                drift_epoch_requests: 96,
+                drift_clients: 64,
             }
         } else {
             Params {
@@ -100,6 +132,13 @@ impl Params {
                 hot_fractions: &[0.0, 0.05, 0.2],
                 profile_samples: 50_000,
                 packing_rows: 8_192,
+                drift_phases: 4,
+                drift_requests_per_phase: 384,
+                drift_skew: 1.5,
+                drift_churn: 0.35,
+                drift_budget_rows: 128,
+                drift_epoch_requests: 48,
+                drift_clients: 48,
             }
         }
     }
@@ -321,6 +360,284 @@ fn run_packing(p: &Params, depth: usize, packed: bool) -> PackingReport {
     PackingReport { packed, report }
 }
 
+/// One arm of the drift sweep: aggregate throughput plus per-phase
+/// tier-hit and refresh telemetry.
+struct DriftArm {
+    arm: &'static str,
+    lookups_per_sim_sec: f64,
+    plan_refreshes: u64,
+    rows_promoted: u64,
+    rows_demoted: u64,
+    migration_lookups: u64,
+    phase_tput: Vec<f64>,
+    phase_tier_hit: Vec<f64>,
+}
+
+fn drift_seed(t: usize) -> u64 {
+    0xD41F7 + t as u64 * 7919
+}
+
+/// Request shape of the drift sweep: small requests keep the fully-hot
+/// request fraction (≈ hit_rate^lookups, the quantity that actually
+/// gates hybrid throughput) from amplifying tiny hit-rate gaps into
+/// cliff edges, so the sweep measures adaptation rather than the tail of
+/// the binomial.
+fn drift_spec(p: &Params) -> TrafficSpec {
+    TrafficSpec {
+        zipf_exponent: p.drift_skew,
+        ..p.spec
+    }
+}
+
+/// Draws per table, per phase, of the drifting stream (the generator is
+/// shared round-robin across tables, so each table sees `1/tables` of
+/// the phase's requests).
+fn drift_period(p: &Params) -> u64 {
+    (p.drift_requests_per_phase / p.tables) as u64 * drift_spec(p).lookups_per_request() as u64
+}
+
+/// The stationary profile of one drift phase, via pinned clones of the
+/// traffic generators — what an oracle that knows the phase's
+/// distribution would profile.
+fn profile_drift_phase(p: &Params, phase: u64) -> FreqProfiler {
+    let mut prof = FreqProfiler::new();
+    for t in 0..p.tables {
+        let id = prof.add_table(p.rows_per_table);
+        let mut pinned = DriftingZipf::new(
+            p.rows_per_table,
+            p.drift_skew,
+            drift_seed(t),
+            drift_period(p),
+        )
+        .with_churn(p.drift_churn)
+        .pinned(phase);
+        prof.profile_stream(id, (0..p.profile_samples).map(|_| pinned.next_id()));
+    }
+    prof
+}
+
+/// Registers every table under `plan` on a fresh 2-shard pipelined
+/// runtime.
+fn drift_runtime(
+    p: &Params,
+    depth: usize,
+    plan: &PlacementPlan,
+) -> (ServingRuntime, Vec<recssd_serving::ServedTableId>) {
+    // Micro-batching amortises per-command fixed costs across requests,
+    // so capacity tracks *cold lookup volume* — the quantity placement
+    // actually controls — rather than per-request round-trips.
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(16)).with_depth(depth);
+    let mut rt = ServingRuntime::new(&cfg);
+    let tables = (0..p.tables)
+        .map(|t| {
+            let table = EmbeddingTable::procedural(
+                TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
+                t as u64,
+            );
+            rt.add_table_placed(table, plan.table(t))
+        })
+        .collect();
+    (rt, tables)
+}
+
+fn drift_gen(
+    p: &Params,
+    rt: &ServingRuntime,
+    tables: &[recssd_serving::ServedTableId],
+    streams: Vec<RowStream>,
+) -> LoadGen {
+    let spec = drift_spec(p);
+    LoadGen::new(
+        rt,
+        tables.to_vec(),
+        spec,
+        LoadMode::Closed {
+            clients: p.drift_clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_streams(streams)
+    .with_verify_every(p.verify_every)
+}
+
+fn fold_drift_arm(arm: &'static str, phases: &[LoadReport]) -> DriftArm {
+    let lookups: u64 = phases.iter().map(|r| r.lookups).sum();
+    let secs: f64 = phases.iter().map(|r| r.makespan.as_secs_f64()).sum();
+    DriftArm {
+        arm,
+        lookups_per_sim_sec: lookups as f64 / secs,
+        plan_refreshes: phases.iter().map(|r| r.plan_refreshes).sum(),
+        rows_promoted: phases.iter().map(|r| r.rows_promoted).sum(),
+        rows_demoted: phases.iter().map(|r| r.rows_demoted).sum(),
+        migration_lookups: phases.iter().map(|r| r.migration_lookups).sum(),
+        phase_tput: phases.iter().map(|r| r.lookups_per_sim_sec).collect(),
+        phase_tier_hit: phases.iter().map(|r| r.tier_hit_rate).collect(),
+    }
+}
+
+/// The drift sweep: rotating-skew traffic served by (a) a static plan
+/// profiled on phase 0 that goes stale, (b) the online-adaptive runtime
+/// (decayed re-profiling + global-budget re-planning + live migration),
+/// and (c) a per-phase oracle upper bound whose plan always matches the
+/// current phase for free.
+fn run_drift(p: &Params, depth: usize) -> Vec<DriftArm> {
+    let path = SlsPath::Ndp(SlsOptions::default());
+    let period = drift_period(p);
+    let phase0_plan = PlacementPlan::build_global(&profile_drift_phase(p, 0), p.drift_budget_rows);
+    let drifting_streams = || -> Vec<RowStream> {
+        (0..p.tables)
+            .map(|t| {
+                RowStream::Drifting(
+                    DriftingZipf::new(p.rows_per_table, p.drift_skew, drift_seed(t), period)
+                        .with_churn(p.drift_churn),
+                )
+            })
+            .collect()
+    };
+
+    let mut arms = Vec::new();
+    for arm in ["stale", "adaptive"] {
+        let (mut rt, tables) = drift_runtime(p, depth, &phase0_plan);
+        if arm == "adaptive" {
+            rt.enable_adaptive(AdaptivePolicy {
+                epoch_requests: p.drift_epoch_requests,
+                decay: 0.8,
+                budget_rows: p.drift_budget_rows,
+                min_hit_gain: 0.03,
+            });
+        }
+        let mut gen = drift_gen(p, &rt, &tables, drifting_streams());
+        let mut phases = Vec::new();
+        for phase in 0..p.drift_phases {
+            let report = gen.run(&mut rt, path, p.drift_requests_per_phase);
+            assert!(report.verified > 0, "drift bit-match unchecked");
+            println!(
+                "{arm:>9} phase {phase}: {:>10.0} lookups/sim-sec  tier-hit {:>5.1}%  \
+                 refreshes {}  promoted {:>4}  migration {:>4} lookups",
+                report.lookups_per_sim_sec,
+                report.tier_hit_rate * 100.0,
+                report.plan_refreshes,
+                report.rows_promoted,
+                report.migration_lookups,
+            );
+            phases.push(report);
+        }
+        arms.push(fold_drift_arm(arm, &phases));
+    }
+
+    // Oracle: a fresh, perfectly profiled static plan per phase.
+    let mut phases = Vec::new();
+    let mut prev_plan = phase0_plan.clone();
+    for phase in 0..p.drift_phases {
+        let plan = if phase == 0 {
+            phase0_plan.clone()
+        } else {
+            PlacementPlan::build_global_versioned(
+                &profile_drift_phase(p, phase),
+                p.drift_budget_rows,
+                prev_plan.version().next(),
+            )
+        };
+        // How much of the hot set the churn actually moved this phase —
+        // the migration volume an ideally informed refresh would pay.
+        let delta = plan_delta(&prev_plan, &plan);
+        if phase > 0 {
+            println!(
+                "   oracle phase {phase} plan delta: {} promoted, {} demoted of {} hot rows",
+                delta.total_promoted(),
+                delta.total_demoted(),
+                plan.total_hot_rows(),
+            );
+        }
+        prev_plan = plan.clone();
+        let (mut rt, tables) = drift_runtime(p, depth, &plan);
+        let streams: Vec<RowStream> = (0..p.tables)
+            .map(|t| {
+                RowStream::Drifting(
+                    DriftingZipf::new(p.rows_per_table, p.drift_skew, drift_seed(t), period)
+                        .with_churn(p.drift_churn)
+                        .pinned(phase),
+                )
+            })
+            .collect();
+        let mut gen = drift_gen(p, &rt, &tables, streams);
+        let report = gen.run(&mut rt, path, p.drift_requests_per_phase);
+        assert!(report.verified > 0, "oracle bit-match unchecked");
+        println!(
+            "{:>9} phase {phase}: {:>10.0} lookups/sim-sec  tier-hit {:>5.1}%",
+            "oracle",
+            report.lookups_per_sim_sec,
+            report.tier_hit_rate * 100.0,
+        );
+        phases.push(report);
+    }
+    arms.push(fold_drift_arm("oracle", &phases));
+    arms
+}
+
+struct BaselineDepthReport {
+    packed: bool,
+    depth: usize,
+    lookups_per_sim_sec: f64,
+}
+
+/// Baseline-path pipelining A/B: heat-order packing makes the hot
+/// storage prefix contiguous, so the coalescing I/O planner amortises the
+/// serial per-command firmware charge and queue depth finally pays on the
+/// COTS-SSD path.
+fn run_baseline_depth(p: &Params, packed: bool, depth: usize) -> BaselineDepthReport {
+    let skew = 1.2;
+    let mut cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+    // A tuned host policy for heat-packed tables: read through larger
+    // gaps than the conservative default, trading junk-page transfers
+    // for far fewer serial firmware commands. (The default stays low so
+    // scattered traffic does not pay the junk-page volume.)
+    cfg.system.host.read_bridge_limit = 8;
+    let mut rt = ServingRuntime::new(&cfg);
+    let prof = profile_skew(p, skew);
+    let plan = PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(0.0));
+    let tables: Vec<_> = (0..p.tables)
+        .map(|t| {
+            let table = EmbeddingTable::procedural(
+                TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
+                t as u64,
+            );
+            if packed {
+                rt.add_table_placed(table, plan.table(t))
+            } else {
+                rt.add_table(table)
+            }
+        })
+        .collect();
+    let spec = TrafficSpec {
+        zipf_exponent: skew,
+        ..p.spec
+    };
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        spec,
+        LoadMode::Closed {
+            clients: p.clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(
+        &mut rt,
+        SlsPath::Baseline(SlsOptions::default()),
+        p.requests,
+    );
+    assert!(report.verified > 0, "baseline depth bit-match unchecked");
+    BaselineDepthReport {
+        packed,
+        depth,
+        lookups_per_sim_sec: report.lookups_per_sim_sec,
+    }
+}
+
 fn q_json(q: &Quantiles) -> String {
     format!(
         "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"mean_us\": {:.2}, \"max_us\": {:.2}",
@@ -339,10 +656,12 @@ fn write_json(
     open: &[OpenReport],
     placement: &[PlacementReport],
     packing: &[PackingReport],
+    drift: &[DriftArm],
+    baseline_depth: &[BaselineDepthReport],
 ) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v3\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v4\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -454,6 +773,53 @@ fn write_json(
             r.verified,
         );
         s.push_str(if i + 1 < packing.len() { ",\n" } else { "\n" });
+    }
+    let f64_list = |xs: &[f64], digits: usize| -> String {
+        xs.iter()
+            .map(|x| format!("{x:.digits$}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"drift\": {{\"phases\": {}, \"requests_per_phase\": {}, \"skew\": {}, \
+         \"budget_rows\": {}, \"epoch_requests\": {}, \"arms\": [",
+        p.drift_phases,
+        p.drift_requests_per_phase,
+        p.drift_skew,
+        p.drift_budget_rows,
+        p.drift_epoch_requests,
+    );
+    for (i, a) in drift.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"arm\": \"{}\", \"lookups_per_sim_sec\": {:.0}, \"plan_refreshes\": {}, \
+             \"rows_promoted\": {}, \"rows_demoted\": {}, \"migration_lookups\": {}, \
+             \"phase_tput\": [{}], \"phase_tier_hit_rates\": [{}]}}",
+            a.arm,
+            a.lookups_per_sim_sec,
+            a.plan_refreshes,
+            a.rows_promoted,
+            a.rows_demoted,
+            a.migration_lookups,
+            f64_list(&a.phase_tput, 0),
+            f64_list(&a.phase_tier_hit, 4),
+        );
+        s.push_str(if i + 1 < drift.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]},\n  \"baseline_pipelining\": [\n");
+    for (i, b) in baseline_depth.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"packed\": {}, \"depth\": {}, \"lookups_per_sim_sec\": {:.0}}}",
+            b.packed, b.depth, b.lookups_per_sim_sec,
+        );
+        s.push_str(if i + 1 < baseline_depth.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("  ]\n}\n");
     s
@@ -637,7 +1003,96 @@ fn main() {
         packed.ftl_cache_hit_rate
     );
 
-    let json = write_json(&p, &configs, &open, &placement, &packing);
+    // Drift sweep: rotating skew, stale vs adaptive vs per-phase oracle.
+    println!(
+        "drift sweep ({} phases x {} requests, skew {}, global budget {} rows):",
+        p.drift_phases, p.drift_requests_per_phase, p.drift_skew, p.drift_budget_rows
+    );
+    let drift = run_drift(&p, pipe_depth);
+    let arm = |name: &str| {
+        drift
+            .iter()
+            .find(|a| a.arm == name)
+            .expect("drift arm present")
+    };
+    let (stale, adaptive, oracle) = (arm("stale"), arm("adaptive"), arm("oracle"));
+    let recovered = adaptive.lookups_per_sim_sec / oracle.lookups_per_sim_sec;
+    let stale_frac = stale.lookups_per_sim_sec / oracle.lookups_per_sim_sec;
+    println!(
+        "drift: stale {:.0} ({:.0}% of oracle), adaptive {:.0} ({:.0}% of oracle, \
+         {} refreshes, {} rows promoted), oracle {:.0} lookups/sim-sec",
+        stale.lookups_per_sim_sec,
+        stale_frac * 100.0,
+        adaptive.lookups_per_sim_sec,
+        recovered * 100.0,
+        adaptive.plan_refreshes,
+        adaptive.rows_promoted,
+        oracle.lookups_per_sim_sec,
+    );
+    // Acceptance bar 4: online adaptation recovers >= 70% of the oracle
+    // hybrid throughput under rotating skew, while the stale static plan
+    // falls below the adaptive one.
+    assert!(
+        recovered >= 0.70,
+        "adaptive placement recovered only {:.0}% of the oracle under drift",
+        recovered * 100.0
+    );
+    assert!(
+        stale.lookups_per_sim_sec < adaptive.lookups_per_sim_sec,
+        "stale static plan ({:.0}) should degrade below adaptive ({:.0})",
+        stale.lookups_per_sim_sec,
+        adaptive.lookups_per_sim_sec
+    );
+    assert!(
+        adaptive.plan_refreshes >= 2 && adaptive.rows_promoted > 0,
+        "adaptive arm never re-planned"
+    );
+
+    // Baseline pipelining A/B: heat-packed storage + coalesced reads give
+    // the COTS baseline queue-depth headroom it never had.
+    let mut baseline_depth = Vec::new();
+    for packed in [false, true] {
+        for &depth in &[1usize, 2, pipe_depth] {
+            let b = run_baseline_depth(&p, packed, depth);
+            println!(
+                "baseline {} depth {}: {:>8.0} lookups/sim-sec",
+                if b.packed { "packed " } else { "unpacked" },
+                b.depth,
+                b.lookups_per_sim_sec,
+            );
+            baseline_depth.push(b);
+        }
+    }
+    let bd = |packed: bool, depth: usize| {
+        baseline_depth
+            .iter()
+            .find(|b| b.packed == packed && b.depth == depth)
+            .expect("baseline depth point")
+            .lookups_per_sim_sec
+    };
+    // Acceptance bar 5: on packed storage the baseline pipelines — depth
+    // 1 -> 4 gains at least 1.25x (it was ~1.17x and flat beyond depth 2
+    // before coalescing), and packing beats unpacked at depth 4.
+    let packed_gain = bd(true, pipe_depth) / bd(true, 1);
+    println!("baseline packed depth 1->{pipe_depth}: {packed_gain:.2}x");
+    assert!(
+        packed_gain >= 1.25,
+        "packed baseline gained only {packed_gain:.2}x from pipelining"
+    );
+    assert!(
+        bd(true, pipe_depth) > bd(false, pipe_depth),
+        "packing must raise pipelined baseline throughput"
+    );
+
+    let json = write_json(
+        &p,
+        &configs,
+        &open,
+        &placement,
+        &packing,
+        &drift,
+        &baseline_depth,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");
 }

@@ -93,6 +93,19 @@ pub struct HostConfig {
     pub per_lookup_ns: u64,
     /// Fixed overhead of launching any host operator, ns.
     pub op_overhead_ns: u64,
+    /// Largest number of *contiguous* logical pages the baseline SLS
+    /// planner folds into one NVMe read (1 disables coalescing). Each
+    /// command charges `fw_cmd_ns` once however many pages it covers, so
+    /// contiguous runs — e.g. the heat-packed head of a placed table —
+    /// amortise the serial firmware cost that caps baseline IOPS (§3.2).
+    pub read_coalesce_limit: usize,
+    /// Largest run of *unwanted* pages the planner reads through to
+    /// bridge two nearby wanted pages into one command (0 keeps commands
+    /// exact). A bridged page costs `fw_per_page_ns` plus its flash and
+    /// PCIe time — orders of magnitude below the `fw_cmd_ns` a separate
+    /// command would pay — so small gaps in the heat-packed head are
+    /// worth reading through.
+    pub read_bridge_limit: usize,
 }
 
 impl HostConfig {
@@ -108,6 +121,8 @@ impl HostConfig {
             sw_cmd_ns: 8_000,
             per_lookup_ns: 60,
             op_overhead_ns: 2_000,
+            read_coalesce_limit: 64,
+            read_bridge_limit: 2,
         }
     }
 }
@@ -175,6 +190,10 @@ impl RecSsdConfig {
         assert!(
             self.host.sls_workers > 0 && self.host.nn_workers > 0,
             "need workers"
+        );
+        assert!(
+            self.host.read_coalesce_limit >= 1,
+            "read coalescing limit must be at least 1"
         );
     }
 }

@@ -45,6 +45,12 @@ pub struct SlsOptions {
     /// NDP only: split hot rows to host DRAM via the static partition
     /// (install per table with [`System::set_partition`]).
     pub use_partition: bool,
+    /// Baseline only: coalesce contiguous (and bridgeable) page runs
+    /// into multi-block reads per [`crate::HostConfig`]'s
+    /// `read_coalesce_limit`/`read_bridge_limit`. The paper's *naive*
+    /// configuration issues one read per embedding, so
+    /// [`SlsOptions::naive`] turns this off.
+    pub coalesce_reads: bool,
 }
 
 impl Default for SlsOptions {
@@ -53,17 +59,20 @@ impl Default for SlsOptions {
             io_concurrency: 16,
             use_host_cache: false,
             use_partition: false,
+            coalesce_reads: true,
         }
     }
 }
 
 impl SlsOptions {
-    /// The paper's naive configuration: shallow I/O window, no caching.
+    /// The paper's naive configuration: shallow I/O window, no caching,
+    /// one read command per distinct page.
     pub fn naive() -> Self {
         SlsOptions {
             io_concurrency: 3,
             use_host_cache: false,
             use_partition: false,
+            coalesce_reads: false,
         }
     }
 }
@@ -200,6 +209,18 @@ struct PageRun {
     len: u32,
 }
 
+/// One NVMe read of a baseline op: the wanted pages of
+/// `runs[first..first + count]` plus any bridged gap pages between them,
+/// fetched with a single `span`-block command so the per-command firmware
+/// charge amortises across the run.
+#[derive(Debug, Clone, Copy, Default)]
+struct CmdRun {
+    first: u32,
+    count: u32,
+    /// Blocks the command covers: last wanted page − first + 1.
+    span: u32,
+}
+
 /// Pooled per-op buffers of the baseline I/O planner, recycled across
 /// operators so steady-state baseline requests allocate nothing for them.
 #[derive(Debug, Default)]
@@ -210,7 +231,10 @@ struct BaseIoBufs {
     runs: Vec<PageRun>,
     /// `(byte offset, result slot)` items grouped by `runs`.
     items: Vec<(u32, u32)>,
-    outstanding: FxHashMap<u16, usize>, // cid → index into `runs`
+    /// One record per NVMe read command: a maximal (capped) group of
+    /// consecutive `runs` whose pages are contiguous.
+    cmds: Vec<CmdRun>,
+    outstanding: FxHashMap<u16, usize>, // cid → index into `cmds`
     backlog: VecDeque<usize>,
     data: FxHashMap<usize, Box<[u8]>>,
 }
@@ -220,6 +244,7 @@ impl BaseIoBufs {
         self.stage.clear();
         self.runs.clear();
         self.items.clear();
+        self.cmds.clear();
         self.outstanding.clear();
         self.backlog.clear();
         self.data.clear();
@@ -231,7 +256,7 @@ struct BaseIo {
     bufs: BaseIoBufs,
     next: usize,
     accum_current: Option<(usize, Box<[u8]>)>,
-    pages_done: usize,
+    cmds_done: usize,
     io_concurrency: usize,
     use_host_cache: bool,
 }
@@ -421,6 +446,40 @@ impl System {
         let id = self.registry.register(image);
         self.registry.bind_to_device(id, &mut self.dev);
         id
+    }
+
+    /// Re-binds `id`'s registry slot to a new image (placement refresh:
+    /// the repacked table reuses its alignment slot instead of consuming
+    /// a fresh one). The region is re-preloaded wide enough to shadow
+    /// whatever the old image covered, and every host- or device-side
+    /// structure keyed by the old image's row space is flushed: stale
+    /// FTL-cached pages are evicted, the table's host LRU vector cache
+    /// (if enabled) is cleared, and any installed static partition is
+    /// removed — its hot ids referred to the old row space, so the caller
+    /// must install a fresh one if partitioning is still wanted.
+    ///
+    /// The caller must guarantee no in-flight operator still reads the
+    /// old binding — the serving layer's plan double-buffering retires a
+    /// slot only once every operator against it has drained.
+    pub fn replace_table(&mut self, id: TableId, image: TableImage) {
+        let old_pages = self.registry.replace(id, image);
+        let b = self.registry.binding(id);
+        let pages = b.image.pages().max(old_pages);
+        self.dev.preload(
+            recssd_ftl::Lpn(b.base_lpn),
+            pages,
+            std::sync::Arc::new(recssd_embedding::TableImageOracle::new(
+                b.image.clone(),
+                b.base_lpn,
+            )),
+        );
+        self.dev
+            .ftl_mut()
+            .invalidate_range(recssd_ftl::Lpn(b.base_lpn), pages);
+        if let Some(cache) = self.host_caches.get_mut(&id.0) {
+            cache.clear();
+        }
+        self.partitions.remove(&id.0);
     }
 
     /// Enables the baseline's host-DRAM LRU vector cache for `table` with
@@ -762,11 +821,49 @@ impl System {
             }
             bufs.items.push((off, slot));
         }
+        // Coalesce nearby pages into multi-block commands: runs are in
+        // ascending page order, so one scan suffices. A run joins the
+        // open command while the command stays within the span limit,
+        // reading through up to `read_bridge_limit` unwanted pages to
+        // reach it. Each command charges the serial firmware once for
+        // its whole span.
+        let (coalesce, bridge) = if opts.coalesce_reads {
+            (
+                cfg.host.read_coalesce_limit as u64,
+                cfg.host.read_bridge_limit as u64,
+            )
+        } else {
+            (1, 0)
+        };
+        for (i, r) in bufs.runs.iter().enumerate() {
+            let joined = match bufs.cmds.last_mut() {
+                Some(c) => {
+                    let first_page = bufs.runs[c.first as usize].page;
+                    let span = r.page - first_page + 1;
+                    let gap = span - c.span as u64 - 1;
+                    if span <= coalesce && gap <= bridge {
+                        c.count += 1;
+                        c.span = span as u32;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if !joined {
+                bufs.cmds.push(CmdRun {
+                    first: i as u32,
+                    count: 1,
+                    span: 1,
+                });
+            }
+        }
         let mut io = BaseIo {
             bufs,
             next: 0,
             accum_current: None,
-            pages_done: 0,
+            cmds_done: 0,
             io_concurrency: opts.io_concurrency,
             use_host_cache: opts.use_host_cache,
         };
@@ -774,7 +871,7 @@ impl System {
         self.ops.get_mut(&id).expect("op").phase = Phase::BaseIo(io);
     }
 
-    /// Issues page reads up to the concurrency window.
+    /// Issues (possibly multi-page) reads up to the concurrency window.
     fn baseline_issue(&mut self, now: SimTime, id: OpId, io: &mut BaseIo) {
         let table = match &self.ops[&id].kind {
             OpKind::BaselineSls { table, .. } => *table,
@@ -782,18 +879,20 @@ impl System {
         };
         let base = self.registry.binding(table).base_lpn;
         let qid = self.ops[&id].qid;
-        while io.bufs.outstanding.len() < io.io_concurrency && io.next < io.bufs.runs.len() {
+        while io.bufs.outstanding.len() < io.io_concurrency && io.next < io.bufs.cmds.len() {
             let idx = io.next;
             io.next += 1;
-            let page = io.bufs.runs[idx].page;
+            let cmd = io.bufs.cmds[idx];
+            let page = io.bufs.runs[cmd.first as usize].page;
             let cid = self.alloc_cid(qid);
             io.bufs.outstanding.insert(cid, idx);
             self.pending_cmd.insert((qid, cid), id);
-            self.submit_cmd(now, qid, NvmeCommand::read(cid, base + page, 1));
+            self.submit_cmd(now, qid, NvmeCommand::read(cid, base + page, cmd.span));
         }
     }
 
-    /// A page-read completion arrived for a baseline op.
+    /// A read completion (one command, one or more pages) arrived for a
+    /// baseline op.
     fn baseline_on_page(&mut self, now: SimTime, id: OpId, cid: u16, data: Box<[u8]>) {
         let mut phase = std::mem::replace(
             &mut self.ops.get_mut(&id).expect("op").phase,
@@ -815,13 +914,19 @@ impl System {
     }
 
     /// Starts the host-side completion-processing + accumulate charge for
-    /// the next backlogged page.
+    /// the next backlogged command (all of its pages fold in one charge:
+    /// the per-command driver software cost amortises with coalescing
+    /// exactly like the firmware cost does).
     fn baseline_start_accum(&mut self, id: OpId, io: &mut BaseIo) {
         let Some(idx) = io.bufs.backlog.pop_front() else {
             return;
         };
-        let data = io.bufs.data.remove(&idx).expect("page data stored");
-        let vectors = io.bufs.runs[idx].len as usize;
+        let data = io.bufs.data.remove(&idx).expect("command data stored");
+        let cmd = io.bufs.cmds[idx];
+        let vectors: usize = io.bufs.runs[cmd.first as usize..(cmd.first + cmd.count) as usize]
+            .iter()
+            .map(|r| r.len as usize)
+            .sum();
         let host = self.host();
         let table = match &self.ops[&id].kind {
             OpKind::BaselineSls { table, .. } => *table,
@@ -840,12 +945,12 @@ impl System {
         self.charge(id, dur);
     }
 
-    /// The accumulate charge finished: fold the page into the flat
-    /// outputs with the fused decode (no per-vector allocation; the
-    /// host-cache fill path is the one place a vector is materialised,
-    /// because the cache stores shared `Arc`s).
+    /// The accumulate charge finished: fold every page of the command
+    /// into the flat outputs with the fused decode (no per-vector
+    /// allocation; the host-cache fill path is the one place a vector is
+    /// materialised, because the cache stores shared `Arc`s).
     fn baseline_accum_done(&mut self, now: SimTime, id: OpId, mut io: BaseIo) {
-        let (idx, data) = io.accum_current.take().expect("accumulating a page");
+        let (idx, data) = io.accum_current.take().expect("accumulating a command");
         let Self {
             ops,
             registry,
@@ -859,38 +964,46 @@ impl System {
         let table = *table;
         let image = &registry.binding(table).image;
         let spec = image.table().spec();
-        let run = io.bufs.runs[idx];
-        let work = &io.bufs.items[run.start as usize..(run.start + run.len) as usize];
-        let cache = io
-            .use_host_cache
-            .then(|| host_caches.get_mut(&table.0))
-            .flatten();
-        if let Some(cache) = cache {
-            for &(off, slot) in work {
-                let off = off as usize;
-                let mut dec = vec![0.0f32; spec.dim];
-                spec.quant.decode_into(&data[off..], &mut dec);
-                for (o, v) in op.outputs.row_mut(slot as usize).iter_mut().zip(&dec) {
-                    *o += *v;
+        let page_bytes = registry.binding(table).image.page_bytes();
+        let cmd = io.bufs.cmds[idx];
+        let use_cache = io.use_host_cache && host_caches.contains_key(&table.0);
+        let first_page = io.bufs.runs[cmd.first as usize].page;
+        for run in &io.bufs.runs[cmd.first as usize..(cmd.first + cmd.count) as usize] {
+            // A wanted page sits at its distance from the command's first
+            // page (bridged gap pages occupy their slots unused).
+            let k = (run.page - first_page) as usize;
+            let page = &data[k * page_bytes..(k + 1) * page_bytes];
+            let work = &io.bufs.items[run.start as usize..(run.start + run.len) as usize];
+            if use_cache {
+                let cache = host_caches.get_mut(&table.0).expect("checked");
+                for &(off, slot) in work {
+                    let off = off as usize;
+                    let mut dec = vec![0.0f32; spec.dim];
+                    spec.quant.decode_into(&page[off..], &mut dec);
+                    for (o, v) in op.outputs.row_mut(slot as usize).iter_mut().zip(&dec) {
+                        *o += *v;
+                    }
+                    let row = run.page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
+                    cache.insert(row, dec.into());
                 }
-                let row = run.page * image.rows_per_page() + (off / spec.row_bytes()) as u64;
-                cache.insert(row, dec.into());
-            }
-        } else {
-            for &(off, slot) in work {
-                spec.quant
-                    .decode_accumulate(&data[off as usize..], op.outputs.row_mut(slot as usize));
+            } else {
+                for &(off, slot) in work {
+                    spec.quant.decode_accumulate(
+                        &page[off as usize..],
+                        op.outputs.row_mut(slot as usize),
+                    );
+                }
             }
         }
-        // The page has been folded in; its transfer buffer goes back to
-        // the device pool so the next read command reuses it.
+        // The command has been folded in; its transfer buffer goes back
+        // to the device pool so a same-sized read reuses it.
         self.dev.recycle_buffer(data.into_vec());
-        io.pages_done += 1;
+        io.cmds_done += 1;
         if io.bufs.backlog.is_empty()
             && io.bufs.outstanding.is_empty()
-            && io.next == io.bufs.runs.len()
+            && io.next == io.bufs.cmds.len()
         {
-            debug_assert_eq!(io.pages_done, io.bufs.runs.len());
+            debug_assert_eq!(io.cmds_done, io.bufs.cmds.len());
             self.baseio_pool.push(io.bufs);
             self.finish_op(now, id);
             return;
@@ -1266,6 +1379,44 @@ mod tests {
             opts,
         ));
         sys.run_until_idle();
+    }
+
+    #[test]
+    fn baseline_coalesces_contiguous_pages_into_multiblock_reads() {
+        // 16 sequential rows on a spread layout occupy 16 contiguous
+        // pages and coalesce into a single read; pages 40 and 41 share a
+        // second command (the 24-page gap exceeds the bridge limit) and
+        // the 18-page gap to 60 forces a third. The result still
+        // bit-matches the DRAM reference.
+        let (mut sys, table) = sys_with_table(100);
+        let batch = LookupBatch::new(vec![(0..16).collect(), vec![40, 41, 60]]);
+        let reference = sys.submit(OpKind::dram_sls(table, batch.clone()));
+        sys.run_until_idle();
+        let before = sys.device().stats().read_commands.get();
+        let op = sys.submit(OpKind::baseline_sls(table, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        let issued = sys.device().stats().read_commands.get() - before;
+        assert_eq!(issued, 3, "contiguous runs must coalesce");
+        let got = sys.take_result(op).outputs.expect("SLS outputs");
+        let want = sys.result(reference).outputs.as_ref().expect("reference");
+        assert_eq!(&got, want, "coalesced baseline diverged from DRAM path");
+    }
+
+    #[test]
+    fn coalesce_limit_one_disables_coalescing() {
+        let mut cfg = RecSsdConfig::small();
+        cfg.host.read_coalesce_limit = 1;
+        let mut sys = System::new(cfg);
+        let spec = TableSpec::new(64, 8, Quantization::F32);
+        let table = sys.add_table(TableImage::new(
+            EmbeddingTable::procedural(spec, 1),
+            PageLayout::Spread,
+            16 * 1024,
+        ));
+        let batch = LookupBatch::new(vec![(0..10).collect()]);
+        sys.submit(OpKind::baseline_sls(table, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        assert_eq!(sys.device().stats().read_commands.get(), 10);
     }
 
     #[test]

@@ -91,6 +91,27 @@ impl TableRegistry {
         &self.tables[id.0 as usize]
     }
 
+    /// Swaps the image bound at `id` in place (same slot, same base LPN),
+    /// returning the page count of the image it replaced. Placement
+    /// refresh uses this to re-bind a slot to a re-packed image without
+    /// consuming a new alignment slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the new image exceeds the slot.
+    pub fn replace(&mut self, id: TableId, image: TableImage) -> u64 {
+        assert!(
+            image.pages() <= self.align,
+            "table of {} pages exceeds the {}-page alignment slot",
+            image.pages(),
+            self.align
+        );
+        let b = &mut self.tables[id.0 as usize];
+        let old_pages = b.image.pages();
+        b.image = Arc::new(image);
+        old_pages
+    }
+
     /// All bindings in registration order.
     pub fn bindings(&self) -> &[TableBinding] {
         &self.tables

@@ -47,8 +47,13 @@ impl PageStore {
     }
 
     /// Registers `oracle` as the content source for the linear page range
-    /// `pages`. Later registrations shadow earlier ones on overlap.
+    /// `pages`. Later registrations shadow earlier ones on overlap;
+    /// registrations the new range fully covers can never be consulted
+    /// again and are dropped, so re-binding a region (placement plan
+    /// refresh) does not accumulate dead oracles.
     pub fn register_oracle(&mut self, pages: Range<u64>, oracle: Arc<dyn PageOracle>) {
+        self.oracles
+            .retain(|(r, _)| !(pages.start <= r.start && r.end <= pages.end));
         self.oracles.push((pages, oracle));
     }
 

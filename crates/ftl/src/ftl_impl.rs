@@ -294,6 +294,25 @@ impl GreedyFtl {
         self.cache.clear();
     }
 
+    /// Evicts every cached page in `[start, start + pages)` — required
+    /// when a preloaded region is re-bound to new contents (placement
+    /// repacking swaps a table slot's image), so stale page images can
+    /// never serve the new binding.
+    pub fn invalidate_range(&mut self, start: Lpn, pages: u64) {
+        let range = start.0..start.0 + pages;
+        let stale: Vec<u64> = self
+            .cache
+            .iter()
+            .map(|(&k, _)| k)
+            .filter(|k| range.contains(k))
+            .collect();
+        for lpn in stale {
+            if let Some(arc) = self.cache.remove(&lpn) {
+                self.recycle_arc(arc);
+            }
+        }
+    }
+
     /// The wear-aware block allocator (read-only view for diagnostics).
     pub fn allocator(&self) -> &BlockAllocator {
         &self.alloc

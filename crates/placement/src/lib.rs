@@ -25,6 +25,19 @@
 //! routes hot lookups to its DRAM tier and cold lookups to packed
 //! per-shard device images.
 //!
+//! Plans are also built *online*: the profiler doubles as a decayed
+//! (EWMA) accumulator over live request streams
+//! ([`FreqProfiler::decay`] / [`FreqProfiler::merge`]), plans carry a
+//! [`PlanVersion`], [`plan_delta`] yields the promote/demote row sets
+//! separating two plan generations (the migration work a live refresh
+//! must move), and [`allocate_global_budget`] splits one global DRAM row
+//! budget across tables by marginal hit rate instead of a fixed
+//! per-table fraction. The serving runtime's adaptive loop builds on the
+//! profiler and the budget allocator; it tracks its own per-table
+//! promote/demote sets because it refreshes one [`TablePlacement`] at a
+//! time, while [`plan_delta`] diffs whole multi-table plans (e.g.
+//! consecutive profiling generations in the drift benchmarks).
+//!
 //! # Example
 //!
 //! ```
@@ -49,5 +62,8 @@
 mod plan;
 mod profile;
 
-pub use plan::{PlacementPlan, PlacementPolicy, TablePlacement};
+pub use plan::{
+    allocate_global_budget, plan_delta, PlacementPlan, PlacementPolicy, PlanDelta, PlanVersion,
+    TableDelta, TablePlacement,
+};
 pub use profile::{FreqProfiler, TableHeat};

@@ -1,10 +1,24 @@
 //! Freezing a heat profile into a placement plan.
 
+use std::collections::BinaryHeap;
 use std::ops::Range;
 
 use recssd_cache::StaticPartition;
 
 use crate::{FreqProfiler, TableHeat};
+
+/// Monotone identity of one plan generation. Serving state double-buffers
+/// on this: requests admitted under version `v` finish under `v` even
+/// after a newer plan activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PlanVersion(pub u64);
+
+impl PlanVersion {
+    /// The next version.
+    pub fn next(self) -> PlanVersion {
+        PlanVersion(self.0 + 1)
+    }
+}
 
 /// How much of each table the plan may pin into the host DRAM tier.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +121,44 @@ impl TablePlacement {
         }
     }
 
+    /// Builds the placement of one table from an *explicit* hot set (in
+    /// the order the DRAM tier should lay the rows out, hottest first).
+    /// The online re-planning loop uses this when the hot set is not a
+    /// pure top-k of the profile — e.g. keeping incumbent rows that the
+    /// thin online sample merely failed to observe. Heat ranks (the
+    /// packing key) still come from `heat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hot row is out of range.
+    pub fn build_with_hot_rows(heat: &TableHeat, hot_rows: Vec<u64>) -> Self {
+        let rows = heat.rows();
+        assert!(
+            hot_rows.iter().all(|&r| r < rows),
+            "hot row out of range for a {rows}-row table"
+        );
+        let ranking = heat.ranking();
+        let mut heat_rank = vec![0u32; rows as usize];
+        for (i, &r) in ranking.iter().enumerate() {
+            heat_rank[r as usize] = i as u32;
+        }
+        let partition =
+            StaticPartition::from_hot_ids(hot_rows.iter().copied(), heat.accessed_rows());
+        let hot_mass: u64 = hot_rows.iter().map(|&r| heat.count(r)).sum();
+        let expected_hit_rate = if heat.total() == 0 {
+            0.0
+        } else {
+            hot_mass as f64 / heat.total() as f64
+        };
+        TablePlacement {
+            rows,
+            hot_rows,
+            partition,
+            heat_rank,
+            expected_hit_rate,
+        }
+    }
+
     /// Rows in the placed table.
     pub fn rows(&self) -> u64 {
         self.rows
@@ -167,20 +219,63 @@ impl TablePlacement {
 }
 
 /// The full multi-table plan: one [`TablePlacement`] per profiled table,
-/// in profile order.
+/// in profile order, stamped with a [`PlanVersion`].
 #[derive(Debug, Clone)]
 pub struct PlacementPlan {
     tables: Vec<TablePlacement>,
+    version: PlanVersion,
 }
 
 impl PlacementPlan {
-    /// Freezes `profiler`'s counts into per-table placements.
+    /// Freezes `profiler`'s counts into per-table placements (version 0).
     pub fn build(profiler: &FreqProfiler, policy: &PlacementPolicy) -> Self {
+        PlacementPlan::build_versioned(profiler, policy, PlanVersion::default())
+    }
+
+    /// [`PlacementPlan::build`] stamped with an explicit version — the
+    /// online re-profiling loop passes `previous.version().next()`.
+    pub fn build_versioned(
+        profiler: &FreqProfiler,
+        policy: &PlacementPolicy,
+        version: PlanVersion,
+    ) -> Self {
         PlacementPlan {
             tables: (0..profiler.tables())
                 .map(|t| TablePlacement::build(profiler.heat(t), policy))
                 .collect(),
+            version,
         }
+    }
+
+    /// Builds a plan under one *global* DRAM row budget split across
+    /// tables by marginal hit rate (see [`allocate_global_budget`]),
+    /// instead of a fixed per-table fraction.
+    pub fn build_global(profiler: &FreqProfiler, budget_rows: usize) -> Self {
+        PlacementPlan::build_global_versioned(profiler, budget_rows, PlanVersion::default())
+    }
+
+    /// [`PlacementPlan::build_global`] with an explicit version.
+    pub fn build_global_versioned(
+        profiler: &FreqProfiler,
+        budget_rows: usize,
+        version: PlanVersion,
+    ) -> Self {
+        let budgets = allocate_global_budget(profiler, budget_rows);
+        PlacementPlan {
+            tables: budgets
+                .into_iter()
+                .enumerate()
+                .map(|(t, k)| {
+                    TablePlacement::build(profiler.heat(t), &PlacementPolicy::hot_rows(k))
+                })
+                .collect(),
+            version,
+        }
+    }
+
+    /// The plan's version stamp.
+    pub fn version(&self) -> PlanVersion {
+        self.version
     }
 
     /// The placement of table `i` (profile order).
@@ -210,6 +305,130 @@ impl PlacementPlan {
     /// Total DRAM-resident rows across tables.
     pub fn total_hot_rows(&self) -> usize {
         self.tables.iter().map(|t| t.hot_count()).sum()
+    }
+}
+
+/// Splits one global DRAM row budget across `profiler`'s tables by
+/// *marginal hit rate*: rows are granted in descending access-count order
+/// across all tables at once, so each DRAM slot goes wherever it absorbs
+/// the most device traffic (the RecNMP observation that hot-entry caching
+/// should chase the global head, not a per-table quota). Never-accessed
+/// rows are never granted. Ties break toward the lower table index, then
+/// the smaller row id, so the split is deterministic.
+///
+/// Returns the per-table row budgets (in profile order); their sum is at
+/// most `budget_rows`.
+pub fn allocate_global_budget(profiler: &FreqProfiler, budget_rows: usize) -> Vec<usize> {
+    let mut budgets = vec![0usize; profiler.tables()];
+    // One ranked row list per table, consumed head-first through a max-heap
+    // keyed on the next row's count: a k-way merge of the heat rankings.
+    let rankings: Vec<Vec<u64>> = (0..profiler.tables())
+        .map(|t| profiler.heat(t).ranking())
+        .collect();
+    let mut heap: BinaryHeap<(u64, std::cmp::Reverse<usize>, std::cmp::Reverse<u64>, usize)> =
+        BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<_>, t: usize, pos: usize| {
+        if let Some(&row) = rankings[t].get(pos) {
+            let count = profiler.heat(t).count(row);
+            if count > 0 {
+                heap.push((count, std::cmp::Reverse(t), std::cmp::Reverse(row), pos));
+            }
+        }
+    };
+    for t in 0..profiler.tables() {
+        push(&mut heap, t, 0);
+    }
+    for _ in 0..budget_rows {
+        let Some((_, std::cmp::Reverse(t), _, pos)) = heap.pop() else {
+            break; // every accessed row is already granted
+        };
+        budgets[t] += 1;
+        push(&mut heap, t, pos + 1);
+    }
+    budgets
+}
+
+/// The per-table row movements between two plans of the same tables.
+#[derive(Debug, Clone)]
+pub struct TableDelta {
+    /// Rows newly hot (cold in `old`, hot in `new`), ascending.
+    pub promote: Vec<u64>,
+    /// Rows newly cold (hot in `old`, cold in `new`), ascending.
+    pub demote: Vec<u64>,
+}
+
+impl TableDelta {
+    /// `true` when the table's hot set did not change.
+    pub fn is_empty(&self) -> bool {
+        self.promote.is_empty() && self.demote.is_empty()
+    }
+}
+
+/// The difference between two plan generations: which rows each table
+/// must promote into (and demote out of) the DRAM tier to move from
+/// `old` to `new`. This is the unit of work a live placement refresh
+/// migrates — promotions are device reads of currently-cold rows,
+/// demotions are free (the flash copy of every row always exists).
+#[derive(Debug, Clone)]
+pub struct PlanDelta {
+    /// Version migrated from.
+    pub from: PlanVersion,
+    /// Version migrated to.
+    pub to: PlanVersion,
+    /// Per-table movements, in profile order.
+    pub tables: Vec<TableDelta>,
+}
+
+impl PlanDelta {
+    /// Total rows promoted across tables.
+    pub fn total_promoted(&self) -> usize {
+        self.tables.iter().map(|t| t.promote.len()).sum()
+    }
+
+    /// Total rows demoted across tables.
+    pub fn total_demoted(&self) -> usize {
+        self.tables.iter().map(|t| t.demote.len()).sum()
+    }
+
+    /// `true` when no table's hot set changed.
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(TableDelta::is_empty)
+    }
+}
+
+/// Computes the promote/demote sets taking `old` to `new`.
+///
+/// # Panics
+///
+/// Panics if the plans place different table counts or shapes.
+pub fn plan_delta(old: &PlacementPlan, new: &PlacementPlan) -> PlanDelta {
+    assert_eq!(old.len(), new.len(), "plans place different table counts");
+    let tables = old
+        .iter()
+        .zip(new.iter())
+        .map(|(o, n)| {
+            assert_eq!(o.rows(), n.rows(), "plans place different table shapes");
+            let mut promote: Vec<u64> = n
+                .hot_rows()
+                .iter()
+                .copied()
+                .filter(|&r| !o.is_hot(r))
+                .collect();
+            let mut demote: Vec<u64> = o
+                .hot_rows()
+                .iter()
+                .copied()
+                .filter(|&r| !n.is_hot(r))
+                .collect();
+            promote.sort_unstable();
+            demote.sort_unstable();
+            TableDelta { promote, demote }
+        })
+        .collect();
+    PlanDelta {
+        from: old.version(),
+        to: new.version(),
+        tables,
     }
 }
 
@@ -283,6 +502,73 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn fraction_above_one_rejected() {
         PlacementPolicy::hot_fraction(1.5);
+    }
+
+    #[test]
+    fn global_budget_chases_marginal_hit_rate_across_tables() {
+        // Table 0 is mildly hot, table 1 has a scorching head: a global
+        // budget of 3 must grant table 1's two hottest rows plus the
+        // single hottest row overall from table 0.
+        let mut p = FreqProfiler::new();
+        let a = p.add_table(10);
+        let b = p.add_table(10);
+        p.profile_stream(a, [1, 1, 1, 2, 2, 3]); // counts: 3, 2, 1
+        p.profile_stream(
+            b,
+            std::iter::repeat_n(5, 10).chain(std::iter::repeat_n(6, 4)),
+        ); // 10, 4
+        let budgets = allocate_global_budget(&p, 3);
+        assert_eq!(budgets, vec![1, 2]); // rows 5 (10), 6 (4), 1 (3)
+        let plan = PlacementPlan::build_global(&p, 3);
+        assert_eq!(plan.table(a).hot_rows(), &[1]);
+        assert_eq!(plan.table(b).hot_rows(), &[5, 6]);
+        // The greedy split maximises absorbed mass for 3 slots.
+        let absorbed: f64 = 17.0 / 20.0;
+        let total_mass = plan.table(a).expected_hit_rate() * 6.0 / 20.0
+            + plan.table(b).expected_hit_rate() * 14.0 / 20.0;
+        assert!((total_mass - absorbed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_budget_never_grants_unaccessed_rows() {
+        let mut p = FreqProfiler::new();
+        let a = p.add_table(100);
+        let _b = p.add_table(100);
+        p.profile_stream(a, [7, 7, 9]);
+        let budgets = allocate_global_budget(&p, 50);
+        assert_eq!(budgets, vec![2, 0], "only the two accessed rows granted");
+    }
+
+    #[test]
+    fn plan_delta_yields_promotes_and_demotes() {
+        let mut p1 = FreqProfiler::new();
+        let t = p1.add_table(10);
+        p1.profile_stream(t, [1, 1, 2, 2, 3]);
+        let old = PlacementPlan::build(&p1, &PlacementPolicy::hot_rows(2));
+        assert_eq!(old.table(0).hot_rows(), &[1, 2]);
+
+        let mut p2 = FreqProfiler::new();
+        let t = p2.add_table(10);
+        p2.profile_stream(t, [5, 5, 2, 2, 2]);
+        let new =
+            PlacementPlan::build_versioned(&p2, &PlacementPolicy::hot_rows(2), PlanVersion(1));
+        assert_eq!(new.table(0).hot_rows(), &[2, 5]);
+
+        let delta = plan_delta(&old, &new);
+        assert_eq!(delta.from, PlanVersion(0));
+        assert_eq!(delta.to, PlanVersion(1));
+        assert_eq!(delta.tables[0].promote, vec![5]);
+        assert_eq!(delta.tables[0].demote, vec![1]);
+        assert_eq!(delta.total_promoted(), 1);
+        assert_eq!(delta.total_demoted(), 1);
+        assert!(!delta.is_empty());
+        assert!(plan_delta(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn versions_are_monotone() {
+        assert_eq!(PlanVersion::default().next(), PlanVersion(1));
+        assert!(PlanVersion(2) > PlanVersion(1));
     }
 
     #[test]

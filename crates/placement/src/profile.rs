@@ -4,11 +4,15 @@ use recssd_trace::ZipfTrace;
 
 /// Accumulates per-row access counts for a set of tables.
 ///
-/// The profiler is the offline half of placement: run representative
-/// traffic through it (the paper profiles "input data" ahead of time,
-/// §4.2), then freeze the counts into a [`crate::PlacementPlan`]. Counts
-/// are dense per table — row id indexes directly — so observation is O(1)
-/// and ranking is one sort at plan-build time.
+/// The profiler has two modes of life. *Offline*: run representative
+/// traffic through it once (the paper profiles "input data" ahead of
+/// time, §4.2), then freeze the counts into a [`crate::PlacementPlan`].
+/// *Online*: keep feeding it the live request stream and call
+/// [`FreqProfiler::decay`] at every epoch boundary — counts become an
+/// exponentially weighted moving average over epochs, so the rankings
+/// track drifting skew instead of averaging it away. Counts are dense per
+/// table — row id indexes directly — so observation is O(1) and ranking
+/// is one sort at plan-build time.
 #[derive(Debug, Default, Clone)]
 pub struct FreqProfiler {
     tables: Vec<TableHeat>,
@@ -53,11 +57,87 @@ impl FreqProfiler {
         t.total += 1;
     }
 
+    /// Records `n` accesses to `row` at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `row` is out of range.
+    #[inline]
+    pub fn observe_count(&mut self, table: usize, row: u64, n: u64) {
+        let t = &mut self.tables[table];
+        t.counts[row as usize] += n;
+        t.total += n;
+    }
+
     /// Records every access produced by `rows`.
     pub fn profile_stream<I: IntoIterator<Item = u64>>(&mut self, table: usize, rows: I) {
         for row in rows {
             self.observe(table, row);
         }
+    }
+
+    /// Adds every count of `other` into this profiler (same table
+    /// shapes) — the EWMA epoch-merge step: `ewma.decay(λ)` then
+    /// `ewma.merge(&fresh)` makes the long-memory ranking absorb the
+    /// epoch's observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profilers cover different tables.
+    pub fn merge(&mut self, other: &FreqProfiler) {
+        assert_eq!(
+            self.tables.len(),
+            other.tables.len(),
+            "profilers cover different table counts"
+        );
+        for (a, b) in self.tables.iter_mut().zip(&other.tables) {
+            assert_eq!(a.counts.len(), b.counts.len(), "table shapes differ");
+            for (x, y) in a.counts.iter_mut().zip(&b.counts) {
+                *x += *y;
+            }
+            a.total += b.total;
+        }
+    }
+
+    /// Ends an observation epoch: scales every count by `factor`
+    /// (truncating), so the profiler becomes an EWMA over epochs — heat
+    /// observed `k` epochs ago weighs `factor^k` of fresh heat, and rows
+    /// that stop being accessed fade to zero instead of pinning DRAM on
+    /// stale popularity. `factor = 0` forgets everything (pure
+    /// sliding-epoch counters); `factor = 1` is the offline accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= factor <= 1`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "decay factor must lie in [0, 1]"
+        );
+        for t in 0..self.tables.len() {
+            self.decay_table(t, factor);
+        }
+    }
+
+    /// [`FreqProfiler::decay`] restricted to one table — a change-point
+    /// flush in a drifting table must not erase the well-sampled history
+    /// of tables whose traffic did not move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range or `factor` is outside [0, 1].
+    pub fn decay_table(&mut self, table: usize, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "decay factor must lie in [0, 1]"
+        );
+        let t = &mut self.tables[table];
+        let mut total = 0;
+        for c in &mut t.counts {
+            *c = (*c as f64 * factor) as u64;
+            total += *c;
+        }
+        t.total = total;
     }
 
     /// Draws `samples` ids from `trace` into `table`'s profile — the
@@ -201,5 +281,53 @@ mod tests {
     #[should_panic(expected = "table must have rows")]
     fn zero_row_table_rejected() {
         FreqProfiler::new().add_table(0);
+    }
+
+    #[test]
+    fn decay_fades_old_heat_under_fresh_traffic() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(10);
+        // Epoch 1: row 3 dominates.
+        p.profile_stream(t, std::iter::repeat_n(3, 8));
+        p.decay(0.5);
+        assert_eq!(p.heat(t).count(3), 4);
+        assert_eq!(p.heat(t).total(), 4);
+        // Epochs 2-3: traffic moves to row 7; the ranking must follow.
+        for _ in 0..2 {
+            p.profile_stream(t, std::iter::repeat_n(7, 8));
+            p.decay(0.5);
+        }
+        let h = p.heat(t);
+        assert!(h.count(7) > h.count(3), "EWMA must track the drift");
+        assert_eq!(h.ranking()[0], 7);
+    }
+
+    #[test]
+    fn full_decay_forgets_everything() {
+        let mut p = FreqProfiler::new();
+        let t = p.add_table(4);
+        p.profile_stream(t, [0, 1, 2, 3]);
+        p.decay(0.0);
+        assert_eq!(p.heat(t).total(), 0);
+        assert_eq!(p.heat(t).accessed_rows(), 0);
+    }
+
+    #[test]
+    fn observe_count_matches_repeated_observe() {
+        let mut a = FreqProfiler::new();
+        let mut b = FreqProfiler::new();
+        let (ta, tb) = (a.add_table(8), b.add_table(8));
+        for _ in 0..5 {
+            a.observe(ta, 2);
+        }
+        b.observe_count(tb, 2, 5);
+        assert_eq!(a.heat(ta).count(2), b.heat(tb).count(2));
+        assert_eq!(a.heat(ta).total(), b.heat(tb).total());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_above_one_rejected() {
+        FreqProfiler::new().decay(1.5);
     }
 }

@@ -28,6 +28,18 @@
 //!   every request splits into a DRAM-tier partial plus per-shard device
 //!   sub-batches — merged bit-identically to the unplaced path
 //!   (property-tested in `tests/placement_equivalence.rs`).
+//! * **Adaptive placement** — plans are versioned, live-swappable
+//!   routing generations: [`ServingRuntime::refresh_placement`] binds a
+//!   new plan into spare A/B registry slots, reads the promoted rows off
+//!   the device as real migration operators, and flips admissions to the
+//!   new plan only when that work drains (in-flight requests keep their
+//!   generation, so outputs stay bit-identical across the boundary).
+//!   [`ServingRuntime::enable_adaptive`] closes the loop under drifting
+//!   skew: every [`AdaptivePolicy::epoch_requests`] admissions the
+//!   runtime re-profiles live traffic (decayed EWMA + change-point
+//!   flush), splits one global DRAM budget across tables by marginal hit
+//!   rate, and refreshes any table whose rebuilt hot set is worth the
+//!   migration.
 //! * [`SchedulePolicy`] — FIFO, or size-capped micro-batching that
 //!   coalesces *queued* sub-batches touching the same shard into one
 //!   device operator (amortising per-command fixed costs, the
@@ -86,6 +98,8 @@ mod telemetry;
 
 pub use loadgen::{LoadGen, LoadMode, LoadReport, TrafficSpec};
 pub use policy::SchedulePolicy;
-pub use runtime::{CompletedRequest, RequestId, ServedTableId, ServingConfig, ServingRuntime};
+pub use runtime::{
+    AdaptivePolicy, CompletedRequest, RequestId, ServedTableId, ServingConfig, ServingRuntime,
+};
 pub use shard::{ShardMap, SlsPath};
 pub use telemetry::ServingStats;

@@ -12,7 +12,7 @@
 use recssd::LookupBatch;
 use recssd_sim::stats::Quantiles;
 use recssd_sim::{SimDuration, SimTime};
-use recssd_trace::{ArrivalProcess, ZipfTrace};
+use recssd_trace::{ArrivalProcess, RowStream, ZipfTrace};
 
 use crate::{CompletedRequest, ServedTableId, ServingRuntime, SlsPath};
 
@@ -94,6 +94,16 @@ pub struct LoadReport {
     pub ftl_cache_hit_rate: f64,
     /// Mean resident fraction of the FTL page caches.
     pub ftl_cache_occupancy: f64,
+    /// Placement-plan refreshes activated during the run (adaptive or
+    /// explicit [`crate::ServingRuntime::refresh_placement`] calls).
+    pub plan_refreshes: u64,
+    /// Rows promoted into the DRAM tier across those refreshes.
+    pub rows_promoted: u64,
+    /// Rows demoted out of the DRAM tier across those refreshes.
+    pub rows_demoted: u64,
+    /// Device lookups spent reading promoted rows off flash — the modeled
+    /// migration cost.
+    pub migration_lookups: u64,
 }
 
 impl LoadReport {
@@ -122,7 +132,7 @@ pub struct LoadGen {
     mode: LoadMode,
     spec: TrafficSpec,
     tables: Vec<ServedTableId>,
-    traces: Vec<ZipfTrace>,
+    traces: Vec<RowStream>,
     next_table: usize,
     /// Verify every `n`-th completion against the unsharded reference
     /// (0 disables).
@@ -153,7 +163,11 @@ impl LoadGen {
             .enumerate()
             .map(|(i, &t)| {
                 let rows = rt.shard_map(t).rows();
-                ZipfTrace::new(rows, spec.zipf_exponent, seed.wrapping_add(i as u64 * 7919))
+                RowStream::Zipf(ZipfTrace::new(
+                    rows,
+                    spec.zipf_exponent,
+                    seed.wrapping_add(i as u64 * 7919),
+                ))
             })
             .collect();
         LoadGen {
@@ -164,6 +178,23 @@ impl LoadGen {
             next_table: 0,
             verify_every: 0,
         }
+    }
+
+    /// Replaces the per-table id streams (one per table, in table order)
+    /// — how drifting-skew traffic ([`recssd_trace::DriftingZipf`]) is
+    /// driven through the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count does not match the table count.
+    pub fn with_streams(mut self, streams: Vec<RowStream>) -> Self {
+        assert_eq!(
+            streams.len(),
+            self.tables.len(),
+            "one stream per table required"
+        );
+        self.traces = streams;
+        self
     }
 
     /// Verifies every `n`-th completed request bit-matches the unsharded
@@ -283,6 +314,10 @@ impl LoadGen {
             device_service: stats.device_service.quantiles(),
             ftl_cache_hit_rate,
             ftl_cache_occupancy,
+            plan_refreshes: stats.plan_refreshes.get(),
+            rows_promoted: stats.rows_promoted.get(),
+            rows_demoted: stats.rows_demoted.get(),
+            migration_lookups: stats.migration_lookups.get(),
         }
     }
 

@@ -33,14 +33,19 @@
 
 use std::collections::VecDeque;
 
-use recssd::{LookupBatch, OpId, OpKind, OpResult, RecSsdConfig, SlsOutput, System};
+use recssd::{LookupBatch, OpId, OpKind, OpResult, RecSsdConfig, SlsOptions, SlsOutput, System};
 use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
-use recssd_placement::TablePlacement;
+use recssd_placement::{allocate_global_budget, FreqProfiler, TablePlacement};
 use recssd_sim::stats::HitStats;
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
-use crate::shard::{split_batch, Routing, SubBatch};
+use crate::shard::{split_batch, Routing, SubBatch, SubOwner};
 use crate::{SchedulePolicy, ServingStats, ShardMap, SlsPath};
+
+/// Largest number of promoted rows carried by one migration operator —
+/// migration work is chunked so it pipelines on the shard queues instead
+/// of monopolising a device with one giant gather.
+const MIGRATION_CHUNK_ROWS: usize = 64;
 
 /// Identifier of a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -124,6 +129,15 @@ impl CompletedRequest {
     }
 }
 
+/// A submitted request whose arrival event has not fired yet.
+#[derive(Debug)]
+struct PendingArrival {
+    client: u64,
+    table: usize,
+    batch: LookupBatch,
+    path: SlsPath,
+}
+
 #[derive(Debug)]
 struct Inflight {
     client: u64,
@@ -136,12 +150,12 @@ struct Inflight {
     batch: LookupBatch,
 }
 
-/// One component of a (possibly merged) device operator: the owning
-/// request, its global output slots, and its offset into the merged
-/// output block.
+/// One component of a (possibly merged) device operator: the owner
+/// (request or migration), its global output slots, and its offset into
+/// the merged output block.
 #[derive(Debug)]
 struct Part {
-    req: u64,
+    owner: SubOwner,
     slots: Vec<u32>,
     offset: usize,
 }
@@ -150,6 +164,11 @@ struct Part {
 #[derive(Debug)]
 struct InflightOp {
     op: OpId,
+    /// Served table the operator addresses.
+    table: usize,
+    /// Routing generation every part was split under (merge never
+    /// crosses generations).
+    plan: usize,
     parts: Vec<Part>,
 }
 
@@ -227,17 +246,132 @@ enum Ev {
     Completed(u64),
 }
 
+/// One routing generation of a served table: which device tables its
+/// sub-batches address and how rows split between tier and shards.
+#[derive(Debug)]
+struct PlanState {
+    /// The table's id within each shard's [`System`] under this plan.
+    per_shard: Vec<recssd::TableId>,
+    /// Placement routing (hot set + packed storage order); `None` for
+    /// tables registered without a placement.
+    routing: Option<Routing>,
+    /// Hot rows (global ids) of this plan, for delta computation.
+    hot_rows: Vec<u64>,
+    /// Which A/B registry slot the plan's device (and tier) tables
+    /// occupy. A refresh re-binds the *other* slot, so the outgoing plan
+    /// keeps serving its in-flight work untouched.
+    slot: usize,
+    /// Sub-batches split under this plan and not yet harvested. A slot
+    /// can only be re-bound when every plan previously bound to it has
+    /// fully drained.
+    inflight_subs: usize,
+}
+
+impl PlanState {
+    /// Drops the O(rows) routing state once the plan stops admitting:
+    /// `hot_index`/`storage`/`hot_rows` are only consulted at split time,
+    /// so a deactivated generation keeps just its device/tier table ids
+    /// (needed to drain queued work and to re-bind its slot later).
+    fn retire(&mut self) {
+        if let Some(r) = self.routing.as_mut() {
+            r.hot_index = Vec::new();
+            r.storage = Vec::new();
+        }
+        self.hot_rows = Vec::new();
+    }
+}
+
+/// A refresh whose migration work is still in flight. The new plan is
+/// registered (double-buffered beside the active one) but admissions
+/// keep routing under the old plan until `remaining` hits zero.
+#[derive(Debug)]
+struct PendingPlan {
+    plan: usize,
+    remaining: usize,
+    promoted: u64,
+    demoted: u64,
+}
+
 #[derive(Debug)]
 struct ServedTable {
     /// Full-table contents (procedural tables make this cheap), kept for
     /// reference verification.
     table: EmbeddingTable,
     map: ShardMap,
-    /// The table's id within each shard's [`System`].
-    per_shard: Vec<recssd::TableId>,
-    /// Placement routing (hot set + packed storage order), if the table
-    /// was registered through [`ServingRuntime::add_table_placed`].
-    routing: Option<Routing>,
+    /// Every routing generation registered so far (old plans stay until
+    /// their slot is re-bound; in-flight sub-batches pin their own
+    /// generation by index).
+    plans: Vec<PlanState>,
+    /// The generation new admissions split under.
+    active: usize,
+    /// Refresh awaiting migration completion, if any.
+    pending: Option<PendingPlan>,
+    /// Per device shard: which plan index currently owns registry slot
+    /// A/B (`usize::MAX` = slot never used).
+    shard_slots: [usize; 2],
+    /// Same for the DRAM tier's registry.
+    tier_slots: [usize; 2],
+}
+
+/// Configuration of the runtime's *online adaptation loop*: feed every
+/// admitted request into a decayed [`FreqProfiler`], and every
+/// `epoch_requests` admissions rebuild the placement under a global DRAM
+/// budget split by marginal hit rate, refreshing any table whose hot set
+/// moved by at least `min_delta_rows`.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Admissions between re-planning passes.
+    pub epoch_requests: u64,
+    /// EWMA factor applied to the profiler at each epoch boundary
+    /// (`0` = only the last epoch counts, `1` = never forget).
+    pub decay: f64,
+    /// Global DRAM row budget split across tables by marginal hit rate.
+    pub budget_rows: usize,
+    /// Hysteresis: refresh a table only when the rebuilt hot set would
+    /// absorb at least this much more of the *currently profiled* traffic
+    /// than the active one (fraction of profiled accesses). Swapping
+    /// equal-heat tail rows gains nothing and still pays migration, so
+    /// gain-based hysteresis kills plan thrash without dulling the
+    /// response to genuine drift.
+    pub min_hit_gain: f64,
+}
+
+/// Absolute drop in the active plan's hit mass (this epoch's fresh
+/// counts vs the long-memory ranking) that declares a distribution
+/// shift — the change-point trigger that lets a slow, well-sampled
+/// ranking still react to a rotation within one epoch.
+const DRIFT_RESET_DROP: f64 = 0.2;
+
+/// Extra decay applied to the long-memory ranking when a shift is
+/// detected: a *soft* flush. Rows that stayed hot across the shift
+/// re-assert themselves immediately, while the displaced history is too
+/// weak to outvote the new regime.
+const DRIFT_FLUSH_DECAY: f64 = 0.2;
+
+/// Weight of one observation in the adaptive profilers. Counts are
+/// integers and the EWMA decay truncates, so unweighted small counts
+/// would vanish after a single epoch; weighting keeps fractional decay
+/// meaningful (16 → 12 → 9 → 7 … instead of 1 → 0).
+const ADAPTIVE_WEIGHT: u64 = 16;
+
+/// Minimum *weighted* count before a row can enter the hot set through
+/// the adaptive loop: two full (undecayed) observations — one hit in a
+/// thin online sample is statistically indistinguishable from an
+/// incumbent row that merely went unobserved, and swapping them is pure
+/// migration churn. Incumbent rows additionally win every tie.
+const MIN_EVIDENCE: u64 = 2 * ADAPTIVE_WEIGHT;
+
+#[derive(Debug)]
+struct AdaptiveState {
+    policy: AdaptivePolicy,
+    /// Long-memory ranking: `ewma = ewma * decay + fresh` per epoch.
+    ewma: FreqProfiler,
+    /// The current epoch's observations only.
+    fresh: FreqProfiler,
+    /// Served-table index per profiler table (profile order).
+    tables: Vec<usize>,
+    arrivals: u64,
+    epochs: u64,
 }
 
 /// The sharded serving runtime. See the [module docs](self) for the
@@ -258,8 +392,13 @@ pub struct ServingRuntime {
     tables: Vec<ServedTable>,
     events: EventQueue<Ev>,
     inflight: FxHashMap<u64, Inflight>,
-    /// Sub-batches of requests whose arrival event has not fired yet.
-    pending_arrivals: FxHashMap<u64, Vec<(Ix, SubBatch)>>,
+    /// Requests whose arrival event has not fired yet. Splitting happens
+    /// *at the arrival instant* under the then-active plan — the property
+    /// that makes "old plan serves in-flight work, new plan takes new
+    /// admissions" well-defined on the simulated timeline.
+    pending_arrivals: FxHashMap<u64, PendingArrival>,
+    /// The online adaptation loop, if enabled.
+    adaptive: Option<AdaptiveState>,
     next_req: u64,
     completed: VecDeque<CompletedRequest>,
     stats: ServingStats,
@@ -292,6 +431,7 @@ impl ServingRuntime {
             events: EventQueue::new(),
             inflight: FxHashMap::default(),
             pending_arrivals: FxHashMap::default(),
+            adaptive: None,
             next_req: 0,
             completed: VecDeque::new(),
             stats: ServingStats::default(),
@@ -445,8 +585,17 @@ impl ServingRuntime {
         self.tables.push(ServedTable {
             table,
             map,
-            per_shard,
-            routing: None,
+            plans: vec![PlanState {
+                per_shard,
+                routing: None,
+                hot_rows: Vec::new(),
+                slot: 0,
+                inflight_subs: 0,
+            }],
+            active: 0,
+            pending: None,
+            shard_slots: [0, usize::MAX],
+            tier_slots: [usize::MAX; 2],
         });
         id
     }
@@ -475,55 +624,114 @@ impl ServingRuntime {
             "placement was built for a different table shape"
         );
         let map = ShardMap::new(table.spec().rows, self.shards.len());
+        let id = ServedTableId(self.tables.len());
+        self.tables.push(ServedTable {
+            table,
+            map,
+            plans: Vec::new(),
+            active: 0,
+            pending: None,
+            shard_slots: [usize::MAX; 2],
+            tier_slots: [usize::MAX; 2],
+        });
+        let plan = self.bind_plan(id.0, placement, 0);
+        let t = &mut self.tables[id.0];
+        t.plans.push(plan);
+        t.shard_slots[0] = 0;
+        if t.plans[0]
+            .routing
+            .as_ref()
+            .is_some_and(|r| r.tier_table.is_some())
+        {
+            t.tier_slots[0] = 0;
+        }
+        id
+    }
+
+    /// Builds and registers one routing generation of table `t_idx` under
+    /// `placement`, (re)binding registry slot `slot` on every shard (and
+    /// the tier, when the plan pins rows). Does not touch the table's
+    /// plan list or active index — the caller decides when (and whether)
+    /// the generation takes over admissions.
+    fn bind_plan(&mut self, t_idx: usize, placement: &TablePlacement, slot: usize) -> PlanState {
+        let t = &self.tables[t_idx];
+        let map = t.map;
+        let reuse_shard = t.shard_slots[slot] != usize::MAX;
+        let shard_table_of =
+            |plans: &Vec<PlanState>, plan: usize, shard: usize| plans[plan].per_shard[shard];
+        let table_data = t.table.clone();
         let mut storage = Vec::with_capacity(self.shards.len());
-        let per_shard = self
-            .shards
-            .iter_mut()
-            .enumerate()
-            .map(|(i, shard)| {
-                let range = map.range(i);
-                let start = range.start;
-                let pack = placement.pack_order(range);
-                let mut inv = vec![0u32; pack.len()];
-                for (slot, &local) in pack.iter().enumerate() {
-                    inv[local as usize] = slot as u32;
-                }
-                storage.push(inv);
-                let packed = table.slice(start..start + pack.len() as u64).select(&pack);
-                let page_bytes = shard.sys.config().ssd.block_bytes();
-                shard
-                    .sys
-                    .add_table(TableImage::new(packed, self.layout, page_bytes))
-            })
-            .collect();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let range = map.range(i);
+            let start = range.start;
+            let pack = placement.pack_order(range);
+            let mut inv = vec![0u32; pack.len()];
+            for (s, &local) in pack.iter().enumerate() {
+                inv[local as usize] = s as u32;
+            }
+            storage.push(inv);
+            let packed = table_data
+                .slice(start..start + pack.len() as u64)
+                .select(&pack);
+            let page_bytes = shard.sys.config().ssd.block_bytes();
+            let image = TableImage::new(packed, self.layout, page_bytes);
+            let dev_id = if reuse_shard {
+                let existing = shard_table_of(
+                    &self.tables[t_idx].plans,
+                    self.tables[t_idx].shard_slots[slot],
+                    i,
+                );
+                shard.sys.replace_table(existing, image);
+                existing
+            } else {
+                shard.sys.add_table(image)
+            };
+            per_shard.push(dev_id);
+        }
         let tier_table = (placement.hot_count() > 0).then(|| {
             if self.tier.is_none() {
-                self.tier = Some(Shard::new(&self.system_cfg));
+                let now = self.events.now();
+                let mut tier = Shard::new(&self.system_cfg);
+                tier.sys.advance_clock(now);
+                tier.occ_last = now;
+                tier.window_start = now;
+                self.tier = Some(tier);
             }
             let tier = self.tier.as_mut().expect("just ensured");
-            let hot_view = table.select(placement.hot_rows());
+            let hot_view = table_data.select(placement.hot_rows());
             let page_bytes = tier.sys.config().ssd.block_bytes();
             // Dense layout keeps the tier's (never-read) flash image
             // within its registry slot whatever the hot count.
-            tier.sys
-                .add_table(TableImage::new(hot_view, PageLayout::Dense, page_bytes))
+            let image = TableImage::new(hot_view, PageLayout::Dense, page_bytes);
+            let t = &self.tables[t_idx];
+            if t.tier_slots[slot] != usize::MAX {
+                let existing = t.plans[t.tier_slots[slot]]
+                    .routing
+                    .as_ref()
+                    .and_then(|r| r.tier_table)
+                    .expect("tier slot owner has a tier table");
+                tier.sys.replace_table(existing, image);
+                existing
+            } else {
+                tier.sys.add_table(image)
+            }
         });
         let mut hot_index = vec![crate::shard::COLD; placement.rows() as usize];
         for (i, &row) in placement.hot_rows().iter().enumerate() {
             hot_index[row as usize] = i as u32;
         }
-        let id = ServedTableId(self.tables.len());
-        self.tables.push(ServedTable {
-            table,
-            map,
+        PlanState {
             per_shard,
             routing: Some(Routing {
                 hot_index,
                 storage,
                 tier_table,
             }),
-        });
-        id
+            hot_rows: placement.hot_rows().to_vec(),
+            slot,
+            inflight_subs: 0,
+        }
     }
 
     /// The sharding of `table`.
@@ -536,8 +744,9 @@ impl ServingRuntime {
     }
 
     /// Submits a request arriving at absolute time `at` (tagged `client`
-    /// for closed-loop generators). Completions surface from
-    /// [`ServingRuntime::step`].
+    /// for closed-loop generators). The batch is routed *when the arrival
+    /// fires*, under whatever plan is active at that instant — not at
+    /// submission. Completions surface from [`ServingRuntime::step`].
     ///
     /// # Panics
     ///
@@ -550,12 +759,61 @@ impl ServingRuntime {
         batch: LookupBatch,
         path: SlsPath,
     ) -> RequestId {
-        let t = &self.tables[table.0];
+        assert!(table.0 < self.tables.len(), "unknown table");
         let req = self.next_req;
         self.next_req += 1;
-        let (tier_sub, shard_subs) =
-            split_batch(&t.map, t.routing.as_ref(), req, table.0, path, &batch);
-        if t.routing.is_some() {
+        self.pending_arrivals.insert(
+            req,
+            PendingArrival {
+                client,
+                table: table.0,
+                batch,
+                path,
+            },
+        );
+        self.events.push_at(at, Ev::Arrival(req));
+        RequestId(req)
+    }
+
+    /// Routes one arrived request under the table's active plan and
+    /// enqueues its sub-batches.
+    fn admit(&mut self, now: SimTime, req: u64, arrival: PendingArrival) {
+        let PendingArrival {
+            client,
+            table,
+            batch,
+            path,
+        } = arrival;
+        if let Some(mut ad) = self.adaptive.take() {
+            if let Some(prof_ix) = ad.tables.iter().position(|&t| t == table) {
+                for ids in batch.per_output() {
+                    for &row in ids {
+                        ad.fresh.observe_count(prof_ix, row, ADAPTIVE_WEIGHT);
+                    }
+                }
+            }
+            ad.arrivals += 1;
+            let due = ad.arrivals >= ad.policy.epoch_requests;
+            if due {
+                ad.arrivals = 0;
+                ad.epochs += 1;
+                self.run_adaptive_epoch(&mut ad);
+            }
+            self.adaptive = Some(ad);
+        }
+        let t = &mut self.tables[table];
+        let plan_ix = t.active;
+        let plan = &mut t.plans[plan_ix];
+        let (tier_sub, shard_subs) = split_batch(
+            &t.map,
+            plan.routing.as_ref(),
+            req,
+            table,
+            plan_ix as u32,
+            path,
+            &batch,
+        );
+        if plan.routing.is_some() {
             let hot: usize = tier_sub
                 .as_ref()
                 .map_or(0, |s| s.per_output.iter().map(|v| v.len()).sum());
@@ -567,24 +825,303 @@ impl ServingRuntime {
         let mut subs: Vec<(Ix, SubBatch)> = Vec::with_capacity(shard_subs.len() + 1);
         subs.extend(tier_sub.map(|s| (Ix::Tier, s)));
         subs.extend(shard_subs.into_iter().map(|(i, s)| (Ix::Dev(i), s)));
+        plan.inflight_subs += subs.len();
         let mut acc = self.out_pool.pop().unwrap_or_default();
         acc.reset(batch.outputs(), t.table.spec().dim);
         self.inflight.insert(
             req,
             Inflight {
                 client,
-                table: table.0,
-                arrival: at,
+                table,
+                arrival: now,
                 first_start: None,
-                finish: at,
+                finish: now,
                 pending: subs.len(),
                 acc,
                 batch,
             },
         );
-        self.pending_arrivals.insert(req, subs);
-        self.events.push_at(at, Ev::Arrival(req));
-        RequestId(req)
+        for (ix, sub) in subs {
+            self.shard_mut(ix).queue.push_back(sub);
+            self.pump_shard(ix, now);
+        }
+    }
+
+    /// Swaps `table`'s placement to `placement` *live on the simulated
+    /// timeline*. The new plan is registered beside the active one
+    /// (double-buffered A/B registry slots); promoted rows are read off
+    /// the device shards as real migration operators (and gathered into
+    /// the DRAM tier), competing with client traffic for the same queues;
+    /// only when that work drains does the new plan take over admissions.
+    /// Requests split under the old plan keep their routing and drain
+    /// bit-identically.
+    ///
+    /// Returns the new plan's generation index, or `None` when the
+    /// refresh must be deferred — either a previous refresh is still
+    /// migrating, or the registry slot the new plan needs still has
+    /// in-flight work from the plan it would replace (retry after more
+    /// traffic drains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is unknown or `placement` was built for a
+    /// different row count.
+    pub fn refresh_placement(
+        &mut self,
+        table: ServedTableId,
+        placement: &TablePlacement,
+    ) -> Option<usize> {
+        let t_idx = table.0;
+        assert_eq!(
+            placement.rows(),
+            self.tables[t_idx].table.spec().rows,
+            "placement was built for a different table shape"
+        );
+        if self.tables[t_idx].pending.is_some() {
+            return None;
+        }
+        let slot = 1 - self.tables[t_idx].plans[self.tables[t_idx].active].slot;
+        // The slot's previous owners must have fully drained: re-binding
+        // swaps the flash image under any operator still addressing it.
+        let busy = self.tables[t_idx]
+            .plans
+            .iter()
+            .any(|p| p.slot == slot && p.inflight_subs > 0);
+        if busy {
+            return None;
+        }
+        let plan = self.bind_plan(t_idx, placement, slot);
+        let now = self.events.now();
+        let t = &mut self.tables[t_idx];
+        let old_ix = t.active;
+        let new_ix = t.plans.len();
+        let has_tier = plan
+            .routing
+            .as_ref()
+            .is_some_and(|r| r.tier_table.is_some());
+        t.plans.push(plan);
+        t.shard_slots[slot] = new_ix;
+        if has_tier {
+            t.tier_slots[slot] = new_ix;
+        }
+
+        // Promotions = hot rows the old plan served from the device,
+        // paired with their tier-local position in the new hot view.
+        let old_routing = t.plans[old_ix].routing.as_ref();
+        let promoted: Vec<(u64, u64)> = placement
+            .hot_rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| match old_routing {
+                Some(routing) => routing.hot_index[r as usize] == crate::shard::COLD,
+                None => true,
+            })
+            .map(|(j, &r)| (j as u64, r))
+            .collect();
+        let demoted = t.plans[old_ix]
+            .hot_rows
+            .iter()
+            .filter(|&&r| !placement.is_hot(r))
+            .count() as u64;
+
+        if promoted.is_empty() {
+            // Nothing to move: the swap is pure routing state.
+            t.active = new_ix;
+            t.plans[old_ix].retire();
+            self.stats.plan_refreshes.inc();
+            self.stats.rows_demoted.add(demoted);
+            return Some(new_ix);
+        }
+
+        // Migration work: read each promoted row off its shard (old plan
+        // coordinates — that is where the row physically lives right now)
+        // and gather it into the new tier view. Chunked so it pipelines.
+        let map = t.map;
+        let mut subs: Vec<(Ix, SubBatch)> = Vec::new();
+        let mut per_shard_rows: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &(_, row) in &promoted {
+            let shard = map.shard_of(row);
+            let local = map.local_row(row);
+            let storage = match old_routing {
+                Some(routing) => u64::from(routing.storage[shard][local as usize]),
+                None => local,
+            };
+            per_shard_rows[shard].push(storage);
+        }
+        for (shard, rows) in per_shard_rows.into_iter().enumerate() {
+            for chunk in rows.chunks(MIGRATION_CHUNK_ROWS) {
+                subs.push((
+                    Ix::Dev(shard),
+                    SubBatch {
+                        owner: SubOwner::Migration(t_idx),
+                        table: t_idx,
+                        plan: old_ix as u32,
+                        // Promoted rows come off flash through the NDP
+                        // gather — the device's bulk-read mechanism —
+                        // rather than one conventional read per page.
+                        path: SlsPath::Ndp(SlsOptions::default()),
+                        per_output: chunk.iter().map(|&r| vec![r]).collect(),
+                        slots: (0..chunk.len() as u32).collect(),
+                    },
+                ));
+            }
+        }
+        // Tier load: the promoted rows' write into host DRAM, modeled as
+        // a gather over the new tier view.
+        let tier_locals: Vec<u64> = promoted.iter().map(|&(j, _)| j).collect();
+        for chunk in tier_locals.chunks(MIGRATION_CHUNK_ROWS) {
+            subs.push((
+                Ix::Tier,
+                SubBatch {
+                    owner: SubOwner::Migration(t_idx),
+                    table: t_idx,
+                    plan: new_ix as u32,
+                    path: SlsPath::Dram,
+                    per_output: chunk.iter().map(|&r| vec![r]).collect(),
+                    slots: (0..chunk.len() as u32).collect(),
+                },
+            ));
+        }
+        let t = &mut self.tables[t_idx];
+        t.pending = Some(PendingPlan {
+            plan: new_ix,
+            remaining: subs.len(),
+            promoted: promoted.len() as u64,
+            demoted,
+        });
+        self.stats.migration_lookups.add(promoted.len() as u64);
+        for (ix, sub) in subs {
+            let plan = sub.plan as usize;
+            self.tables[t_idx].plans[plan].inflight_subs += 1;
+            self.shard_mut(ix).queue.push_back(sub);
+            self.pump_shard(ix, now);
+        }
+        Some(new_ix)
+    }
+
+    /// Turns on the online adaptation loop over every table registered so
+    /// far: each admitted request feeds a decayed [`FreqProfiler`], and
+    /// every [`AdaptivePolicy::epoch_requests`] admissions the runtime
+    /// rebuilds the placement under the policy's global DRAM budget
+    /// (split by marginal hit rate) and live-refreshes any table whose
+    /// hot set moved by at least the hysteresis threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tables are registered or the policy is degenerate.
+    pub fn enable_adaptive(&mut self, policy: AdaptivePolicy) {
+        assert!(!self.tables.is_empty(), "no tables to adapt");
+        assert!(policy.epoch_requests > 0, "epoch must cover requests");
+        assert!(
+            (0.0..=1.0).contains(&policy.decay),
+            "decay factor must lie in [0, 1]"
+        );
+        let mut ewma = FreqProfiler::new();
+        let mut fresh = FreqProfiler::new();
+        let tables: Vec<usize> = (0..self.tables.len()).collect();
+        for &t in &tables {
+            ewma.add_table(self.tables[t].table.spec().rows);
+            fresh.add_table(self.tables[t].table.spec().rows);
+        }
+        self.adaptive = Some(AdaptiveState {
+            policy,
+            ewma,
+            fresh,
+            tables,
+            arrivals: 0,
+            epochs: 0,
+        });
+    }
+
+    /// Number of completed adaptation epochs (0 when adaptivity is off).
+    pub fn adaptive_epochs(&self) -> u64 {
+        self.adaptive.as_ref().map_or(0, |a| a.epochs)
+    }
+
+    /// `true` while `table` has a refresh whose migration is in flight.
+    pub fn refresh_pending(&self, table: ServedTableId) -> bool {
+        self.tables[table.0].pending.is_some()
+    }
+
+    /// Routing generations registered for `table` (1 = never refreshed).
+    pub fn plan_generations(&self, table: ServedTableId) -> usize {
+        self.tables[table.0].plans.len()
+    }
+
+    /// One adaptation epoch. Change-point detection first: if the active
+    /// plan's hit mass under this epoch's *fresh* counts collapsed
+    /// relative to what the long-memory ranking promised, the traffic
+    /// distribution shifted — flush the EWMA so the stale history cannot
+    /// outvote the new regime. Then fold the epoch into the EWMA, split
+    /// the global budget by marginal hit rate, and refresh every table
+    /// whose rebuilt hot set would absorb enough extra traffic.
+    fn run_adaptive_epoch(&mut self, ad: &mut AdaptiveState) {
+        let hit_mass = |heat: &recssd_placement::TableHeat, rows: &[u64]| -> f64 {
+            if heat.total() == 0 {
+                return 0.0;
+            }
+            rows.iter().map(|&r| heat.count(r)).sum::<u64>() as f64 / heat.total() as f64
+        };
+        for (prof_ix, &t_idx) in ad.tables.iter().enumerate() {
+            let t = &self.tables[t_idx];
+            let active = &t.plans[t.active];
+            let fresh = ad.fresh.heat(prof_ix);
+            let remembered = ad.ewma.heat(prof_ix);
+            let shifted = fresh.total() > 0
+                && remembered.total() > 0
+                && hit_mass(remembered, &active.hot_rows) - hit_mass(fresh, &active.hot_rows)
+                    >= DRIFT_RESET_DROP;
+            // The flush is per table: one table's rotation must not erase
+            // the well-sampled history of tables that did not move.
+            let factor = if shifted {
+                DRIFT_FLUSH_DECAY
+            } else {
+                ad.policy.decay
+            };
+            ad.ewma.decay_table(prof_ix, factor);
+        }
+        ad.ewma.merge(&ad.fresh);
+        ad.fresh.decay(0.0);
+
+        let budgets = allocate_global_budget(&ad.ewma, ad.policy.budget_rows);
+        for (prof_ix, &t_idx) in ad.tables.iter().enumerate() {
+            let heat = ad.ewma.heat(prof_ix);
+            if heat.total() == 0 {
+                continue;
+            }
+            let t = &self.tables[t_idx];
+            let active = &t.plans[t.active];
+            // Rebuild the hot set with *evidence-aware incumbency*: a row
+            // enters on at least MIN_EVIDENCE observations, and incumbent
+            // rows are never displaced by mere absence of evidence — the
+            // online sample is thin, so an unobserved pinned row and a
+            // one-hit stranger are statistically indistinguishable, and
+            // swapping them is pure migration churn.
+            let routing = active.routing.as_ref();
+            let is_pinned = |row: u64| match routing {
+                Some(r) => r.hot_index[row as usize] != crate::shard::COLD,
+                None => false,
+            };
+            let mut cand: Vec<(u64, bool, u64)> = (0..heat.rows())
+                .filter_map(|row| {
+                    let c = heat.count(row);
+                    let evid = if c >= MIN_EVIDENCE { c } else { 0 };
+                    let pinned = is_pinned(row);
+                    (evid > 0 || pinned).then_some((evid, pinned, row))
+                })
+                .collect();
+            cand.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+            cand.truncate(budgets[prof_ix]);
+            let hot: Vec<u64> = cand.into_iter().map(|(_, _, row)| row).collect();
+            // Marginal gain of swapping plans, measured on the current
+            // ranking: how much more traffic the rebuilt hot set would
+            // have absorbed than the one serving right now.
+            let gain = hit_mass(heat, &hot) - hit_mass(heat, &active.hot_rows);
+            if gain >= ad.policy.min_hit_gain {
+                let placement = TablePlacement::build_with_hot_rows(heat, hot);
+                let _ = self.refresh_placement(ServedTableId(t_idx), &placement);
+            }
+        }
     }
 
     /// Returns a consumed request output to the accumulator pool.
@@ -626,14 +1163,11 @@ impl ServingRuntime {
             let (now, ev) = self.events.pop()?;
             match ev {
                 Ev::Arrival(req) => {
-                    let subs = self
+                    let arrival = self
                         .pending_arrivals
                         .remove(&req)
-                        .expect("arrival without sub-batches");
-                    for (ix, sub) in subs {
-                        self.shard_mut(ix).queue.push_back(sub);
-                        self.pump_shard(ix, now);
-                    }
+                        .expect("arrival without a pending request");
+                    self.admit(now, req, arrival);
                 }
                 Ev::ShardTick(ix) => {
                     if self.shard_mut(ix).next_tick == Some(now) {
@@ -679,6 +1213,10 @@ impl ServingRuntime {
         assert!(
             self.inflight.is_empty(),
             "requests stuck with no pending events"
+        );
+        assert!(
+            self.tables.iter().all(|t| t.pending.is_none()),
+            "plan migration stuck with no pending events"
         );
         done
     }
@@ -739,7 +1277,8 @@ impl ServingRuntime {
         }
 
         // Phase 2: fold each harvested operator's partial sums into its
-        // owning requests and schedule completions.
+        // owning requests (or retire migration work) and schedule
+        // completions.
         for (infop, result) in harvested.drain(..) {
             let service = result.finished.saturating_since(result.started);
             match ix {
@@ -747,24 +1286,49 @@ impl ServingRuntime {
                 Ix::Dev(_) => self.stats.device_service.record_duration(service),
             }
             let outputs = result.outputs.expect("SLS ops produce outputs");
+            {
+                let t = &mut self.tables[infop.table];
+                t.plans[infop.plan].inflight_subs -= infop.parts.len();
+            }
             for part in infop.parts {
-                let inf = self.inflight.get_mut(&part.req).expect("in flight");
-                for (i, &slot) in part.slots.iter().enumerate() {
-                    let src = outputs.row(part.offset + i);
-                    for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
-                        *o += *v;
+                match part.owner {
+                    SubOwner::Request(req) => {
+                        let inf = self.inflight.get_mut(&req).expect("in flight");
+                        for (i, &slot) in part.slots.iter().enumerate() {
+                            let src = outputs.row(part.offset + i);
+                            for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
+                                *o += *v;
+                            }
+                        }
+                        inf.first_start = Some(match inf.first_start {
+                            Some(t) => t.min(result.started),
+                            None => result.started,
+                        });
+                        inf.finish = inf.finish.max(result.finished);
+                        inf.pending -= 1;
+                        if inf.pending == 0 {
+                            // `inf.finish <= now`: every contribution was
+                            // harvested at a global instant at or after it.
+                            self.events.push_at(now, Ev::Completed(req));
+                        }
                     }
-                }
-                inf.first_start = Some(match inf.first_start {
-                    Some(t) => t.min(result.started),
-                    None => result.started,
-                });
-                inf.finish = inf.finish.max(result.finished);
-                inf.pending -= 1;
-                if inf.pending == 0 {
-                    // `inf.finish <= now`: every contribution was
-                    // harvested at a global instant at or after it.
-                    self.events.push_at(now, Ev::Completed(part.req));
+                    SubOwner::Migration(t_idx) => {
+                        // Migration partials are discarded — the read
+                        // itself was the cost. The last one activates the
+                        // pending plan for all admissions from `now` on.
+                        let t = &mut self.tables[t_idx];
+                        let pending = t.pending.as_mut().expect("migration without refresh");
+                        pending.remaining -= 1;
+                        if pending.remaining == 0 {
+                            let done = t.pending.take().expect("just checked");
+                            let outgoing = t.active;
+                            t.active = done.plan;
+                            t.plans[outgoing].retire();
+                            self.stats.plan_refreshes.inc();
+                            self.stats.rows_promoted.add(done.promoted);
+                            self.stats.rows_demoted.add(done.demoted);
+                        }
+                    }
                 }
             }
             self.shard_mut(ix).sys.recycle_outputs(outputs);
@@ -822,25 +1386,26 @@ impl ServingRuntime {
         // slice of the merged output block.
         let mut per_output: Vec<Vec<u64>> = Vec::new();
         let mut parts: Vec<Part> = Vec::new();
-        let (table, path) = key;
+        let (table, plan) = (key.table, key.plan as usize);
         for sub in taken {
             parts.push(Part {
-                req: sub.req,
+                owner: sub.owner,
                 slots: sub.slots,
                 offset: per_output.len(),
             });
             per_output.extend(sub.per_output);
         }
         let merged = LookupBatch::new(per_output);
+        let plan_state = &self.tables[table].plans[plan];
         let device_table = match ix {
-            Ix::Dev(shard) => self.tables[table].per_shard[shard],
-            Ix::Tier => self.tables[table]
+            Ix::Dev(shard) => plan_state.per_shard[shard],
+            Ix::Tier => plan_state
                 .routing
                 .as_ref()
                 .and_then(|r| r.tier_table)
                 .expect("tier sub-batch for a table with no hot set"),
         };
-        let kind = match path {
+        let kind = match key.path {
             SlsPath::Dram => OpKind::dram_sls(device_table, merged),
             SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
             SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
@@ -854,7 +1419,12 @@ impl ServingRuntime {
         debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
         s.note_occupancy(now);
         let op = s.sys.submit(kind);
-        s.inflight.push(InflightOp { op, parts });
+        s.inflight.push(InflightOp {
+            op,
+            table,
+            plan,
+            parts,
+        });
 
         self.stats.ops_dispatched.inc();
         self.stats.subs_dispatched.add(n_subs);

@@ -124,14 +124,31 @@ impl ShardMap {
     }
 }
 
+/// Whose partial sums a sub-batch carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubOwner {
+    /// A client request (by request id).
+    Request(u64),
+    /// Plan-migration work for the given served table: promoted rows
+    /// being read off the device or loaded into the DRAM tier. Outputs
+    /// are discarded; completion advances the table's pending plan.
+    Migration(usize),
+}
+
 /// One shard's slice of a request: local rows per (local) output, plus the
 /// global output slot each folds into.
 #[derive(Debug, Clone)]
 pub(crate) struct SubBatch {
-    /// Owning request.
-    pub req: u64,
+    /// Whose work this is.
+    pub owner: SubOwner,
     /// Logical (served) table index.
     pub table: usize,
+    /// The routing generation (index into the served table's plan list)
+    /// this sub-batch was split under. Local rows are meaningless under
+    /// any other generation, so merging and device-table resolution key
+    /// on it — the double-buffering that lets an old plan drain while a
+    /// new one admits.
+    pub plan: u32,
     /// Execution path (merge compatibility key with `table`).
     pub path: SlsPath,
     /// Local rows per local output slot (every entry non-empty).
@@ -140,11 +157,26 @@ pub(crate) struct SubBatch {
     pub slots: Vec<u32>,
 }
 
+/// Merge compatibility key: sub-batches coalesce only when they target
+/// the same table under the same plan generation over the same path, and
+/// migration work never merges into client operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MergeKey {
+    pub table: usize,
+    pub plan: u32,
+    pub path: SlsPath,
+    pub migration: bool,
+}
+
 impl SubBatch {
-    /// Merge compatibility: sub-batches coalesce only when they target the
-    /// same table over the same path.
-    pub fn merge_key(&self) -> (usize, SlsPath) {
-        (self.table, self.path)
+    /// The merge compatibility key.
+    pub fn merge_key(&self) -> MergeKey {
+        MergeKey {
+            table: self.table,
+            plan: self.plan,
+            path: self.path,
+            migration: matches!(self.owner, SubOwner::Migration(_)),
+        }
     }
 
     /// Total lookups carried.
@@ -187,14 +219,16 @@ pub(crate) fn split_batch(
     routing: Option<&Routing>,
     req: u64,
     table: usize,
+    plan: u32,
     path: SlsPath,
     batch: &LookupBatch,
 ) -> (Option<SubBatch>, Vec<(usize, SubBatch)>) {
     let mut tier: Option<SubBatch> = None;
     let mut per_shard: Vec<Option<SubBatch>> = (0..map.shards()).map(|_| None).collect();
     let new_sub = |path: SlsPath| SubBatch {
-        req,
+        owner: SubOwner::Request(req),
         table,
+        plan,
         path,
         per_output: Vec::new(),
         slots: Vec::new(),
@@ -268,7 +302,7 @@ mod tests {
     fn split_preserves_every_lookup() {
         let m = ShardMap::new(100, 3);
         let batch = LookupBatch::new(vec![vec![0, 50, 99, 50], vec![33, 34]]);
-        let (tier, subs) = split_batch(&m, None, 7, 0, SlsPath::Dram, &batch);
+        let (tier, subs) = split_batch(&m, None, 7, 0, 0, SlsPath::Dram, &batch);
         assert!(tier.is_none(), "no routing, no tier sub-batch");
         let total: usize = subs.iter().map(|(_, s)| s.lookups()).sum();
         assert_eq!(total, batch.total_lookups());
@@ -303,7 +337,7 @@ mod tests {
             tier_table: None,
         };
         let batch = LookupBatch::new(vec![vec![7, 0, 9]]);
-        let (tier, subs) = split_batch(&m, Some(&routing), 1, 0, SlsPath::Dram, &batch);
+        let (tier, subs) = split_batch(&m, Some(&routing), 1, 0, 0, SlsPath::Dram, &batch);
         let tier = tier.expect("hot row routed to the tier");
         assert_eq!(tier.per_output, vec![vec![0]]);
         assert!(matches!(tier.path, SlsPath::Dram));

@@ -33,6 +33,16 @@ pub struct ServingStats {
     /// operator) — the NDP/baseline/DRAM-path half of the per-tier
     /// latency split.
     pub device_service: LogHistogram,
+    /// Placement-plan refreshes *activated* (a refresh counts once its
+    /// migration work has drained and new admissions route under it).
+    pub plan_refreshes: Counter,
+    /// Rows promoted into the DRAM tier across activated refreshes.
+    pub rows_promoted: Counter,
+    /// Rows demoted out of the DRAM tier across activated refreshes.
+    pub rows_demoted: Counter,
+    /// Device lookups issued as migration work (reading promoted rows off
+    /// flash) — the modeled cost that makes a plan swap not a teleport.
+    pub migration_lookups: Counter,
     first_arrival: Option<SimTime>,
     last_finish: SimTime,
 }

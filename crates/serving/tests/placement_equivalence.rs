@@ -13,9 +13,13 @@ use proptest::prelude::*;
 use recssd::{LookupBatch, SlsOptions};
 use recssd_embedding::{sls_reference, EmbeddingTable, PageLayout, Quantization, TableSpec};
 use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy};
-use recssd_serving::{SchedulePolicy, ServingConfig, ServingRuntime, SlsPath};
+use recssd_serving::{
+    AdaptivePolicy, LoadGen, LoadMode, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
+    TrafficSpec,
+};
 use recssd_sim::rng::Xoshiro256;
-use recssd_sim::SimTime;
+use recssd_sim::{SimDuration, SimTime};
+use recssd_trace::{DriftingZipf, RowStream};
 
 fn batch_of(rng: &mut Xoshiro256, rows: u64, outputs: usize, lookups: usize) -> LookupBatch {
     LookupBatch::new(
@@ -135,6 +139,271 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The migration correctness contract: requests straddling a live
+    /// `refresh_placement` — split under the old plan, completing after
+    /// the new one activates, interleaved with the migration operators
+    /// themselves — stay bit-identical to `sls_reference` on all three
+    /// paths and both policies.
+    #[test]
+    fn requests_straddling_a_refresh_stay_bit_identical(
+        rows in 24u64..200,
+        dim in 1usize..16,
+        shards in 2usize..4,
+        hot_tenths_a in 0u32..11,
+        hot_tenths_b in 0u32..11,
+        outputs in 1usize..3,
+        lookups in 1usize..6,
+        n_before in 2usize..5,
+        n_after in 1usize..4,
+        seed in 0u64..10_000,
+        dense in proptest::bool::ANY,
+    ) {
+        let shards = shards.min(rows as usize);
+        let layout = if dense { PageLayout::Dense } else { PageLayout::Spread };
+        let table = EmbeddingTable::procedural(
+            TableSpec::new(rows, dim, Quantization::F32),
+            seed,
+        );
+        // Two genuinely different generations: independent profiles and
+        // independent budgets, so promote/demote sets are non-trivial.
+        let plan_a = PlacementPlan::build(
+            &skewed_profile(rows, seed ^ 0x5EED),
+            &PlacementPolicy::hot_fraction(hot_tenths_a as f64 / 10.0),
+        );
+        let plan_b = PlacementPlan::build(
+            &skewed_profile(rows, seed ^ 0xB0B0),
+            &PlacementPolicy::hot_fraction(hot_tenths_b as f64 / 10.0),
+        );
+
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+        let before: Vec<LookupBatch> = (0..n_before)
+            .map(|_| batch_of(&mut rng, rows, outputs, lookups))
+            .collect();
+        let after: Vec<LookupBatch> = (0..n_after)
+            .map(|_| batch_of(&mut rng, rows, outputs, lookups))
+            .collect();
+        let reference: Vec<Vec<Vec<f32>>> = before
+            .iter()
+            .chain(after.iter())
+            .map(|b| sls_reference(&table, b))
+            .collect();
+
+        for path in paths() {
+            for sched in [SchedulePolicy::Fifo, SchedulePolicy::micro_batch(8)] {
+                let mut cfg = ServingConfig::small_wide(shards, sched);
+                cfg.layout = layout;
+                let mut rt = ServingRuntime::new(&cfg);
+                let t = rt.add_table_placed(table.clone(), plan_a.table(0));
+                for (i, b) in before.iter().enumerate() {
+                    rt.submit_at(SimTime::from_us(i as u64), i as u64, t, b.clone(), path);
+                }
+                // Drain part of the backlog so the refresh lands with
+                // requests genuinely in flight under the old plan.
+                let mut done = Vec::new();
+                for _ in 0..n_before / 2 {
+                    if let Some(c) = rt.step() {
+                        done.push(c);
+                    }
+                }
+                let refreshed = rt.refresh_placement(t, plan_b.table(0));
+                prop_assert!(refreshed.is_some(), "first refresh cannot be deferred");
+                let now = rt.now();
+                for (i, b) in after.iter().enumerate() {
+                    rt.submit_at(
+                        now + SimDuration::from_us(i as u64 + 1),
+                        1_000 + i as u64,
+                        t,
+                        b.clone(),
+                        path,
+                    );
+                }
+                done.extend(rt.run_until_idle());
+                done.sort_by_key(|d| d.id);
+                for d in &done {
+                    rt.verify_bitmatch(d);
+                }
+                let outputs: Vec<Vec<Vec<f32>>> =
+                    done.iter().map(|d| d.outputs.to_nested()).collect();
+                prop_assert_eq!(
+                    &outputs, &reference,
+                    "{} path, {} policy: outputs diverged across the refresh boundary",
+                    path.name(), sched.name()
+                );
+            }
+        }
+    }
+}
+
+/// Registry-slot reuse: the third generation re-binds the first one's
+/// A/B slot (replacing the flash image and invalidating stale FTL-cached
+/// pages), and results stay bit-identical throughout. Dense layout + the
+/// NDP path keep the FTL page cache hot, so a stale-cache bug would
+/// surface here.
+#[test]
+fn slot_reuse_across_three_generations_stays_bit_identical() {
+    let rows = 192u64;
+    let table = EmbeddingTable::procedural(TableSpec::new(rows, 8, Quantization::F32), 9);
+    let plans: Vec<PlacementPlan> = [0x5EEDu64, 0xB0B0, 0xCAFE]
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            PlacementPlan::build(
+                &skewed_profile(rows, s),
+                &PlacementPolicy::hot_fraction(0.1 * (i as f64 + 1.0)),
+            )
+        })
+        .collect();
+
+    let mut cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo);
+    cfg.layout = PageLayout::Dense;
+    let mut rt = ServingRuntime::new(&cfg);
+    let t = rt.add_table_placed(table.clone(), plans[0].table(0));
+    let mut rng = Xoshiro256::seed_from(3);
+    let mut client = 0u64;
+    let mut serve_round = |rt: &mut ServingRuntime| {
+        let start = rt.now();
+        for i in 0..6u64 {
+            let batch = batch_of(&mut rng, rows, 2, 5);
+            client += 1;
+            rt.submit_at(
+                start + SimDuration::from_us(i),
+                client,
+                t,
+                batch,
+                SlsPath::Ndp(SlsOptions::default()),
+            );
+        }
+        for d in rt.run_until_idle() {
+            rt.verify_bitmatch(&d);
+        }
+    };
+    serve_round(&mut rt);
+    assert!(rt.refresh_placement(t, plans[1].table(0)).is_some());
+    serve_round(&mut rt);
+    // Generation 3 reuses generation 1's registry slot (drained by now).
+    assert!(rt.refresh_placement(t, plans[2].table(0)).is_some());
+    serve_round(&mut rt);
+    assert_eq!(rt.plan_generations(t), 3);
+    assert_eq!(rt.stats().plan_refreshes.get(), 2);
+}
+
+/// A refresh converts an *unplaced* table: promoted rows migrate off the
+/// identity-mapped image, then admissions route hybrid.
+#[test]
+fn refresh_adopts_an_unplaced_table() {
+    let rows = 128u64;
+    let table = EmbeddingTable::procedural(TableSpec::new(rows, 8, Quantization::F32), 4);
+    let plan = PlacementPlan::build(
+        &skewed_profile(rows, 0x77),
+        &PlacementPolicy::hot_fraction(0.25),
+    );
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo);
+    let mut rt = ServingRuntime::new(&cfg);
+    let t = rt.add_table(table.clone());
+    assert!(!rt.has_tier());
+    assert!(rt.refresh_placement(t, plan.table(0)).is_some());
+    assert!(rt.refresh_pending(t), "promotions must cost migration work");
+    let mut rng = Xoshiro256::seed_from(5);
+    for i in 0..8u64 {
+        let batch = batch_of(&mut rng, rows, 2, 6);
+        rt.submit_at(
+            SimTime::from_us(i),
+            i,
+            t,
+            batch,
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    for d in rt.run_until_idle() {
+        rt.verify_bitmatch(&d);
+    }
+    assert!(rt.has_tier());
+    assert!(!rt.refresh_pending(t));
+    {
+        let stats = rt.stats();
+        assert_eq!(stats.plan_refreshes.get(), 1);
+        assert_eq!(stats.rows_promoted.get(), plan.table(0).hot_count() as u64);
+        assert_eq!(
+            stats.migration_lookups.get(),
+            plan.table(0).hot_count() as u64
+        );
+    }
+    // A second round admitted after activation routes hybrid.
+    let start = rt.now();
+    for i in 0..8u64 {
+        let batch = batch_of(&mut rng, rows, 2, 6);
+        rt.submit_at(
+            start + SimDuration::from_us(i),
+            100 + i,
+            t,
+            batch,
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    for d in rt.run_until_idle() {
+        rt.verify_bitmatch(&d);
+    }
+    assert!(
+        rt.stats().tier.hits() > 0,
+        "post-activation admissions hit the tier"
+    );
+}
+
+/// The full online loop under drifting skew: the adaptive runtime
+/// re-profiles, refreshes plans (with real migration cost) and keeps the
+/// DRAM tier's hit rate up while a stale static plan would have decayed —
+/// every output still bit-identical to the reference.
+#[test]
+fn adaptive_runtime_refreshes_under_drift_and_stays_exact() {
+    let rows = 1024u64;
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo).with_depth(2);
+    let mut rt = ServingRuntime::new(&cfg);
+    let table = EmbeddingTable::procedural(TableSpec::new(rows, 16, Quantization::F32), 11);
+    let t = rt.add_table(table);
+    rt.enable_adaptive(AdaptivePolicy {
+        epoch_requests: 16,
+        decay: 0.5,
+        budget_rows: 128,
+        min_hit_gain: 0.02,
+    });
+    // Rotating hot set: 64 requests x 16 lookups per phase.
+    let drift = DriftingZipf::new(rows, 1.3, 21, 64 * 16);
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![t],
+        TrafficSpec {
+            outputs: 4,
+            lookups_per_output: 4,
+            zipf_exponent: 1.3,
+        },
+        LoadMode::Closed {
+            clients: 8,
+            think: SimDuration::ZERO,
+        },
+        7,
+    )
+    .with_streams(vec![RowStream::Drifting(drift)])
+    .with_verify_every(1);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 192);
+    assert_eq!(report.verified, 192, "every output bit-matched");
+    assert!(
+        report.plan_refreshes >= 2,
+        "adaptation must refresh across rotations (got {})",
+        report.plan_refreshes
+    );
+    assert!(report.rows_promoted > 0);
+    assert!(report.migration_lookups > 0);
+    assert!(
+        report.tier_hit_rate > 0.2,
+        "adaptive tier must absorb traffic despite drift (hit rate {})",
+        report.tier_hit_rate
+    );
+    assert!(rt.adaptive_epochs() >= 2);
 }
 
 /// With every accessed row pinned hot, the DRAM tier absorbs all the

@@ -1,0 +1,256 @@
+//! Drifting-skew traces: Zipf popularity whose *identity* mapping moves.
+//!
+//! Stationary Zipf traffic justifies one-shot placement: profile once, pin
+//! the head, serve forever. Production recommendation traffic is not
+//! stationary — items trend and fade, so the *set* of hot rows migrates
+//! while the popularity *shape* stays power-law (the paper's UWS
+//! motivation; RecFlash tracks frequency online for the same reason).
+//! [`DriftingZipf`] models exactly that: ranks are drawn from a fixed
+//! Zipf(s), but the rank→row scatter is re-randomised every `period`
+//! draws (a *phase*), either wholesale (rotation) or for a configurable
+//! fraction of ranks (piecewise hot-set churn).
+//!
+//! The mapping is a pure function of `(seed, phase, rank)`, so
+//! [`DriftingZipf::pinned`] can materialise any phase's stationary
+//! distribution — what an oracle profiler that "knows the future" would
+//! see — without replaying the stream.
+
+use recssd_sim::rng::mix64;
+
+use crate::ZipfTrace;
+
+const PHASE_SALT: u64 = 0xA24B_AED4_963E_E407;
+const CHURN_SALT: u64 = 0x9E6C_63D0_985B_135B;
+
+/// A bounded Zipf sampler whose rank→row mapping drifts over time.
+///
+/// # Example
+///
+/// ```
+/// use recssd_trace::DriftingZipf;
+/// let mut z = DriftingZipf::new(10_000, 1.2, 7, 1_000);
+/// let before: Vec<u64> = (0..1_000).map(|_| z.next_id()).collect();
+/// assert_eq!(z.phase(), 1); // one full period drawn
+/// assert!(before.iter().all(|&id| id < 10_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftingZipf {
+    ranks: ZipfTrace,
+    rows: u64,
+    seed: u64,
+    /// Draws per phase (`u64::MAX` pins the generator to one phase).
+    period: u64,
+    /// Fraction of ranks remapped each phase (1.0 = full rotation).
+    churn: f64,
+    phase_base: u64,
+    drawn: u64,
+}
+
+impl DriftingZipf {
+    /// Creates a fully rotating drift trace: every `period` draws, the
+    /// entire rank→row mapping is re-randomised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero, `s <= 1`, or `period` is zero.
+    pub fn new(rows: u64, s: f64, seed: u64, period: u64) -> Self {
+        assert!(period > 0, "phase period must be positive");
+        DriftingZipf {
+            ranks: ZipfTrace::new(rows, s, seed).without_scatter(),
+            rows,
+            seed,
+            period,
+            churn: 1.0,
+            phase_base: 0,
+            drawn: 0,
+        }
+    }
+
+    /// Sets the per-phase churn fraction: only ranks whose churn draw
+    /// falls below `fraction` move when the phase advances, the rest keep
+    /// the base mapping (piecewise hot-set churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn with_churn(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "churn fraction must lie in (0, 1]"
+        );
+        self.churn = fraction;
+        self
+    }
+
+    /// A generator frozen at `phase`: same mapping as this generator
+    /// produces during that phase, but never advancing — the stationary
+    /// distribution an oracle profiler would profile for the phase. The
+    /// rank stream is reseeded so the clone does not replay this
+    /// generator's exact draws.
+    pub fn pinned(&self, phase: u64) -> Self {
+        DriftingZipf {
+            ranks: ZipfTrace::new(
+                self.rows,
+                self.ranks.exponent(),
+                mix64(self.seed ^ PHASE_SALT),
+            )
+            .without_scatter(),
+            rows: self.rows,
+            seed: self.seed,
+            period: u64::MAX,
+            churn: self.churn,
+            phase_base: phase,
+            drawn: 0,
+        }
+    }
+
+    /// Rows in the id space.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The Zipf skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.ranks.exponent()
+    }
+
+    /// The current phase (advances every `period` draws).
+    pub fn phase(&self) -> u64 {
+        self.phase_base + self.drawn / self.period
+    }
+
+    /// Maps `rank` to a row id under `phase`'s scatter.
+    fn map_rank(&self, rank: u64, phase: u64) -> u64 {
+        let base = mix64(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed);
+        let churned = self.churn >= 1.0 || {
+            // Per-(rank, phase) coin: a different subset of ranks moves
+            // each phase.
+            let coin = mix64(base ^ phase.wrapping_mul(CHURN_SALT));
+            ((coin >> 11) as f64 / (1u64 << 53) as f64) < self.churn
+        };
+        if churned && phase > 0 {
+            mix64(base ^ phase.wrapping_mul(PHASE_SALT)) % self.rows
+        } else {
+            base % self.rows
+        }
+    }
+
+    /// The next id.
+    pub fn next_id(&mut self) -> u64 {
+        let phase = self.phase();
+        let rank = self.ranks.next_id();
+        self.drawn = self.drawn.saturating_add(1);
+        self.map_rank(rank, phase)
+    }
+
+    /// Draws `n` ids.
+    pub fn take_ids(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_id()).collect()
+    }
+}
+
+/// A table's id stream for load generation: stationary Zipf or drifting.
+#[derive(Debug)]
+pub enum RowStream {
+    /// Stationary Zipf popularity.
+    Zipf(ZipfTrace),
+    /// Drifting popularity ([`DriftingZipf`]).
+    Drifting(DriftingZipf),
+}
+
+impl RowStream {
+    /// The next id.
+    pub fn next_id(&mut self) -> u64 {
+        match self {
+            RowStream::Zipf(z) => z.next_id(),
+            RowStream::Drifting(d) => d.next_id(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn top_k(ids: &[u64], k: usize) -> Vec<u64> {
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for &id in ids {
+            *freq.entry(id).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(u64, u64)> = freq.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.into_iter().take(k).map(|(id, _)| id).collect()
+    }
+
+    fn overlap(a: &[u64], b: &[u64]) -> usize {
+        a.iter().filter(|id| b.contains(id)).count()
+    }
+
+    #[test]
+    fn ids_in_range_and_deterministic() {
+        let mut a = DriftingZipf::new(5_000, 1.3, 3, 500);
+        let mut b = DriftingZipf::new(5_000, 1.3, 3, 500);
+        let ia = a.take_ids(2_000);
+        assert_eq!(ia, b.take_ids(2_000));
+        assert!(ia.iter().all(|&id| id < 5_000));
+    }
+
+    #[test]
+    fn rotation_replaces_the_hot_set_each_phase() {
+        let mut z = DriftingZipf::new(100_000, 1.4, 9, 20_000);
+        let p0 = z.take_ids(20_000);
+        assert_eq!(z.phase(), 1);
+        let p1 = z.take_ids(20_000);
+        assert_eq!(z.phase(), 2);
+        let (h0, h1) = (top_k(&p0, 20), top_k(&p1, 20));
+        assert!(
+            overlap(&h0, &h1) <= 2,
+            "full rotation must displace the head: {h0:?} vs {h1:?}"
+        );
+    }
+
+    #[test]
+    fn partial_churn_preserves_most_of_the_hot_set() {
+        let mut z = DriftingZipf::new(100_000, 1.4, 9, 20_000).with_churn(0.2);
+        let p0 = z.take_ids(20_000);
+        let p1 = z.take_ids(20_000);
+        let (h0, h1) = (top_k(&p0, 20), top_k(&p1, 20));
+        assert!(
+            overlap(&h0, &h1) >= 12,
+            "20% churn should keep most of the head: {h0:?} vs {h1:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_matches_the_rolling_phase_distribution() {
+        let mut rolling = DriftingZipf::new(50_000, 1.5, 21, 10_000);
+        let _ = rolling.take_ids(10_000); // consume phase 0
+        let p1 = rolling.take_ids(10_000);
+        let oracle = top_k(&rolling.pinned(1).take_ids(10_000), 10);
+        let seen = top_k(&p1, 10);
+        assert!(
+            overlap(&oracle, &seen) >= 8,
+            "pinned(1) must reproduce phase 1's head: {oracle:?} vs {seen:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_does_not_advance() {
+        let mut z = DriftingZipf::new(1_000, 1.2, 5, 10).pinned(3);
+        let _ = z.take_ids(1_000);
+        assert_eq!(z.phase(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        DriftingZipf::new(10, 1.2, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn fraction")]
+    fn zero_churn_rejected() {
+        let _ = DriftingZipf::new(10, 1.2, 0, 1).with_churn(0.0);
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`ZipfTrace`] — bounded Zipf/power-law ids, the stand-in for the
 //!   proprietary production traces behind Figs. 3–4 (which the paper's
 //!   artifact appendix marks non-reproducible).
+//! * [`DriftingZipf`] — Zipf popularity whose rank→row mapping rotates or
+//!   churns every phase: the drifting-skew regime that motivates *online*
+//!   re-profiling and placement-plan refresh in the serving layer.
 //! * [`patterns`] — the SEQ (contiguous ids) and STR (one page per id)
 //!   microbenchmark patterns of Fig. 8.
 //! * [`ArrivalProcess`] — Poisson / uniform inter-arrival gaps for the
@@ -28,11 +31,13 @@
 
 pub mod analysis;
 mod arrivals;
+mod drift;
 mod locality;
 pub mod patterns;
 mod zipf;
 
 pub use arrivals::ArrivalProcess;
+pub use drift::{DriftingZipf, RowStream};
 pub use locality::{LocalityK, LocalityTrace};
 pub use zipf::ZipfTrace;
 

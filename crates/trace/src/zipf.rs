@@ -24,7 +24,7 @@ use recssd_sim::rng::{mix64, Xoshiro256};
 /// let ids = z.take_ids(1000);
 /// assert!(ids.iter().all(|&id| id < 1_000_000));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ZipfTrace {
     rows: u64,
     s: f64,
