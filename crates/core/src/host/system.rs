@@ -20,7 +20,7 @@ use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use recssd_ssd::{SsdDevice, SsdEvent};
 
 use crate::ndp::NdpSlsEngine;
-use crate::{RecSsdConfig, SlsConfig, SlsOutput, TableRegistry};
+use crate::{DeviceError, RecSsdConfig, SlsConfig, SlsOutput, TableRegistry};
 
 /// Largest number of recycled result buffers the host keeps around.
 const OUT_POOL_CAP: usize = 256;
@@ -151,6 +151,10 @@ pub struct OpResult {
     /// SLS outputs (one flat vector block, one row per output slot);
     /// `None` for host compute.
     pub outputs: Option<SlsOutput>,
+    /// The device-side failure that aborted the operator, if any. With an
+    /// error present, `outputs` holds a partial (incorrect) accumulation
+    /// and must not be served — retry, fall back or flag the rows missing.
+    pub error: Option<DeviceError>,
     /// When the operator was submitted.
     pub submitted: SimTime,
     /// When it acquired a worker and began executing.
@@ -168,6 +172,11 @@ impl OpResult {
     /// Execution time excluding worker queueing.
     pub fn service_time(&self) -> SimDuration {
         self.finished.saturating_since(self.started)
+    }
+
+    /// `true` when the operator completed without a device-side failure.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
     }
 }
 
@@ -299,6 +308,9 @@ struct Op {
     outputs: SlsOutput,
     ndp: Option<NdpPlan>,
     qid: u16,
+    /// First device-side failure observed for this op (poisons it: no
+    /// further I/O is issued and the result carries the error).
+    failed: Option<DeviceError>,
 }
 
 /// The simulated host + device system. See the [crate docs](crate) for a
@@ -436,6 +448,20 @@ impl System {
         &mut self.dev
     }
 
+    /// Installs (or clears) a deterministic fault-injection plan on the
+    /// device's flash array. Pass `None` to disable injection. Plans with
+    /// all rates zero and no brownout windows are bit-identical (results,
+    /// timings, statistics) to no plan at all.
+    pub fn set_fault_plan(&mut self, plan: Option<crate::FaultPlan>) {
+        self.dev.set_fault_plan(plan);
+    }
+
+    /// Statistics of the installed fault plan (faults fired so far), if a
+    /// plan is installed.
+    pub fn fault_stats(&self) -> Option<crate::FaultStats> {
+        self.dev.ftl().fault_plan().map(|p| p.stats().clone())
+    }
+
     /// The table registry.
     pub fn registry(&self) -> &TableRegistry {
         &self.registry
@@ -555,6 +581,7 @@ impl System {
             outputs,
             ndp: None,
             qid: 0,
+            failed: None,
         };
         self.ops.insert(id, op);
         if deps_left == 0 {
@@ -951,6 +978,20 @@ impl System {
     /// materialised, because the cache stores shared `Arc`s).
     fn baseline_accum_done(&mut self, now: SimTime, id: OpId, mut io: BaseIo) {
         let (idx, data) = io.accum_current.take().expect("accumulating a command");
+        if self.ops[&id].failed.is_some() {
+            // The op was poisoned while this charge was in flight: drop
+            // the command instead of folding it, and finish once no reads
+            // remain outstanding.
+            self.dev.recycle_buffer(data.into_vec());
+            if io.bufs.outstanding.is_empty() {
+                io.bufs.clear();
+                self.baseio_pool.push(io.bufs);
+                self.finish_op(now, id);
+            } else {
+                self.ops.get_mut(&id).expect("op").phase = Phase::BaseIo(io);
+            }
+            return;
+        }
         let Self {
             ops,
             registry,
@@ -1206,12 +1247,10 @@ impl System {
                 .pending_cmd
                 .remove(&(qid, c.cid))
                 .expect("completion for unknown command");
-            assert_eq!(
-                c.status,
-                NvmeStatus::Success,
-                "device rejected a command from op {id:?}: {}",
-                c.status
-            );
+            if c.status != NvmeStatus::Success {
+                self.on_failed_completion(now, id, c.cid, DeviceError::from_status(c.status));
+                continue;
+            }
             let phase_kind = match &self.ops[&id].phase {
                 Phase::BaseIo(_) => 0,
                 Phase::NdpAwaitWrite => 1,
@@ -1221,7 +1260,11 @@ impl System {
             match phase_kind {
                 0 => {
                     let data = c.data.expect("read data");
-                    self.baseline_on_page(now, id, c.cid, data);
+                    if self.ops[&id].failed.is_some() {
+                        self.baseline_absorb(now, id, c.cid, data);
+                    } else {
+                        self.baseline_on_page(now, id, c.cid, data);
+                    }
                 }
                 1 => self.ndp_on_write_done(now, id),
                 _ => {
@@ -1231,6 +1274,72 @@ impl System {
             }
         }
         self.completions = completions;
+    }
+
+    /// A non-success completion arrived: poison the op and run the
+    /// phase-appropriate teardown. NDP ops have a single command in
+    /// flight, so they finish (with the error) immediately; a baseline op
+    /// stops issuing reads, drops buffered-but-unfolded pages, and
+    /// finishes once its in-flight commands and accumulate charge drain.
+    fn on_failed_completion(&mut self, now: SimTime, id: OpId, cid: u16, err: DeviceError) {
+        let op = self.ops.get_mut(&id).expect("op exists");
+        if op.failed.is_none() {
+            op.failed = Some(err);
+        }
+        let base_drain = match &mut op.phase {
+            Phase::BaseIo(io) => {
+                io.bufs.outstanding.remove(&cid).expect("tracked command");
+                io.next = io.bufs.cmds.len();
+                io.bufs.backlog.clear();
+                let stale = std::mem::take(&mut io.bufs.data);
+                let done = io.bufs.outstanding.is_empty() && io.accum_current.is_none();
+                Some((stale, done))
+            }
+            Phase::NdpAwaitWrite | Phase::NdpAwaitRead => None,
+            other => unreachable!("failed completion in unexpected phase {other:?}"),
+        };
+        match base_drain {
+            Some((stale, done)) => {
+                for (_, data) in stale {
+                    self.dev.recycle_buffer(data.into_vec());
+                }
+                if done {
+                    self.baseio_finish_failed(now, id);
+                }
+            }
+            None => self.finish_op(now, id),
+        }
+    }
+
+    /// A late successful completion for an already-poisoned baseline op:
+    /// recycle its transfer buffer without folding anything in, and
+    /// finish the op once the last straggler drains.
+    fn baseline_absorb(&mut self, now: SimTime, id: OpId, cid: u16, data: Box<[u8]>) {
+        self.dev.recycle_buffer(data.into_vec());
+        let op = self.ops.get_mut(&id).expect("op exists");
+        let Phase::BaseIo(io) = &mut op.phase else {
+            unreachable!("poisoned straggler outside BaseIo")
+        };
+        io.bufs.outstanding.remove(&cid).expect("tracked command");
+        if io.bufs.outstanding.is_empty() && io.accum_current.is_none() {
+            self.baseio_finish_failed(now, id);
+        }
+    }
+
+    /// Every outstanding command and accumulate charge of a poisoned
+    /// baseline op has drained: recycle its planner buffers and surface
+    /// the error through the result.
+    fn baseio_finish_failed(&mut self, now: SimTime, id: OpId) {
+        let phase = std::mem::replace(
+            &mut self.ops.get_mut(&id).expect("op").phase,
+            Phase::Pending,
+        );
+        let Phase::BaseIo(mut io) = phase else {
+            unreachable!("poisoned op outside BaseIo")
+        };
+        io.bufs.clear();
+        self.baseio_pool.push(io.bufs);
+        self.finish_op(now, id);
     }
 
     fn recycle_pairs(&mut self, mut pairs: Vec<(u64, u32)>) {
@@ -1254,6 +1363,7 @@ impl System {
             id,
             OpResult {
                 outputs,
+                error: op.failed,
                 submitted: op.submitted,
                 started: op.started,
                 finished: now,
@@ -1417,6 +1527,67 @@ mod tests {
         sys.submit(OpKind::baseline_sls(table, batch, SlsOptions::default()));
         sys.run_until_idle();
         assert_eq!(sys.device().stats().read_commands.get(), 10);
+    }
+
+    #[test]
+    fn uncorrectable_faults_surface_as_typed_errors() {
+        let (mut sys, table) = sys_with_table(100);
+        let mut fault = crate::FaultConfig::quiet(7);
+        fault.uncorrectable_rate = 1.0;
+        sys.set_fault_plan(Some(crate::FaultPlan::new(fault)));
+        let batch = LookupBatch::new(vec![vec![1, 2, 50]]);
+        let base = sys.submit(OpKind::baseline_sls(
+            table,
+            batch.clone(),
+            SlsOptions::default(),
+        ));
+        let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        assert_eq!(sys.result(base).error, Some(crate::DeviceError::Media));
+        assert_eq!(sys.result(ndp).error, Some(crate::DeviceError::Media));
+        assert!(
+            sys.fault_stats()
+                .expect("plan installed")
+                .uncorrectable
+                .get()
+                > 0
+        );
+    }
+
+    #[test]
+    fn transient_faults_recover_without_surfacing() {
+        let (mut sys, table) = sys_with_table(100);
+        let batch = LookupBatch::new(vec![vec![1, 2, 50], vec![7, 7]]);
+        let reference = sys.submit(OpKind::dram_sls(table, batch.clone()));
+        let clean = sys.submit(OpKind::baseline_sls(
+            table,
+            batch.clone(),
+            SlsOptions::default(),
+        ));
+        sys.run_until_idle();
+        let clean_latency = sys.result(clean).service_time();
+
+        let mut fault = crate::FaultConfig::quiet(7);
+        fault.transient_read_error_rate = 1.0;
+        sys.set_fault_plan(Some(crate::FaultPlan::new(fault)));
+        sys.device_mut().ftl_mut().drop_caches();
+        let base = sys.submit(OpKind::baseline_sls(
+            table,
+            batch.clone(),
+            SlsOptions::default(),
+        ));
+        let ndp = sys.submit(OpKind::ndp_sls(table, batch, SlsOptions::default()));
+        sys.run_until_idle();
+        let want = sys.result(reference).outputs.as_ref().expect("reference");
+        for op in [base, ndp] {
+            let r = sys.result(op);
+            assert!(r.is_ok(), "transient faults must be absorbed by ECC retry");
+            assert_eq!(r.outputs.as_ref().expect("outputs"), want);
+        }
+        assert!(
+            sys.result(base).service_time() > clean_latency,
+            "ECC retries must cost time"
+        );
     }
 
     #[test]

@@ -62,7 +62,8 @@ mod tables;
 pub use config::{HostConfig, NdpConfig, RecSsdConfig};
 pub use host::{OpId, OpKind, OpResult, SlsOptions, System};
 pub use ndp::{NdpSlsEngine, NdpStats, SlsRequestReport};
-pub use proto::{SlsConfig, SlsConfigError, SlsOutput};
+pub use proto::{DeviceError, SlsConfig, SlsConfigError, SlsOutput};
 pub use tables::{TableBinding, TableRegistry};
 
 pub use recssd_embedding::{LookupBatch, TableId};
+pub use recssd_flash::{BrownoutWindow, FaultConfig, FaultPlan, FaultStats};

@@ -242,6 +242,9 @@ struct SlsEntry {
     pages_pending: usize,
     results: SlsOutput,
     results_ready: bool,
+    /// An injected uncorrectable flash read poisoned this request; it will
+    /// complete with [`NvmeStatus::MediaError`] instead of result data.
+    failed: bool,
     read_cmd: Option<(u16, u16, u32)>,
     // Instrumentation (Fig. 8 categories).
     t_arrive: SimTime,
@@ -522,6 +525,18 @@ impl NdpSlsEngine {
         if entry.pages_pending > 0 || entry.cfg.is_none() {
             return;
         }
+        if entry.failed {
+            // A gather page hit an uncorrectable flash error: once the
+            // host's result-read is matched, surface a typed media error
+            // instead of DMAing a partial accumulation.
+            let Some((qid, cid, _)) = entry.read_cmd else {
+                return;
+            };
+            let entry = self.entries.remove(&request).expect("entry exists");
+            self.recycle(entry);
+            ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::MediaError));
+            return;
+        }
         entry.results_ready = true;
         let Some((_qid, _cid, nlb)) = entry.read_cmd else {
             return;
@@ -611,6 +626,7 @@ impl NdpEngine for NdpSlsEngine {
                         pages_pending: 0,
                         results: bufs.results,
                         results_ready: false,
+                        failed: false,
                         read_cmd: None,
                         t_arrive: ctx.now,
                         t_config_written: ctx.now,
@@ -683,6 +699,17 @@ impl NdpEngine for NdpSlsEngine {
                     return false;
                 };
                 self.start_translation(ctx, request, widx, data.clone());
+                true
+            }
+            FtlOutcome::ReadFailed { req, .. } => {
+                let Some((request, _widx)) = self.reads.remove(req) else {
+                    return false;
+                };
+                let entry = self.entries.get_mut(&request).expect("entry exists");
+                entry.failed = true;
+                entry.pages_pending -= 1;
+                entry.t_last_page = ctx.now;
+                self.maybe_finish(ctx, request);
                 true
             }
             FtlOutcome::WriteDone { .. } => false,

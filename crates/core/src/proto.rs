@@ -14,6 +14,47 @@ const MAGIC: u32 = 0x5245_4353; // "RECS"
 const HEADER_BYTES: usize = 32;
 const PAIR_BYTES: usize = 12;
 
+/// A typed device-side failure surfaced to the host through a command
+/// completion. Produced by [`crate::System`] when the device rejects or
+/// fails a command instead of completing it with data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceError {
+    /// An uncorrectable flash read poisoned the command
+    /// ([`recssd_nvme::NvmeStatus::MediaError`]).
+    Media,
+    /// The device rejected the command with some other non-success status.
+    Rejected(recssd_nvme::NvmeStatus),
+}
+
+impl DeviceError {
+    /// Classifies a non-success completion status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`recssd_nvme::NvmeStatus::Success`] — a
+    /// successful completion is not an error.
+    pub fn from_status(status: recssd_nvme::NvmeStatus) -> Self {
+        match status {
+            recssd_nvme::NvmeStatus::Success => {
+                panic!("successful completion is not a device error")
+            }
+            recssd_nvme::NvmeStatus::MediaError => DeviceError::Media,
+            other => DeviceError::Rejected(other),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Media => f.write_str("unrecovered media error"),
+            DeviceError::Rejected(status) => write!(f, "command rejected: {status}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 /// A block of SLS result vectors stored flat: `n` vectors of `dim`
 /// elements in one contiguous `data` buffer with stride `dim`.
 ///

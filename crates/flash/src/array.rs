@@ -23,6 +23,7 @@ use std::sync::Arc;
 use recssd_sim::stats::{Counter, Histogram};
 use recssd_sim::{SimDuration, SimTime};
 
+use crate::fault::{FaultPlan, ReadFault};
 use crate::{FlashConfig, PageOracle, PageStore, Ppa};
 
 /// Identifier of an in-flight flash operation.
@@ -111,6 +112,10 @@ pub struct FlashCompletion {
     pub data: Option<Box<[u8]>>,
     /// When the operation was submitted (for latency accounting).
     pub submitted_at: SimTime,
+    /// An injected uncorrectable error hit this operation. The data is
+    /// still carried (GC relocation models offline firmware recovery);
+    /// host-facing layers must surface a media error instead of using it.
+    pub failed: bool,
 }
 
 /// Errors rejected at submission time.
@@ -195,6 +200,7 @@ struct OpState {
     n_phases: usize,
     cur: usize,
     submitted_at: SimTime,
+    failed: bool,
 }
 
 /// Largest number of recycled page buffers the array keeps. Sized to cover
@@ -216,6 +222,8 @@ pub struct FlashArray {
     /// Free-list of full-page read buffers (see
     /// [`FlashArray::recycle_page_buf`]).
     buf_pool: Vec<Box<[u8]>>,
+    /// Optional fault-injection overlay (`None` = perfectly reliable).
+    fault: Option<FaultPlan>,
     stats: FlashStats,
 }
 
@@ -232,6 +240,7 @@ impl FlashArray {
             ops: HashMap::new(),
             next_op: 0,
             buf_pool: Vec::new(),
+            fault: None,
             stats: FlashStats {
                 channel_busy: vec![SimDuration::ZERO; n_channels],
                 ..FlashStats::default()
@@ -248,6 +257,23 @@ impl FlashArray {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &FlashStats {
         &self.stats
+    }
+
+    /// Installs (or clears) the fault-injection plan. `None` restores
+    /// perfectly reliable behaviour.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (e.g. to extend its
+    /// brownout schedule mid-run).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
     }
 
     /// `true` when no operations are in flight.
@@ -395,9 +421,9 @@ impl FlashArray {
 
         let die_key = ResKey::Die((ppa.channel * g.dies_per_channel + ppa.die) as usize);
         let chan_key = ResKey::Channel(ppa.channel as usize);
-        let t = &self.config.timing;
+        let t = self.config.timing;
         let idle = (die_key, SimDuration::ZERO);
-        let (phases, n_phases) = match op.kind() {
+        let (mut phases, n_phases) = match op.kind() {
             FlashOpKind::Read => (
                 [
                     (die_key, t.read_time()),
@@ -415,6 +441,26 @@ impl FlashArray {
             FlashOpKind::Erase => ([(die_key, t.erase_time()), idle], 1),
         };
 
+        // Fault injection: reads draw their fault outcome at submission
+        // (a transient error extends the array-sense phase, an
+        // uncorrectable one flags the op), and an active brownout window
+        // inflates every phase of every operation by an integer factor.
+        let mut failed = false;
+        if let Some(plan) = self.fault.as_mut() {
+            if op.kind() == FlashOpKind::Read {
+                match plan.draw_read() {
+                    Some(ReadFault::Transient) => {
+                        phases[0].1 += t.ecc_retry_time(plan.config().ecc_retry_reads);
+                    }
+                    Some(ReadFault::Uncorrectable) => failed = true,
+                    None => {}
+                }
+            }
+            for phase in phases.iter_mut().take(n_phases) {
+                phase.1 = plan.inflate(now, phase.1);
+            }
+        }
+
         let id = FlashOpId(self.next_op);
         self.next_op += 1;
         self.ops.insert(
@@ -425,6 +471,7 @@ impl FlashArray {
                 n_phases,
                 cur: 0,
                 submitted_at: now,
+                failed,
             },
         );
         self.try_start_phase(id, sched);
@@ -506,6 +553,7 @@ impl FlashArray {
         let g = self.config.geometry;
         let ppa = st.op.ppa();
         let kind = st.op.kind();
+        let failed = st.failed;
         let data = match st.op {
             FlashOp::Read { ppa } => {
                 self.stats.reads.inc();
@@ -539,6 +587,7 @@ impl FlashArray {
             ppa,
             data,
             submitted_at: st.submitted_at,
+            failed,
         })
     }
 }
@@ -945,6 +994,124 @@ mod tests {
         assert_eq!(flash2.next_program_page(0, 0, 0), 1);
         assert_eq!(flash2.next_program_page(1, 0, 0), 1);
         assert_eq!(flash2.next_program_page(0, 1, 0), 0);
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_timing_identical() {
+        let run = |plan: Option<crate::FaultPlan>| {
+            let mut flash = FlashArray::new(FlashConfig::cosmos_small());
+            flash.set_fault_plan(plan);
+            let mut q = EventQueue::new();
+            for i in 0..8 {
+                submit(
+                    &mut flash,
+                    &mut q,
+                    FlashOp::Read {
+                        ppa: Ppa {
+                            channel: i % 2,
+                            die: 0,
+                            block: 0,
+                            page: i / 2,
+                        },
+                    },
+                );
+            }
+            drain(&mut flash, &mut q)
+                .into_iter()
+                .map(|(t, c)| (t, c.op, c.failed))
+                .collect::<Vec<_>>()
+        };
+        let without = run(None);
+        let quiet = run(Some(crate::FaultPlan::new(crate::FaultConfig::quiet(5))));
+        assert_eq!(without, quiet, "a quiet plan must not perturb anything");
+        assert!(quiet.iter().all(|&(_, _, failed)| !failed));
+    }
+
+    #[test]
+    fn certain_transient_fault_extends_read_latency() {
+        let cfg = FlashConfig::cosmos_small();
+        let base = cfg.timing.read_time() + cfg.timing.transfer_time(cfg.geometry.page_bytes);
+        let retry = cfg.timing.ecc_retry_time(2);
+        let mut flash = FlashArray::new(cfg);
+        flash.set_fault_plan(Some(crate::FaultPlan::new(crate::FaultConfig {
+            transient_read_error_rate: 1.0,
+            ecc_retry_reads: 2,
+            ..crate::FaultConfig::quiet(1)
+        })));
+        let mut q = EventQueue::new();
+        submit(
+            &mut flash,
+            &mut q,
+            FlashOp::Read {
+                ppa: Ppa {
+                    channel: 0,
+                    die: 0,
+                    block: 0,
+                    page: 0,
+                },
+            },
+        );
+        let done = drain(&mut flash, &mut q);
+        assert_eq!(done[0].0, SimTime::ZERO + base + retry);
+        assert!(!done[0].1.failed, "transient errors are recovered");
+        assert_eq!(flash.fault_plan().unwrap().stats().transient.get(), 1);
+    }
+
+    #[test]
+    fn certain_uncorrectable_fault_flags_completion() {
+        let mut flash = FlashArray::new(FlashConfig::cosmos_small());
+        flash.set_fault_plan(Some(crate::FaultPlan::new(crate::FaultConfig {
+            uncorrectable_rate: 1.0,
+            ..crate::FaultConfig::quiet(1)
+        })));
+        let mut q = EventQueue::new();
+        submit(
+            &mut flash,
+            &mut q,
+            FlashOp::Read {
+                ppa: Ppa {
+                    channel: 0,
+                    die: 0,
+                    block: 0,
+                    page: 0,
+                },
+            },
+        );
+        let done = drain(&mut flash, &mut q);
+        assert!(done[0].1.failed);
+        assert!(done[0].1.data.is_some(), "failed reads still carry data");
+        assert_eq!(flash.fault_plan().unwrap().stats().uncorrectable.get(), 1);
+    }
+
+    #[test]
+    fn brownout_window_inflates_all_op_kinds() {
+        let cfg = FlashConfig::cosmos_small();
+        let base = cfg.timing.read_time() + cfg.timing.transfer_time(cfg.geometry.page_bytes);
+        let mut flash = FlashArray::new(cfg);
+        flash.set_fault_plan(Some(crate::FaultPlan::new(crate::FaultConfig {
+            brownouts: vec![crate::BrownoutWindow {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO + SimDuration::from_ms(1),
+                factor: 3,
+            }],
+            ..crate::FaultConfig::quiet(1)
+        })));
+        let mut q = EventQueue::new();
+        submit(
+            &mut flash,
+            &mut q,
+            FlashOp::Read {
+                ppa: Ppa {
+                    channel: 0,
+                    die: 0,
+                    block: 0,
+                    page: 0,
+                },
+            },
+        );
+        let done = drain(&mut flash, &mut q);
+        assert_eq!(done[0].0, SimTime::ZERO + base * 3);
+        assert!(!done[0].1.failed);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 mod array;
+mod fault;
 mod geometry;
 mod page_store;
 mod timing;
@@ -64,6 +65,7 @@ pub use array::{
     FlashArray, FlashCompletion, FlashError, FlashEvent, FlashOp, FlashOpId, FlashOpKind,
     FlashStats,
 };
+pub use fault::{BrownoutWindow, FaultConfig, FaultPlan, FaultStats, ReadFault};
 pub use geometry::{FlashGeometry, Ppa};
 pub use page_store::{PageOracle, PageStore};
 pub use timing::FlashTiming;

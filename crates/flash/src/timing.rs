@@ -75,6 +75,13 @@ impl FlashTiming {
     pub fn channel_read_iops(&self, page_bytes: usize) -> f64 {
         1e9 / self.transfer_time(page_bytes).as_ns() as f64
     }
+
+    /// Extra die time an ECC retry burst costs: `extra_reads` additional
+    /// array senses, each paying the command overhead plus tR. Used by the
+    /// fault model for transient read errors that succeed on re-read.
+    pub fn ecc_retry_time(&self, extra_reads: u32) -> SimDuration {
+        SimDuration::from_ns((self.cmd_overhead_ns + self.read_ns) * extra_reads as u64)
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +122,16 @@ mod tests {
         assert!(big > small);
         // Zero bytes still pays command overhead.
         assert_eq!(t.transfer_time(0).as_ns(), t.cmd_overhead_ns);
+    }
+
+    #[test]
+    fn ecc_retry_time_scales_with_extra_reads() {
+        let t = FlashTiming::cosmos();
+        assert_eq!(t.ecc_retry_time(0), SimDuration::ZERO);
+        assert_eq!(
+            t.ecc_retry_time(3).as_ns(),
+            3 * (t.cmd_overhead_ns + t.read_ns)
+        );
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub enum FtlOutcome {
         /// Full page contents.
         data: Arc<[u8]>,
     },
+    /// A pending logical-page read hit an injected uncorrectable media
+    /// error: no data is delivered and the layer above must surface a
+    /// typed device error for the owning command.
+    ReadFailed {
+        /// Request id returned by [`GreedyFtl::read_page`].
+        req: ReqId,
+        /// The logical page whose read failed.
+        lpn: Lpn,
+    },
     /// A logical-page write was durably programmed.
     WriteDone {
         /// Request id returned by [`GreedyFtl::write_page`].
@@ -323,6 +332,23 @@ impl GreedyFtl {
         &self.flash
     }
 
+    /// Installs (or clears) a fault-injection plan on the underlying
+    /// flash array. The plan also governs firmware-charge stalls and
+    /// brownout inflation (see [`GreedyFtl::charge_firmware`]).
+    pub fn set_fault_plan(&mut self, plan: Option<recssd_flash::FaultPlan>) {
+        self.flash.set_fault_plan(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&recssd_flash::FaultPlan> {
+        self.flash.fault_plan()
+    }
+
+    /// Mutable access to the installed fault plan.
+    pub fn fault_plan_mut(&mut self) -> Option<&mut recssd_flash::FaultPlan> {
+        self.flash.fault_plan_mut()
+    }
+
     /// Total busy time of the firmware core.
     pub fn firmware_busy(&self) -> SimDuration {
         self.fw.busy_total()
@@ -514,11 +540,20 @@ impl GreedyFtl {
     /// ARM core that both NVMe command handling and NDP translation share.
     pub fn charge_firmware(
         &mut self,
-        _now: SimTime,
-        duration: SimDuration,
+        now: SimTime,
+        mut duration: SimDuration,
         tag: FwTag,
         sched: &mut dyn FnMut(SimDuration, FtlEvent),
     ) {
+        // Fault injection: an active brownout inflates the charge and a
+        // stall draw multiplies it (a wedged firmware code path holding
+        // the serial core), both exact integer scalings.
+        if let Some(plan) = self.flash.fault_plan_mut() {
+            duration = plan.inflate(now, duration);
+            if let Some(m) = plan.draw_stall() {
+                duration = duration * m as u64;
+            }
+        }
         if let Some(d) = self.fw.start(duration, tag) {
             sched(d, FtlEvent::FwDone);
         }
@@ -563,6 +598,16 @@ impl GreedyFtl {
         let g = self.config.flash.geometry;
         match self.pending.remove(&c.op).expect("untracked flash op") {
             Pending::HostRead { req, lpn, ppa } => {
+                if c.failed {
+                    // Uncorrectable media error: the bytes are untrusted,
+                    // so nothing is cached and the buffer goes straight
+                    // back to the flash pool. The owner gets a typed
+                    // failure instead of data.
+                    self.flash
+                        .recycle_page_buf(c.data.expect("read completion carries data"));
+                    out.push(FtlOutcome::ReadFailed { req, lpn });
+                    return;
+                }
                 let data = self.pooled_arc_from(c.data.expect("read completion carries data"));
                 // Cache only if the mapping still points at what we read —
                 // a concurrent overwrite must not be shadowed by stale data.
@@ -580,6 +625,9 @@ impl GreedyFtl {
             }
             Pending::GcRead { die, lpn, old } => {
                 self.stats.gc_relocated_pages.inc();
+                // GC relocation ignores injected read failures: real
+                // firmware retries relocation reads offline until they
+                // converge, so only host-facing reads surface errors.
                 let data = c.data.expect("GC read carries data");
                 let new = self
                     .alloc

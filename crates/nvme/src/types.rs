@@ -22,6 +22,8 @@ pub enum NvmeStatus {
     InvalidField,
     /// Device-internal failure.
     InternalError,
+    /// Unrecovered media error: a read hit an uncorrectable flash error.
+    MediaError,
 }
 
 /// An NVMe submission-queue entry.
@@ -178,6 +180,7 @@ impl fmt::Display for NvmeStatus {
             NvmeStatus::LbaOutOfRange => "LBA out of range",
             NvmeStatus::InvalidField => "invalid field in command",
             NvmeStatus::InternalError => "internal device error",
+            NvmeStatus::MediaError => "unrecovered media error",
         };
         f.write_str(s)
     }

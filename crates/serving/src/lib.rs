@@ -55,6 +55,19 @@
 //!   [`ServingRuntime::ftl_cache_stats`]).
 //! * [`LoadGen`] — open-loop (Poisson/uniform arrivals) and closed-loop
 //!   (client population) generators with Zipf-skewed per-table traffic.
+//! * **Resilience** — [`ServingRuntime::inject_faults`] arms the device
+//!   layers' deterministic, seeded fault plans (`recssd::FaultConfig`:
+//!   transient ECC-retried reads, uncorrectable page errors, firmware
+//!   stalls, shard brownouts) per shard, and [`FaultPolicy`] governs the
+//!   host-side response: per-sub-batch retries with simulated-time
+//!   exponential backoff, NDP→baseline path fallback, per-request
+//!   deadlines, and a per-shard circuit breaker. Requests whose rows are
+//!   unrecoverable complete *degraded* — missing rows counted and their
+//!   output slots flagged ([`CompletedRequest::missing_slots`]), never
+//!   silently wrong: every non-flagged slot stays bit-identical to
+//!   `sls_reference` (property-tested in `tests/fault_injection.rs`,
+//!   which also checks that an all-zero-rate fault plan reproduces the
+//!   fault-free run bit-for-bit and that a seed replays identically).
 //!
 //! # Quickstart
 //!
@@ -99,7 +112,8 @@ mod telemetry;
 pub use loadgen::{LoadGen, LoadMode, LoadReport, TrafficSpec};
 pub use policy::SchedulePolicy;
 pub use runtime::{
-    AdaptivePolicy, CompletedRequest, RequestId, ServedTableId, ServingConfig, ServingRuntime,
+    AdaptivePolicy, CompletedRequest, FaultPolicy, RequestId, ServedTableId, ServingConfig,
+    ServingError, ServingRuntime,
 };
 pub use shard::{ShardMap, SlsPath};
 pub use telemetry::ServingStats;

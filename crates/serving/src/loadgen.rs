@@ -104,6 +104,18 @@ pub struct LoadReport {
     /// Device lookups spent reading promoted rows off flash — the modeled
     /// migration cost.
     pub migration_lookups: u64,
+    /// Device operators harvested with a typed device error.
+    pub faults: u64,
+    /// Failed sub-batches re-queued for another attempt.
+    pub retries: u64,
+    /// Failed NDP sub-batches re-issued on the baseline path.
+    pub fallbacks: u64,
+    /// Per-shard circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Requests served degraded (missing rows explicitly flagged).
+    pub degraded: u64,
+    /// Lookups dropped from degraded requests.
+    pub missing_lookups: u64,
 }
 
 impl LoadReport {
@@ -251,7 +263,7 @@ impl LoadGen {
                 for at in times {
                     self.submit(rt, at, 0, path);
                 }
-                while let Some(done) = rt.step() {
+                while let Some(done) = rt.step().expect("serving runtime invariant violated") {
                     completed += 1;
                     verified += self.finish(rt, done);
                 }
@@ -265,7 +277,7 @@ impl LoadGen {
                     self.submit(rt, start, c as u64, path);
                 }
                 let mut issued = clients.min(issue);
-                while let Some(done) = rt.step() {
+                while let Some(done) = rt.step().expect("serving runtime invariant violated") {
                     completed += 1;
                     let client = done.client;
                     let next_at = done.finish + think;
@@ -318,6 +330,12 @@ impl LoadGen {
             rows_promoted: stats.rows_promoted.get(),
             rows_demoted: stats.rows_demoted.get(),
             migration_lookups: stats.migration_lookups.get(),
+            faults: stats.faults.get(),
+            retries: stats.retries.get(),
+            fallbacks: stats.fallbacks.get(),
+            breaker_trips: stats.breaker_trips.get(),
+            degraded: stats.degraded.get(),
+            missing_lookups: stats.missing_lookups.get(),
         }
     }
 

@@ -33,9 +33,13 @@
 
 use std::collections::VecDeque;
 
-use recssd::{LookupBatch, OpId, OpKind, OpResult, RecSsdConfig, SlsOptions, SlsOutput, System};
+use recssd::{
+    FaultConfig, FaultPlan, FaultStats, LookupBatch, OpId, OpKind, OpResult, RecSsdConfig,
+    SlsOptions, SlsOutput, System,
+};
 use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
 use recssd_placement::{allocate_global_budget, FreqProfiler, TablePlacement};
+use recssd_sim::rng::mix64;
 use recssd_sim::stats::HitStats;
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
@@ -99,6 +103,87 @@ impl ServingConfig {
     }
 }
 
+/// Host-side recovery policy for device faults: per-sub-batch retry
+/// budget with simulated-time exponential backoff, NDP→baseline path
+/// fallback, an optional per-request deadline, and a per-shard circuit
+/// breaker. Inert unless faults are injected (a fault-free run never
+/// consults the retry or deadline machinery, so enabling the default
+/// policy does not perturb the timeline).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPolicy {
+    /// Failed sub-batch re-dispatches before its rows are given up on
+    /// (the request then completes degraded, with the loss flagged).
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per attempt (shift capped at 16).
+    pub backoff_base: SimDuration,
+    /// Hard per-request latency bound: when it expires the request is
+    /// served immediately with whatever partials have merged, missing
+    /// rows flagged. `None` waits for the retry budget to resolve.
+    pub deadline: Option<SimDuration>,
+    /// Attempt number from which a failing NDP sub-batch is re-issued on
+    /// the conventional baseline path instead.
+    pub fallback_after: u32,
+    /// Sliding window (device operators) over which the breaker measures
+    /// a shard's error rate.
+    pub breaker_window: u32,
+    /// Error fraction of the window that trips the breaker.
+    pub breaker_threshold: f64,
+    /// How long a tripped breaker redirects NDP work to the baseline
+    /// path before letting one probe operator through.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 2,
+            backoff_base: SimDuration::from_us(20),
+            deadline: None,
+            fallback_after: 2,
+            breaker_window: 16,
+            breaker_threshold: 0.5,
+            breaker_cooldown: SimDuration::from_ms(1),
+        }
+    }
+}
+
+/// A bookkeeping invariant violation surfaced by [`ServingRuntime::step`]
+/// instead of a panic: the simulated fleet state went inconsistent (an
+/// event referenced a request the runtime does not know). These indicate
+/// a runtime bug, not an injected device fault — injected faults are
+/// handled by the retry/fallback/degradation machinery and never surface
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// An arrival event fired for a request with no pending submission.
+    MissingArrival(u64),
+    /// A completion event fired for a request that is not in flight.
+    UnknownCompletion(u64),
+    /// A request completed without any sub-batch ever starting service.
+    ServedBeforeStart(u64),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::MissingArrival(r) => {
+                write!(
+                    f,
+                    "arrival event for request {r} with no pending submission"
+                )
+            }
+            ServingError::UnknownCompletion(r) => {
+                write!(f, "completion event for request {r} that is not in flight")
+            }
+            ServingError::ServedBeforeStart(r) => {
+                write!(f, "request {r} completed without starting service")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
 /// A finished request, handed out by [`ServingRuntime::step`].
 #[derive(Debug)]
 pub struct CompletedRequest {
@@ -118,14 +203,29 @@ pub struct CompletedRequest {
     pub service: SimDuration,
     /// The original batch (global rows), for verification.
     pub batch: LookupBatch,
-    /// The merged output vectors.
+    /// The merged output vectors. Slots flagged in
+    /// [`CompletedRequest::missing_slots`] hold partial (or zero)
+    /// accumulations and must not be consumed as results.
     pub outputs: SlsOutput,
+    /// Lookups that never merged: their sub-batches exhausted the retry
+    /// budget or were still in flight when the deadline fired. Zero for
+    /// a fully served request.
+    pub missing_lookups: u64,
+    /// Per output slot: `true` when at least one contribution is missing
+    /// (empty when the request is fully served).
+    pub missing_slots: Vec<bool>,
 }
 
 impl CompletedRequest {
     /// End-to-end latency.
     pub fn e2e(&self) -> SimDuration {
         self.queue + self.service
+    }
+
+    /// `true` when the request was served with missing rows (flagged
+    /// degradation, never silently wrong bits).
+    pub fn is_degraded(&self) -> bool {
+        self.missing_lookups > 0
     }
 }
 
@@ -148,28 +248,33 @@ struct Inflight {
     pending: usize,
     acc: SlsOutput,
     batch: LookupBatch,
+    /// Deadline fired and the request was already served degraded; the
+    /// entry only lingers to absorb (and discard) late sub-batches.
+    completed: bool,
+    /// Per output slot: sub-batches still owing a contribution.
+    slot_pending: Vec<u32>,
+    /// Per output slot: a contribution was dropped (retry budget
+    /// exhausted or deadline expiry) — the slot is partial.
+    slot_missing: Vec<bool>,
+    /// Lookups dropped so far.
+    missing_lookups: u64,
+    /// Lookups not yet folded in (drops to 0 as sub-batches merge).
+    pending_lookups: u64,
 }
 
-/// One component of a (possibly merged) device operator: the owner
-/// (request or migration), its global output slots, and its offset into
-/// the merged output block.
-#[derive(Debug)]
-struct Part {
-    owner: SubOwner,
-    slots: Vec<u32>,
-    offset: usize,
-}
-
-/// A device operator in flight on a shard, awaiting harvest.
+/// A device operator in flight on a shard, awaiting harvest. The merged
+/// operator keeps its component sub-batches intact (their slice of the
+/// merged output block is implied by per-output counts, in order) so a
+/// failed operator can re-queue each component for retry.
 #[derive(Debug)]
 struct InflightOp {
     op: OpId,
     /// Served table the operator addresses.
     table: usize,
-    /// Routing generation every part was split under (merge never
+    /// Routing generation every component was split under (merge never
     /// crosses generations).
     plan: usize,
-    parts: Vec<Part>,
+    subs: Vec<SubBatch>,
 }
 
 #[derive(Debug)]
@@ -191,6 +296,8 @@ struct Shard {
     /// Flash channel-busy total at the last stats reset (the flash
     /// counters are cumulative).
     chan_busy_base_ns: u64,
+    /// Circuit breaker over this shard's operator outcomes.
+    breaker: Breaker,
 }
 
 impl Shard {
@@ -204,6 +311,7 @@ impl Shard {
             occ_last: SimTime::ZERO,
             window_start: SimTime::ZERO,
             chan_busy_base_ns: 0,
+            breaker: Breaker::new(),
         }
     }
 
@@ -228,6 +336,100 @@ impl Shard {
     }
 }
 
+/// Per-shard circuit breaker over harvested operator outcomes. Closed
+/// counts errors over a sliding window of recent operators; crossing the
+/// policy threshold opens the breaker, which redirects NDP dispatches to
+/// the baseline path for the cooldown. After the cooldown one NDP probe
+/// is let through (half-open); the next harvested outcome then closes or
+/// re-opens it. (The resolving outcome may belong to an operator
+/// dispatched before the trip — a deliberate simplification; a wrong
+/// early close just re-trips on the next window.)
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// Most recent operator outcomes (`true` = error), bounded by the
+    /// policy window.
+    recent: VecDeque<bool>,
+    errs: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: SimTime },
+    HalfOpen,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            recent: VecDeque::new(),
+            errs: 0,
+        }
+    }
+
+    /// Folds one harvested operator outcome in; returns `true` when this
+    /// outcome trips the breaker (Closed/HalfOpen → Open).
+    fn record(&mut self, now: SimTime, error: bool, policy: &FaultPolicy) -> bool {
+        match self.state {
+            BreakerState::Open { .. } => false,
+            BreakerState::HalfOpen => {
+                if error {
+                    self.state = BreakerState::Open {
+                        until: now + policy.breaker_cooldown,
+                    };
+                    true
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.recent.clear();
+                    self.errs = 0;
+                    false
+                }
+            }
+            BreakerState::Closed => {
+                self.recent.push_back(error);
+                if error {
+                    self.errs += 1;
+                }
+                while self.recent.len() > policy.breaker_window as usize {
+                    if self.recent.pop_front() == Some(true) {
+                        self.errs -= 1;
+                    }
+                }
+                let trip = self.errs > 0
+                    && f64::from(self.errs)
+                        >= policy.breaker_threshold * f64::from(policy.breaker_window);
+                if trip {
+                    self.state = BreakerState::Open {
+                        until: now + policy.breaker_cooldown,
+                    };
+                    self.recent.clear();
+                    self.errs = 0;
+                }
+                trip
+            }
+        }
+    }
+
+    /// Gates an NDP dispatch: closed always allows; open redirects until
+    /// the cooldown elapses, then lets exactly one probe through.
+    fn allows_ndp(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
 /// Which execution resource a sub-batch is queued on: a device shard or
 /// the host DRAM tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +446,10 @@ enum Ev {
     /// dispatch more.
     ShardTick(Ix),
     Completed(u64),
+    /// Re-enqueue a parked (failed) sub-batch after its backoff.
+    Retry(u64),
+    /// A request's latency deadline: serve it degraded if incomplete.
+    Deadline(u64),
 }
 
 /// One routing generation of a served table: which device tables its
@@ -408,6 +614,12 @@ pub struct ServingRuntime {
     ref_scratch: Vec<f32>,
     /// Reused harvest scratch (ops completed during one shard sync).
     harvest_scratch: Vec<(InflightOp, OpResult)>,
+    /// Host-side fault recovery policy (inert without injected faults).
+    fault_policy: FaultPolicy,
+    /// Failed sub-batches waiting out their backoff, keyed by the
+    /// sequence number carried in [`Ev::Retry`].
+    retry_park: FxHashMap<u64, (Ix, SubBatch)>,
+    next_retry: u64,
 }
 
 impl ServingRuntime {
@@ -438,6 +650,9 @@ impl ServingRuntime {
             out_pool: Vec::new(),
             ref_scratch: Vec::new(),
             harvest_scratch: Vec::new(),
+            fault_policy: FaultPolicy::default(),
+            retry_park: FxHashMap::default(),
+            next_retry: 0,
         }
     }
 
@@ -559,6 +774,49 @@ impl ServingRuntime {
     /// Panics if `shard` is out of range.
     pub fn shard_system_mut(&mut self, shard: usize) -> &mut System {
         &mut self.shards[shard].sys
+    }
+
+    /// Arms deterministic fault injection on every device shard. Each
+    /// shard gets its own replayable fault plan seeded from
+    /// `mix64(cfg.seed ^ shard)`, so per-shard schedules are independent
+    /// but the whole fleet replays bit-identically from one seed. The
+    /// DRAM tier never faults (host memory is out of the fault model).
+    pub fn inject_faults(&mut self, cfg: &FaultConfig) {
+        for i in 0..self.shards.len() {
+            let mut per = cfg.clone();
+            per.seed = mix64(cfg.seed ^ i as u64);
+            self.shards[i].sys.set_fault_plan(Some(FaultPlan::new(per)));
+        }
+    }
+
+    /// Arms fault injection on one shard only (e.g. a single-shard
+    /// brownout), with `cfg.seed` used as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn inject_faults_on_shard(&mut self, shard: usize, cfg: &FaultConfig) {
+        self.shards[shard]
+            .sys
+            .set_fault_plan(Some(FaultPlan::new(cfg.clone())));
+    }
+
+    /// Sets the host-side recovery policy (retries, backoff, deadline,
+    /// fallback, circuit breaker). The policy is inert unless faults are
+    /// injected.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Per-shard injected-fault totals (`None` for shards without an
+    /// armed fault plan).
+    pub fn shard_fault_stats(&self) -> Vec<Option<FaultStats>> {
+        self.shards.iter().map(|s| s.sys.fault_stats()).collect()
     }
 
     /// Row-range-shards `table` across every shard system and registers
@@ -828,6 +1086,13 @@ impl ServingRuntime {
         plan.inflight_subs += subs.len();
         let mut acc = self.out_pool.pop().unwrap_or_default();
         acc.reset(batch.outputs(), t.table.spec().dim);
+        let mut slot_pending = vec![0u32; batch.outputs()];
+        for (_, sub) in &subs {
+            for &slot in &sub.slots {
+                slot_pending[slot as usize] += 1;
+            }
+        }
+        let pending_lookups = batch.total_lookups() as u64;
         self.inflight.insert(
             req,
             Inflight {
@@ -838,9 +1103,17 @@ impl ServingRuntime {
                 finish: now,
                 pending: subs.len(),
                 acc,
+                slot_missing: vec![false; batch.outputs()],
+                slot_pending,
+                missing_lookups: 0,
+                pending_lookups,
+                completed: false,
                 batch,
             },
         );
+        if let Some(deadline) = self.fault_policy.deadline {
+            self.events.push_at(now + deadline, Ev::Deadline(req));
+        }
         for (ix, sub) in subs {
             self.shard_mut(ix).queue.push_back(sub);
             self.pump_shard(ix, now);
@@ -962,6 +1235,7 @@ impl ServingRuntime {
                         path: SlsPath::Ndp(SlsOptions::default()),
                         per_output: chunk.iter().map(|&r| vec![r]).collect(),
                         slots: (0..chunk.len() as u32).collect(),
+                        attempts: 0,
                     },
                 ));
             }
@@ -979,6 +1253,7 @@ impl ServingRuntime {
                     path: SlsPath::Dram,
                     per_output: chunk.iter().map(|&r| vec![r]).collect(),
                     slots: (0..chunk.len() as u32).collect(),
+                    attempts: 0,
                 },
             ));
         }
@@ -1133,40 +1408,66 @@ impl ServingRuntime {
 
     /// Computes the unsharded reference for `done` with
     /// [`sls_reference_into`] and asserts the merged sharded output is
-    /// bit-identical.
+    /// bit-identical. Slots flagged missing on a degraded completion are
+    /// skipped — they are explicitly not results — so the property
+    /// checked is *no silently wrong bits*: every slot the runtime
+    /// claims to have served must bit-match the reference.
     ///
     /// # Panics
     ///
-    /// Panics on any mismatch.
+    /// Panics on any mismatch in a non-missing slot.
     pub fn verify_bitmatch(&mut self, done: &CompletedRequest) {
         let table = &self.tables[done.table.0].table;
         let dim = table.spec().dim;
         self.ref_scratch.clear();
         self.ref_scratch.resize(done.batch.outputs() * dim, 0.0);
         sls_reference_into(table, &done.batch, &mut self.ref_scratch);
-        assert_eq!(
-            done.outputs.as_slice(),
-            &self.ref_scratch[..],
-            "request {:?}: sharded output diverged from sls_reference",
-            done.id
-        );
+        if done.missing_slots.is_empty() {
+            assert_eq!(
+                done.outputs.as_slice(),
+                &self.ref_scratch[..],
+                "request {:?}: sharded output diverged from sls_reference",
+                done.id
+            );
+            return;
+        }
+        for slot in 0..done.batch.outputs() {
+            if done.missing_slots[slot] {
+                continue;
+            }
+            assert_eq!(
+                done.outputs.row(slot),
+                &self.ref_scratch[slot * dim..(slot + 1) * dim],
+                "request {:?} slot {slot}: served (non-missing) output \
+                 diverged from sls_reference",
+                done.id
+            );
+        }
     }
 
     /// Advances the simulation until the next request completes, or until
     /// nothing is left to do. Completions are returned in finish-time
     /// order.
-    pub fn step(&mut self) -> Option<CompletedRequest> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServingError`] when the event stream references a
+    /// request the runtime's bookkeeping does not know — an internal
+    /// invariant violation, never a consequence of injected device
+    /// faults (those are absorbed by the retry/degradation machinery).
+    pub fn step(&mut self) -> Result<Option<CompletedRequest>, ServingError> {
         loop {
             if let Some(done) = self.completed.pop_front() {
-                return Some(done);
+                return Ok(Some(done));
             }
-            let (now, ev) = self.events.pop()?;
+            let Some((now, ev)) = self.events.pop() else {
+                return Ok(None);
+            };
             match ev {
                 Ev::Arrival(req) => {
-                    let arrival = self
-                        .pending_arrivals
-                        .remove(&req)
-                        .expect("arrival without a pending request");
+                    let Some(arrival) = self.pending_arrivals.remove(&req) else {
+                        return Err(ServingError::MissingArrival(req));
+                    };
                     self.admit(now, req, arrival);
                 }
                 Ev::ShardTick(ix) => {
@@ -1176,8 +1477,12 @@ impl ServingRuntime {
                     self.pump_shard(ix, now);
                 }
                 Ev::Completed(req) => {
-                    let inf = self.inflight.remove(&req).expect("completed twice");
-                    let first_start = inf.first_start.expect("served before completing");
+                    let Some(inf) = self.inflight.remove(&req) else {
+                        return Err(ServingError::UnknownCompletion(req));
+                    };
+                    let Some(first_start) = inf.first_start else {
+                        return Err(ServingError::ServedBeforeStart(req));
+                    };
                     let queue = first_start.saturating_since(inf.arrival);
                     let service = inf.finish.saturating_since(first_start);
                     self.stats.record(
@@ -1187,6 +1492,13 @@ impl ServingRuntime {
                         inf.finish,
                         inf.batch.total_lookups() as u64,
                     );
+                    let missing_slots = if inf.missing_lookups > 0 {
+                        self.stats.degraded.inc();
+                        self.stats.missing_lookups.add(inf.missing_lookups);
+                        inf.slot_missing
+                    } else {
+                        Vec::new()
+                    };
                     self.completed.push_back(CompletedRequest {
                         id: RequestId(req),
                         client: inf.client,
@@ -1197,17 +1509,84 @@ impl ServingRuntime {
                         service,
                         batch: inf.batch,
                         outputs: inf.acc,
+                        missing_lookups: inf.missing_lookups,
+                        missing_slots,
                     });
                 }
+                Ev::Retry(seq) => {
+                    let (ix, sub) = self
+                        .retry_park
+                        .remove(&seq)
+                        .expect("retry event without a parked sub-batch");
+                    self.shard_mut(ix).queue.push_back(sub);
+                    self.pump_shard(ix, now);
+                }
+                Ev::Deadline(req) => self.expire_deadline(now, req),
             }
         }
     }
 
+    /// Serves request `req` degraded *right now* because its deadline
+    /// fired: whatever partials have merged are returned with every
+    /// still-owed slot flagged missing. The inflight entry lingers
+    /// (marked completed) to absorb and discard late sub-batches.
+    fn expire_deadline(&mut self, now: SimTime, req: u64) {
+        // The deadline may fire after the request finished (entry gone)
+        // or in the same instant as its completion event (pending == 0):
+        // both mean it was served in time.
+        let Some(inf) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        if inf.completed || inf.pending == 0 {
+            return;
+        }
+        inf.completed = true;
+        for (slot, &owed) in inf.slot_pending.iter().enumerate() {
+            if owed > 0 {
+                inf.slot_missing[slot] = true;
+            }
+        }
+        inf.missing_lookups += inf.pending_lookups;
+        inf.pending_lookups = 0;
+        let (queue, service) = match inf.first_start {
+            Some(fs) => (fs.saturating_since(inf.arrival), now.saturating_since(fs)),
+            None => (now.saturating_since(inf.arrival), SimDuration::ZERO),
+        };
+        let outputs = std::mem::take(&mut inf.acc);
+        let missing_slots = std::mem::take(&mut inf.slot_missing);
+        let done = CompletedRequest {
+            id: RequestId(req),
+            client: inf.client,
+            table: ServedTableId(inf.table),
+            arrival: inf.arrival,
+            finish: now,
+            queue,
+            service,
+            batch: inf.batch.clone(),
+            outputs,
+            missing_lookups: inf.missing_lookups,
+            missing_slots,
+        };
+        let arrival = inf.arrival;
+        let lookups = inf.batch.total_lookups() as u64;
+        let missing = inf.missing_lookups;
+        self.stats.record(arrival, queue, service, now, lookups);
+        self.stats.degraded.inc();
+        self.stats.missing_lookups.add(missing);
+        self.completed.push_back(done);
+    }
+
     /// Runs until every submitted request has completed, returning the
     /// completions in finish order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`ServingError`] (use [`ServingRuntime::step`]
+    /// directly to observe it) or when work is stuck with no pending
+    /// events.
     pub fn run_until_idle(&mut self) -> Vec<CompletedRequest> {
         let mut done = Vec::new();
-        while let Some(c) = self.step() {
+        while let Some(c) = self.step().expect("serving runtime invariant violated") {
             done.push(c);
         }
         assert!(
@@ -1278,62 +1657,181 @@ impl ServingRuntime {
 
         // Phase 2: fold each harvested operator's partial sums into its
         // owning requests (or retire migration work) and schedule
-        // completions.
+        // completions. Failed operators instead route every component
+        // sub-batch through the retry/fallback/degradation policy.
         for (infop, result) in harvested.drain(..) {
             let service = result.finished.saturating_since(result.started);
             match ix {
                 Ix::Tier => self.stats.tier_service.record_duration(service),
                 Ix::Dev(_) => self.stats.device_service.record_duration(service),
             }
-            let outputs = result.outputs.expect("SLS ops produce outputs");
-            {
-                let t = &mut self.tables[infop.table];
-                t.plans[infop.plan].inflight_subs -= infop.parts.len();
+            if let Ix::Dev(_) = ix {
+                let policy = self.fault_policy;
+                let tripped =
+                    self.shard_mut(ix)
+                        .breaker
+                        .record(now, result.error.is_some(), &policy);
+                if tripped {
+                    self.stats.breaker_trips.inc();
+                }
             }
-            for part in infop.parts {
-                match part.owner {
+            if result.error.is_some() {
+                self.stats.faults.inc();
+                self.handle_failed_op(ix, now, infop, &result);
+                if let Some(outputs) = result.outputs {
+                    self.shard_mut(ix).sys.recycle_outputs(outputs);
+                }
+                continue;
+            }
+            let outputs = result.outputs.expect("SLS ops produce outputs");
+            let mut offset = 0usize;
+            for sub in infop.subs {
+                let width = sub.per_output.len();
+                self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                match sub.owner {
                     SubOwner::Request(req) => {
                         let inf = self.inflight.get_mut(&req).expect("in flight");
-                        for (i, &slot) in part.slots.iter().enumerate() {
-                            let src = outputs.row(part.offset + i);
-                            for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
-                                *o += *v;
+                        if inf.completed {
+                            // Deadline already served this request
+                            // degraded; the late partial is discarded.
+                            inf.pending -= 1;
+                            if inf.pending == 0 {
+                                self.inflight.remove(&req);
                             }
-                        }
-                        inf.first_start = Some(match inf.first_start {
-                            Some(t) => t.min(result.started),
-                            None => result.started,
-                        });
-                        inf.finish = inf.finish.max(result.finished);
-                        inf.pending -= 1;
-                        if inf.pending == 0 {
-                            // `inf.finish <= now`: every contribution was
-                            // harvested at a global instant at or after it.
-                            self.events.push_at(now, Ev::Completed(req));
+                        } else {
+                            for (i, &slot) in sub.slots.iter().enumerate() {
+                                let src = outputs.row(offset + i);
+                                for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
+                                    *o += *v;
+                                }
+                                inf.slot_pending[slot as usize] -= 1;
+                            }
+                            inf.pending_lookups -= sub.lookups() as u64;
+                            inf.first_start = Some(match inf.first_start {
+                                Some(t) => t.min(result.started),
+                                None => result.started,
+                            });
+                            inf.finish = inf.finish.max(result.finished);
+                            inf.pending -= 1;
+                            if inf.pending == 0 {
+                                // `inf.finish <= now`: every contribution
+                                // was harvested at a global instant at or
+                                // after it.
+                                self.events.push_at(now, Ev::Completed(req));
+                            }
                         }
                     }
                     SubOwner::Migration(t_idx) => {
                         // Migration partials are discarded — the read
                         // itself was the cost. The last one activates the
                         // pending plan for all admissions from `now` on.
-                        let t = &mut self.tables[t_idx];
-                        let pending = t.pending.as_mut().expect("migration without refresh");
-                        pending.remaining -= 1;
-                        if pending.remaining == 0 {
-                            let done = t.pending.take().expect("just checked");
-                            let outgoing = t.active;
-                            t.active = done.plan;
-                            t.plans[outgoing].retire();
-                            self.stats.plan_refreshes.inc();
-                            self.stats.rows_promoted.add(done.promoted);
-                            self.stats.rows_demoted.add(done.demoted);
-                        }
+                        self.migration_sub_done(t_idx);
                     }
                 }
+                offset += width;
             }
             self.shard_mut(ix).sys.recycle_outputs(outputs);
         }
         self.harvest_scratch = harvested;
+    }
+
+    /// Routes every component of a failed device operator through the
+    /// recovery policy: re-queue with backoff (optionally falling back
+    /// from the NDP to the baseline path) while the retry budget lasts,
+    /// then give the sub-batch up — requests serve degraded with the
+    /// loss flagged, migration chunks are abandoned (they model movement
+    /// cost only, so giving up is safe).
+    fn handle_failed_op(&mut self, ix: Ix, now: SimTime, infop: InflightOp, result: &OpResult) {
+        let policy = self.fault_policy;
+        for mut sub in infop.subs {
+            sub.attempts += 1;
+            match sub.owner {
+                SubOwner::Request(req) => {
+                    let inf = self.inflight.get_mut(&req).expect("in flight");
+                    if inf.completed {
+                        // Deadline already served this request degraded;
+                        // drop the straggler instead of retrying it.
+                        self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        let inf = self.inflight.get_mut(&req).expect("in flight");
+                        inf.pending -= 1;
+                        if inf.pending == 0 {
+                            self.inflight.remove(&req);
+                        }
+                        continue;
+                    }
+                    // The failed attempt still occupied the device: it
+                    // counts toward the request's service time.
+                    inf.first_start = Some(match inf.first_start {
+                        Some(t) => t.min(result.started),
+                        None => result.started,
+                    });
+                    if sub.attempts > policy.max_retries {
+                        // Budget exhausted: serve without these rows.
+                        inf.finish = inf.finish.max(result.finished);
+                        let dropped = sub.lookups() as u64;
+                        inf.missing_lookups += dropped;
+                        inf.pending_lookups -= dropped;
+                        for &slot in &sub.slots {
+                            inf.slot_pending[slot as usize] -= 1;
+                            inf.slot_missing[slot as usize] = true;
+                        }
+                        inf.pending -= 1;
+                        let completed = inf.pending == 0;
+                        self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        if completed {
+                            self.events.push_at(now, Ev::Completed(req));
+                        }
+                        continue;
+                    }
+                    self.schedule_retry(ix, now, sub, &policy);
+                }
+                SubOwner::Migration(t_idx) => {
+                    if sub.attempts > policy.max_retries {
+                        self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        self.migration_sub_done(t_idx);
+                        continue;
+                    }
+                    self.schedule_retry(ix, now, sub, &policy);
+                }
+            }
+        }
+    }
+
+    /// Parks a failed sub-batch for re-dispatch after its exponential
+    /// backoff, falling back from the NDP to the baseline path once the
+    /// policy's attempt threshold is reached. The sub-batch keeps its
+    /// plan pin, so its routing generation cannot be re-bound under it.
+    fn schedule_retry(&mut self, ix: Ix, now: SimTime, mut sub: SubBatch, policy: &FaultPolicy) {
+        self.stats.retries.inc();
+        if sub.attempts >= policy.fallback_after {
+            if let crate::SlsPath::Ndp(opts) = sub.path {
+                sub.path = crate::SlsPath::Baseline(opts);
+                self.stats.fallbacks.inc();
+            }
+        }
+        let shift = (sub.attempts - 1).min(16);
+        let backoff = policy.backoff_base * (1u64 << shift);
+        let seq = self.next_retry;
+        self.next_retry += 1;
+        self.retry_park.insert(seq, (ix, sub));
+        self.events.push_at(now + backoff, Ev::Retry(seq));
+    }
+
+    /// Retires one migration sub-batch; the last one activates the
+    /// pending plan for all admissions from now on.
+    fn migration_sub_done(&mut self, t_idx: usize) {
+        let t = &mut self.tables[t_idx];
+        let pending = t.pending.as_mut().expect("migration without refresh");
+        pending.remaining -= 1;
+        if pending.remaining == 0 {
+            let done = t.pending.take().expect("just checked");
+            let outgoing = t.active;
+            t.active = done.plan;
+            t.plans[outgoing].retire();
+            self.stats.plan_refreshes.inc();
+            self.stats.rows_promoted.add(done.promoted);
+            self.stats.rows_demoted.add(done.demoted);
+        }
     }
 
     /// Arms a wake-up tick at the shard's next internal event time.
@@ -1382,18 +1880,14 @@ impl ServingRuntime {
             }
         }
 
-        // Merge into one operator-sized batch; remember each component's
-        // slice of the merged output block.
+        // Merge into one operator-sized batch. The component sub-batches
+        // are kept intact (their slice of the merged output block is
+        // implied by per-output counts, in order) so a failed operator
+        // can re-queue each component for retry.
         let mut per_output: Vec<Vec<u64>> = Vec::new();
-        let mut parts: Vec<Part> = Vec::new();
         let (table, plan) = (key.table, key.plan as usize);
-        for sub in taken {
-            parts.push(Part {
-                owner: sub.owner,
-                slots: sub.slots,
-                offset: per_output.len(),
-            });
-            per_output.extend(sub.per_output);
+        for sub in &taken {
+            per_output.extend(sub.per_output.iter().cloned());
         }
         let merged = LookupBatch::new(per_output);
         let plan_state = &self.tables[table].plans[plan];
@@ -1405,7 +1899,17 @@ impl ServingRuntime {
                 .and_then(|r| r.tier_table)
                 .expect("tier sub-batch for a table with no hot set"),
         };
-        let kind = match key.path {
+        // A tripped circuit breaker redirects NDP operators onto the
+        // conventional baseline path for this dispatch only — the
+        // sub-batches keep their own path, so later retries (and the
+        // half-open probe) re-evaluate the breaker.
+        let mut path = key.path;
+        if let (SlsPath::Ndp(opts), Ix::Dev(_)) = (path, ix) {
+            if !self.shard_mut(ix).breaker.allows_ndp(now) {
+                path = SlsPath::Baseline(opts);
+            }
+        }
+        let kind = match path {
             SlsPath::Dram => OpKind::dram_sls(device_table, merged),
             SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
             SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
@@ -1414,7 +1918,7 @@ impl ServingRuntime {
         // Submit onto the shard's system (already synced to `now` by the
         // caller) and leave it in flight; completions are harvested by
         // later shard syncs.
-        let n_subs = parts.len() as u64;
+        let n_subs = taken.len() as u64;
         let s = self.shard_mut(ix);
         debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
         s.note_occupancy(now);
@@ -1423,7 +1927,7 @@ impl ServingRuntime {
             op,
             table,
             plan,
-            parts,
+            subs: taken,
         });
 
         self.stats.ops_dispatched.inc();

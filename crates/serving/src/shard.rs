@@ -155,6 +155,9 @@ pub(crate) struct SubBatch {
     pub per_output: Vec<Vec<u64>>,
     /// Global output slot per local output.
     pub slots: Vec<u32>,
+    /// Times this sub-batch has been dispatched and failed (drives the
+    /// retry/backoff/fallback policy; 0 on first dispatch).
+    pub attempts: u32,
 }
 
 /// Merge compatibility key: sub-batches coalesce only when they target
@@ -180,7 +183,6 @@ impl SubBatch {
     }
 
     /// Total lookups carried.
-    #[cfg(test)]
     pub fn lookups(&self) -> usize {
         self.per_output.iter().map(|v| v.len()).sum()
     }
@@ -232,6 +234,7 @@ pub(crate) fn split_batch(
         path,
         per_output: Vec::new(),
         slots: Vec::new(),
+        attempts: 0,
     };
     for (slot, ids) in batch.per_output().iter().enumerate() {
         // Mark which shards this output touches while distributing ids.

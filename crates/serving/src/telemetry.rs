@@ -43,6 +43,23 @@ pub struct ServingStats {
     /// Device lookups issued as migration work (reading promoted rows off
     /// flash) — the modeled cost that makes a plan swap not a teleport.
     pub migration_lookups: Counter,
+    // --- resilience telemetry ---
+    /// Device operators harvested with a typed device error (uncorrectable
+    /// media faults; transient faults are absorbed inside the device and
+    /// never reach this counter).
+    pub faults: Counter,
+    /// Failed sub-batches re-queued for another attempt.
+    pub retries: Counter,
+    /// Failed NDP sub-batches re-issued on the baseline path.
+    pub fallbacks: Counter,
+    /// Per-shard circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: Counter,
+    /// Requests served degraded: completed with at least one missing row
+    /// (retry budget exhausted or deadline expiry), explicitly flagged.
+    pub degraded: Counter,
+    /// Lookups dropped from degraded requests (never silently wrong —
+    /// their output slots are flagged missing).
+    pub missing_lookups: Counter,
     first_arrival: Option<SimTime>,
     last_finish: SimTime,
 }

@@ -1,0 +1,374 @@
+//! Resilience contract of the serving stack under deterministic fault
+//! injection:
+//!
+//! * a zero-rate fault plan is **bit-identical** — results, timings and
+//!   stats — to running with no plan at all, on every path and policy
+//!   (the plumbing itself must not perturb the simulation);
+//! * a seeded fault schedule **replays** bit-identically;
+//! * under randomized fault schedules every *served* (non-flagged) slot
+//!   stays bit-identical to `sls_reference` — degradation is always
+//!   explicit, never silently wrong bits;
+//! * exhausted retry budgets, deadlines and full-shard brownouts all
+//!   degrade gracefully: the fleet keeps serving, flagged, without
+//!   panicking or hanging.
+
+use recssd::{BrownoutWindow, FaultConfig, LookupBatch, SlsOptions};
+use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+use recssd_serving::{
+    FaultPolicy, LoadGen, LoadMode, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
+    TrafficSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+use recssd_sim::{SimDuration, SimTime};
+
+const ROWS: u64 = 1024;
+
+fn table() -> EmbeddingTable {
+    EmbeddingTable::procedural(TableSpec::new(ROWS, 16, Quantization::F32), 5)
+}
+
+fn paths() -> [SlsPath; 3] {
+    [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ]
+}
+
+fn batches(seed: u64, n: usize) -> Vec<LookupBatch> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            LookupBatch::new(
+                (0..3)
+                    .map(|_| (0..6).map(|_| rng.gen_range(0..ROWS)).collect())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Everything observable about one completion, for bit-exact comparison.
+#[derive(Debug, PartialEq)]
+struct Snap {
+    id: u64,
+    finish_ns: u64,
+    queue_ns: u64,
+    service_ns: u64,
+    outputs: Vec<f32>,
+    missing_lookups: u64,
+}
+
+/// Stats fingerprint of one run.
+#[derive(Debug, PartialEq)]
+struct StatsSnap {
+    requests: u64,
+    lookups: u64,
+    ops: u64,
+    subs: u64,
+    faults: u64,
+    retries: u64,
+    fallbacks: u64,
+    breaker_trips: u64,
+    degraded: u64,
+    missing: u64,
+}
+
+fn run_workload(
+    shards: usize,
+    sched: SchedulePolicy,
+    path: SlsPath,
+    faults: Option<&FaultConfig>,
+    policy: Option<FaultPolicy>,
+    work: &[LookupBatch],
+) -> (Vec<Snap>, StatsSnap) {
+    let cfg = ServingConfig::small_wide(shards, sched);
+    let mut rt = ServingRuntime::new(&cfg);
+    let t = rt.add_table(table());
+    if let Some(cfg) = faults {
+        rt.inject_faults(cfg);
+    }
+    if let Some(p) = policy {
+        rt.set_fault_policy(p);
+    }
+    for (i, b) in work.iter().enumerate() {
+        rt.submit_at(SimTime::from_us(i as u64), i as u64, t, b.clone(), path);
+    }
+    let done = rt.run_until_idle();
+    for d in &done {
+        rt.verify_bitmatch(d);
+    }
+    let snaps = done
+        .iter()
+        .map(|d| Snap {
+            id: d.id.0,
+            finish_ns: d.finish.as_ns(),
+            queue_ns: d.queue.as_ns(),
+            service_ns: d.service.as_ns(),
+            outputs: d.outputs.as_slice().to_vec(),
+            missing_lookups: d.missing_lookups,
+        })
+        .collect();
+    let s = rt.stats();
+    let stats = StatsSnap {
+        requests: s.requests.get(),
+        lookups: s.lookups.get(),
+        ops: s.ops_dispatched.get(),
+        subs: s.subs_dispatched.get(),
+        faults: s.faults.get(),
+        retries: s.retries.get(),
+        fallbacks: s.fallbacks.get(),
+        breaker_trips: s.breaker_trips.get(),
+        degraded: s.degraded.get(),
+        missing: s.missing_lookups.get(),
+    };
+    (snaps, stats)
+}
+
+/// Satellite: a fault subsystem armed with all-zero probabilities is
+/// bit-identical — results, timings, stats — to not arming it, on all
+/// three paths and both scheduling policies. The RNG draws advance but
+/// must never perturb the simulated timeline.
+#[test]
+fn zero_rate_fault_plan_is_bit_identical_to_disabled() {
+    let work = batches(11, 24);
+    for path in paths() {
+        for sched in [SchedulePolicy::Fifo, SchedulePolicy::micro_batch(8)] {
+            let (base_snaps, base_stats) = run_workload(2, sched, path, None, None, &work);
+            let quiet = FaultConfig::quiet(0xDEAD_BEEF);
+            let (fault_snaps, fault_stats) = run_workload(
+                2,
+                sched,
+                path,
+                Some(&quiet),
+                Some(FaultPolicy::default()),
+                &work,
+            );
+            assert_eq!(base_snaps, fault_snaps, "{path:?}/{sched:?} diverged");
+            assert_eq!(base_stats, fault_stats, "{path:?}/{sched:?} stats diverged");
+            assert_eq!(fault_stats.faults, 0);
+            assert_eq!(fault_stats.degraded, 0);
+        }
+    }
+}
+
+/// Satellite: the same seed replays the same fault schedule — two runs
+/// are bit-identical down to retry counts and completion timings.
+#[test]
+fn seeded_fault_schedule_replays_identically() {
+    let work = batches(23, 32);
+    let mut cfg = FaultConfig::quiet(7);
+    cfg.transient_read_error_rate = 0.05;
+    cfg.uncorrectable_rate = 0.02;
+    cfg.stall_rate = 0.05;
+    let policy = FaultPolicy::default();
+    for path in [
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ] {
+        let a = run_workload(
+            2,
+            SchedulePolicy::Fifo,
+            path,
+            Some(&cfg),
+            Some(policy),
+            &work,
+        );
+        let b = run_workload(
+            2,
+            SchedulePolicy::Fifo,
+            path,
+            Some(&cfg),
+            Some(policy),
+            &work,
+        );
+        assert_eq!(a, b, "{path:?}: same seed must replay identically");
+    }
+}
+
+/// Tentpole property: under a randomized uncorrectable-fault schedule,
+/// every completed request still verifies — served slots bit-match
+/// `sls_reference`, missing rows are explicitly flagged. Retries and
+/// fallbacks absorb most faults; nothing hangs.
+#[test]
+fn randomized_faults_never_serve_wrong_bits() {
+    let mut cfg = FaultConfig::quiet(101);
+    cfg.transient_read_error_rate = 0.02;
+    cfg.uncorrectable_rate = 0.05;
+    let rt_cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8)).with_depth(2);
+    let mut rt = ServingRuntime::new(&rt_cfg);
+    let t = rt.add_table(table());
+    rt.inject_faults(&cfg);
+    rt.set_fault_policy(FaultPolicy::default());
+    let spec = TrafficSpec {
+        outputs: 3,
+        lookups_per_output: 6,
+        zipf_exponent: 1.2,
+    };
+    let mode = LoadMode::Closed {
+        clients: 8,
+        think: SimDuration::ZERO,
+    };
+    // verify_every(1): LoadGen bit-verifies every completion internally.
+    let mut gen = LoadGen::new(&rt, vec![t], spec, mode, 3).with_verify_every(1);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 64);
+    assert_eq!(report.requests, 64, "every request must complete");
+    assert_eq!(report.verified, 64, "every completion must verify");
+    assert!(report.faults > 0, "schedule should inject op-level faults");
+    assert!(report.retries > 0, "faults should drive retries");
+}
+
+/// Transient (ECC-correctable) faults are absorbed inside the device:
+/// they cost latency but never surface as host-visible errors, so the
+/// serving layer sees zero faults and zero degradation.
+#[test]
+fn transient_faults_stay_invisible_to_serving() {
+    let work = batches(31, 24);
+    let mut cfg = FaultConfig::quiet(13);
+    cfg.transient_read_error_rate = 0.5;
+    let (snaps, stats) = run_workload(
+        2,
+        SchedulePolicy::Fifo,
+        SlsPath::Ndp(SlsOptions::default()),
+        Some(&cfg),
+        Some(FaultPolicy::default()),
+        &work,
+    );
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.faults, 0, "transient faults must not surface");
+    assert_eq!(stats.degraded, 0);
+    assert!(snaps.iter().all(|s| s.missing_lookups == 0));
+}
+
+/// When every retry and the baseline fallback fail too (100%
+/// uncorrectable rate), requests complete *degraded*: all lost rows are
+/// counted, their slots flagged, nothing panics or hangs, and the
+/// flagged-slot-aware verifier accepts the result.
+#[test]
+fn exhausted_retries_serve_degraded_flagged() {
+    let work = batches(47, 12);
+    let mut cfg = FaultConfig::quiet(29);
+    cfg.uncorrectable_rate = 1.0;
+    let policy = FaultPolicy {
+        max_retries: 1,
+        fallback_after: 1,
+        ..FaultPolicy::default()
+    };
+    let (snaps, stats) = run_workload(
+        2,
+        SchedulePolicy::Fifo,
+        SlsPath::Ndp(SlsOptions::default()),
+        Some(&cfg),
+        Some(policy),
+        &work,
+    );
+    assert_eq!(stats.requests, 12, "fleet must keep serving");
+    assert_eq!(stats.degraded, 12, "every request loses its device rows");
+    assert!(stats.fallbacks > 0, "NDP subs must fall back to baseline");
+    let total: u64 = work.iter().map(|b| b.total_lookups() as u64).sum();
+    assert_eq!(stats.missing, total, "all device rows are lost");
+    for s in &snaps {
+        assert!(s.missing_lookups > 0, "degradation must be flagged");
+    }
+}
+
+/// Tentpole acceptance: a full-shard brownout combined with a burst of
+/// uncorrectable errors trips that shard's circuit breaker; the fleet
+/// keeps serving (degraded, flagged) through the window without
+/// panicking or hanging, and healthy shards stay correct.
+#[test]
+fn brownout_trips_breaker_and_fleet_keeps_serving() {
+    let rt_cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo).with_depth(2);
+    let mut rt = ServingRuntime::new(&rt_cfg);
+    let t = rt.add_table(table());
+    let mut sick = FaultConfig::quiet(57);
+    sick.uncorrectable_rate = 1.0;
+    sick.brownouts = vec![BrownoutWindow {
+        start: SimTime::ZERO,
+        end: SimTime::from_ms(10),
+        factor: 4,
+    }];
+    rt.inject_faults_on_shard(0, &sick);
+    rt.set_fault_policy(FaultPolicy {
+        max_retries: 1,
+        fallback_after: 1,
+        breaker_window: 4,
+        breaker_threshold: 0.5,
+        breaker_cooldown: SimDuration::from_us(200),
+        deadline: Some(SimDuration::from_ms(5)),
+        ..FaultPolicy::default()
+    });
+    let work = batches(71, 32);
+    for (i, b) in work.iter().enumerate() {
+        rt.submit_at(
+            SimTime::from_us(4 * i as u64),
+            i as u64,
+            t,
+            b.clone(),
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    let done = rt.run_until_idle();
+    assert_eq!(done.len(), 32, "fleet must serve through the brownout");
+    for d in &done {
+        rt.verify_bitmatch(d); // non-flagged slots stay bit-exact
+    }
+    let s = rt.stats();
+    assert!(s.breaker_trips.get() >= 1, "error burst must trip breaker");
+    assert!(s.degraded.get() > 0, "sick-shard rows are lost, flagged");
+    // The healthy shard's partials survive in aggregate: losses stay
+    // strictly below the offered lookups. (A late request can lose its
+    // healthy-shard rows too when the deadline fires while they are
+    // still queued behind the congested fleet — that is the deadline
+    // doing its job, so no per-request bound holds.)
+    assert!(s.missing_lookups.get() < s.lookups.get());
+}
+
+/// A request whose device work outlives its deadline is served at the
+/// deadline with whatever merged: still-owed slots are flagged missing,
+/// latency is capped at the deadline, and the late completion is
+/// discarded silently (exactly one completion per request).
+#[test]
+fn deadline_serves_partial_results_on_time() {
+    let rt_cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo);
+    let mut rt = ServingRuntime::new(&rt_cfg);
+    let t = rt.add_table(table());
+    // Pure slowdown, no errors: a brownout stretching every device
+    // latency far past the deadline.
+    let mut slow = FaultConfig::quiet(91);
+    slow.brownouts = vec![BrownoutWindow {
+        start: SimTime::ZERO,
+        end: SimTime::from_ms(200),
+        factor: 1000,
+    }];
+    rt.inject_faults_on_shard(0, &slow);
+    let deadline = SimDuration::from_ms(2);
+    rt.set_fault_policy(FaultPolicy {
+        deadline: Some(deadline),
+        ..FaultPolicy::default()
+    });
+    let work = batches(83, 4);
+    for (i, b) in work.iter().enumerate() {
+        rt.submit_at(
+            SimTime::from_us(i as u64),
+            i as u64,
+            t,
+            b.clone(),
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    let done = rt.run_until_idle();
+    assert_eq!(done.len(), 4, "exactly one completion per request");
+    for (i, d) in done.iter().enumerate() {
+        assert!(d.is_degraded(), "device rows cannot make the deadline");
+        assert_eq!(
+            d.finish.as_ns(),
+            SimTime::from_us(i as u64).as_ns() + deadline.as_ns(),
+            "served exactly at the deadline"
+        );
+        assert_eq!(d.e2e(), deadline, "latency capped at the deadline");
+        rt.verify_bitmatch(d);
+    }
+    assert_eq!(rt.stats().degraded.get(), 4);
+    assert_eq!(rt.stats().breaker_trips.get(), 0, "slowdown is not error");
+}

@@ -206,7 +206,7 @@ proptest! {
                 // requests genuinely in flight under the old plan.
                 let mut done = Vec::new();
                 for _ in 0..n_before / 2 {
-                    if let Some(c) = rt.step() {
+                    if let Some(c) = rt.step().expect("runtime invariant") {
                         done.push(c);
                     }
                 }

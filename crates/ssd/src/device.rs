@@ -42,6 +42,10 @@ struct CmdState {
     cmd: NvmeCommand,
     pages_left: u32,
     data: Vec<u8>,
+    /// One of the command's page reads hit an uncorrectable media error;
+    /// the command completes with [`NvmeStatus::MediaError`] once every
+    /// outstanding page drains.
+    failed: bool,
 }
 
 /// Largest number of recycled host-transfer buffers the device keeps.
@@ -189,6 +193,12 @@ impl<X: NdpEngine> SsdDevice<X> {
         &mut self.ftl
     }
 
+    /// Installs (or clears) a fault-injection plan on the FTL's flash
+    /// array (see [`GreedyFtl::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: Option<recssd_flash::FaultPlan>) {
+        self.ftl.set_fault_plan(plan);
+    }
+
     /// The PCIe link, for diagnostics.
     pub fn pcie(&self) -> &PcieLink {
         &self.pcie
@@ -283,6 +293,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                             cmd,
                             pages_left: nlb,
                             data,
+                            failed: false,
                         },
                     );
                     let tag = self.alloc_tag(qid, cid);
@@ -300,6 +311,7 @@ impl<X: NdpEngine> SsdDevice<X> {
                             cmd,
                             pages_left: 0,
                             data: Vec::new(),
+                            failed: false,
                         },
                     );
                     let xfer =
@@ -359,13 +371,28 @@ impl<X: NdpEngine> SsdDevice<X> {
                 let (qid, cid, page_idx) = self.read_reqs.remove(&req).expect("checked above");
                 let page_bytes = self.config.block_bytes();
                 let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
-                let off = page_idx as usize * page_bytes;
-                st.data[off..off + page_bytes].copy_from_slice(&data);
+                if !st.failed {
+                    let off = page_idx as usize * page_bytes;
+                    st.data[off..off + page_bytes].copy_from_slice(&data);
+                }
                 // This was the page image's last reader; hand it back.
                 self.ftl.recycle_page_image(data);
                 st.pages_left -= 1;
                 if st.pages_left == 0 {
-                    self.start_read_dma(now, qid, cid, sched);
+                    if st.failed {
+                        self.fail_read_cmd(qid, cid);
+                    } else {
+                        self.start_read_dma(now, qid, cid, sched);
+                    }
+                }
+            }
+            FtlOutcome::ReadFailed { req, .. } if self.read_reqs.contains_key(&req) => {
+                let (qid, cid, _) = self.read_reqs.remove(&req).expect("checked above");
+                let st = self.cmds.get_mut(&(qid, cid)).expect("command state");
+                st.failed = true;
+                st.pages_left -= 1;
+                if st.pages_left == 0 {
+                    self.fail_read_cmd(qid, cid);
                 }
             }
             FtlOutcome::WriteDone { req, .. } if self.write_reqs.contains_key(&req) => {
@@ -465,6 +492,15 @@ impl<X: NdpEngine> SsdDevice<X> {
                     .pages_left = nlb;
             }
         }
+    }
+
+    /// Completes a conventional read whose media failed: no data crosses
+    /// PCIe, the transfer buffer returns to the pool and the host sees a
+    /// typed media error.
+    fn fail_read_cmd(&mut self, qid: u16, cid: u16) {
+        let st = self.cmds.remove(&(qid, cid)).expect("command state");
+        pool_recycle(&mut self.host_buf_pool, st.data);
+        self.queues[qid as usize].complete(NvmeCompletion::error(cid, NvmeStatus::MediaError));
     }
 
     fn start_read_dma(
