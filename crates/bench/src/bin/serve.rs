@@ -7,15 +7,20 @@
 //! vs a per-phase oracle) plus a baseline-path pipelining A/B, runs a
 //! resilience suite (deterministic fault injection: transient-rate
 //! sweep, uncorrectable-media recovery, full-shard brownout behind the
-//! circuit breaker), and writes `BENCH_serving.json` (v5 schema) with
-//! throughput, p50/p95/p99/p999 latency, per-shard operator occupancy,
-//! flash channel utilisation, DRAM-tier hit-rate, per-tier latency,
-//! plan-refresh / migration telemetry and fault / retry / fallback /
-//! degradation counters.
+//! circuit breaker), runs a traced observability pass (sim-time span
+//! tracing across serving → host → firmware → flash, per-path latency
+//! attribution, wall-clock self-profile), and writes
+//! `BENCH_serving.json` (v6 schema) with throughput, p50/p95/p99/p999
+//! latency, per-shard operator occupancy, flash channel utilisation,
+//! DRAM-tier hit-rate, per-tier latency, plan-refresh / migration
+//! telemetry, fault / retry / fallback / degradation counters and the
+//! observability block.
 //!
 //! ```text
 //! cargo run --release -p recssd-bench --bin serve
 //! RECSSD_PAPER_SCALE=1 cargo run --release -p recssd-bench --bin serve
+//! cargo run --release -p recssd-bench --bin serve -- out.json \
+//!     --trace-out trace.json --epoch-log epochs.jsonl
 //! ```
 //!
 //! At any scale the run asserts the serving subsystem's acceptance bars:
@@ -30,18 +35,21 @@
 //! baseline path at least 1.25x from queue depth 1 to 4, a sample of
 //! merged outputs bit-matches `sls_reference` in every sweep, NDP
 //! serving at 1% transient faults keeps at least 85% of fault-free
-//! throughput with *every* completion bit-verified, and a full-shard
+//! throughput with *every* completion bit-verified, a full-shard
 //! brownout trips the circuit breaker while the fleet keeps serving
-//! (degraded completions flagged, never silently wrong).
+//! (degraded completions flagged, never silently wrong), and the traced
+//! pass reconstructs at least 99% of every request's end-to-end latency
+//! from causally-linked child spans.
 
 use std::fmt::Write as _;
 
-use recssd::{BrownoutWindow, FaultConfig, SlsOptions};
+use recssd::{BrownoutWindow, FaultConfig, LookupBatch, SlsOptions};
 use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
 use recssd_placement::{plan_delta, FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
-    AdaptivePolicy, FaultPolicy, LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig,
-    ServingRuntime, SlsPath, TrafficSpec,
+    chrome_trace_json, validate_spans, AdaptivePolicy, FaultPolicy, LoadGen, LoadMode, LoadReport,
+    PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
+    WallPhaseReport,
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::{SimDuration, SimTime};
@@ -840,6 +848,115 @@ fn run_resilience(p: &Params) -> ResilienceReport {
     }
 }
 
+/// The observability pass: the same stack traced end-to-end.
+struct ObsReport {
+    /// Requests submitted (one `request` span each).
+    requests: usize,
+    /// Spans recorded across serving, host, firmware and flash layers.
+    spans: usize,
+    /// Worst direct-child coverage over non-degraded request spans.
+    min_coverage: f64,
+    /// Per-path time-goes-where report.
+    attribution: Vec<PathAttribution>,
+    /// Wall-clock self-profile of the simulator loop.
+    wall: Vec<WallPhaseReport>,
+    /// The full Chrome-trace JSON (written to `--trace-out`).
+    trace_json: String,
+    /// Per-epoch JSONL metric snapshots (written to `--epoch-log`).
+    epoch_log: String,
+}
+
+/// Traced mixed-path run: tracing + self-profiling + the adaptive loop
+/// (for epoch snapshots) on a 2-shard micro-batched runtime. Asserts the
+/// span invariants: every request reconstructs from its children
+/// (≥ 99 % coverage), parents resolve, children nest.
+fn run_observability(p: &Params) -> ObsReport {
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8)).with_depth(2);
+    let (mut rt, tables) = build_runtime(p, &cfg);
+    rt.enable_tracing();
+    rt.enable_self_profiling();
+    rt.enable_epoch_log();
+    rt.enable_adaptive(AdaptivePolicy {
+        epoch_requests: (p.requests as u64 / 3).max(8),
+        decay: 0.8,
+        budget_rows: (p.rows_per_table / 8) as usize,
+        min_hit_gain: 0.0,
+    });
+    let paths = [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ];
+    let mut zipf = ZipfTrace::new(p.rows_per_table, p.spec.zipf_exponent, 0x0B5);
+    for i in 0..p.requests {
+        let batch = LookupBatch::new(
+            (0..p.spec.outputs)
+                .map(|_| {
+                    (0..p.spec.lookups_per_output)
+                        .map(|_| zipf.next_id())
+                        .collect()
+                })
+                .collect(),
+        );
+        rt.submit_at(
+            SimTime::from_us(i as u64),
+            i as u64,
+            tables[i % tables.len()],
+            batch,
+            paths[i % paths.len()],
+        );
+    }
+    let done = rt.run_until_idle();
+    assert_eq!(done.len(), p.requests, "observability run lost requests");
+    for d in done.iter().step_by(p.verify_every as usize) {
+        rt.verify_bitmatch(d);
+    }
+    let spans = rt.take_trace();
+    let check = validate_spans(&spans).expect("span invariants hold");
+    assert_eq!(check.requests, p.requests, "one request span per request");
+    // Acceptance bar 8: the trace reconstructs >= 99% of each sampled
+    // request's end-to-end latency from its direct children.
+    assert!(
+        check.min_coverage >= 0.99,
+        "trace reconstructs only {:.1}% of some request",
+        check.min_coverage * 100.0
+    );
+    println!(
+        "observability: {} spans over {} requests, min e2e coverage {:.2}%",
+        check.spans,
+        check.requests,
+        check.min_coverage * 100.0
+    );
+    for a in rt.attribution() {
+        println!(
+            "  {:>8}: {:>4} requests  queue p50 {:>8.1}us  service p50 {:>8.1}us  \
+             e2e p99 {:>9.1}us",
+            a.path,
+            a.requests,
+            a.queue.p50 as f64 / 1e3,
+            a.service.p50 as f64 / 1e3,
+            a.e2e.p99 as f64 / 1e3,
+        );
+    }
+    for w in rt.wall_profile() {
+        println!(
+            "  wall {:>14}: {:>9.3} ms over {:>6} sections",
+            w.phase,
+            w.nanos as f64 / 1e6,
+            w.count,
+        );
+    }
+    ObsReport {
+        requests: p.requests,
+        spans: check.spans,
+        min_coverage: check.min_coverage,
+        attribution: rt.attribution(),
+        wall: rt.wall_profile(),
+        trace_json: chrome_trace_json(&spans),
+        epoch_log: rt.take_epoch_log(),
+    }
+}
+
 fn q_json(q: &Quantiles) -> String {
     format!(
         "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"mean_us\": {:.2}, \"max_us\": {:.2}",
@@ -862,10 +979,11 @@ fn write_json(
     drift: &[DriftArm],
     baseline_depth: &[BaselineDepthReport],
     resilience: &ResilienceReport,
+    obs: &ObsReport,
 ) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v5\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v6\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -1071,15 +1189,59 @@ fn write_json(
         fault_counters(&resilience.brownout),
         resilience.brownout.e2e.p99 as f64 / 1e3,
     );
-    s.push_str("  }\n}\n");
+    s.push_str("  },\n");
+    let _ = writeln!(
+        s,
+        "  \"observability\": {{\n    \"trace_spans\": {}, \"trace_requests\": {}, \
+         \"trace_min_coverage\": {:.4},",
+        obs.spans, obs.requests, obs.min_coverage,
+    );
+    s.push_str("    \"attribution\": [\n");
+    for (i, a) in obs.attribution.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"path\": \"{}\", \"requests\": {}, \
+             \"queue\": {{{}}}, \"service\": {{{}}}, \"e2e\": {{{}}}}}",
+            a.path,
+            a.requests,
+            q_json(&a.queue),
+            q_json(&a.service),
+            q_json(&a.e2e),
+        );
+        s.push_str(if i + 1 < obs.attribution.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n    \"wall_profile\": [\n");
+    for (i, w) in obs.wall.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"phase\": \"{}\", \"wall_ms\": {:.3}, \"sections\": {}}}",
+            w.phase,
+            w.nanos as f64 / 1e6,
+            w.count,
+        );
+        s.push_str(if i + 1 < obs.wall.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
 fn main() {
     let p = Params::from_env();
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut trace_out: Option<String> = None;
+    let mut epoch_log_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--epoch-log" => epoch_log_out = Some(args.next().expect("--epoch-log needs a path")),
+            other => out_path = other.to_string(),
+        }
+    }
     println!(
         "workload: {} tables x {} rows (dim {}), {} outputs x {} lookups/request, \
          {} closed-loop clients, {} requests per config, depths {:?}",
@@ -1338,6 +1500,18 @@ fn main() {
     // graceful degradation (acceptance bars 6 and 7 inside).
     let resilience = run_resilience(&p);
 
+    // Observability pass: traced end-to-end, span invariants asserted
+    // (acceptance bar 8 inside).
+    let obs = run_observability(&p);
+    if let Some(path) = &trace_out {
+        std::fs::write(path, &obs.trace_json).expect("write trace JSON");
+        println!("wrote {path} ({} spans)", obs.spans);
+    }
+    if let Some(path) = &epoch_log_out {
+        std::fs::write(path, &obs.epoch_log).expect("write epoch JSONL");
+        println!("wrote {path} ({} epochs)", obs.epoch_log.lines().count());
+    }
+
     let json = write_json(
         &p,
         &configs,
@@ -1347,6 +1521,7 @@ fn main() {
         &drift,
         &baseline_depth,
         &resilience,
+        &obs,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");

@@ -16,6 +16,8 @@ use std::sync::Arc;
 use recssd_cache::{LruCache, StaticPartition};
 use recssd_embedding::{LookupBatch, RowScratch, TableId, TableImage};
 use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeStatus};
+use recssd_obs::trace::track;
+use recssd_obs::{SpanId, Tracer};
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use recssd_ssd::{SsdDevice, SsdEvent};
 
@@ -311,6 +313,16 @@ struct Op {
     /// First device-side failure observed for this op (poisons it: no
     /// further I/O is issued and the result carries the error).
     failed: Option<DeviceError>,
+    /// This op's trace span, pre-allocated at submission so phase spans
+    /// can reference it before it is emitted (at completion).
+    /// `SpanId::NONE` when tracing is off.
+    span: SpanId,
+    /// Caller-provided parent for the op span (a serving-layer sub-batch
+    /// span, via [`System::submit_traced`]).
+    span_parent: SpanId,
+    /// When the op's current traced phase began (queueing counts as the
+    /// first phase); advanced by each emitted phase span.
+    phase_started: SimTime,
 }
 
 /// The simulated host + device system. See the [crate docs](crate) for a
@@ -344,6 +356,9 @@ pub struct System {
     completions: Vec<(u16, NvmeCompletion)>,
     /// Reused encode/decode scratch for host-DRAM row gathers.
     row_scratch: RowScratch,
+    /// Sim-time span tracer for host-side op phases (disabled by default;
+    /// see [`System::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl System {
@@ -376,8 +391,30 @@ impl System {
             pair_pool: Vec::new(),
             completions: Vec::new(),
             row_scratch: RowScratch::default(),
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Installs a sim-time span tracer. The system emits host-side op
+    /// phases on the tracer's pid at [`track::TID_DEVICE`], and forwards
+    /// the tracer to the FTL, whose firmware and flash spans land on
+    /// [`track::TID_FW`] / [`track::TID_FLASH`] of the same pid. Pass
+    /// [`Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.ftl_mut().set_tracer(tracer.clone());
+        self.tracer = tracer.with_tid(track::TID_DEVICE);
+    }
+
+    /// Resets every statistic this system owns, across the whole stack:
+    /// device command counters, FTL counters and cache hit stats, flash
+    /// array counters and latency histograms, fault-plan fire counts
+    /// (injection streams are untouched, preserving deterministic
+    /// replay), host LRU cache stats and partition stats. Table contents,
+    /// mappings and the virtual clock are unaffected.
+    pub fn reset_stats(&mut self) {
+        self.dev.reset_stats();
+        self.reset_host_stats();
     }
 
     /// Advances the idle system's virtual clock to `to` (no-op if the
@@ -546,12 +583,23 @@ impl System {
         self.submit_after(kind, &[])
     }
 
+    /// Submits an operator with no dependencies, parenting its trace
+    /// spans under `parent` (e.g. a serving-layer sub-batch span).
+    /// Identical to [`System::submit`] when tracing is disabled.
+    pub fn submit_traced(&mut self, kind: OpKind, parent: SpanId) -> OpId {
+        self.submit_inner(kind, &[], parent)
+    }
+
     /// Submits an operator that starts only after `deps` complete.
     ///
     /// # Panics
     ///
     /// Panics if a dependency id is unknown.
     pub fn submit_after(&mut self, kind: OpKind, deps: &[OpId]) -> OpId {
+        self.submit_inner(kind, deps, SpanId::NONE)
+    }
+
+    fn submit_inner(&mut self, kind: OpKind, deps: &[OpId], span_parent: SpanId) -> OpId {
         let id = OpId(self.next_op);
         self.next_op += 1;
         let pool = kind.pool();
@@ -582,6 +630,9 @@ impl System {
             ndp: None,
             qid: 0,
             failed: None,
+            span: self.tracer.alloc_id(),
+            span_parent,
+            phase_started: self.q.now(),
         };
         self.ops.insert(id, op);
         if deps_left == 0 {
@@ -688,6 +739,7 @@ impl System {
             op.worker = Some(worker);
             op.started = now;
             op.qid = (worker % self.cfg.ssd.io_queues) as u16;
+            self.trace_phase(id, "op:queue", now);
             self.start_op(now, id);
         }
     }
@@ -698,6 +750,19 @@ impl System {
         let o = &self.ops[&op];
         let (pool, worker) = (o.pool, o.worker.expect("op holds a worker"));
         self.q.push_after(dur, SysEvent::Worker { pool, worker });
+    }
+
+    /// Emits a phase span `[op.phase_started, now]` parented to the op's
+    /// span, then restarts the phase clock. No-op when tracing is off.
+    fn trace_phase(&mut self, id: OpId, name: &'static str, now: SimTime) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let op = self.ops.get_mut(&id).expect("op exists");
+        if op.span.is_some() {
+            self.tracer.span(name, op.phase_started, now, op.span);
+        }
+        op.phase_started = now;
     }
 
     fn host(&self) -> &crate::HostConfig {
@@ -769,7 +834,10 @@ impl System {
             Phase::BasePrep => self.baseline_plan(now, id),
             Phase::BaseIo(io) => self.baseline_accum_done(now, id, io),
             Phase::NdpPrep => self.ndp_plan(now, id),
-            Phase::NdpHotGather => self.ndp_send_write(now, id),
+            Phase::NdpHotGather => {
+                self.trace_phase(id, "ndp:gather", now);
+                self.ndp_send_write(now, id)
+            }
             Phase::NdpMerge => self.ndp_merge_done(now, id),
             Phase::Pending | Phase::NdpAwaitWrite | Phase::NdpAwaitRead => {
                 unreachable!("worker event in a waiting phase")
@@ -780,6 +848,7 @@ impl System {
     // ----- baseline SLS -----
 
     fn baseline_plan(&mut self, now: SimTime, id: OpId) {
+        self.trace_phase(id, "base:plan", now);
         // Disjoint-field borrows: the batch stays inside the op (no
         // clone) while the caches and flat accumulator are consulted.
         let Self {
@@ -1056,6 +1125,7 @@ impl System {
     // ----- NDP SLS -----
 
     fn ndp_plan(&mut self, now: SimTime, id: OpId) {
+        self.trace_phase(id, "ndp:plan", now);
         // Disjoint-field borrows keep the batch inside the op (no clone);
         // only the flattened pair list is materialised, once.
         let Self {
@@ -1180,6 +1250,7 @@ impl System {
     }
 
     fn ndp_on_write_done(&mut self, now: SimTime, id: OpId) {
+        self.trace_phase(id, "ndp:write", now);
         let table = match &self.ops[&id].kind {
             OpKind::NdpSls { table, .. } => *table,
             _ => unreachable!("phase/kind mismatch"),
@@ -1198,7 +1269,8 @@ impl System {
         self.submit_cmd(now, qid, NvmeCommand::ndp_read(cid, slba, nlb));
     }
 
-    fn ndp_on_read_done(&mut self, _now: SimTime, id: OpId, data: Box<[u8]>) {
+    fn ndp_on_read_done(&mut self, now: SimTime, id: OpId, data: Box<[u8]>) {
+        self.trace_phase(id, "ndp:read", now);
         let overhead_ns = self.host().op_overhead_ns;
         let op = self.ops.get_mut(&id).expect("op");
         let plan = op.ndp.as_mut().expect("plan set");
@@ -1351,6 +1423,30 @@ impl System {
 
     fn finish_op(&mut self, now: SimTime, id: OpId) {
         let mut op = self.ops.remove(&id).expect("op exists");
+        if self.tracer.enabled() && op.span.is_some() {
+            // Tail phase: whatever ran since the last phase span ended.
+            // For a failed op it covers the abort drain, which the
+            // `failed` argument on the op span flags.
+            let (tail, label) = match &op.kind {
+                OpKind::DramSls { .. } => ("op:compute", "dram"),
+                OpKind::HostCompute { .. } => ("op:compute", "host"),
+                OpKind::BaselineSls { .. } => ("base:io", "baseline"),
+                OpKind::NdpSls { .. } => ("ndp:merge", "ndp"),
+            };
+            if now > op.phase_started {
+                self.tracer.span(tail, op.phase_started, now, op.span);
+            }
+            self.tracer.emit(
+                op.span,
+                "op",
+                op.submitted,
+                now,
+                op.span_parent,
+                "failed",
+                op.failed.is_some() as u64,
+                label,
+            );
+        }
         if let Some(plan) = op.ndp.take() {
             self.recycle_pairs(plan.cold_cfg.pairs);
             self.recycle_pairs(plan.hot_pairs);

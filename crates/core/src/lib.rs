@@ -67,3 +67,4 @@ pub use tables::{TableBinding, TableRegistry};
 
 pub use recssd_embedding::{LookupBatch, TableId};
 pub use recssd_flash::{BrownoutWindow, FaultConfig, FaultPlan, FaultStats};
+pub use recssd_obs::{SpanId, TraceSink, Tracer};

@@ -116,6 +116,14 @@ pub struct FlashCompletion {
     /// still carried (GC relocation models offline firmware recovery);
     /// host-facing layers must surface a media error instead of using it.
     pub failed: bool,
+    /// An injected transient error extended this read by ECC retry
+    /// senses (the read still succeeded).
+    pub retried: bool,
+    /// Duration of the operation's final pipeline phase — the channel
+    /// transfer for reads, tPROG for programs — which ends exactly at
+    /// this completion. Lets observers place the bus-busy window on a
+    /// timeline without the array carrying per-phase timestamps.
+    pub last_phase: SimDuration,
 }
 
 /// Errors rejected at submission time.
@@ -179,6 +187,20 @@ pub struct FlashStats {
     pub channel_busy: Vec<SimDuration>,
 }
 
+impl FlashStats {
+    /// Resets every counter, the latency histogram and the per-channel
+    /// busy accumulators (geometry is preserved).
+    pub fn reset(&mut self) {
+        self.reads.reset();
+        self.programs.reset();
+        self.erases.reset();
+        self.op_latency.reset();
+        for b in &mut self.channel_busy {
+            *b = SimDuration::ZERO;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ResKey {
     Die(usize),
@@ -201,6 +223,7 @@ struct OpState {
     cur: usize,
     submitted_at: SimTime,
     failed: bool,
+    retried: bool,
 }
 
 /// Largest number of recycled page buffers the array keeps. Sized to cover
@@ -257,6 +280,15 @@ impl FlashArray {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &FlashStats {
         &self.stats
+    }
+
+    /// Resets the array's statistics and, if a fault plan is installed,
+    /// its injection counters (RNG streams and schedules are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        if let Some(plan) = self.fault.as_mut() {
+            plan.reset_stats();
+        }
     }
 
     /// Installs (or clears) the fault-injection plan. `None` restores
@@ -446,11 +478,13 @@ impl FlashArray {
         // uncorrectable one flags the op), and an active brownout window
         // inflates every phase of every operation by an integer factor.
         let mut failed = false;
+        let mut retried = false;
         if let Some(plan) = self.fault.as_mut() {
             if op.kind() == FlashOpKind::Read {
                 match plan.draw_read() {
                     Some(ReadFault::Transient) => {
                         phases[0].1 += t.ecc_retry_time(plan.config().ecc_retry_reads);
+                        retried = true;
                     }
                     Some(ReadFault::Uncorrectable) => failed = true,
                     None => {}
@@ -472,6 +506,7 @@ impl FlashArray {
                 cur: 0,
                 submitted_at: now,
                 failed,
+                retried,
             },
         );
         self.try_start_phase(id, sched);
@@ -554,6 +589,8 @@ impl FlashArray {
         let ppa = st.op.ppa();
         let kind = st.op.kind();
         let failed = st.failed;
+        let retried = st.retried;
+        let last_phase = st.phases[st.n_phases - 1].1;
         let data = match st.op {
             FlashOp::Read { ppa } => {
                 self.stats.reads.inc();
@@ -588,6 +625,8 @@ impl FlashArray {
             data,
             submitted_at: st.submitted_at,
             failed,
+            retried,
+            last_phase,
         })
     }
 }

@@ -117,6 +117,15 @@ pub struct FaultStats {
     pub stalls: Counter,
 }
 
+impl FaultStats {
+    /// Resets every injection counter.
+    pub fn reset(&mut self) {
+        self.transient.reset();
+        self.uncorrectable.reset();
+        self.stalls.reset();
+    }
+}
+
 /// A live fault-injection plan: configuration, RNG streams and counters.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -145,6 +154,12 @@ impl FaultPlan {
     /// Injection counters accumulated so far.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Resets the injection counters without touching the RNG streams,
+    /// so the injected schedule keeps replaying deterministically.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Draws the fault outcome for one page read. Both Bernoulli draws

@@ -46,6 +46,12 @@ impl FwCore {
         self.queue.len()
     }
 
+    /// Tag of the currently running task, if any (the task popped by the
+    /// latest [`FwCore::finish`], until it finishes in turn).
+    pub fn current(&self) -> Option<FwTag> {
+        self.current
+    }
+
     /// Total busy time accumulated across all started tasks.
     pub fn busy_total(&self) -> SimDuration {
         self.busy_total

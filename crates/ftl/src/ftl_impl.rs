@@ -8,6 +8,7 @@ use recssd_cache::LruCache;
 use recssd_flash::{
     FlashArray, FlashCompletion, FlashError, FlashEvent, FlashOp, FlashOpId, PageOracle, Ppa,
 };
+use recssd_obs::trace::{track, SpanId, Tracer};
 use recssd_sim::stats::{Counter, HitStats};
 use recssd_sim::{FxHashMap, SimDuration, SimTime};
 
@@ -138,6 +139,18 @@ pub struct FtlStats {
     pub gc_erased_blocks: Counter,
 }
 
+impl FtlStats {
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        self.host_reads.reset();
+        self.host_writes.reset();
+        self.unmapped_reads.reset();
+        self.write_buffer_hits.reset();
+        self.gc_relocated_pages.reset();
+        self.gc_erased_blocks.reset();
+    }
+}
+
 #[derive(Debug)]
 enum Pending {
     HostRead {
@@ -200,6 +213,9 @@ pub struct GreedyFtl {
     /// allocating a fresh `Arc`.
     arc_pool: Vec<Arc<[u8]>>,
     stats: FtlStats,
+    /// Sim-time span tracer (disabled by default: every emission is a
+    /// no-op `None` check until [`GreedyFtl::set_tracer`] installs a sink).
+    tracer: Tracer,
 }
 
 impl GreedyFtl {
@@ -224,6 +240,7 @@ impl GreedyFtl {
             next_req: 0,
             arc_pool: Vec::new(),
             stats: FtlStats::default(),
+            tracer: Tracer::disabled(),
             config,
         }
     }
@@ -295,6 +312,23 @@ impl GreedyFtl {
     /// Resets page-cache hit statistics (between experiment phases).
     pub fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();
+    }
+
+    /// Resets **every** statistic this layer and the layers below
+    /// accumulate: FTL counters, page-cache hit stats, flash-array stats
+    /// and fault-injection counters. Device state (mappings, caches,
+    /// RNG streams) is untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.cache.reset_stats();
+        self.flash.reset_stats();
+    }
+
+    /// Installs the sim-time span tracer for this FTL (firmware-exec and
+    /// flash-read spans land on the [`track::TID_FW`] / [`track::TID_FLASH`]
+    /// rows of the tracer's pid).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Empties the SSD-DRAM page cache (cold-start experiments). In-flight
@@ -555,6 +589,19 @@ impl GreedyFtl {
             }
         }
         if let Some(d) = self.fw.start(duration, tag) {
+            // The core is idle, so this charge's execution window is
+            // exactly [now, now + d]; queued charges get their span when
+            // the FwDone pop starts them (see `handle`).
+            if self.tracer.enabled() {
+                self.tracer.with_tid(track::TID_FW).span_arg(
+                    "fw:exec",
+                    now,
+                    now + d,
+                    SpanId::NONE,
+                    "tag",
+                    tag.0,
+                );
+            }
             sched(d, FtlEvent::FwDone);
         }
     }
@@ -573,6 +620,18 @@ impl GreedyFtl {
             FtlEvent::FwDone => {
                 let (tag, next) = self.fw.finish();
                 if let Some(d) = next {
+                    if self.tracer.enabled() {
+                        if let Some(t) = self.fw.current() {
+                            self.tracer.with_tid(track::TID_FW).span_arg(
+                                "fw:exec",
+                                now,
+                                now + d,
+                                SpanId::NONE,
+                                "tag",
+                                t.0,
+                            );
+                        }
+                    }
                     sched(d, FtlEvent::FwDone);
                 }
                 out.push(FtlOutcome::FwTaskDone { tag });
@@ -598,6 +657,20 @@ impl GreedyFtl {
         let g = self.config.flash.geometry;
         match self.pending.remove(&c.op).expect("untracked flash op") {
             Pending::HostRead { req, lpn, ppa } => {
+                if self.tracer.enabled() {
+                    // Sense (+ any ECC retries, + die/bus queueing) ends
+                    // where the final channel transfer starts; the
+                    // transfer's busy window ends exactly at completion.
+                    let tr = self.tracer.with_tid(track::TID_FLASH);
+                    let (key, val) = if c.failed {
+                        ("failed", 1)
+                    } else {
+                        ("retried", c.retried as u64)
+                    };
+                    let read =
+                        tr.span_arg("flash:read", c.submitted_at, now, SpanId::NONE, key, val);
+                    tr.span("flash:xfer", now - c.last_phase, now, read);
+                }
                 if c.failed {
                     // Uncorrectable media error: the bytes are untrusted,
                     // so nothing is cached and the buffer goes straight

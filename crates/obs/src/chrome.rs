@@ -1,0 +1,301 @@
+//! Chrome-trace/Perfetto JSON export and span-invariant validation.
+//!
+//! The exporter writes the ubiquitous `traceEvents` array-of-complete-
+//! events format (`ph: "X"`, microsecond timestamps) that both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Span ids and parent links ride in `args` so the causal
+//! tree survives the round trip.
+//!
+//! [`validate_spans`] checks the invariants every recorded trace must
+//! satisfy — the same checks CI runs against the `serve --trace-out`
+//! output:
+//!
+//! 1. ids are unique and non-zero;
+//! 2. every non-zero parent link resolves to a recorded span;
+//! 3. children nest temporally within their parent;
+//! 4. each non-degraded `request` span is covered ≥ 99 % by the union of
+//!    its direct children (the latency-reconstruction criterion).
+
+use crate::trace::SpanRec;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Summary returned by a successful [`validate_spans`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceCheck {
+    /// Total spans validated.
+    pub spans: usize,
+    /// `request` spans found (degraded ones included).
+    pub requests: usize,
+    /// Worst child-union coverage over non-degraded request spans
+    /// (1.0 when there are none).
+    pub min_coverage: f64,
+}
+
+/// Escapes a string for a JSON literal (names here are static Rust
+/// identifiers, but stay correct for arbitrary input).
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds rendered as a microsecond decimal (`123.456`), the unit
+/// Chrome trace expects. Pure integer math keeps the output
+/// deterministic across platforms.
+fn us(ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// Serialises spans to a Chrome-trace JSON document.
+pub fn chrome_trace_json(spans: &[SpanRec]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        esc(s.name, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        us(s.start_ns, &mut out);
+        out.push_str(",\"dur\":");
+        us(s.end_ns - s.start_ns, &mut out);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}", s.pid, s.tid);
+        let _ = write!(out, ",\"args\":{{\"span\":{},\"parent\":{}", s.id, s.parent);
+        if !s.arg_key.is_empty() {
+            out.push_str(",\"");
+            esc(s.arg_key, &mut out);
+            let _ = write!(out, "\":{}", s.arg_val);
+        }
+        if !s.label.is_empty() {
+            out.push_str(",\"label\":\"");
+            esc(s.label, &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `true` for request spans flagged degraded (deadline expiry / retry
+/// budget exhaustion): their children may legitimately not cover them.
+fn is_degraded(s: &SpanRec) -> bool {
+    s.arg_key == "degraded" && s.arg_val != 0
+}
+
+/// Fraction of `[start, end]` covered by the union of `ivs` (clamped to
+/// the window). An empty window counts as fully covered.
+fn coverage(start: u64, end: u64, ivs: &mut [(u64, u64)]) -> f64 {
+    if end <= start {
+        return 1.0;
+    }
+    ivs.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur = start;
+    for &(a, b) in ivs.iter() {
+        let a = a.max(cur).min(end);
+        let b = b.min(end);
+        if b > a {
+            covered += b - a;
+            cur = b;
+        }
+    }
+    covered as f64 / (end - start) as f64
+}
+
+/// Validates the span invariants (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_spans(spans: &[SpanRec]) -> Result<TraceCheck, String> {
+    let mut by_id: HashMap<u64, &SpanRec> = HashMap::with_capacity(spans.len());
+    for s in spans {
+        if s.id == 0 {
+            return Err(format!("span '{}' has id 0", s.name));
+        }
+        if s.end_ns < s.start_ns {
+            return Err(format!(
+                "span '{}' (id {}) ends before it starts",
+                s.name, s.id
+            ));
+        }
+        if by_id.insert(s.id, s).is_some() {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    let mut children: HashMap<u64, Vec<&SpanRec>> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            let p = by_id.get(&s.parent).ok_or_else(|| {
+                format!(
+                    "span '{}' (id {}) links to unknown parent {}",
+                    s.name, s.id, s.parent
+                )
+            })?;
+            if s.start_ns < p.start_ns || s.end_ns > p.end_ns {
+                return Err(format!(
+                    "span '{}' (id {}, [{}, {}]) escapes parent '{}' (id {}, [{}, {}])",
+                    s.name, s.id, s.start_ns, s.end_ns, p.name, p.id, p.start_ns, p.end_ns
+                ));
+            }
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    let mut requests = 0usize;
+    let mut min_coverage = 1.0f64;
+    let mut ivs = Vec::new();
+    for s in spans.iter().filter(|s| s.name == "request") {
+        requests += 1;
+        if is_degraded(s) {
+            continue;
+        }
+        ivs.clear();
+        if let Some(kids) = children.get(&s.id) {
+            ivs.extend(kids.iter().map(|k| (k.start_ns, k.end_ns)));
+        }
+        let c = coverage(s.start_ns, s.end_ns, &mut ivs);
+        if c < 0.99 {
+            return Err(format!(
+                "request span id {} covered only {:.1}% by its children",
+                s.id,
+                c * 100.0
+            ));
+        }
+        min_coverage = min_coverage.min(c);
+    }
+    Ok(TraceCheck {
+        spans: spans.len(),
+        requests,
+        min_coverage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanId, TraceSink};
+    use recssd_sim::{SimDuration, SimTime};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    fn demo_spans() -> Vec<SpanRec> {
+        let sink = TraceSink::new();
+        let tr = sink.tracer(0, 0);
+        let req = tr.alloc_id();
+        let sub = tr.span("sub", t(0), t(100), req);
+        tr.span("op", t(10), t(90), sub);
+        tr.emit(
+            req,
+            "request",
+            t(0),
+            t(100),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "ndp",
+        );
+        sink.take_spans()
+    }
+
+    #[test]
+    fn valid_trace_passes_and_reports_coverage() {
+        let check = validate_spans(&demo_spans()).expect("valid");
+        assert_eq!(check.spans, 3);
+        assert_eq!(check.requests, 1);
+        assert!(check.min_coverage >= 0.99);
+    }
+
+    #[test]
+    fn unresolved_parent_is_rejected() {
+        let mut spans = demo_spans();
+        spans[0].parent = 999;
+        assert!(validate_spans(&spans)
+            .unwrap_err()
+            .contains("unknown parent"));
+    }
+
+    #[test]
+    fn child_escaping_parent_is_rejected() {
+        let mut spans = demo_spans();
+        spans[1].end_ns = 500; // op escapes sub
+        assert!(validate_spans(&spans)
+            .unwrap_err()
+            .contains("escapes parent"));
+    }
+
+    #[test]
+    fn uncovered_request_is_rejected_unless_degraded() {
+        let sink = TraceSink::new();
+        let tr = sink.tracer(0, 0);
+        let req = tr.alloc_id();
+        tr.span("sub", t(0), t(10), req); // covers 10% of the request
+        tr.emit(
+            req,
+            "request",
+            t(0),
+            t(100),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "",
+        );
+        let spans = sink.take_spans();
+        assert!(validate_spans(&spans).unwrap_err().contains("covered only"));
+
+        let sink = TraceSink::new();
+        let tr = sink.tracer(0, 0);
+        let req = tr.alloc_id();
+        tr.span("sub", t(0), t(10), req);
+        tr.emit(
+            req,
+            "request",
+            t(0),
+            t(100),
+            SpanId::NONE,
+            "degraded",
+            1,
+            "",
+        );
+        validate_spans(&sink.take_spans()).expect("degraded requests skip coverage");
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut spans = demo_spans();
+        spans[1].id = spans[0].id;
+        assert!(validate_spans(&spans).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn overlapping_children_do_not_double_count_coverage() {
+        let mut ivs = vec![(0u64, 60u64), (40, 100), (10, 50)];
+        assert_eq!(coverage(0, 100, &mut ivs), 1.0);
+        let mut gap = vec![(0u64, 40u64), (60, 100)];
+        assert!((coverage(0, 100, &mut gap) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_tagged() {
+        let a = chrome_trace_json(&demo_spans());
+        let b = chrome_trace_json(&demo_spans());
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"name\":\"request\""));
+        assert!(a.contains("\"label\":\"ndp\""));
+        // 100 ns request renders as 0.100 us.
+        assert!(a.contains("\"dur\":0.100"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Observability for the RecSSD stack.
+//!
+//! Three orthogonal facilities, all designed around the discrete-event
+//! simulator's virtual clock:
+//!
+//! * [`trace`] — causally-linked **sim-time spans** (request → sub-batch →
+//!   device op → firmware charge / flash read / accumulate / merge). A
+//!   [`Tracer`] is zero-cost when disabled: every emission method is an
+//!   inline `None` check, no allocation, no time perturbation, so a
+//!   disabled-tracing run is bit-identical to an untraced build (the
+//!   alloc-free guards in `crates/core` enforce the "no allocation" half).
+//! * [`registry`] — a **unified metrics registry**: counters, gauges,
+//!   histograms and hit-ratio stats registered by name with labels, backed
+//!   by shared handles so the serving telemetry, fault counters and cache
+//!   stats all feed one source of truth with one registry-wide reset and
+//!   one JSONL snapshot path.
+//! * [`profile`] — **wall-clock self-profiling** of the simulator itself
+//!   (event dispatch vs device stepping vs harvest/accumulate), the
+//!   baseline any future parallel stepper must beat.
+//!
+//! [`chrome`] exports recorded spans as Chrome-trace/Perfetto JSON and
+//! validates the span invariants (parent links resolve, children nest
+//! within parents, request spans are covered by their children).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use chrome::{chrome_trace_json, validate_spans, TraceCheck};
+pub use profile::{WallPhase, WallPhaseReport, WallProfile};
+pub use registry::{CounterH, GaugeH, HistH, HitsH, MetricValue, MetricsRegistry};
+pub use trace::{SpanId, SpanRec, TraceSink, Tracer};

@@ -116,4 +116,8 @@ pub use runtime::{
     ServingError, ServingRuntime,
 };
 pub use shard::{ShardMap, SlsPath};
-pub use telemetry::ServingStats;
+pub use telemetry::{PathAttribution, ServingStats};
+
+pub use recssd_obs::{
+    chrome_trace_json, validate_spans, MetricValue, SpanRec, TraceCheck, WallPhase, WallPhaseReport,
+};

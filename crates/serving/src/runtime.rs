@@ -38,12 +38,18 @@ use recssd::{
     SlsOptions, SlsOutput, System,
 };
 use recssd_embedding::{sls_reference_into, EmbeddingTable, PageLayout, TableImage};
+use recssd_obs::profile::WallPhaseReport;
+use recssd_obs::trace::track;
+use recssd_obs::{
+    MetricValue, MetricsRegistry, SpanId, SpanRec, TraceSink, Tracer, WallPhase, WallProfile,
+};
 use recssd_placement::{allocate_global_budget, FreqProfiler, TablePlacement};
 use recssd_sim::rng::mix64;
 use recssd_sim::stats::HitStats;
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
 use crate::shard::{split_batch, Routing, SubBatch, SubOwner};
+use crate::telemetry::PathAttribution;
 use crate::{SchedulePolicy, ServingStats, ShardMap, SlsPath};
 
 /// Largest number of promoted rows carried by one migration operator —
@@ -242,6 +248,11 @@ struct PendingArrival {
 struct Inflight {
     client: u64,
     table: usize,
+    /// The path the request was submitted on (attribution key).
+    path: SlsPath,
+    /// Request trace span, allocated at admission and emitted at
+    /// completion (`SpanId::NONE` untraced).
+    span: SpanId,
     arrival: SimTime,
     first_start: Option<SimTime>,
     finish: SimTime,
@@ -620,6 +631,19 @@ pub struct ServingRuntime {
     /// sequence number carried in [`Ev::Retry`].
     retry_park: FxHashMap<u64, (Ix, SubBatch)>,
     next_retry: u64,
+    /// The unified metrics registry behind [`ServingStats`] (and any
+    /// future per-shard metrics): one reset, one snapshot surface.
+    registry: MetricsRegistry,
+    /// Span sink when tracing is enabled ([`ServingRuntime::enable_tracing`]).
+    sink: Option<TraceSink>,
+    /// Serving-level tracer (pid 0, host track); disabled by default.
+    tracer: Tracer,
+    /// Wall-clock self-profile of the simulator loop (off by default).
+    wall: WallProfile,
+    /// Accumulated per-epoch JSONL metric snapshots.
+    epoch_log: String,
+    /// Whether adaptive epochs append to `epoch_log`.
+    log_epochs: bool,
 }
 
 impl ServingRuntime {
@@ -632,6 +656,8 @@ impl ServingRuntime {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.depth > 0, "queue depth must be at least 1");
         let shards = (0..cfg.shards).map(|_| Shard::new(&cfg.system)).collect();
+        let mut registry = MetricsRegistry::new();
+        let stats = ServingStats::registered(&mut registry);
         ServingRuntime {
             policy: cfg.policy,
             depth: cfg.depth,
@@ -646,14 +672,90 @@ impl ServingRuntime {
             adaptive: None,
             next_req: 0,
             completed: VecDeque::new(),
-            stats: ServingStats::default(),
+            stats,
             out_pool: Vec::new(),
             ref_scratch: Vec::new(),
             harvest_scratch: Vec::new(),
             fault_policy: FaultPolicy::default(),
             retry_park: FxHashMap::default(),
             next_retry: 0,
+            registry,
+            sink: None,
+            tracer: Tracer::disabled(),
+            wall: WallProfile::new(),
+            epoch_log: String::new(),
+            log_epochs: false,
         }
+    }
+
+    /// Turns on sim-time span tracing across the whole stack: the runtime
+    /// records request/sub-batch spans on pid 0, every device shard's
+    /// host phases + firmware + flash spans on pid `shard + 1`, and the
+    /// DRAM tier on pid [`track::PID_TIER`]. Drain the spans with
+    /// [`ServingRuntime::take_trace`]. Tracing must not change simulated
+    /// results (CI-checks bit-identity); the disabled default performs no
+    /// work and no allocation on the hot path.
+    pub fn enable_tracing(&mut self) {
+        let sink = TraceSink::new();
+        self.tracer = sink.tracer(0, track::TID_HOST);
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.sys.set_tracer(sink.tracer(i as u32 + 1, track::TID_HOST));
+        }
+        if let Some(tier) = self.tier.as_mut() {
+            tier.sys
+                .set_tracer(sink.tracer(track::PID_TIER, track::TID_HOST));
+        }
+        self.sink = Some(sink);
+    }
+
+    /// `true` while span tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Drains every span recorded since the last call (empty when tracing
+    /// was never enabled). Export with `recssd_obs::chrome_trace_json`.
+    pub fn take_trace(&mut self) -> Vec<SpanRec> {
+        self.sink.as_ref().map_or_else(Vec::new, |s| s.take_spans())
+    }
+
+    /// Turns on wall-clock self-profiling of the simulator loop (where
+    /// the *simulator's own* time goes: admission, event dispatch, device
+    /// stepping, harvest) — the single-thread baseline for parallel
+    /// stepping work.
+    pub fn enable_self_profiling(&mut self) {
+        self.wall.enable();
+    }
+
+    /// Wall-clock self-profile totals per phase (all zero unless
+    /// [`ServingRuntime::enable_self_profiling`] was called).
+    pub fn wall_profile(&self) -> Vec<WallPhaseReport> {
+        self.wall.report()
+    }
+
+    /// Makes every adaptive epoch append one JSONL metrics snapshot to
+    /// the epoch log ([`ServingRuntime::take_epoch_log`]).
+    pub fn enable_epoch_log(&mut self) {
+        self.log_epochs = true;
+    }
+
+    /// Drains the accumulated per-epoch JSONL metric snapshots (one
+    /// `{"epoch":…,"sim_ns":…,"metrics":{…}}` object per line).
+    pub fn take_epoch_log(&mut self) -> String {
+        std::mem::take(&mut self.epoch_log)
+    }
+
+    /// Current value of every registered metric, keyed `name{k=v,…}` —
+    /// the audit surface for registry-wide resets and the bench's
+    /// one-source-of-truth export.
+    pub fn metrics_snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.registry.samples()
+    }
+
+    /// Per-path latency attribution (queue/service/e2e quantiles for
+    /// each serving path that completed at least one request).
+    pub fn attribution(&self) -> Vec<PathAttribution> {
+        self.stats.attribution()
     }
 
     /// Number of shards.
@@ -676,19 +778,25 @@ impl ServingRuntime {
         &self.stats
     }
 
-    /// Resets serving statistics (between warm-up and measurement),
-    /// re-basing the per-shard occupancy and channel-utilisation windows
-    /// at the current instant and clearing the per-shard FTL page-cache
-    /// counters so reported hit rates cover exactly the measured window.
+    /// Resets every statistic in the stack (between warm-up and
+    /// measurement): one registry-wide reset covers all serving metrics,
+    /// then each shard cascades down through host, device, firmware, FTL
+    /// cache, flash and fault-injection counters (fault *schedules* and
+    /// RNG state are untouched — injection timing stays replayable), and
+    /// the per-shard occupancy and channel-utilisation windows re-base at
+    /// the current instant.
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.registry.reset_all();
+        self.stats.reset_window();
         let now = self.events.now();
         for s in self.shards.iter_mut().chain(self.tier.as_mut()) {
             s.occ_weighted_ns = 0;
             s.occ_last = s.occ_last.max(now);
             s.window_start = now;
-            s.chan_busy_base_ns = s.chan_busy_total_ns();
-            s.sys.device_mut().ftl_mut().reset_cache_stats();
+            // The cascade zeroes the flash channel-busy integral, so the
+            // utilisation window's base must be zero *after* the reset.
+            s.sys.reset_stats();
+            s.chan_busy_base_ns = 0;
         }
     }
 
@@ -954,6 +1062,10 @@ impl ServingRuntime {
                 tier.sys.advance_clock(now);
                 tier.occ_last = now;
                 tier.window_start = now;
+                if let Some(sink) = &self.sink {
+                    tier.sys
+                        .set_tracer(sink.tracer(track::PID_TIER, track::TID_HOST));
+                }
                 self.tier = Some(tier);
             }
             let tier = self.tier.as_mut().expect("just ensured");
@@ -1059,6 +1171,7 @@ impl ServingRuntime {
             }
             self.adaptive = Some(ad);
         }
+        let t_admit = self.wall.begin();
         let t = &mut self.tables[table];
         let plan_ix = t.active;
         let plan = &mut t.plans[plan_ix];
@@ -1084,6 +1197,14 @@ impl ServingRuntime {
         subs.extend(tier_sub.map(|s| (Ix::Tier, s)));
         subs.extend(shard_subs.into_iter().map(|(i, s)| (Ix::Dev(i), s)));
         plan.inflight_subs += subs.len();
+        let req_span = self.tracer.alloc_id();
+        if self.tracer.enabled() {
+            for (_, sub) in subs.iter_mut() {
+                sub.span = self.tracer.alloc_id();
+                sub.born = now;
+                sub.enqueued = now;
+            }
+        }
         let mut acc = self.out_pool.pop().unwrap_or_default();
         acc.reset(batch.outputs(), t.table.spec().dim);
         let mut slot_pending = vec![0u32; batch.outputs()];
@@ -1098,6 +1219,8 @@ impl ServingRuntime {
             Inflight {
                 client,
                 table,
+                path,
+                span: req_span,
                 arrival: now,
                 first_start: None,
                 finish: now,
@@ -1114,6 +1237,7 @@ impl ServingRuntime {
         if let Some(deadline) = self.fault_policy.deadline {
             self.events.push_at(now + deadline, Ev::Deadline(req));
         }
+        self.wall.end(WallPhase::Admit, t_admit);
         for (ix, sub) in subs {
             self.shard_mut(ix).queue.push_back(sub);
             self.pump_shard(ix, now);
@@ -1236,6 +1360,9 @@ impl ServingRuntime {
                         per_output: chunk.iter().map(|&r| vec![r]).collect(),
                         slots: (0..chunk.len() as u32).collect(),
                         attempts: 0,
+                        span: SpanId::NONE,
+                        born: SimTime::ZERO,
+                        enqueued: SimTime::ZERO,
                     },
                 ));
             }
@@ -1254,6 +1381,9 @@ impl ServingRuntime {
                     per_output: chunk.iter().map(|&r| vec![r]).collect(),
                     slots: (0..chunk.len() as u32).collect(),
                     attempts: 0,
+                    span: SpanId::NONE,
+                    born: SimTime::ZERO,
+                    enqueued: SimTime::ZERO,
                 },
             ));
         }
@@ -1265,7 +1395,12 @@ impl ServingRuntime {
             demoted,
         });
         self.stats.migration_lookups.add(promoted.len() as u64);
-        for (ix, sub) in subs {
+        for (ix, mut sub) in subs {
+            if self.tracer.enabled() {
+                sub.span = self.tracer.alloc_id();
+                sub.born = now;
+                sub.enqueued = now;
+            }
             let plan = sub.plan as usize;
             self.tables[t_idx].plans[plan].inflight_subs += 1;
             self.shard_mut(ix).queue.push_back(sub);
@@ -1397,6 +1532,11 @@ impl ServingRuntime {
                 let _ = self.refresh_placement(ServedTableId(t_idx), &placement);
             }
         }
+        if self.log_epochs {
+            let line = self.registry.snapshot_jsonl(ad.epochs, self.events.now());
+            self.epoch_log.push_str(&line);
+            self.epoch_log.push('\n');
+        }
     }
 
     /// Returns a consumed request output to the accumulator pool.
@@ -1477,6 +1617,7 @@ impl ServingRuntime {
                     self.pump_shard(ix, now);
                 }
                 Ev::Completed(req) => {
+                    let t0 = self.wall.begin();
                     let Some(inf) = self.inflight.remove(&req) else {
                         return Err(ServingError::UnknownCompletion(req));
                     };
@@ -1491,7 +1632,20 @@ impl ServingRuntime {
                         service,
                         inf.finish,
                         inf.batch.total_lookups() as u64,
+                        inf.path,
                     );
+                    if self.tracer.enabled() && inf.span.is_some() {
+                        self.tracer.emit(
+                            inf.span,
+                            "request",
+                            inf.arrival,
+                            inf.finish,
+                            SpanId::NONE,
+                            "degraded",
+                            (inf.missing_lookups > 0) as u64,
+                            inf.path.name(),
+                        );
+                    }
                     let missing_slots = if inf.missing_lookups > 0 {
                         self.stats.degraded.inc();
                         self.stats.missing_lookups.add(inf.missing_lookups);
@@ -1512,12 +1666,16 @@ impl ServingRuntime {
                         missing_lookups: inf.missing_lookups,
                         missing_slots,
                     });
+                    self.wall.end(WallPhase::EventDispatch, t0);
                 }
                 Ev::Retry(seq) => {
-                    let (ix, sub) = self
+                    let (ix, mut sub) = self
                         .retry_park
                         .remove(&seq)
                         .expect("retry event without a parked sub-batch");
+                    // Re-base the queue-wait span at the re-queue instant
+                    // (the backoff itself is not queueing).
+                    sub.enqueued = now;
                     self.shard_mut(ix).queue.push_back(sub);
                     self.pump_shard(ix, now);
                 }
@@ -1570,9 +1728,26 @@ impl ServingRuntime {
         let arrival = inf.arrival;
         let lookups = inf.batch.total_lookups() as u64;
         let missing = inf.missing_lookups;
-        self.stats.record(arrival, queue, service, now, lookups);
+        let path = inf.path;
+        let span = inf.span;
+        self.stats
+            .record(arrival, queue, service, now, lookups, path);
         self.stats.degraded.inc();
         self.stats.missing_lookups.add(missing);
+        if self.tracer.enabled() && span.is_some() {
+            // Late sub-batches that resolve after this instant re-parent
+            // to the root (the request span is already closed).
+            self.tracer.emit(
+                span,
+                "request",
+                arrival,
+                now,
+                SpanId::NONE,
+                "degraded",
+                1,
+                path.name(),
+            );
+        }
         self.completed.push_back(done);
     }
 
@@ -1626,10 +1801,12 @@ impl ServingRuntime {
         // Phase 1 (shard borrow): advance the clock, collect finished
         // operators, and settle the occupancy integral in completion-time
         // order so it is exact under arbitrary interleavings.
+        let t_dev = self.wall.begin();
+        self.shard_mut(ix).sys.run_until(now);
+        self.wall.end(WallPhase::DeviceStep, t_dev);
         let mut harvested = std::mem::take(&mut self.harvest_scratch);
         {
             let s = self.shard_mut(ix);
-            s.sys.run_until(now);
             if s.inflight.is_empty() {
                 self.harvest_scratch = harvested;
                 return;
@@ -1659,6 +1836,7 @@ impl ServingRuntime {
         // owning requests (or retire migration work) and schedule
         // completions. Failed operators instead route every component
         // sub-batch through the retry/fallback/degradation policy.
+        let t_harvest = self.wall.begin();
         for (infop, result) in harvested.drain(..) {
             let service = result.finished.saturating_since(result.started);
             match ix {
@@ -1694,6 +1872,20 @@ impl ServingRuntime {
                         if inf.completed {
                             // Deadline already served this request
                             // degraded; the late partial is discarded.
+                            // Its span becomes a root — the request span
+                            // closed at the deadline, before this end.
+                            if self.tracer.enabled() && sub.span.is_some() {
+                                self.tracer.emit(
+                                    sub.span,
+                                    "sub",
+                                    sub.born,
+                                    result.finished,
+                                    SpanId::NONE,
+                                    "late",
+                                    1,
+                                    sub.path.name(),
+                                );
+                            }
                             inf.pending -= 1;
                             if inf.pending == 0 {
                                 self.inflight.remove(&req);
@@ -1712,6 +1904,18 @@ impl ServingRuntime {
                                 None => result.started,
                             });
                             inf.finish = inf.finish.max(result.finished);
+                            if self.tracer.enabled() && sub.span.is_some() {
+                                self.tracer.emit(
+                                    sub.span,
+                                    "sub",
+                                    sub.born,
+                                    result.finished,
+                                    inf.span,
+                                    "lookups",
+                                    sub.lookups() as u64,
+                                    sub.path.name(),
+                                );
+                            }
                             inf.pending -= 1;
                             if inf.pending == 0 {
                                 // `inf.finish <= now`: every contribution
@@ -1725,6 +1929,18 @@ impl ServingRuntime {
                         // Migration partials are discarded — the read
                         // itself was the cost. The last one activates the
                         // pending plan for all admissions from `now` on.
+                        if self.tracer.enabled() && sub.span.is_some() {
+                            self.tracer.emit(
+                                sub.span,
+                                "migration",
+                                sub.born,
+                                result.finished,
+                                SpanId::NONE,
+                                "lookups",
+                                sub.lookups() as u64,
+                                sub.path.name(),
+                            );
+                        }
                         self.migration_sub_done(t_idx);
                     }
                 }
@@ -1733,6 +1949,7 @@ impl ServingRuntime {
             self.shard_mut(ix).sys.recycle_outputs(outputs);
         }
         self.harvest_scratch = harvested;
+        self.wall.end(WallPhase::Harvest, t_harvest);
     }
 
     /// Routes every component of a failed device operator through the
@@ -1752,6 +1969,18 @@ impl ServingRuntime {
                         // Deadline already served this request degraded;
                         // drop the straggler instead of retrying it.
                         self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        if self.tracer.enabled() && sub.span.is_some() {
+                            self.tracer.emit(
+                                sub.span,
+                                "sub",
+                                sub.born,
+                                result.finished,
+                                SpanId::NONE,
+                                "dropped",
+                                sub.lookups() as u64,
+                                sub.path.name(),
+                            );
+                        }
                         let inf = self.inflight.get_mut(&req).expect("in flight");
                         inf.pending -= 1;
                         if inf.pending == 0 {
@@ -1777,7 +2006,20 @@ impl ServingRuntime {
                         }
                         inf.pending -= 1;
                         let completed = inf.pending == 0;
+                        let parent = inf.span;
                         self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        if self.tracer.enabled() && sub.span.is_some() {
+                            self.tracer.emit(
+                                sub.span,
+                                "sub",
+                                sub.born,
+                                result.finished,
+                                parent,
+                                "dropped",
+                                dropped,
+                                sub.path.name(),
+                            );
+                        }
                         if completed {
                             self.events.push_at(now, Ev::Completed(req));
                         }
@@ -1788,6 +2030,18 @@ impl ServingRuntime {
                 SubOwner::Migration(t_idx) => {
                     if sub.attempts > policy.max_retries {
                         self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+                        if self.tracer.enabled() && sub.span.is_some() {
+                            self.tracer.emit(
+                                sub.span,
+                                "migration",
+                                sub.born,
+                                result.finished,
+                                SpanId::NONE,
+                                "dropped",
+                                sub.lookups() as u64,
+                                sub.path.name(),
+                            );
+                        }
                         self.migration_sub_done(t_idx);
                         continue;
                     }
@@ -1919,10 +2173,20 @@ impl ServingRuntime {
         // caller) and leave it in flight; completions are harvested by
         // later shard syncs.
         let n_subs = taken.len() as u64;
+        if self.tracer.enabled() {
+            // Queue-wait of each merged component, child of its sub span;
+            // the device operator itself parents under the head sub.
+            for sub in &taken {
+                if sub.span.is_some() {
+                    self.tracer.span("sub:wait", sub.enqueued, now, sub.span);
+                }
+            }
+        }
+        let op_parent = taken[0].span;
         let s = self.shard_mut(ix);
         debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
         s.note_occupancy(now);
-        let op = s.sys.submit(kind);
+        let op = s.sys.submit_traced(kind, op_parent);
         s.inflight.push(InflightOp {
             op,
             table,

@@ -7,7 +7,8 @@
 //! split into per-shard *sub-batches* carrying local rows plus the global
 //! output slot each local output folds into.
 
-use recssd::{LookupBatch, SlsOptions};
+use recssd::{LookupBatch, SlsOptions, SpanId};
+use recssd_sim::SimTime;
 
 /// Where a request's embedding lookups execute — the three paths the paper
 /// compares, here selectable per request.
@@ -158,6 +159,15 @@ pub(crate) struct SubBatch {
     /// Times this sub-batch has been dispatched and failed (drives the
     /// retry/backoff/fallback policy; 0 on first dispatch).
     pub attempts: u32,
+    /// Trace span pre-allocated at admission (emitted when the sub-batch
+    /// resolves: merged, dropped, or retired). `SpanId::NONE` untraced.
+    pub span: SpanId,
+    /// When the sub-batch was split off its request (= the arrival
+    /// instant; migration subs are born at refresh time).
+    pub born: SimTime,
+    /// When it last entered a shard queue (advanced by retry re-queues)
+    /// — the start of the traced `sub:wait` window.
+    pub enqueued: SimTime,
 }
 
 /// Merge compatibility key: sub-batches coalesce only when they target
@@ -235,6 +245,9 @@ pub(crate) fn split_batch(
         per_output: Vec::new(),
         slots: Vec::new(),
         attempts: 0,
+        span: SpanId::NONE,
+        born: SimTime::ZERO,
+        enqueued: SimTime::ZERO,
     };
     for (slot, ids) in batch.per_output().iter().enumerate() {
         // Mark which shards this output touches while distributing ids.

@@ -1,71 +1,168 @@
 //! Per-request latency telemetry of the serving runtime.
+//!
+//! Every metric here is a shared handle into the runtime's unified
+//! [`MetricsRegistry`] (see `recssd_obs::registry`): the hot path mutates
+//! the handles directly, while the registry provides the single source of
+//! truth behind `LoadReport`, the bench JSON, per-epoch JSONL snapshots
+//! and the one registry-wide reset. A [`ServingStats`] built with
+//! [`ServingStats::default`] is *unregistered* (handles exist but no
+//! registry lists them) — the runtime always builds its stats through
+//! [`ServingStats::registered`].
 
-use recssd_sim::stats::{Counter, HitStats, LogHistogram, Quantiles};
+use recssd_obs::{CounterH, HistH, HitsH, MetricsRegistry};
+use recssd_sim::stats::Quantiles;
 use recssd_sim::{SimDuration, SimTime};
+
+use crate::SlsPath;
+
+/// Display names of the three serving paths, indexed by
+/// [`path_index`].
+pub(crate) const PATH_NAMES: [&str; 3] = ["dram", "baseline", "ndp"];
+
+/// Dense index of a [`SlsPath`] into the per-path attribution arrays.
+pub(crate) fn path_index(path: SlsPath) -> usize {
+    match path {
+        SlsPath::Dram => 0,
+        SlsPath::Baseline(_) => 1,
+        SlsPath::Ndp(_) => 2,
+    }
+}
+
+/// Latency attribution of one serving path: where a request's time goes,
+/// split into queueing (arrival → first sub-batch starts service) and
+/// service (first start → last shard finished), as quantile summaries.
+#[derive(Debug, Clone)]
+pub struct PathAttribution {
+    /// Path label (`"dram"` / `"baseline"` / `"ndp"`).
+    pub path: &'static str,
+    /// Requests completed on this path.
+    pub requests: u64,
+    /// Arrival → first service start.
+    pub queue: Quantiles,
+    /// First service start → completion.
+    pub service: Quantiles,
+    /// Arrival → completion.
+    pub e2e: Quantiles,
+}
 
 /// Aggregate serving statistics: request latency decomposed into queueing
 /// (arrival → first sub-batch starts service) and service (first start →
 /// last shard finished), each recorded into an HDR-style histogram so
-/// p50/p95/p99/p999 are reportable per run.
+/// p50/p95/p99/p999 are reportable per run — globally and per serving
+/// path ([`ServingStats::attribution`]).
 #[derive(Debug, Default)]
 pub struct ServingStats {
     /// Arrival → first shard begins serving the request.
-    pub queue: LogHistogram,
+    pub queue: HistH,
     /// First service start → last shard partial merged.
-    pub service: LogHistogram,
+    pub service: HistH,
     /// Arrival → completion (queue + service).
-    pub e2e: LogHistogram,
+    pub e2e: HistH,
     /// Requests completed.
-    pub requests: Counter,
+    pub requests: CounterH,
     /// Embedding lookups completed.
-    pub lookups: Counter,
+    pub lookups: CounterH,
     /// Device operators dispatched (merged sub-batches count once).
-    pub ops_dispatched: Counter,
+    pub ops_dispatched: CounterH,
     /// Sub-batches dispatched (`/ ops_dispatched` = mean batching factor).
-    pub subs_dispatched: Counter,
+    pub subs_dispatched: CounterH,
     /// Placement routing of lookups on *placed* tables: a hit is a lookup
     /// served by the host DRAM tier, a miss goes to a device shard.
     /// Unplaced tables never touch these counters.
-    pub tier: HitStats,
+    pub tier: HitsH,
     /// Service time of DRAM-tier operators (start → finish, per operator).
-    pub tier_service: LogHistogram,
+    pub tier_service: HistH,
     /// Service time of device-shard operators (start → finish, per
     /// operator) — the NDP/baseline/DRAM-path half of the per-tier
     /// latency split.
-    pub device_service: LogHistogram,
+    pub device_service: HistH,
     /// Placement-plan refreshes *activated* (a refresh counts once its
     /// migration work has drained and new admissions route under it).
-    pub plan_refreshes: Counter,
+    pub plan_refreshes: CounterH,
     /// Rows promoted into the DRAM tier across activated refreshes.
-    pub rows_promoted: Counter,
+    pub rows_promoted: CounterH,
     /// Rows demoted out of the DRAM tier across activated refreshes.
-    pub rows_demoted: Counter,
+    pub rows_demoted: CounterH,
     /// Device lookups issued as migration work (reading promoted rows off
     /// flash) — the modeled cost that makes a plan swap not a teleport.
-    pub migration_lookups: Counter,
+    pub migration_lookups: CounterH,
     // --- resilience telemetry ---
     /// Device operators harvested with a typed device error (uncorrectable
     /// media faults; transient faults are absorbed inside the device and
     /// never reach this counter).
-    pub faults: Counter,
+    pub faults: CounterH,
     /// Failed sub-batches re-queued for another attempt.
-    pub retries: Counter,
+    pub retries: CounterH,
     /// Failed NDP sub-batches re-issued on the baseline path.
-    pub fallbacks: Counter,
+    pub fallbacks: CounterH,
     /// Per-shard circuit-breaker trips (closed/half-open → open).
-    pub breaker_trips: Counter,
+    pub breaker_trips: CounterH,
     /// Requests served degraded: completed with at least one missing row
     /// (retry budget exhausted or deadline expiry), explicitly flagged.
-    pub degraded: Counter,
+    pub degraded: CounterH,
     /// Lookups dropped from degraded requests (never silently wrong —
     /// their output slots are flagged missing).
-    pub missing_lookups: Counter,
+    pub missing_lookups: CounterH,
+    /// Per-path latency attribution, indexed by [`path_index`].
+    path_queue: [HistH; 3],
+    path_service: [HistH; 3],
+    path_e2e: [HistH; 3],
+    path_requests: [CounterH; 3],
     first_arrival: Option<SimTime>,
     last_finish: SimTime,
 }
 
 impl ServingStats {
-    /// Records one completed request.
+    /// Builds stats whose every metric is registered (by name + labels)
+    /// in `reg`, so one [`MetricsRegistry::reset_all`] covers them and
+    /// snapshots list them.
+    pub fn registered(reg: &mut MetricsRegistry) -> Self {
+        let per_path = |reg: &mut MetricsRegistry, name: &'static str| {
+            [
+                reg.hist(name, &[("path", PATH_NAMES[0])]),
+                reg.hist(name, &[("path", PATH_NAMES[1])]),
+                reg.hist(name, &[("path", PATH_NAMES[2])]),
+            ]
+        };
+        let per_path_counter = |reg: &mut MetricsRegistry, name: &'static str| {
+            [
+                reg.counter(name, &[("path", PATH_NAMES[0])]),
+                reg.counter(name, &[("path", PATH_NAMES[1])]),
+                reg.counter(name, &[("path", PATH_NAMES[2])]),
+            ]
+        };
+        ServingStats {
+            queue: reg.hist("serving.queue_ns", &[]),
+            service: reg.hist("serving.service_ns", &[]),
+            e2e: reg.hist("serving.e2e_ns", &[]),
+            requests: reg.counter("serving.requests", &[]),
+            lookups: reg.counter("serving.lookups", &[]),
+            ops_dispatched: reg.counter("serving.ops_dispatched", &[]),
+            subs_dispatched: reg.counter("serving.subs_dispatched", &[]),
+            tier: reg.hits("serving.tier_lookups", &[]),
+            tier_service: reg.hist("serving.tier_service_ns", &[]),
+            device_service: reg.hist("serving.device_service_ns", &[]),
+            plan_refreshes: reg.counter("serving.plan_refreshes", &[]),
+            rows_promoted: reg.counter("serving.rows_promoted", &[]),
+            rows_demoted: reg.counter("serving.rows_demoted", &[]),
+            migration_lookups: reg.counter("serving.migration_lookups", &[]),
+            faults: reg.counter("serving.faults", &[]),
+            retries: reg.counter("serving.retries", &[]),
+            fallbacks: reg.counter("serving.fallbacks", &[]),
+            breaker_trips: reg.counter("serving.breaker_trips", &[]),
+            degraded: reg.counter("serving.degraded", &[]),
+            missing_lookups: reg.counter("serving.missing_lookups", &[]),
+            path_queue: per_path(reg, "serving.path.queue_ns"),
+            path_service: per_path(reg, "serving.path.service_ns"),
+            path_e2e: per_path(reg, "serving.path.e2e_ns"),
+            path_requests: per_path_counter(reg, "serving.path.requests"),
+            first_arrival: None,
+            last_finish: SimTime::ZERO,
+        }
+    }
+
+    /// Records one completed request (`path` = the path it was submitted
+    /// on; tier partials of placed tables still count under it).
     pub(crate) fn record(
         &mut self,
         arrival: SimTime,
@@ -73,12 +170,18 @@ impl ServingStats {
         service: SimDuration,
         finish: SimTime,
         lookups: u64,
+        path: SlsPath,
     ) {
         self.queue.record_duration(queue);
         self.service.record_duration(service);
         self.e2e.record_duration(queue + service);
         self.requests.inc();
         self.lookups.add(lookups);
+        let p = path_index(path);
+        self.path_queue[p].record_duration(queue);
+        self.path_service[p].record_duration(service);
+        self.path_e2e[p].record_duration(queue + service);
+        self.path_requests[p].inc();
         self.first_arrival = Some(match self.first_arrival {
             Some(t) => t.min(arrival),
             None => arrival,
@@ -129,8 +232,57 @@ impl ServingStats {
         }
     }
 
-    /// Resets all statistics.
+    /// Per-path "time-goes-where" report: queue/service/e2e quantiles for
+    /// each serving path that completed at least one request.
+    pub fn attribution(&self) -> Vec<PathAttribution> {
+        (0..3)
+            .filter(|&p| self.path_requests[p].get() > 0)
+            .map(|p| PathAttribution {
+                path: PATH_NAMES[p],
+                requests: self.path_requests[p].get(),
+                queue: self.path_queue[p].quantiles(),
+                service: self.path_service[p].quantiles(),
+                e2e: self.path_e2e[p].quantiles(),
+            })
+            .collect()
+    }
+
+    /// Resets the makespan window (the registry-backed metrics are reset
+    /// through [`MetricsRegistry::reset_all`]; for an unregistered stats
+    /// block use [`ServingStats::reset`]).
+    pub(crate) fn reset_window(&mut self) {
+        self.first_arrival = None;
+        self.last_finish = SimTime::ZERO;
+    }
+
+    /// Resets all statistics (metric handles and the makespan window).
     pub fn reset(&mut self) {
-        *self = ServingStats::default();
+        self.queue.reset();
+        self.service.reset();
+        self.e2e.reset();
+        self.requests.reset();
+        self.lookups.reset();
+        self.ops_dispatched.reset();
+        self.subs_dispatched.reset();
+        self.tier.reset();
+        self.tier_service.reset();
+        self.device_service.reset();
+        self.plan_refreshes.reset();
+        self.rows_promoted.reset();
+        self.rows_demoted.reset();
+        self.migration_lookups.reset();
+        self.faults.reset();
+        self.retries.reset();
+        self.fallbacks.reset();
+        self.breaker_trips.reset();
+        self.degraded.reset();
+        self.missing_lookups.reset();
+        for p in 0..3 {
+            self.path_queue[p].reset();
+            self.path_service[p].reset();
+            self.path_e2e[p].reset();
+            self.path_requests[p].reset();
+        }
+        self.reset_window();
     }
 }

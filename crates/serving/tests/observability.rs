@@ -1,0 +1,298 @@
+//! Observability contract of the serving stack:
+//!
+//! * sim-time span traces reconstruct each request — parents resolve,
+//!   children nest temporally, and the direct children of every
+//!   non-degraded `request` span cover ≥ 99 % of its end-to-end latency;
+//! * traces are **deterministic**: the same seed yields bit-identical
+//!   Chrome-trace JSON across runs;
+//! * tracing is an observer: enabling it must not perturb the simulated
+//!   results, timings or stats by a single bit;
+//! * the unified metrics registry resets *everything* in one call —
+//!   serving counters/histograms, fault and breaker counters, FTL cache
+//!   stats — verified by an all-zeros snapshot after `reset_stats`;
+//! * per-epoch JSONL snapshots and the per-path latency attribution come
+//!   from the same registry.
+
+use recssd::{FaultConfig, LookupBatch, SlsOptions};
+use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
+use recssd_serving::{
+    chrome_trace_json, validate_spans, AdaptivePolicy, FaultPolicy, LoadGen, LoadMode, MetricValue,
+    SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
+};
+use recssd_sim::rng::Xoshiro256;
+use recssd_sim::{SimDuration, SimTime};
+
+const ROWS: u64 = 1024;
+
+fn table(seed: u64) -> EmbeddingTable {
+    EmbeddingTable::procedural(TableSpec::new(ROWS, 16, Quantization::F32), seed)
+}
+
+fn paths() -> [SlsPath; 3] {
+    [
+        SlsPath::Dram,
+        SlsPath::Baseline(SlsOptions::default()),
+        SlsPath::Ndp(SlsOptions::default()),
+    ]
+}
+
+fn batches(seed: u64, n: usize) -> Vec<LookupBatch> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            LookupBatch::new(
+                (0..3)
+                    .map(|_| (0..6).map(|_| rng.gen_range(0..ROWS)).collect())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Everything observable about one completion, for bit-exact comparison.
+#[derive(Debug, PartialEq)]
+struct Snap {
+    id: u64,
+    finish_ns: u64,
+    queue_ns: u64,
+    service_ns: u64,
+    outputs: Vec<f32>,
+    missing_lookups: u64,
+}
+
+fn snaps(done: &[recssd_serving::CompletedRequest]) -> Vec<Snap> {
+    done.iter()
+        .map(|d| Snap {
+            id: d.id.0,
+            finish_ns: d.finish.as_ns(),
+            queue_ns: d.queue.as_ns(),
+            service_ns: d.service.as_ns(),
+            outputs: d.outputs.as_slice().to_vec(),
+            missing_lookups: d.missing_lookups,
+        })
+        .collect()
+}
+
+/// Mixed-path workload on a 2-shard runtime; returns the runtime after
+/// it drained and the completion snapshots.
+fn run_mixed(trace: bool, faults: bool) -> (ServingRuntime, Vec<Snap>) {
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8)).with_depth(2);
+    let mut rt = ServingRuntime::new(&cfg);
+    if trace {
+        rt.enable_tracing();
+    }
+    let t = rt.add_table(table(5));
+    if faults {
+        let mut fc = FaultConfig::quiet(77);
+        fc.transient_read_error_rate = 0.05;
+        fc.uncorrectable_rate = 0.02;
+        rt.inject_faults(&fc);
+        rt.set_fault_policy(FaultPolicy::default());
+    }
+    let work = batches(13, 30);
+    let ps = paths();
+    for (i, b) in work.iter().enumerate() {
+        let path = ps[i % ps.len()];
+        rt.submit_at(SimTime::from_us(i as u64), i as u64, t, b.clone(), path);
+    }
+    let done = rt.run_until_idle();
+    let s = snaps(&done);
+    (rt, s)
+}
+
+/// Tentpole: traced spans form a causally-linked tree whose direct
+/// children reconstruct ≥ 99 % of every non-degraded request's
+/// end-to-end latency, across all three serving paths at once.
+#[test]
+fn trace_reconstructs_requests_and_passes_invariants() {
+    let (mut rt, _) = run_mixed(true, false);
+    let spans = rt.take_trace();
+    assert!(!spans.is_empty(), "tracing produced no spans");
+    let check = validate_spans(&spans).expect("span invariants hold");
+    assert_eq!(check.requests, 30, "one request span per submission");
+    assert!(
+        check.min_coverage >= 0.99,
+        "children cover >= 99% of each request, got {}",
+        check.min_coverage
+    );
+    // Every layer shows up: serving, host phases, firmware, flash.
+    for name in [
+        "request",
+        "sub",
+        "sub:wait",
+        "op",
+        "op:queue",
+        "ndp:merge",
+        "fw:exec",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "no '{name}' span in the trace"
+        );
+    }
+    // Device spans live on per-shard tracks, serving spans on pid 0.
+    assert!(spans.iter().any(|s| s.pid == 0));
+    assert!(spans.iter().any(|s| s.pid == 1) && spans.iter().any(|s| s.pid == 2));
+}
+
+/// Same seed, same workload → bit-identical Chrome-trace JSON. The
+/// trace is as replayable as the simulation it observes.
+#[test]
+fn same_seed_traces_are_bit_identical() {
+    let (mut a, _) = run_mixed(true, true);
+    let (mut b, _) = run_mixed(true, true);
+    let ja = chrome_trace_json(&a.take_trace());
+    let jb = chrome_trace_json(&b.take_trace());
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "trace JSON diverged across identical runs");
+}
+
+/// Tracing is a pure observer: results, timings and stats of a traced
+/// run are bit-identical to the untraced run (with and without faults).
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    for faults in [false, true] {
+        let (rt_off, snaps_off) = run_mixed(false, faults);
+        let (rt_on, snaps_on) = run_mixed(true, faults);
+        assert_eq!(snaps_off, snaps_on, "faults={faults}: results diverged");
+        let key = |v: &(String, MetricValue)| format!("{:?}", v);
+        let off: Vec<String> = rt_off.metrics_snapshot().iter().map(key).collect();
+        let on: Vec<String> = rt_on.metrics_snapshot().iter().map(key).collect();
+        assert_eq!(off, on, "faults={faults}: metrics diverged");
+    }
+}
+
+/// Satellite: one `reset_stats` zeroes *every* registered metric —
+/// including the fault, retry and breaker counters and the per-path
+/// histograms — and the FTL cache stats underneath.
+#[test]
+fn reset_stats_zeroes_every_registered_metric() {
+    let (mut rt, _) = run_mixed(false, true);
+    // The run populated a broad slice of the registry.
+    let touched = rt
+        .metrics_snapshot()
+        .iter()
+        .filter(|(_, v)| !metric_is_zero(v))
+        .count();
+    assert!(touched > 10, "workload touched only {touched} metrics");
+    rt.reset_stats();
+    for (name, v) in rt.metrics_snapshot() {
+        assert!(metric_is_zero(&v), "metric '{name}' survived reset: {v:?}");
+    }
+    for cs in rt.ftl_cache_stats() {
+        assert_eq!(cs.accesses(), 0, "FTL cache stats survived reset");
+    }
+    for f in rt.shard_fault_stats().into_iter().flatten() {
+        let injected = f.transient.get() + f.uncorrectable.get() + f.stalls.get();
+        assert_eq!(injected, 0, "fault stats survived reset");
+    }
+}
+
+fn metric_is_zero(v: &MetricValue) -> bool {
+    match v {
+        MetricValue::Counter(c) => *c == 0,
+        MetricValue::Gauge(g) => *g == 0.0,
+        MetricValue::Hist(q) => q.count == 0 && q.max == 0,
+        MetricValue::Hits { hits, misses } => *hits == 0 && *misses == 0,
+    }
+}
+
+/// The adaptive loop appends one parsable JSONL metrics snapshot per
+/// epoch, stamped with the epoch ordinal and sim time.
+#[test]
+fn epoch_log_emits_one_line_per_epoch() {
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo).with_depth(2);
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_epoch_log();
+    let t = rt.add_table(table(9));
+    rt.enable_adaptive(AdaptivePolicy {
+        epoch_requests: 16,
+        decay: 0.5,
+        budget_rows: 128,
+        min_hit_gain: 0.02,
+    });
+    let mut gen = LoadGen::new(
+        &rt,
+        vec![t],
+        TrafficSpec {
+            outputs: 4,
+            lookups_per_output: 8,
+            zipf_exponent: 1.2,
+        },
+        LoadMode::Closed {
+            clients: 4,
+            think: SimDuration::ZERO,
+        },
+        3,
+    );
+    gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), 64);
+    let epochs = rt.adaptive_epochs();
+    assert!(epochs > 0, "workload completed no adaptive epochs");
+    let log = rt.take_epoch_log();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len() as u64, epochs, "one JSONL line per epoch");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"epoch\":{}", i + 1)),
+            "line {i} is not an epoch snapshot: {line}"
+        );
+        assert!(line.ends_with("}}") && line.contains("\"metrics\":{"));
+    }
+    assert!(rt.take_epoch_log().is_empty(), "take drains the log");
+}
+
+/// Per-path latency attribution reports exactly the paths that served
+/// traffic, with internally consistent quantiles.
+#[test]
+fn attribution_reports_each_served_path() {
+    let (rt, _) = run_mixed(false, false);
+    let attr = rt.attribution();
+    assert_eq!(attr.len(), 3, "all three paths served requests");
+    let mut seen: Vec<&str> = attr.iter().map(|a| a.path).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, ["baseline", "dram", "ndp"]);
+    let total: u64 = attr.iter().map(|a| a.requests).sum();
+    assert_eq!(total, rt.stats().requests.get());
+    for a in &attr {
+        assert_eq!(a.e2e.count, a.requests);
+        assert!(a.e2e.p99 >= a.e2e.p50);
+        assert!(
+            a.service.max > 0,
+            "{}: service time must be nonzero",
+            a.path
+        );
+    }
+}
+
+/// Wall-clock self-profiling is off (all-zero) by default and
+/// accumulates into every phase once enabled.
+#[test]
+fn wall_profile_is_opt_in_and_covers_the_loop() {
+    let (rt, _) = run_mixed(false, false);
+    assert!(
+        rt.wall_profile()
+            .iter()
+            .all(|p| p.nanos == 0 && p.count == 0),
+        "profiling must be off by default"
+    );
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::Fifo).with_depth(2);
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_self_profiling();
+    let t = rt.add_table(table(5));
+    for (i, b) in batches(13, 12).iter().enumerate() {
+        rt.submit_at(
+            SimTime::from_us(i as u64),
+            i as u64,
+            t,
+            b.clone(),
+            SlsPath::Ndp(SlsOptions::default()),
+        );
+    }
+    rt.run_until_idle();
+    let prof = rt.wall_profile();
+    for p in &prof {
+        assert!(p.count > 0, "phase '{}' never sampled", p.phase);
+    }
+    let dev = prof.iter().find(|p| p.phase == "device_step").unwrap();
+    assert!(dev.nanos > 0, "device stepping took no wall time?");
+}

@@ -764,6 +764,82 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_empty_edge_cases() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        // quantiles() zero-fills instead of panicking on an empty histogram.
+        assert_eq!(h.quantiles(), Quantiles::default());
+        // Merging an empty histogram into an empty one stays empty (the
+        // u64::MAX min sentinel must not leak out as a value).
+        let mut a = LogHistogram::new();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.quantiles(), Quantiles::default());
+    }
+
+    #[test]
+    fn log_histogram_single_sample_is_exact_at_every_percentile() {
+        for v in [0u64, 1, 31, 32, 1_000_003, u64::MAX] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            // min == max clamps the bucket upper bound to the exact value.
+            for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+                assert_eq!(h.percentile(p), Some(v), "p{p} of single sample {v}");
+            }
+            let q = h.quantiles();
+            assert_eq!((q.count, q.p50, q.p999, q.max), (1, v, v, v));
+            assert_eq!(q.mean, v as f64);
+        }
+    }
+
+    #[test]
+    fn log_histogram_saturating_top_bucket_does_not_overflow() {
+        // Values at and around the top octave all land in the saturating
+        // last bucket whose exclusive upper bound (2^64) would wrap in u64.
+        let mut h = LogHistogram::new();
+        for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        let p1 = h.percentile(1.0).unwrap();
+        assert!(p1 >= h.min().unwrap(), "clamped to exact min");
+        assert!(h.quantiles().p50 >= p1, "quantiles stay monotone");
+    }
+
+    #[test]
+    fn log_histogram_fleet_merge_matches_single_recorder() {
+        // Per-shard histograms merged must quantile like one fleet-wide
+        // recorder fed every sample — the fleet-level aggregation path.
+        let mut shard_a = LogHistogram::new();
+        let mut shard_b = LogHistogram::new();
+        let mut fleet = LogHistogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                shard_a.record(v);
+            } else {
+                shard_b.record(v);
+            }
+            fleet.record(v);
+        }
+        let mut merged = shard_a.clone();
+        merged.merge(&shard_b);
+        assert_eq!(merged.count(), fleet.count());
+        assert_eq!(merged.min(), fleet.min());
+        assert_eq!(merged.max(), fleet.max());
+        assert_eq!(merged.quantiles(), fleet.quantiles());
+        // Merging an empty shard is a no-op.
+        let before = merged.quantiles();
+        merged.merge(&LogHistogram::new());
+        assert_eq!(merged.quantiles(), before);
+    }
+
+    #[test]
     fn log_histogram_merge_and_reset() {
         let mut a = LogHistogram::new();
         let mut b = LogHistogram::new();

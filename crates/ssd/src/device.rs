@@ -37,6 +37,17 @@ pub struct SsdStats {
     pub blocks_written: Counter,
 }
 
+impl SsdStats {
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        self.read_commands.reset();
+        self.write_commands.reset();
+        self.ndp_commands.reset();
+        self.blocks_read.reset();
+        self.blocks_written.reset();
+    }
+}
+
 #[derive(Debug)]
 struct CmdState {
     cmd: NvmeCommand,
@@ -171,6 +182,14 @@ impl<X: NdpEngine> SsdDevice<X> {
     /// Device statistics.
     pub fn stats(&self) -> &SsdStats {
         &self.stats
+    }
+
+    /// Resets this device's statistics and everything below it (FTL
+    /// counters, page-cache hit stats, flash-array stats, fault-injection
+    /// counters). Device state itself is untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.ftl.reset_stats();
     }
 
     /// Host-side access to a queue pair (submit commands, poll

@@ -30,6 +30,7 @@ pub use recssd_flash;
 pub use recssd_ftl;
 pub use recssd_models;
 pub use recssd_nvme;
+pub use recssd_obs;
 pub use recssd_placement;
 pub use recssd_serving;
 pub use recssd_sim;
@@ -50,8 +51,9 @@ pub mod prelude {
     };
     pub use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy, TablePlacement};
     pub use recssd_serving::{
-        LoadGen, LoadMode, LoadReport, SchedulePolicy, ServingConfig, ServingRuntime, ShardMap,
-        SlsPath, TrafficSpec,
+        chrome_trace_json, validate_spans, LoadGen, LoadMode, LoadReport, MetricValue,
+        PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, ShardMap, SlsPath, SpanRec,
+        TraceCheck, TrafficSpec, WallPhaseReport,
     };
     pub use recssd_sim::{SimDuration, SimTime};
     pub use recssd_trace::{ArrivalProcess, LocalityK, LocalityTrace, ZipfTrace};
