@@ -10,7 +10,7 @@
 //! circuit breaker), runs a traced observability pass (sim-time span
 //! tracing across serving → host → firmware → flash, per-path latency
 //! attribution, wall-clock self-profile), and writes
-//! `BENCH_serving.json` (v6 schema) with throughput, p50/p95/p99/p999
+//! `BENCH_serving.json` (v7 schema) with throughput, p50/p95/p99/p999
 //! latency, per-shard operator occupancy, flash channel utilisation,
 //! DRAM-tier hit-rate, per-tier latency, plan-refresh / migration
 //! telemetry, fault / retry / fallback / degradation counters and the
@@ -47,9 +47,9 @@ use recssd::{BrownoutWindow, FaultConfig, LookupBatch, SlsOptions};
 use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
 use recssd_placement::{plan_delta, FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
-    chrome_trace_json, validate_spans, AdaptivePolicy, FaultPolicy, LoadGen, LoadMode, LoadReport,
-    PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
-    WallPhaseReport,
+    chrome_trace_json, validate_spans, AdaptivePolicy, ExecMode, FaultPolicy, LoadGen, LoadMode,
+    LoadReport, PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
+    TrafficSpec, WallPhaseReport, WorkerProfile,
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::{SimDuration, SimTime};
@@ -860,18 +860,37 @@ struct ObsReport {
     attribution: Vec<PathAttribution>,
     /// Wall-clock self-profile of the simulator loop.
     wall: Vec<WallPhaseReport>,
+    /// The execution mode the traced pass actually ran under (after any
+    /// `RECSSD_FORCE_EXEC` override), as a stable label.
+    exec: String,
+    /// Per-worker advance vs barrier-wait self-profiles of the parallel
+    /// stepper (empty when the pass ran sequentially).
+    workers: Vec<WorkerProfile>,
     /// The full Chrome-trace JSON (written to `--trace-out`).
     trace_json: String,
     /// Per-epoch JSONL metric snapshots (written to `--epoch-log`).
     epoch_log: String,
 }
 
+/// Stable JSON label for an execution mode.
+fn exec_label(exec: ExecMode) -> String {
+    match exec {
+        ExecMode::Sequential => "sequential".to_string(),
+        ExecMode::Parallel(n) => format!("parallel{n}"),
+    }
+}
+
 /// Traced mixed-path run: tracing + self-profiling + the adaptive loop
-/// (for epoch snapshots) on a 2-shard micro-batched runtime. Asserts the
-/// span invariants: every request reconstructs from its children
-/// (≥ 99 % coverage), parents resolve, children nest.
+/// (for epoch snapshots) on a 2-shard micro-batched runtime, stepped by
+/// the parallel executor (one worker per shard) so the per-worker
+/// advance/barrier profile is populated. Asserts the span invariants:
+/// every request reconstructs from its children (≥ 99 % coverage),
+/// parents resolve, children nest — and they hold under the
+/// multi-threaded stepper exactly as they do sequentially.
 fn run_observability(p: &Params) -> ObsReport {
-    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8)).with_depth(2);
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8))
+        .with_depth(2)
+        .with_exec(ExecMode::Parallel(2));
     let (mut rt, tables) = build_runtime(p, &cfg);
     rt.enable_tracing();
     rt.enable_self_profiling();
@@ -946,12 +965,25 @@ fn run_observability(p: &Params) -> ObsReport {
             w.count,
         );
     }
+    for w in rt.worker_profiles() {
+        println!(
+            "  worker {}: advance {:>9.3} ms, barrier {:>9.3} ms over {} windows \
+             ({:.0}% useful)",
+            w.worker,
+            w.advance_ns as f64 / 1e6,
+            w.barrier_ns as f64 / 1e6,
+            w.windows,
+            w.utilization() * 100.0,
+        );
+    }
     ObsReport {
         requests: p.requests,
         spans: check.spans,
         min_coverage: check.min_coverage,
         attribution: rt.attribution(),
         wall: rt.wall_profile(),
+        exec: exec_label(rt.exec_mode()),
+        workers: rt.worker_profiles(),
         trace_json: chrome_trace_json(&spans),
         epoch_log: rt.take_epoch_log(),
     }
@@ -983,7 +1015,7 @@ fn write_json(
 ) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v6\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v7\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -1193,8 +1225,8 @@ fn write_json(
     let _ = writeln!(
         s,
         "  \"observability\": {{\n    \"trace_spans\": {}, \"trace_requests\": {}, \
-         \"trace_min_coverage\": {:.4},",
-        obs.spans, obs.requests, obs.min_coverage,
+         \"trace_min_coverage\": {:.4}, \"exec\": \"{}\",",
+        obs.spans, obs.requests, obs.min_coverage, obs.exec,
     );
     s.push_str("    \"attribution\": [\n");
     for (i, a) in obs.attribution.iter().enumerate() {
@@ -1224,6 +1256,24 @@ fn write_json(
             w.count,
         );
         s.push_str(if i + 1 < obs.wall.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ],\n    \"worker_profiles\": [\n");
+    for (i, w) in obs.workers.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"worker\": {}, \"advance_ms\": {:.3}, \"barrier_ms\": {:.3}, \
+             \"windows\": {}, \"utilization\": {:.3}}}",
+            w.worker,
+            w.advance_ns as f64 / 1e6,
+            w.barrier_ns as f64 / 1e6,
+            w.windows,
+            w.utilization(),
+        );
+        s.push_str(if i + 1 < obs.workers.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("    ]\n  }\n}\n");
     s

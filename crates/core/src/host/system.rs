@@ -247,7 +247,7 @@ struct BaseIoBufs {
     cmds: Vec<CmdRun>,
     outstanding: FxHashMap<u16, usize>, // cid → index into `cmds`
     backlog: VecDeque<usize>,
-    data: FxHashMap<usize, Box<[u8]>>,
+    data: FxHashMap<usize, Vec<u8>>,
 }
 
 impl BaseIoBufs {
@@ -266,7 +266,7 @@ impl BaseIoBufs {
 struct BaseIo {
     bufs: BaseIoBufs,
     next: usize,
-    accum_current: Option<(usize, Box<[u8]>)>,
+    accum_current: Option<(usize, Vec<u8>)>,
     cmds_done: usize,
     io_concurrency: usize,
     use_host_cache: bool,
@@ -277,7 +277,7 @@ struct NdpPlan {
     cold_cfg: SlsConfig,
     hot_pairs: Vec<(u64, u32)>,
     request_id: u64,
-    result_data: Option<Box<[u8]>>,
+    result_data: Option<Vec<u8>>,
 }
 
 // The BaseIo variant is big, but boxing it would re-introduce a per-op
@@ -360,6 +360,14 @@ pub struct System {
     /// see [`System::set_tracer`]).
     tracer: Tracer,
 }
+
+// A shard `System` must be steppable on a worker thread: all interior
+// state is owned or `Send` (the tracer's sink is `Arc<Mutex<_>>`). The
+// parallel serving stepper depends on this bound.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>()
+};
 
 impl System {
     /// Builds a system: device + NDP engine + host model.
@@ -458,6 +466,31 @@ impl System {
     /// external co-simulation loop uses to schedule its next visit.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.q.peek_time()
+    }
+
+    /// Conservative-parallel **lookahead**: the minimum virtual time
+    /// between an external stimulus to this system (an operator
+    /// submission) and the earliest instant that stimulus can produce an
+    /// externally visible effect (a completion the caller could react
+    /// to).
+    ///
+    /// Every submission first pays the host software command cost
+    /// (`HostConfig::sw_cmd_ns`) and the fixed per-operator overhead
+    /// (`HostConfig::op_overhead_ns`) before any device work can finish,
+    /// so a parallel stepper may advance each shard `System`
+    /// independently through any window shorter than this horizon: work
+    /// submitted at or after the window start cannot complete — and
+    /// therefore cannot trigger a cross-shard reaction — inside the
+    /// window. This is the lookahead contract the serving layer's
+    /// `ExecMode::Parallel` stepper relies on; it pairs with
+    /// [`System::run_until`] (advance to a bound) and
+    /// [`System::next_event_time`] (when to visit next).
+    ///
+    /// Configs where this is zero admit no lookahead (the window
+    /// degenerates to one event at a time); the serving layer rejects
+    /// them for parallel execution.
+    pub fn sync_horizon(&self) -> SimDuration {
+        SimDuration::from_ns(self.cfg.host.sw_cmd_ns + self.cfg.host.op_overhead_ns)
     }
 
     /// Number of operators currently submitted and unfinished.
@@ -989,7 +1022,7 @@ impl System {
 
     /// A read completion (one command, one or more pages) arrived for a
     /// baseline op.
-    fn baseline_on_page(&mut self, now: SimTime, id: OpId, cid: u16, data: Box<[u8]>) {
+    fn baseline_on_page(&mut self, now: SimTime, id: OpId, cid: u16, data: Vec<u8>) {
         let mut phase = std::mem::replace(
             &mut self.ops.get_mut(&id).expect("op").phase,
             Phase::Pending,
@@ -1051,7 +1084,7 @@ impl System {
             // The op was poisoned while this charge was in flight: drop
             // the command instead of folding it, and finish once no reads
             // remain outstanding.
-            self.dev.recycle_buffer(data.into_vec());
+            self.dev.recycle_buffer(data);
             if io.bufs.outstanding.is_empty() {
                 io.bufs.clear();
                 self.baseio_pool.push(io.bufs);
@@ -1107,7 +1140,7 @@ impl System {
         }
         // The command has been folded in; its transfer buffer goes back
         // to the device pool so a same-sized read reuses it.
-        self.dev.recycle_buffer(data.into_vec());
+        self.dev.recycle_buffer(data);
         io.cmds_done += 1;
         if io.bufs.backlog.is_empty()
             && io.bufs.outstanding.is_empty()
@@ -1269,7 +1302,7 @@ impl System {
         self.submit_cmd(now, qid, NvmeCommand::ndp_read(cid, slba, nlb));
     }
 
-    fn ndp_on_read_done(&mut self, now: SimTime, id: OpId, data: Box<[u8]>) {
+    fn ndp_on_read_done(&mut self, now: SimTime, id: OpId, data: Vec<u8>) {
         self.trace_phase(id, "ndp:read", now);
         let overhead_ns = self.host().op_overhead_ns;
         let op = self.ops.get_mut(&id).expect("op");
@@ -1288,7 +1321,7 @@ impl System {
         // Device partial sums fold straight into the flat accumulator —
         // no intermediate nested vectors.
         SlsConfig::accumulate_results(&data, op.outputs.as_mut_slice());
-        self.dev.recycle_buffer(data.into_vec());
+        self.dev.recycle_buffer(data);
         self.finish_op(now, id);
     }
 
@@ -1373,7 +1406,7 @@ impl System {
         match base_drain {
             Some((stale, done)) => {
                 for (_, data) in stale {
-                    self.dev.recycle_buffer(data.into_vec());
+                    self.dev.recycle_buffer(data);
                 }
                 if done {
                     self.baseio_finish_failed(now, id);
@@ -1386,8 +1419,8 @@ impl System {
     /// A late successful completion for an already-poisoned baseline op:
     /// recycle its transfer buffer without folding anything in, and
     /// finish the op once the last straggler drains.
-    fn baseline_absorb(&mut self, now: SimTime, id: OpId, cid: u16, data: Box<[u8]>) {
-        self.dev.recycle_buffer(data.into_vec());
+    fn baseline_absorb(&mut self, now: SimTime, id: OpId, cid: u16, data: Vec<u8>) {
+        self.dev.recycle_buffer(data);
         let op = self.ops.get_mut(&id).expect("op exists");
         let Phase::BaseIo(io) = &mut op.phase else {
             unreachable!("poisoned straggler outside BaseIo")

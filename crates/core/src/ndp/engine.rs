@@ -48,7 +48,7 @@ use recssd_ssd::{DeviceCtx, NdpEngine, SsdEvent, EXT_TAG_BIT};
 use crate::{NdpConfig, SlsConfig, SlsOutput};
 
 /// Per-request latency breakdown, the instrumentation behind Fig. 8.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SlsRequestReport {
     /// Command arrival → configuration DMA complete ("Config Write").
     pub config_write: SimDuration,
@@ -78,8 +78,13 @@ pub struct NdpStats {
     pub pages_requested: Counter,
     /// Hit/miss accounting of the SSD-side embedding cache (per vector).
     pub embed_cache: HitStats,
-    /// Per-request breakdown reports, in completion order.
-    pub reports: Vec<SlsRequestReport>,
+    /// Component-wise running sum of per-request breakdowns. A
+    /// fixed-size accumulator — rather than a per-request vector —
+    /// keeps request completion allocation-free in steady state;
+    /// divide by `sls_requests` for the mean.
+    report_sum: SlsRequestReport,
+    /// The most recently completed request's breakdown.
+    last_report: SlsRequestReport,
 }
 
 impl NdpStats {
@@ -88,34 +93,35 @@ impl NdpStats {
         *self = NdpStats::default();
     }
 
+    /// The most recently completed request's latency breakdown
+    /// (all-zero until the first request completes).
+    pub fn last_report(&self) -> SlsRequestReport {
+        self.last_report
+    }
+
+    /// Folds one completed request's breakdown into the running sum.
+    fn record_report(&mut self, r: &SlsRequestReport) {
+        self.last_report = *r;
+        let acc = &mut self.report_sum;
+        acc.config_write += r.config_write;
+        acc.config_process += r.config_process;
+        acc.translation += r.translation;
+        acc.flash_read += r.flash_read;
+        acc.total += r.total;
+        acc.pages += r.pages;
+        acc.cache_hits += r.cache_hits;
+        acc.lookups += r.lookups;
+    }
+
     /// Mean breakdown over all completed requests.
     ///
     /// # Panics
     ///
     /// Panics if no requests completed.
     pub fn mean_report(&self) -> SlsRequestReport {
-        assert!(!self.reports.is_empty(), "no SLS requests completed");
-        let n = self.reports.len() as u64;
-        let mut acc = SlsRequestReport {
-            config_write: SimDuration::ZERO,
-            config_process: SimDuration::ZERO,
-            translation: SimDuration::ZERO,
-            flash_read: SimDuration::ZERO,
-            total: SimDuration::ZERO,
-            pages: 0,
-            cache_hits: 0,
-            lookups: 0,
-        };
-        for r in &self.reports {
-            acc.config_write += r.config_write;
-            acc.config_process += r.config_process;
-            acc.translation += r.translation;
-            acc.flash_read += r.flash_read;
-            acc.total += r.total;
-            acc.pages += r.pages;
-            acc.cache_hits += r.cache_hits;
-            acc.lookups += r.lookups;
-        }
+        let n = self.sls_requests.get();
+        assert!(n > 0, "no SLS requests completed");
+        let acc = &self.report_sum;
         SlsRequestReport {
             config_write: acc.config_write / n,
             config_process: acc.config_process / n,
@@ -229,7 +235,7 @@ struct SlsEntry {
     qid: u16,
     write_cid: u16,
     table_base: u64,
-    raw_config: Option<Box<[u8]>>,
+    raw_config: Option<Vec<u8>>,
     /// Pooled pair buffer handed to the config decode.
     pairs_buf: Vec<(u64, u32)>,
     cfg: Option<SlsConfig>,
@@ -354,7 +360,7 @@ impl NdpSlsEngine {
             .filter(|cfg| cfg.row_bytes() * cfg.rows_per_page as usize <= page_bytes);
         // The config payload has been parsed; its buffer rejoins the
         // device's transfer pool so the host's next config-write reuses it.
-        ctx.recycle_buffer(raw.into_vec());
+        ctx.recycle_buffer(raw);
         let Some(cfg) = cfg else {
             let (qid, cid) = (entry.qid, entry.write_cid);
             let entry = self.entries.remove(&request).expect("entry exists");
@@ -568,14 +574,11 @@ impl NdpSlsEngine {
         let results = entry.results.as_slice();
         let mut data = ctx.take_buffer(SlsConfig::padded_result_len(results.len(), block_bytes));
         SlsConfig::encode_results_into(results, block_bytes, &mut data);
-        ctx.complete(
-            qid,
-            NvmeCompletion::success(cid, Some(data.into_boxed_slice())),
-        );
+        ctx.complete(qid, NvmeCompletion::success(cid, Some(data)));
 
         let flash_span = entry.t_last_page.saturating_since(entry.t_processed);
         self.stats.sls_requests.inc();
-        self.stats.reports.push(SlsRequestReport {
+        self.stats.record_report(&SlsRequestReport {
             config_write: entry.t_config_written.saturating_since(entry.t_arrive),
             config_process: entry.config_process,
             translation: entry.translation,

@@ -204,7 +204,8 @@ fn ssd_embed_cache_matches_and_hits_on_repeats() {
         stats.embed_cache
     );
     // The cached request avoided flash pages.
-    let last = stats.reports.last().expect("reports recorded");
+    assert!(stats.sls_requests.get() > 0, "reports recorded");
+    let last = stats.last_report();
     assert!(
         last.pages < 25 * 4,
         "cache hits must reduce pages: {last:?}"
@@ -274,7 +275,7 @@ fn breakdown_reports_are_consistent() {
     let _ = sys.result(op);
     let stats = sys.device().engine().stats();
     assert_eq!(stats.sls_requests.get(), 1);
-    let r = stats.reports[0];
+    let r = stats.last_report();
     assert!(r.pages > 0 && r.pages <= 120);
     assert_eq!(r.lookups, 8 * 15);
     assert!(r.translation > recssd_sim::SimDuration::ZERO);

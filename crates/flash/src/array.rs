@@ -207,10 +207,23 @@ enum ResKey {
     Channel(usize),
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Resource {
     busy: Option<FlashOpId>,
     waiters: VecDeque<FlashOpId>,
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Resource {
+            busy: None,
+            // An NDP request can fan a whole batch out across a handful
+            // of channels, so backlogs routinely reach dozens of ops;
+            // pre-sizing keeps the hot queue/dequeue cycle from growing
+            // the deque mid-run.
+            waiters: VecDeque::with_capacity(128),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -260,7 +273,14 @@ impl FlashArray {
             channels: (0..n_channels).map(|_| Resource::default()).collect(),
             store: PageStore::new(),
             block_write_ptr: HashMap::new(),
-            ops: HashMap::new(),
+            // Pre-sized for the deepest realistic in-flight set — an
+            // NDP request fans a full batch's page reads out at once,
+            // so hundreds of ops can be queued on the resources (cf.
+            // `PAGE_BUF_POOL_CAP`) — so the hot submit/retire churn
+            // never resizes the table: with monotonically increasing
+            // op ids, growth-by-tombstone would otherwise trickle
+            // allocations into steady state.
+            ops: HashMap::with_capacity(PAGE_BUF_POOL_CAP.max(n_dies + 8 * n_channels)),
             next_op: 0,
             buf_pool: Vec::new(),
             fault: None,

@@ -234,7 +234,14 @@ impl GreedyFtl {
             cache: LruCache::new(config.page_cache_pages),
             write_buffer: FxHashMap::default(),
             fw: FwCore::new(),
-            pending: FxHashMap::default(),
+            // Keys are monotonically increasing op ids, so this map
+            // churns tombstones forever; pre-sizing past the deepest
+            // realistic in-flight set keeps the steady-state
+            // insert/remove cycle from ever resizing (= allocating).
+            pending: FxHashMap::with_capacity_and_hasher(
+                (config.flash.geometry.total_dies() as usize + 64).next_power_of_two(),
+                Default::default(),
+            ),
             gc_jobs: FxHashMap::default(),
             reserved: std::collections::HashSet::new(),
             next_req: 0,

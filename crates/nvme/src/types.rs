@@ -57,7 +57,7 @@ pub struct NvmeCommand {
     /// Number of logical blocks.
     pub nlb: u32,
     /// Host payload for write-like commands.
-    pub payload: Option<Box<[u8]>>,
+    pub payload: Option<Vec<u8>>,
 }
 
 impl NvmeCommand {
@@ -82,7 +82,7 @@ impl NvmeCommand {
             ndp: false,
             slba,
             nlb,
-            payload: Some(payload.into_boxed_slice()),
+            payload: Some(payload),
         }
     }
 
@@ -94,7 +94,7 @@ impl NvmeCommand {
             ndp: true,
             slba,
             nlb: config.len().div_ceil(16 * 1024).max(1) as u32,
-            payload: Some(config.into_boxed_slice()),
+            payload: Some(config),
         }
     }
 
@@ -150,12 +150,12 @@ pub struct NvmeCompletion {
     /// Outcome status.
     pub status: NvmeStatus,
     /// Data returned to the host (for read-like commands).
-    pub data: Option<Box<[u8]>>,
+    pub data: Option<Vec<u8>>,
 }
 
 impl NvmeCompletion {
     /// A successful completion carrying optional data.
-    pub fn success(cid: u16, data: Option<Box<[u8]>>) -> Self {
+    pub fn success(cid: u16, data: Option<Vec<u8>>) -> Self {
         NvmeCompletion {
             cid,
             status: NvmeStatus::Success,
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn completion_helpers() {
-        let ok = NvmeCompletion::success(4, Some(vec![9].into_boxed_slice()));
+        let ok = NvmeCompletion::success(4, Some(vec![9]));
         assert_eq!(ok.status, NvmeStatus::Success);
         assert_eq!(ok.data.as_deref(), Some(&[9u8][..]));
         let err = NvmeCompletion::error(4, NvmeStatus::LbaOutOfRange);

@@ -31,6 +31,6 @@ pub mod registry;
 pub mod trace;
 
 pub use chrome::{chrome_trace_json, validate_spans, TraceCheck};
-pub use profile::{WallPhase, WallPhaseReport, WallProfile};
+pub use profile::{WallPhase, WallPhaseReport, WallProfile, WorkerProfile};
 pub use registry::{CounterH, GaugeH, HistH, HitsH, MetricValue, MetricsRegistry};
 pub use trace::{SpanId, SpanRec, TraceSink, Tracer};

@@ -1,10 +1,11 @@
 //! Sim-time span tracing.
 //!
 //! A [`TraceSink`] owns the recorded spans; [`Tracer`] handles (cheap
-//! `Rc` clones, one per component/track) write into it. A disabled tracer
-//! holds no sink: every method is an inline `None` check that performs no
-//! work and no allocation, so leaving tracing off cannot perturb the
-//! simulation (bit-identity is CI-tested in `crates/serving`).
+//! `Arc` clones, one per component/track) write into it. A disabled
+//! tracer holds no sink: every method is an inline `None` check that
+//! performs no work and no allocation, so leaving tracing off cannot
+//! perturb the simulation (bit-identity is CI-tested in
+//! `crates/serving`).
 //!
 //! Spans are **complete** at emission: the emitter supplies both
 //! endpoints on the virtual timeline. Parents may be emitted *after*
@@ -12,9 +13,22 @@
 //! [`Tracer::alloc_id`] and emit the span once its end time is known
 //! (e.g. a request span is allocated at admission and emitted at
 //! completion, after every sub-batch span already referenced it).
+//!
+//! # Threading and id namespaces
+//!
+//! Sinks are `Send + Sync` (`Arc<Mutex<_>>` inside), so a simulated
+//! component can be stepped on a worker thread while it traces. For
+//! deterministic ids under parallel execution, each sink carries an **id
+//! namespace** ([`TraceSink::namespaced`]): allocated ids are
+//! `(namespace << 40) | counter`, so ids from different sinks never
+//! collide and a span in one sink may reference a parent allocated in
+//! another. Namespace 0 ([`TraceSink::new`]) yields the plain ids
+//! `1, 2, 3, …`. Per-component sinks + namespaced ids are what make a
+//! multi-threaded trace bit-identical to its sequential counterpart:
+//! each component's allocation sequence depends only on that component's
+//! own event order, never on cross-thread interleaving.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use recssd_sim::SimTime;
 
@@ -34,6 +48,11 @@ pub mod track {
     /// tid of flash-array spans (reads, channel transfers).
     pub const TID_FLASH: u32 = 3;
 }
+
+/// Number of low bits reserved for the per-sink span counter; the sink's
+/// namespace occupies the bits above. 2^40 spans per sink is far beyond
+/// any run we record, and 2^24 namespaces is far beyond any fleet.
+pub const SPAN_ID_NAMESPACE_SHIFT: u32 = 40;
 
 /// Identifier of a span. `SpanId::NONE` (zero) means "no span": it is the
 /// parent of root spans and the id carried by untraced work, and tracers
@@ -56,7 +75,8 @@ impl SpanId {
 /// numeric argument plus one static string label.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRec {
-    /// This span's id (unique within a sink, never zero).
+    /// This span's id (unique within a sink, never zero; unique across
+    /// sinks when namespaces are distinct).
     pub id: u64,
     /// Parent span id (zero = root).
     pub parent: u64,
@@ -82,22 +102,34 @@ pub struct SpanRec {
 struct Buf {
     spans: Vec<SpanRec>,
     next_id: u64,
+    namespace: u64,
 }
 
-/// Owner of recorded spans. Create one per traced run, derive per-track
-/// [`Tracer`]s from it, and drain it with [`TraceSink::take_spans`].
+/// Owner of recorded spans. Create one per traced run (or one per
+/// independently-stepped component, with distinct namespaces), derive
+/// per-track [`Tracer`]s from it, and drain it with
+/// [`TraceSink::take_spans`].
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
-    buf: Rc<RefCell<Buf>>,
+    buf: Arc<Mutex<Buf>>,
 }
 
 impl TraceSink {
-    /// Creates an empty sink.
+    /// Creates an empty sink in namespace 0 (ids `1, 2, 3, …`).
     pub fn new() -> Self {
+        TraceSink::namespaced(0)
+    }
+
+    /// Creates an empty sink whose span ids live in `namespace`: every
+    /// allocated id is `(namespace << 40) | counter` with `counter`
+    /// starting at 1. Sinks with distinct namespaces never collide, so
+    /// their spans can be merged and may reference each other's ids.
+    pub fn namespaced(namespace: u32) -> Self {
         TraceSink {
-            buf: Rc::new(RefCell::new(Buf {
+            buf: Arc::new(Mutex::new(Buf {
                 spans: Vec::new(),
                 next_id: 1,
+                namespace: (namespace as u64) << SPAN_ID_NAMESPACE_SHIFT,
             })),
         }
     }
@@ -113,7 +145,7 @@ impl TraceSink {
 
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
-        self.buf.borrow().spans.len()
+        self.buf.lock().expect("trace sink poisoned").spans.len()
     }
 
     /// `true` if nothing was recorded.
@@ -123,7 +155,7 @@ impl TraceSink {
 
     /// Drains and returns every recorded span, in emission order.
     pub fn take_spans(&self) -> Vec<SpanRec> {
-        std::mem::take(&mut self.buf.borrow_mut().spans)
+        std::mem::take(&mut self.buf.lock().expect("trace sink poisoned").spans)
     }
 }
 
@@ -131,7 +163,7 @@ impl TraceSink {
 /// (the default), does nothing at all.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    sink: Option<Rc<RefCell<Buf>>>,
+    sink: Option<Arc<Mutex<Buf>>>,
     pid: u32,
     tid: u32,
 }
@@ -172,8 +204,8 @@ impl Tracer {
     pub fn alloc_id(&self) -> SpanId {
         match &self.sink {
             Some(buf) => {
-                let mut b = buf.borrow_mut();
-                let id = b.next_id;
+                let mut b = buf.lock().expect("trace sink poisoned");
+                let id = b.namespace | b.next_id;
                 b.next_id += 1;
                 SpanId(id)
             }
@@ -210,18 +242,21 @@ impl Tracer {
         if let Some(buf) = &self.sink {
             debug_assert!(id.is_some(), "emit with unallocated span id");
             debug_assert!(end >= start, "span {name} ends before it starts");
-            buf.borrow_mut().spans.push(SpanRec {
-                id: id.0,
-                parent: parent.0,
-                name,
-                start_ns: start.as_ns(),
-                end_ns: end.as_ns(),
-                pid: self.pid,
-                tid: self.tid,
-                arg_key,
-                arg_val,
-                label,
-            });
+            buf.lock()
+                .expect("trace sink poisoned")
+                .spans
+                .push(SpanRec {
+                    id: id.0,
+                    parent: parent.0,
+                    name,
+                    start_ns: start.as_ns(),
+                    end_ns: end.as_ns(),
+                    pid: self.pid,
+                    tid: self.tid,
+                    arg_key,
+                    arg_val,
+                    label,
+                });
         }
     }
 
@@ -290,5 +325,22 @@ mod tests {
         let spans = sink.take_spans();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[1].tid, 5);
+    }
+
+    #[test]
+    fn namespaced_sinks_allocate_disjoint_ids() {
+        let a = TraceSink::namespaced(0);
+        let b = TraceSink::namespaced(3);
+        let ia = a.tracer(0, 0).alloc_id();
+        let ib = b.tracer(0, 0).alloc_id();
+        assert_eq!(ia.0, 1, "namespace 0 keeps plain ids");
+        assert_eq!(ib.0, (3u64 << SPAN_ID_NAMESPACE_SHIFT) | 1);
+    }
+
+    #[test]
+    fn sinks_and_tracers_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TraceSink>();
+        check::<Tracer>();
     }
 }

@@ -104,6 +104,7 @@
 #![warn(missing_debug_implementations)]
 
 mod loadgen;
+mod par;
 mod policy;
 mod runtime;
 mod shard;
@@ -112,12 +113,13 @@ mod telemetry;
 pub use loadgen::{LoadGen, LoadMode, LoadReport, TrafficSpec};
 pub use policy::SchedulePolicy;
 pub use runtime::{
-    AdaptivePolicy, CompletedRequest, FaultPolicy, RequestId, ServedTableId, ServingConfig,
-    ServingError, ServingRuntime,
+    AdaptivePolicy, CompletedRequest, ExecMode, FaultPolicy, RequestId, ServedTableId,
+    ServingConfig, ServingError, ServingRuntime,
 };
 pub use shard::{ShardMap, SlsPath};
 pub use telemetry::{PathAttribution, ServingStats};
 
 pub use recssd_obs::{
-    chrome_trace_json, validate_spans, MetricValue, SpanRec, TraceCheck, WallPhase, WallPhaseReport,
+    chrome_trace_json, validate_spans, MetricValue, SpanRec, TraceCheck, WallPhase,
+    WallPhaseReport, WorkerProfile,
 };

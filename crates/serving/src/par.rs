@@ -1,0 +1,200 @@
+//! A persistent worker pool for the conservative parallel stepper.
+//!
+//! std-only (no rayon/crossbeam): a [`Mutex`]-guarded epoch counter with
+//! two [`Condvar`]s. The main thread arms a *window* (a slice of
+//! [`SweepUnit`]s plus a shared [`SweepCtx`]) and blocks until every
+//! worker reports done; worker `k` of `n` sweeps units `k, k + n, …`, a
+//! deterministic partition so each shard has exactly one owner per
+//! window. Because [`WorkerPool::run`] does not return until all workers
+//! are finished, the `&mut` borrows behind the unit pointers outlive
+//! every worker access — the safety argument for the `Send`/`Sync`
+//! impls on [`SweepUnit`]/[`SweepCtx`].
+//!
+//! Each worker keeps a [`WorkerProfile`]: wall time spent advancing
+//! shards (useful work) vs waiting for the next window (barrier +
+//! main-thread merge time). Barrier-wait skew across workers is the
+//! shard-imbalance signal.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use recssd_obs::WorkerProfile;
+
+use crate::runtime::{sweep_unit, SweepCtx, SweepUnit};
+
+/// One armed window, type-erased so [`State`] stays `'static`. The
+/// pointees are guaranteed alive for the window by the blocking
+/// handshake in [`WorkerPool::run`].
+#[derive(Clone, Copy)]
+struct Job {
+    units: usize,
+    n_units: usize,
+    ctx: usize,
+}
+
+struct State {
+    /// Window counter; bumping it (with `job` set) releases the workers.
+    epoch: u64,
+    /// Workers still running the current window.
+    remaining: usize,
+    job: Option<Job>,
+    shutdown: bool,
+    profiles: Vec<WorkerProfile>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new window armed (or shutdown).
+    go: Condvar,
+    /// Signals the main thread: a worker finished the window.
+    done: Condvar,
+}
+
+/// The persistent worker pool behind [`crate::ExecMode::Parallel`].
+/// Threads are spawned once and parked between windows; dropping the
+/// pool shuts them down and joins them.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` parked worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                remaining: 0,
+                job: None,
+                shutdown: false,
+                profiles: (0..workers)
+                    .map(|worker| WorkerProfile {
+                        worker,
+                        ..WorkerProfile::default()
+                    })
+                    .collect(),
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("recssd-sweep-{k}"))
+                    .spawn(move || worker_loop(&shared, k, workers))
+                    .expect("spawn sweep worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Runs one window: every worker sweeps its share of `units` under
+    /// `ctx`. Blocks until all workers are done — the pointees of
+    /// `units`/`ctx` are therefore never accessed after this returns.
+    pub(crate) fn run(&self, units: &[SweepUnit], ctx: &SweepCtx) {
+        if units.is_empty() {
+            return;
+        }
+        let mut st = self.shared.state.lock().expect("worker pool poisoned");
+        debug_assert_eq!(st.remaining, 0, "overlapping windows");
+        st.job = Some(Job {
+            units: units.as_ptr() as usize,
+            n_units: units.len(),
+            ctx: std::ptr::from_ref(ctx) as usize,
+        });
+        st.remaining = self.workers;
+        st.epoch += 1;
+        self.shared.go.notify_all();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("worker pool poisoned");
+        }
+        st.job = None;
+    }
+
+    /// Snapshot of every worker's accumulated self-profile.
+    pub(crate) fn profiles(&self) -> Vec<WorkerProfile> {
+        self.shared
+            .state
+            .lock()
+            .expect("worker pool poisoned")
+            .profiles
+            .clone()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, k: usize, n: usize) {
+    let mut seen = 0u64;
+    loop {
+        let t_wait = Instant::now();
+        let job = {
+            let mut st = shared.state.lock().expect("worker pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    break st.job.expect("armed window without a job");
+                }
+                st = shared.go.wait(st).expect("worker pool poisoned");
+            }
+        };
+        let barrier_ns = t_wait.elapsed().as_nanos() as u64;
+        let t_adv = Instant::now();
+        // SAFETY: `WorkerPool::run` blocks until `remaining` hits zero,
+        // so the slices live for the whole window; worker `k` touches
+        // only units `k, k + n, …` — a disjoint partition, so every
+        // `&mut Shard` is exclusive.
+        let units =
+            unsafe { std::slice::from_raw_parts(job.units as *const SweepUnit, job.n_units) };
+        let ctx = unsafe { &*(job.ctx as *const SweepCtx) };
+        let mut i = k;
+        while i < job.n_units {
+            let (shard, ix) = units[i].parts();
+            sweep_unit(unsafe { &mut *shard }, ix, ctx);
+            i += n;
+        }
+        let advance_ns = t_adv.elapsed().as_nanos() as u64;
+        let mut st = shared.state.lock().expect("worker pool poisoned");
+        let p = &mut st.profiles[k];
+        p.advance_ns += advance_ns;
+        p.barrier_ns += barrier_ns;
+        p.windows += 1;
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}

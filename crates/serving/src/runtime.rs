@@ -31,7 +31,8 @@
 //!    [`ServingStats`], and per-shard operator occupancy plus flash
 //!    channel utilisation are tracked so pipelining wins are visible.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use recssd::{
     FaultConfig, FaultPlan, FaultStats, LookupBatch, OpId, OpKind, OpResult, RecSsdConfig,
@@ -42,12 +43,14 @@ use recssd_obs::profile::WallPhaseReport;
 use recssd_obs::trace::track;
 use recssd_obs::{
     MetricValue, MetricsRegistry, SpanId, SpanRec, TraceSink, Tracer, WallPhase, WallProfile,
+    WorkerProfile,
 };
 use recssd_placement::{allocate_global_budget, FreqProfiler, TablePlacement};
 use recssd_sim::rng::mix64;
 use recssd_sim::stats::HitStats;
 use recssd_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 
+use crate::par::WorkerPool;
 use crate::shard::{split_batch, Routing, SubBatch, SubOwner};
 use crate::telemetry::PathAttribution;
 use crate::{SchedulePolicy, ServingStats, ShardMap, SlsPath};
@@ -65,11 +68,40 @@ pub struct RequestId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ServedTableId(pub usize);
 
+/// How the co-simulation steps its shard [`System`]s.
+///
+/// Both modes produce **bit-identical** results (outputs, statistics,
+/// traces): the parallel stepper is a *conservative* parallel
+/// discrete-event scheme whose lookahead window is the cross-shard sync
+/// horizon ([`System::sync_horizon`]), so no shard ever observes an
+/// effect out of order. Parallel execution requires a closed-loop
+/// reaction latency (client think time, retry backoff) of at least the
+/// horizon — zero-lookahead feedback is rejected with a clear error
+/// instead of silently diverging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread pops one global event at a time (the reference
+    /// stepper; supports arbitrary, even zero-lookahead, feedback).
+    Sequential,
+    /// `n` worker threads sweep disjoint shards through lookahead
+    /// windows between global events, with a barrier at every
+    /// cross-shard interaction point. `Parallel(1)` exercises the full
+    /// windowed machinery on a single worker (useful for determinism
+    /// tests).
+    Parallel(usize),
+}
+
 /// Configuration of the serving runtime.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Number of device shards (each a full simulated [`System`]).
     pub shards: usize,
+    /// How shard systems are stepped (sequential reference stepper, or
+    /// the conservative parallel stepper). Overridable at runtime
+    /// construction by the `RECSSD_FORCE_EXEC` environment variable
+    /// (`sequential` or `parallel:<n>`), so an existing test suite can
+    /// be re-run under parallel execution without code changes.
+    pub exec: ExecMode,
     /// Operator queue depth per shard: how many device operators the
     /// runtime keeps in flight on one shard simultaneously. Depth 1 is
     /// the classic drain-between-operators regime; deeper pipelines
@@ -90,6 +122,7 @@ impl ServingConfig {
     pub fn small_wide(shards: usize, policy: SchedulePolicy) -> Self {
         ServingConfig {
             shards,
+            exec: ExecMode::Sequential,
             depth: 1,
             system: RecSsdConfig::small_wide(),
             policy,
@@ -105,6 +138,19 @@ impl ServingConfig {
     pub fn with_depth(mut self, depth: usize) -> Self {
         assert!(depth > 0, "queue depth must be at least 1");
         self.depth = depth;
+        self
+    }
+
+    /// Sets the execution mode (see [`ExecMode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` is `Parallel(0)`.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        if let ExecMode::Parallel(n) = exec {
+            assert!(n > 0, "parallel execution needs at least one worker");
+        }
+        self.exec = exec;
         self
     }
 }
@@ -288,8 +334,27 @@ struct InflightOp {
     subs: Vec<SubBatch>,
 }
 
+/// Per-window products of one shard's lookahead sweep that must not
+/// touch shared runtime state from a worker thread: harvested operators
+/// (folded into requests at the sequential merge, in canonical order)
+/// and deferred counter deltas. Buffers persist across windows so the
+/// steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct SweepOut {
+    /// Operators harvested during the sweep, in shard-local harvest
+    /// order (nondecreasing finish time).
+    harvested: Vec<(InflightOp, OpResult)>,
+    /// Deferred `stats.ops_dispatched` delta.
+    ops_dispatched: u64,
+    /// Deferred `stats.subs_dispatched` delta.
+    subs_dispatched: u64,
+    /// Deferred `stats.breaker_trips` delta (the breaker itself is
+    /// shard-local state and is updated live during the sweep).
+    breaker_trips: u64,
+}
+
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     sys: System,
     /// Operators submitted to `sys` and not yet harvested.
     inflight: Vec<InflightOp>,
@@ -309,6 +374,13 @@ struct Shard {
     chan_busy_base_ns: u64,
     /// Circuit breaker over this shard's operator outcomes.
     breaker: Breaker,
+    /// Host-track tracer (pid 0) writing into *this shard's* sink, so a
+    /// worker thread can emit dispatch-side spans (`sub:wait`) without
+    /// sharing a sink: per-shard sinks with namespaced span ids are what
+    /// keep traces bit-identical across execution modes.
+    host_tracer: Tracer,
+    /// This shard's sweep products (parallel mode only).
+    sweep: SweepOut,
 }
 
 impl Shard {
@@ -323,6 +395,8 @@ impl Shard {
             window_start: SimTime::ZERO,
             chan_busy_base_ns: 0,
             breaker: Breaker::new(),
+            host_tracer: Tracer::disabled(),
+            sweep: SweepOut::default(),
         }
     }
 
@@ -444,11 +518,16 @@ impl Breaker {
 /// Which execution resource a sub-batch is queued on: a device shard or
 /// the host DRAM tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ix {
+pub(crate) enum Ix {
     Dev(usize),
     Tier,
 }
 
+/// Global serving events. Request completion is *not* an event: finished
+/// requests enter a canonical ready-queue ordered by `(finish, id)` and
+/// are delivered as soon as no pending event could still precede them —
+/// the property that makes completion order independent of how shard
+/// harvests interleave (and therefore of the execution mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Arrival(u64),
@@ -456,7 +535,6 @@ enum Ev {
     /// time: advance its system clock, harvest finished operators,
     /// dispatch more.
     ShardTick(Ix),
-    Completed(u64),
     /// Re-enqueue a parked (failed) sub-batch after its backoff.
     Retry(u64),
     /// A request's latency deadline: serve it degraded if incomplete.
@@ -510,7 +588,7 @@ struct PendingPlan {
 }
 
 #[derive(Debug)]
-struct ServedTable {
+pub(crate) struct ServedTable {
     /// Full-table contents (procedural tables make this cheap), kept for
     /// reference verification.
     table: EmbeddingTable,
@@ -591,12 +669,55 @@ struct AdaptiveState {
     epochs: u64,
 }
 
+/// Parses the `RECSSD_FORCE_EXEC` override (`sequential` or
+/// `parallel:<n>`); unset or unparsable values mean "no override".
+fn exec_mode_from_env() -> Option<ExecMode> {
+    let v = std::env::var("RECSSD_FORCE_EXEC").ok()?;
+    let v = v.trim().to_ascii_lowercase();
+    if v == "sequential" {
+        return Some(ExecMode::Sequential);
+    }
+    let n = v.strip_prefix("parallel:")?.parse::<usize>().ok()?;
+    (n > 0).then_some(ExecMode::Parallel(n))
+}
+
+/// One harvested operator queued for the canonical post-window merge:
+/// sorted by `(finish, unit, intra-unit order)`, the order that makes
+/// the fold independent of worker interleaving (and, because a shard is
+/// only ever harvested *at* an operator's finish instant, identical to
+/// the sequential stepper's fold order).
+#[derive(Debug)]
+struct MergeItem {
+    fin_ns: u64,
+    unit: u32,
+    seq: u32,
+    ix: Ix,
+    op: InflightOp,
+    result: OpResult,
+}
+
 /// The sharded serving runtime. See the [module docs](self) for the
 /// architecture.
 #[derive(Debug)]
 pub struct ServingRuntime {
     policy: SchedulePolicy,
     depth: usize,
+    /// Execution mode after any `RECSSD_FORCE_EXEC` override.
+    exec: ExecMode,
+    /// Conservative lookahead window width: [`System::sync_horizon`] of
+    /// the shard configuration.
+    horizon: SimDuration,
+    /// Worker pool for [`ExecMode::Parallel`] (absent in sequential).
+    pool: Option<WorkerPool>,
+    /// Finished requests awaiting delivery, keyed `(finish_ns, id)` —
+    /// the canonical, mode-independent completion order.
+    ready: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Pending non-tick event times (arrivals, retries, deadlines):
+    /// cross-shard interaction points that bound parallel windows.
+    /// Maintained only under [`ExecMode::Parallel`].
+    nontick: BinaryHeap<Reverse<u64>>,
+    /// Reused canonical-merge scratch (parallel mode).
+    merge_scratch: Vec<MergeItem>,
     layout: PageLayout,
     /// Per-shard system template, kept to spin up the DRAM tier lazily.
     system_cfg: RecSsdConfig,
@@ -634,8 +755,12 @@ pub struct ServingRuntime {
     /// The unified metrics registry behind [`ServingStats`] (and any
     /// future per-shard metrics): one reset, one snapshot surface.
     registry: MetricsRegistry,
-    /// Span sink when tracing is enabled ([`ServingRuntime::enable_tracing`]).
-    sink: Option<TraceSink>,
+    /// Span sinks when tracing is enabled (empty = disabled): index 0 is
+    /// the serving/host sink, `1..=shards` the per-shard sinks,
+    /// `shards + 1` the DRAM tier's (created with the tier). Distinct id
+    /// namespaces keep merged span ids collision-free and bit-identical
+    /// across execution modes.
+    sinks: Vec<TraceSink>,
     /// Serving-level tracer (pid 0, host track); disabled by default.
     tracer: Tracer,
     /// Wall-clock self-profile of the simulator loop (off by default).
@@ -655,12 +780,35 @@ impl ServingRuntime {
     pub fn new(cfg: &ServingConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.depth > 0, "queue depth must be at least 1");
+        let exec = exec_mode_from_env().unwrap_or(cfg.exec);
+        let horizon =
+            SimDuration::from_ns(cfg.system.host.sw_cmd_ns + cfg.system.host.op_overhead_ns);
+        let pool = match exec {
+            ExecMode::Sequential => None,
+            ExecMode::Parallel(n) => {
+                assert!(n > 0, "parallel execution needs at least one worker");
+                assert!(
+                    horizon > SimDuration::ZERO,
+                    "ExecMode::Parallel requires a non-zero cross-shard sync horizon \
+                     (host.sw_cmd_ns + host.op_overhead_ns): zero lookahead degenerates \
+                     to one-event-at-a-time barriers — use ExecMode::Sequential for \
+                     such configs"
+                );
+                Some(WorkerPool::new(n))
+            }
+        };
         let shards = (0..cfg.shards).map(|_| Shard::new(&cfg.system)).collect();
         let mut registry = MetricsRegistry::new();
         let stats = ServingStats::registered(&mut registry);
-        ServingRuntime {
+        let rt = ServingRuntime {
             policy: cfg.policy,
             depth: cfg.depth,
+            exec,
+            horizon,
+            pool,
+            ready: BinaryHeap::new(),
+            nontick: BinaryHeap::new(),
+            merge_scratch: Vec::new(),
             layout: cfg.layout,
             system_cfg: cfg.system.clone(),
             shards,
@@ -680,11 +828,49 @@ impl ServingRuntime {
             retry_park: FxHashMap::default(),
             next_retry: 0,
             registry,
-            sink: None,
+            sinks: Vec::new(),
             tracer: Tracer::disabled(),
             wall: WallProfile::new(),
             epoch_log: String::new(),
             log_epochs: false,
+        };
+        rt.check_fault_policy_lookahead();
+        rt
+    }
+
+    /// The conservative lookahead window width the parallel stepper uses
+    /// between barriers: [`System::sync_horizon`] of the shard config.
+    pub fn sync_horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// The execution mode this runtime actually runs under (after any
+    /// `RECSSD_FORCE_EXEC` override).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Per-worker wall-clock self-profiles of the parallel stepper
+    /// (advance vs barrier-wait time per worker; empty under
+    /// [`ExecMode::Sequential`]). Barrier-wait skew across workers is
+    /// the shard-imbalance signal.
+    pub fn worker_profiles(&self) -> Vec<WorkerProfile> {
+        self.pool.as_ref().map_or_else(Vec::new, |p| p.profiles())
+    }
+
+    /// Under parallel execution the retry backoff must not react faster
+    /// than the lookahead horizon, or a retry could target an instant a
+    /// worker has already swept past.
+    fn check_fault_policy_lookahead(&self) {
+        if matches!(self.exec, ExecMode::Parallel(_)) {
+            assert!(
+                self.fault_policy.backoff_base >= self.horizon,
+                "ExecMode::Parallel requires FaultPolicy::backoff_base ({:?}) >= the \
+                 cross-shard sync horizon ({:?}): a faster reaction would land inside \
+                 an already-swept lookahead window (see System::sync_horizon)",
+                self.fault_policy.backoff_base,
+                self.horizon,
+            );
         }
     }
 
@@ -696,27 +882,45 @@ impl ServingRuntime {
     /// results (CI-checks bit-identity); the disabled default performs no
     /// work and no allocation on the hot path.
     pub fn enable_tracing(&mut self) {
-        let sink = TraceSink::new();
-        self.tracer = sink.tracer(0, track::TID_HOST);
-        for (i, s) in self.shards.iter_mut().enumerate() {
+        // One sink per independently stepped component, each in its own
+        // span-id namespace: a component's ids then depend only on its
+        // own event order, never on cross-shard (or cross-thread)
+        // interleaving, which is what keeps traces bit-identical between
+        // execution modes. Namespace 0 = serving/host, `i + 1` = shard
+        // `i`, `shards + 1` = the DRAM tier.
+        let host = TraceSink::new();
+        self.tracer = host.tracer(0, track::TID_HOST);
+        self.sinks = vec![host];
+        for i in 0..self.shards.len() {
+            let sink = TraceSink::namespaced(i as u32 + 1);
+            let s = &mut self.shards[i];
             s.sys.set_tracer(sink.tracer(i as u32 + 1, track::TID_HOST));
+            s.host_tracer = sink.tracer(0, track::TID_HOST);
+            self.sinks.push(sink);
         }
         if let Some(tier) = self.tier.as_mut() {
+            let sink = TraceSink::namespaced(self.shards.len() as u32 + 1);
             tier.sys
                 .set_tracer(sink.tracer(track::PID_TIER, track::TID_HOST));
+            tier.host_tracer = sink.tracer(0, track::TID_HOST);
+            self.sinks.push(sink);
         }
-        self.sink = Some(sink);
     }
 
     /// `true` while span tracing is on.
     pub fn tracing_enabled(&self) -> bool {
-        self.sink.is_some()
+        !self.sinks.is_empty()
     }
 
     /// Drains every span recorded since the last call (empty when tracing
-    /// was never enabled). Export with `recssd_obs::chrome_trace_json`.
+    /// was never enabled), merged across the per-component sinks into
+    /// one canonical order — `(start, end, id)` — so the result is
+    /// deterministic and identical across execution modes. Export with
+    /// `recssd_obs::chrome_trace_json`.
     pub fn take_trace(&mut self) -> Vec<SpanRec> {
-        self.sink.as_ref().map_or_else(Vec::new, |s| s.take_spans())
+        let mut spans: Vec<SpanRec> = self.sinks.iter().flat_map(|s| s.take_spans()).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+        spans
     }
 
     /// Turns on wall-clock self-profiling of the simulator loop (where
@@ -768,9 +972,24 @@ impl ServingRuntime {
         self.depth
     }
 
-    /// The current global virtual time.
+    /// The current global virtual time: the furthest instant any
+    /// component of the co-simulation has reached. Under
+    /// [`ExecMode::Sequential`] this is exactly the event clock; under
+    /// [`ExecMode::Parallel`] shard clocks can lead the event clock by
+    /// up to one lookahead window, and at quiesce points (a drained
+    /// run) this maximum lands on the same instant the sequential
+    /// stepper reports — keeping wall-clock-independent metrics
+    /// bit-identical across execution modes.
     pub fn now(&self) -> SimTime {
-        self.events.now()
+        self.host_now()
+    }
+
+    fn host_now(&self) -> SimTime {
+        let mut t = self.events.now();
+        for s in self.shards.iter().chain(self.tier.as_ref()) {
+            t = t.max(s.sys.now());
+        }
+        t
     }
 
     /// Serving statistics accumulated so far.
@@ -788,7 +1007,7 @@ impl ServingRuntime {
     pub fn reset_stats(&mut self) {
         self.registry.reset_all();
         self.stats.reset_window();
-        let now = self.events.now();
+        let now = self.host_now();
         for s in self.shards.iter_mut().chain(self.tier.as_mut()) {
             s.occ_weighted_ns = 0;
             s.occ_last = s.occ_last.max(now);
@@ -804,7 +1023,10 @@ impl ServingRuntime {
     /// stats reset (up to the current instant). With depth 1 this is the
     /// classic utilisation ρ; pipelining shows up as values above 1.
     pub fn shard_occupancy(&self) -> Vec<f64> {
-        let now = self.events.now();
+        // `host_now`, not the event clock: under parallel execution the
+        // occupancy integrals extend to shard-local clocks that can
+        // lead the event clock, so the reporting window must too.
+        let now = self.host_now();
         self.shards
             .iter()
             .map(|s| {
@@ -823,7 +1045,8 @@ impl ServingRuntime {
     /// stats reset — the §2.2 resource whose saturation is the point of
     /// operator pipelining.
     pub fn channel_utilisation(&self) -> Vec<f64> {
-        let now = self.events.now();
+        // See `shard_occupancy` for why this is `host_now`.
+        let now = self.host_now();
         self.shards
             .iter()
             .map(|s| {
@@ -846,7 +1069,8 @@ impl ServingRuntime {
     /// Time-averaged in-flight operator count of the DRAM tier since the
     /// last stats reset (0 when no tier exists).
     pub fn tier_occupancy(&self) -> f64 {
-        let now = self.events.now();
+        // See `shard_occupancy` for why this is `host_now`.
+        let now = self.host_now();
         self.tier.as_ref().map_or(0.0, |s| {
             let window = now.saturating_since(s.window_start).as_ns();
             if window == 0 {
@@ -914,6 +1138,7 @@ impl ServingRuntime {
     /// injected.
     pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
         self.fault_policy = policy;
+        self.check_fault_policy_lookahead();
     }
 
     /// The active recovery policy.
@@ -1057,14 +1282,17 @@ impl ServingRuntime {
         }
         let tier_table = (placement.hot_count() > 0).then(|| {
             if self.tier.is_none() {
-                let now = self.events.now();
+                let now = self.host_now();
                 let mut tier = Shard::new(&self.system_cfg);
                 tier.sys.advance_clock(now);
                 tier.occ_last = now;
                 tier.window_start = now;
-                if let Some(sink) = &self.sink {
+                if !self.sinks.is_empty() {
+                    let sink = TraceSink::namespaced(self.shards.len() as u32 + 1);
                     tier.sys
                         .set_tracer(sink.tracer(track::PID_TIER, track::TID_HOST));
+                    tier.host_tracer = sink.tracer(0, track::TID_HOST);
+                    self.sinks.push(sink);
                 }
                 self.tier = Some(tier);
             }
@@ -1120,7 +1348,15 @@ impl ServingRuntime {
     ///
     /// # Panics
     ///
-    /// Panics if `at` is in the past or `table` is unknown.
+    /// Panics if `at` is in the past (below the co-simulation's leading
+    /// edge, [`ServingRuntime::now`]) or `table` is unknown. Under
+    /// [`ExecMode::Parallel`] shard clocks lead the event clock by up
+    /// to one lookahead window, so a reaction faster than
+    /// [`System::sync_horizon`] (e.g. a closed-loop client with think
+    /// time below the horizon) can land below a swept shard's clock —
+    /// that violates the conservative lookahead contract, cannot be
+    /// simulated bit-identically, and panics; use
+    /// `ExecMode::Sequential` for zero-lookahead feedback.
     pub fn submit_at(
         &mut self,
         at: SimTime,
@@ -1130,6 +1366,21 @@ impl ServingRuntime {
         path: SlsPath,
     ) -> RequestId {
         assert!(table.0 < self.tables.len(), "unknown table");
+        // The causal floor: no unit's local clock may rewind. Under
+        // `ExecMode::Sequential` this is exactly the event clock; under
+        // `ExecMode::Parallel` shard clocks lead it by up to one
+        // lookahead window, so a reaction faster than the sync horizon
+        // (e.g. a closed-loop client with think time below
+        // `System::sync_horizon`) lands below a swept shard's clock and
+        // is rejected loudly — it cannot be simulated bit-identically.
+        let floor = self.host_now();
+        assert!(
+            at >= floor,
+            "submission at {at:?} is below the co-simulation's leading edge \
+             ({floor:?}): reactions under ExecMode::Parallel must lag the \
+             cross-shard sync horizon ({:?}) — see System::sync_horizon",
+            self.horizon,
+        );
         let req = self.next_req;
         self.next_req += 1;
         self.pending_arrivals.insert(
@@ -1142,7 +1393,25 @@ impl ServingRuntime {
             },
         );
         self.events.push_at(at, Ev::Arrival(req));
+        self.note_nontick(at);
         RequestId(req)
+    }
+
+    /// Records a pending non-tick (cross-shard interaction) event time;
+    /// parallel windows never sweep past the earliest of these.
+    fn note_nontick(&mut self, at: SimTime) {
+        if self.pool.is_some() {
+            self.nontick.push(Reverse(at.as_ns()));
+        }
+    }
+
+    /// Retires one pending non-tick entry at `now` (its event was just
+    /// popped).
+    fn retire_nontick(&mut self, now: SimTime) {
+        if self.pool.is_some() {
+            let popped = self.nontick.pop();
+            debug_assert_eq!(popped, Some(Reverse(now.as_ns())), "non-tick ledger drift");
+        }
     }
 
     /// Routes one arrived request under the table's active plan and
@@ -1236,6 +1505,7 @@ impl ServingRuntime {
         );
         if let Some(deadline) = self.fault_policy.deadline {
             self.events.push_at(now + deadline, Ev::Deadline(req));
+            self.note_nontick(now + deadline);
         }
         self.wall.end(WallPhase::Admit, t_admit);
         for (ix, sub) in subs {
@@ -1288,7 +1558,12 @@ impl ServingRuntime {
             return None;
         }
         let plan = self.bind_plan(t_idx, placement, slot);
-        let now = self.events.now();
+        // Host-initiated work dispatches at the co-simulation's leading
+        // edge: under parallel execution shard clocks can lead the
+        // event clock, and a device operator cannot start in a shard's
+        // local past. At quiesce points this is the same instant the
+        // sequential stepper would use.
+        let now = self.host_now();
         let t = &mut self.tables[t_idx];
         let old_ix = t.active;
         let new_ix = t.plans.len();
@@ -1600,11 +1875,30 @@ impl ServingRuntime {
             if let Some(done) = self.completed.pop_front() {
                 return Ok(Some(done));
             }
-            let Some((now, ev)) = self.events.pop() else {
+            // Deliver ready completions first, in canonical
+            // `(finish, id)` order, as soon as no pending event could
+            // still precede them. This replaces a per-request
+            // completion event: the delivery order depends only on
+            // finish times, never on how shard harvests interleaved —
+            // which is what makes it identical across execution modes.
+            if let Some(&Reverse((fin, req))) = self.ready.peek() {
+                if self.events.peek_time().is_none_or(|t| fin <= t.as_ns()) {
+                    self.ready.pop();
+                    self.finalize_request(req)?;
+                    continue;
+                }
+            }
+            let Some(next) = self.events.peek_time() else {
                 return Ok(None);
             };
+            if let Some(window) = self.parallel_window(next) {
+                self.run_window(window);
+                continue;
+            }
+            let (now, ev) = self.events.pop().expect("peeked a pending event");
             match ev {
                 Ev::Arrival(req) => {
+                    self.retire_nontick(now);
                     let Some(arrival) = self.pending_arrivals.remove(&req) else {
                         return Err(ServingError::MissingArrival(req));
                     };
@@ -1616,59 +1910,8 @@ impl ServingRuntime {
                     }
                     self.pump_shard(ix, now);
                 }
-                Ev::Completed(req) => {
-                    let t0 = self.wall.begin();
-                    let Some(inf) = self.inflight.remove(&req) else {
-                        return Err(ServingError::UnknownCompletion(req));
-                    };
-                    let Some(first_start) = inf.first_start else {
-                        return Err(ServingError::ServedBeforeStart(req));
-                    };
-                    let queue = first_start.saturating_since(inf.arrival);
-                    let service = inf.finish.saturating_since(first_start);
-                    self.stats.record(
-                        inf.arrival,
-                        queue,
-                        service,
-                        inf.finish,
-                        inf.batch.total_lookups() as u64,
-                        inf.path,
-                    );
-                    if self.tracer.enabled() && inf.span.is_some() {
-                        self.tracer.emit(
-                            inf.span,
-                            "request",
-                            inf.arrival,
-                            inf.finish,
-                            SpanId::NONE,
-                            "degraded",
-                            (inf.missing_lookups > 0) as u64,
-                            inf.path.name(),
-                        );
-                    }
-                    let missing_slots = if inf.missing_lookups > 0 {
-                        self.stats.degraded.inc();
-                        self.stats.missing_lookups.add(inf.missing_lookups);
-                        inf.slot_missing
-                    } else {
-                        Vec::new()
-                    };
-                    self.completed.push_back(CompletedRequest {
-                        id: RequestId(req),
-                        client: inf.client,
-                        table: ServedTableId(inf.table),
-                        arrival: inf.arrival,
-                        finish: inf.finish,
-                        queue,
-                        service,
-                        batch: inf.batch,
-                        outputs: inf.acc,
-                        missing_lookups: inf.missing_lookups,
-                        missing_slots,
-                    });
-                    self.wall.end(WallPhase::EventDispatch, t0);
-                }
                 Ev::Retry(seq) => {
+                    self.retire_nontick(now);
                     let (ix, mut sub) = self
                         .retry_park
                         .remove(&seq)
@@ -1679,9 +1922,68 @@ impl ServingRuntime {
                     self.shard_mut(ix).queue.push_back(sub);
                     self.pump_shard(ix, now);
                 }
-                Ev::Deadline(req) => self.expire_deadline(now, req),
+                Ev::Deadline(req) => {
+                    self.retire_nontick(now);
+                    self.expire_deadline(now, req);
+                }
             }
         }
+    }
+
+    /// Retires a finished request from the in-flight table into the
+    /// completion deque: stats, request span, degradation flags.
+    fn finalize_request(&mut self, req: u64) -> Result<(), ServingError> {
+        let t0 = self.wall.begin();
+        let Some(inf) = self.inflight.remove(&req) else {
+            return Err(ServingError::UnknownCompletion(req));
+        };
+        let Some(first_start) = inf.first_start else {
+            return Err(ServingError::ServedBeforeStart(req));
+        };
+        let queue = first_start.saturating_since(inf.arrival);
+        let service = inf.finish.saturating_since(first_start);
+        self.stats.record(
+            inf.arrival,
+            queue,
+            service,
+            inf.finish,
+            inf.batch.total_lookups() as u64,
+            inf.path,
+        );
+        if self.tracer.enabled() && inf.span.is_some() {
+            self.tracer.emit(
+                inf.span,
+                "request",
+                inf.arrival,
+                inf.finish,
+                SpanId::NONE,
+                "degraded",
+                (inf.missing_lookups > 0) as u64,
+                inf.path.name(),
+            );
+        }
+        let missing_slots = if inf.missing_lookups > 0 {
+            self.stats.degraded.inc();
+            self.stats.missing_lookups.add(inf.missing_lookups);
+            inf.slot_missing
+        } else {
+            Vec::new()
+        };
+        self.completed.push_back(CompletedRequest {
+            id: RequestId(req),
+            client: inf.client,
+            table: ServedTableId(inf.table),
+            arrival: inf.arrival,
+            finish: inf.finish,
+            queue,
+            service,
+            batch: inf.batch,
+            outputs: inf.acc,
+            missing_lookups: inf.missing_lookups,
+            missing_slots,
+        });
+        self.wall.end(WallPhase::EventDispatch, t0);
+        Ok(())
     }
 
     /// Serves request `req` degraded *right now* because its deadline
@@ -1788,9 +2090,17 @@ impl ServingRuntime {
     /// re-arm the shard's wake-up tick.
     fn pump_shard(&mut self, ix: Ix, now: SimTime) {
         self.sync_shard(ix, now);
-        while self.shard_mut(ix).inflight.len() < self.depth && !self.shard_mut(ix).queue.is_empty()
-        {
-            self.dispatch_one(ix, now);
+        loop {
+            let s = match ix {
+                Ix::Dev(i) => &mut self.shards[i],
+                Ix::Tier => self.tier.as_mut().expect("tier sub-batch without a tier"),
+            };
+            if s.inflight.len() >= self.depth || s.queue.is_empty() {
+                break;
+            }
+            let n_subs = dispatch_on(s, ix, now, &self.tables, self.policy);
+            self.stats.ops_dispatched.inc();
+            self.stats.subs_dispatched.add(n_subs);
         }
         self.arm_tick(ix, now);
     }
@@ -1798,158 +2108,142 @@ impl ServingRuntime {
     /// Advances `ix`'s system to the global instant and folds every
     /// operator that completed at or before it into its owning requests.
     fn sync_shard(&mut self, ix: Ix, now: SimTime) {
-        // Phase 1 (shard borrow): advance the clock, collect finished
-        // operators, and settle the occupancy integral in completion-time
-        // order so it is exact under arbitrary interleavings.
         let t_dev = self.wall.begin();
         self.shard_mut(ix).sys.run_until(now);
         self.wall.end(WallPhase::DeviceStep, t_dev);
         let mut harvested = std::mem::take(&mut self.harvest_scratch);
-        {
+        collect_harvest(self.shard_mut(ix), &mut harvested);
+        if harvested.is_empty() {
+            self.harvest_scratch = harvested;
+            return;
+        }
+        if let Ix::Dev(_) = ix {
+            let policy = self.fault_policy;
             let s = self.shard_mut(ix);
-            if s.inflight.is_empty() {
-                self.harvest_scratch = harvested;
-                return;
-            }
-            let mut i = 0;
-            while i < s.inflight.len() {
-                if let Some(result) = s.sys.try_take_result(s.inflight[i].op) {
-                    harvested.push((s.inflight.swap_remove(i), result));
-                } else {
-                    i += 1;
+            let mut trips = 0u64;
+            for (_, r) in &harvested {
+                if s.breaker.record(r.finished, r.error.is_some(), &policy) {
+                    trips += 1;
                 }
             }
-            harvested.sort_by_key(|(_, r)| r.finished);
-            // Walking completions oldest-first: before the k-th one, the
-            // still-unfinished remainder plus every later harvest were
-            // all in flight.
-            let base = s.inflight.len() as u64;
-            let n = harvested.len() as u64;
-            for (k, (_, r)) in harvested.iter().enumerate() {
-                let span = r.finished.saturating_since(s.occ_last);
-                s.occ_weighted_ns += (base + n - k as u64) * span.as_ns();
-                s.occ_last = s.occ_last.max(r.finished);
-            }
+            self.stats.breaker_trips.add(trips);
         }
-
-        // Phase 2: fold each harvested operator's partial sums into its
-        // owning requests (or retire migration work) and schedule
-        // completions. Failed operators instead route every component
-        // sub-batch through the retry/fallback/degradation policy.
         let t_harvest = self.wall.begin();
         for (infop, result) in harvested.drain(..) {
-            let service = result.finished.saturating_since(result.started);
-            match ix {
-                Ix::Tier => self.stats.tier_service.record_duration(service),
-                Ix::Dev(_) => self.stats.device_service.record_duration(service),
+            self.fold_one(ix, infop, result);
+        }
+        self.harvest_scratch = harvested;
+        self.wall.end(WallPhase::Harvest, t_harvest);
+    }
+
+    /// Folds one harvested operator's partial sums into its owning
+    /// requests (or retires migration work) and queues completions on
+    /// the ready-queue. Failed operators instead route every component
+    /// sub-batch through the retry/fallback/degradation policy.
+    ///
+    /// All per-op times derive from the operator's own finish instant —
+    /// a shard is only ever harvested *at* that instant (its completion
+    /// surfaces as a shard event there), so this matches the sequential
+    /// stepper exactly while staying meaningful when a parallel window's
+    /// harvests are folded after the fact.
+    fn fold_one(&mut self, ix: Ix, infop: InflightOp, result: OpResult) {
+        let now = result.finished;
+        let service = result.finished.saturating_since(result.started);
+        match ix {
+            Ix::Tier => self.stats.tier_service.record_duration(service),
+            Ix::Dev(_) => self.stats.device_service.record_duration(service),
+        }
+        if result.error.is_some() {
+            self.stats.faults.inc();
+            self.handle_failed_op(ix, now, infop, &result);
+            if let Some(outputs) = result.outputs {
+                self.shard_mut(ix).sys.recycle_outputs(outputs);
             }
-            if let Ix::Dev(_) = ix {
-                let policy = self.fault_policy;
-                let tripped =
-                    self.shard_mut(ix)
-                        .breaker
-                        .record(now, result.error.is_some(), &policy);
-                if tripped {
-                    self.stats.breaker_trips.inc();
-                }
-            }
-            if result.error.is_some() {
-                self.stats.faults.inc();
-                self.handle_failed_op(ix, now, infop, &result);
-                if let Some(outputs) = result.outputs {
-                    self.shard_mut(ix).sys.recycle_outputs(outputs);
-                }
-                continue;
-            }
-            let outputs = result.outputs.expect("SLS ops produce outputs");
-            let mut offset = 0usize;
-            for sub in infop.subs {
-                let width = sub.per_output.len();
-                self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
-                match sub.owner {
-                    SubOwner::Request(req) => {
-                        let inf = self.inflight.get_mut(&req).expect("in flight");
-                        if inf.completed {
-                            // Deadline already served this request
-                            // degraded; the late partial is discarded.
-                            // Its span becomes a root — the request span
-                            // closed at the deadline, before this end.
-                            if self.tracer.enabled() && sub.span.is_some() {
-                                self.tracer.emit(
-                                    sub.span,
-                                    "sub",
-                                    sub.born,
-                                    result.finished,
-                                    SpanId::NONE,
-                                    "late",
-                                    1,
-                                    sub.path.name(),
-                                );
-                            }
-                            inf.pending -= 1;
-                            if inf.pending == 0 {
-                                self.inflight.remove(&req);
-                            }
-                        } else {
-                            for (i, &slot) in sub.slots.iter().enumerate() {
-                                let src = outputs.row(offset + i);
-                                for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
-                                    *o += *v;
-                                }
-                                inf.slot_pending[slot as usize] -= 1;
-                            }
-                            inf.pending_lookups -= sub.lookups() as u64;
-                            inf.first_start = Some(match inf.first_start {
-                                Some(t) => t.min(result.started),
-                                None => result.started,
-                            });
-                            inf.finish = inf.finish.max(result.finished);
-                            if self.tracer.enabled() && sub.span.is_some() {
-                                self.tracer.emit(
-                                    sub.span,
-                                    "sub",
-                                    sub.born,
-                                    result.finished,
-                                    inf.span,
-                                    "lookups",
-                                    sub.lookups() as u64,
-                                    sub.path.name(),
-                                );
-                            }
-                            inf.pending -= 1;
-                            if inf.pending == 0 {
-                                // `inf.finish <= now`: every contribution
-                                // was harvested at a global instant at or
-                                // after it.
-                                self.events.push_at(now, Ev::Completed(req));
-                            }
-                        }
-                    }
-                    SubOwner::Migration(t_idx) => {
-                        // Migration partials are discarded — the read
-                        // itself was the cost. The last one activates the
-                        // pending plan for all admissions from `now` on.
+            return;
+        }
+        let outputs = result.outputs.expect("SLS ops produce outputs");
+        let mut offset = 0usize;
+        for sub in infop.subs {
+            let width = sub.per_output.len();
+            self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
+            match sub.owner {
+                SubOwner::Request(req) => {
+                    let inf = self.inflight.get_mut(&req).expect("in flight");
+                    if inf.completed {
+                        // Deadline already served this request
+                        // degraded; the late partial is discarded.
+                        // Its span becomes a root — the request span
+                        // closed at the deadline, before this end.
                         if self.tracer.enabled() && sub.span.is_some() {
                             self.tracer.emit(
                                 sub.span,
-                                "migration",
+                                "sub",
                                 sub.born,
                                 result.finished,
                                 SpanId::NONE,
+                                "late",
+                                1,
+                                sub.path.name(),
+                            );
+                        }
+                        inf.pending -= 1;
+                        if inf.pending == 0 {
+                            self.inflight.remove(&req);
+                        }
+                    } else {
+                        for (i, &slot) in sub.slots.iter().enumerate() {
+                            let src = outputs.row(offset + i);
+                            for (o, v) in inf.acc.row_mut(slot as usize).iter_mut().zip(src) {
+                                *o += *v;
+                            }
+                            inf.slot_pending[slot as usize] -= 1;
+                        }
+                        inf.pending_lookups -= sub.lookups() as u64;
+                        inf.first_start = Some(match inf.first_start {
+                            Some(t) => t.min(result.started),
+                            None => result.started,
+                        });
+                        inf.finish = inf.finish.max(result.finished);
+                        if self.tracer.enabled() && sub.span.is_some() {
+                            self.tracer.emit(
+                                sub.span,
+                                "sub",
+                                sub.born,
+                                result.finished,
+                                inf.span,
                                 "lookups",
                                 sub.lookups() as u64,
                                 sub.path.name(),
                             );
                         }
-                        self.migration_sub_done(t_idx);
+                        inf.pending -= 1;
+                        if inf.pending == 0 {
+                            self.ready.push(Reverse((inf.finish.as_ns(), req)));
+                        }
                     }
                 }
-                offset += width;
+                SubOwner::Migration(t_idx) => {
+                    // Migration partials are discarded — the read
+                    // itself was the cost. The last one activates the
+                    // pending plan for all admissions from `now` on.
+                    if self.tracer.enabled() && sub.span.is_some() {
+                        self.tracer.emit(
+                            sub.span,
+                            "migration",
+                            sub.born,
+                            result.finished,
+                            SpanId::NONE,
+                            "lookups",
+                            sub.lookups() as u64,
+                            sub.path.name(),
+                        );
+                    }
+                    self.migration_sub_done(t_idx);
+                }
             }
-            self.shard_mut(ix).sys.recycle_outputs(outputs);
+            offset += width;
         }
-        self.harvest_scratch = harvested;
-        self.wall.end(WallPhase::Harvest, t_harvest);
+        self.shard_mut(ix).sys.recycle_outputs(outputs);
     }
 
     /// Routes every component of a failed device operator through the
@@ -2006,6 +2300,7 @@ impl ServingRuntime {
                         }
                         inf.pending -= 1;
                         let completed = inf.pending == 0;
+                        let fin_ns = inf.finish.as_ns();
                         let parent = inf.span;
                         self.tables[infop.table].plans[infop.plan].inflight_subs -= 1;
                         if self.tracer.enabled() && sub.span.is_some() {
@@ -2021,7 +2316,7 @@ impl ServingRuntime {
                             );
                         }
                         if completed {
-                            self.events.push_at(now, Ev::Completed(req));
+                            self.ready.push(Reverse((fin_ns, req)));
                         }
                         continue;
                     }
@@ -2068,7 +2363,14 @@ impl ServingRuntime {
         let seq = self.next_retry;
         self.next_retry += 1;
         self.retry_park.insert(seq, (ix, sub));
-        self.events.push_at(now + backoff, Ev::Retry(seq));
+        // `now` is the failed operator's finish instant. Because parallel
+        // execution requires `backoff_base >= sync_horizon`, the retry
+        // always lands at or beyond the current lookahead window; the
+        // clamp is a never-firing safety net for the event queue's
+        // no-past invariant.
+        let at = (now + backoff).max(self.events.now());
+        self.events.push_at(at, Ev::Retry(seq));
+        self.note_nontick(at);
     }
 
     /// Retires one migration sub-batch; the last one activates the
@@ -2103,98 +2405,328 @@ impl ServingRuntime {
         }
     }
 
-    /// Merges the front of `shard`'s queue (plus, under micro-batching,
-    /// every queued mergeable sub-batch up to the output cap) into one
-    /// device operator and submits it — without draining the shard, so
-    /// multiple operators pipeline on the device.
-    fn dispatch_one(&mut self, ix: Ix, now: SimTime) {
-        let policy = self.policy;
-        let s = self.shard_mut(ix);
-        // Select sub-batches: FIFO takes the head; micro-batching drains
-        // every queued sub-batch mergeable with the head (in order) up to
-        // the output cap.
-        let head = s.queue.pop_front().expect("dispatch on empty queue");
-        let key = head.merge_key();
-        let mut cap = match policy {
-            SchedulePolicy::Fifo => head.slots.len(),
-            SchedulePolicy::MicroBatch { max_outputs, .. } => max_outputs.max(head.slots.len()),
-        };
-        cap -= head.slots.len();
-        let mut taken = vec![head];
-        if cap > 0 {
-            let mut i = 0;
-            while i < s.queue.len() && cap > 0 {
-                if s.queue[i].merge_key() == key && s.queue[i].slots.len() <= cap {
-                    let sub = s.queue.remove(i).expect("index checked");
-                    cap -= sub.slots.len();
-                    taken.push(sub);
-                } else {
-                    i += 1;
-                }
-            }
+    /// Decides whether the stepper may run a parallel lookahead window
+    /// instead of popping the next event (`next` = its time). Possible
+    /// only under [`ExecMode::Parallel`] and only when the earliest
+    /// pending *non-tick* event — a cross-shard interaction point
+    /// (arrival, retry, deadline) — lies strictly beyond `next`: until
+    /// then every pending event is a shard tick, which a shard-local
+    /// sweep subsumes. The window extends one sync horizon past `next`,
+    /// clipped at that interaction point.
+    fn parallel_window(&mut self, next: SimTime) -> Option<SimTime> {
+        self.pool.as_ref()?;
+        let t0 = next.as_ns();
+        let nt = self.nontick.peek().map(|&Reverse(ns)| ns);
+        if nt.is_some_and(|ns| ns <= t0) {
+            return None;
         }
-
-        // Merge into one operator-sized batch. The component sub-batches
-        // are kept intact (their slice of the merged output block is
-        // implied by per-output counts, in order) so a failed operator
-        // can re-queue each component for retry.
-        let mut per_output: Vec<Vec<u64>> = Vec::new();
-        let (table, plan) = (key.table, key.plan as usize);
-        for sub in &taken {
-            per_output.extend(sub.per_output.iter().cloned());
+        let mut w = t0.saturating_add(self.horizon.as_ns());
+        if let Some(ns) = nt {
+            w = w.min(ns);
         }
-        let merged = LookupBatch::new(per_output);
-        let plan_state = &self.tables[table].plans[plan];
-        let device_table = match ix {
-            Ix::Dev(shard) => plan_state.per_shard[shard],
-            Ix::Tier => plan_state
-                .routing
-                .as_ref()
-                .and_then(|r| r.tier_table)
-                .expect("tier sub-batch for a table with no hot set"),
-        };
-        // A tripped circuit breaker redirects NDP operators onto the
-        // conventional baseline path for this dispatch only — the
-        // sub-batches keep their own path, so later retries (and the
-        // half-open probe) re-evaluate the breaker.
-        let mut path = key.path;
-        if let (SlsPath::Ndp(opts), Ix::Dev(_)) = (path, ix) {
-            if !self.shard_mut(ix).breaker.allows_ndp(now) {
-                path = SlsPath::Baseline(opts);
-            }
-        }
-        let kind = match path {
-            SlsPath::Dram => OpKind::dram_sls(device_table, merged),
-            SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
-            SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
-        };
-
-        // Submit onto the shard's system (already synced to `now` by the
-        // caller) and leave it in flight; completions are harvested by
-        // later shard syncs.
-        let n_subs = taken.len() as u64;
-        if self.tracer.enabled() {
-            // Queue-wait of each merged component, child of its sub span;
-            // the device operator itself parents under the head sub.
-            for sub in &taken {
-                if sub.span.is_some() {
-                    self.tracer.span("sub:wait", sub.enqueued, now, sub.span);
-                }
-            }
-        }
-        let op_parent = taken[0].span;
-        let s = self.shard_mut(ix);
-        debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
-        s.note_occupancy(now);
-        let op = s.sys.submit_traced(kind, op_parent);
-        s.inflight.push(InflightOp {
-            op,
-            table,
-            plan,
-            subs: taken,
-        });
-
-        self.stats.ops_dispatched.inc();
-        self.stats.subs_dispatched.add(n_subs);
+        Some(SimTime::ZERO + SimDuration::from_ns(w))
     }
+
+    /// Executes one conservative lookahead window ending at `w_end`:
+    /// consumes the (all-tick) events inside it, sweeps every device
+    /// shard and the DRAM tier through their internal events on the
+    /// worker pool, then folds the harvests in the canonical
+    /// `(finish, unit, intra-unit order)` order. Because a shard is only
+    /// ever harvested *at* an operator's finish instant, that order is
+    /// exactly the sequential stepper's fold order — the heart of the
+    /// bit-identity guarantee.
+    fn run_window(&mut self, w_end: SimTime) {
+        // Every event before the window end is a shard tick (non-tick
+        // events bound the window); the sweeps subsume their work.
+        while self.events.peek_time().is_some_and(|t| t < w_end) {
+            let (_, ev) = self.events.pop().expect("peeked a pending event");
+            debug_assert!(
+                matches!(ev, Ev::ShardTick(_)),
+                "non-tick event inside a lookahead window"
+            );
+        }
+        // Ticks pointing into the window were just consumed; clear them
+        // so re-arming starts fresh. Armed ticks at or beyond the window
+        // end stay valid.
+        for s in self.shards.iter_mut().chain(self.tier.as_mut()) {
+            if s.next_tick.is_some_and(|t| t < w_end) {
+                s.next_tick = None;
+            }
+        }
+
+        let ctx = SweepCtx {
+            tables: self.tables.as_ptr(),
+            n_tables: self.tables.len(),
+            policy: self.policy,
+            depth: self.depth,
+            fault_policy: self.fault_policy,
+            w_end,
+        };
+        let t_dev = self.wall.begin();
+        let mut units: Vec<SweepUnit> = Vec::with_capacity(self.shards.len() + 1);
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            units.push(SweepUnit {
+                shard: s,
+                ix: Ix::Dev(i),
+            });
+        }
+        if let Some(t) = self.tier.as_mut() {
+            units.push(SweepUnit {
+                shard: t,
+                ix: Ix::Tier,
+            });
+        }
+        self.pool
+            .as_ref()
+            .expect("run_window without a worker pool")
+            .run(&units, &ctx);
+        drop(units);
+        self.wall.end(WallPhase::DeviceStep, t_dev);
+
+        // Canonical merge: drain every unit's harvest, tag each operator
+        // with `(finish, unit, intra-unit order)`, fold in sorted order,
+        // and apply the deferred counter deltas (order-independent).
+        let t_harvest = self.wall.begin();
+        let mut scratch = std::mem::take(&mut self.merge_scratch);
+        let n_shards = self.shards.len();
+        let (mut d_ops, mut d_subs, mut d_trips) = (0u64, 0u64, 0u64);
+        for (u, s) in self.shards.iter_mut().chain(self.tier.as_mut()).enumerate() {
+            let ix = if u < n_shards { Ix::Dev(u) } else { Ix::Tier };
+            d_ops += std::mem::take(&mut s.sweep.ops_dispatched);
+            d_subs += std::mem::take(&mut s.sweep.subs_dispatched);
+            d_trips += std::mem::take(&mut s.sweep.breaker_trips);
+            for (seq, (op, result)) in s.sweep.harvested.drain(..).enumerate() {
+                scratch.push(MergeItem {
+                    fin_ns: result.finished.as_ns(),
+                    unit: u as u32,
+                    seq: seq as u32,
+                    ix,
+                    op,
+                    result,
+                });
+            }
+        }
+        self.stats.ops_dispatched.add(d_ops);
+        self.stats.subs_dispatched.add(d_subs);
+        self.stats.breaker_trips.add(d_trips);
+        scratch.sort_unstable_by_key(|m| (m.fin_ns, m.unit, m.seq));
+        for m in scratch.drain(..) {
+            self.fold_one(m.ix, m.op, m.result);
+        }
+        self.merge_scratch = scratch;
+        self.wall.end(WallPhase::Harvest, t_harvest);
+
+        // Re-arm every unit's wake-up tick at its next internal event
+        // (necessarily at or beyond the window end).
+        let now = self.events.now();
+        for i in 0..n_shards {
+            self.arm_tick(Ix::Dev(i), now);
+        }
+        if self.tier.is_some() {
+            self.arm_tick(Ix::Tier, now);
+        }
+    }
+}
+
+/// Read-only context shared by every unit sweep of one lookahead window.
+/// The table/plan state is carried as a raw slice because the runtime
+/// simultaneously hands out `&mut Shard`s to the workers; nothing writes
+/// the tables while a window runs.
+pub(crate) struct SweepCtx {
+    tables: *const ServedTable,
+    n_tables: usize,
+    policy: SchedulePolicy,
+    depth: usize,
+    fault_policy: FaultPolicy,
+    w_end: SimTime,
+}
+
+// SAFETY: the pointer target (the runtime's table array) is alive and
+// unmutated for the whole window — `WorkerPool::run` blocks until every
+// worker finished with the context.
+unsafe impl Send for SweepCtx {}
+unsafe impl Sync for SweepCtx {}
+
+/// One unit of window work: a device shard (or the DRAM tier) to sweep.
+/// Built fresh per window from exclusive borrows; the raw pointer is
+/// only dereferenced by the single worker that owns `ix` for the window.
+pub(crate) struct SweepUnit {
+    shard: *mut Shard,
+    ix: Ix,
+}
+
+// SAFETY: disjoint shards, one owner per window (workers partition the
+// unit list by index), and `WorkerPool::run` joins the window before the
+// borrows the pointers came from end.
+unsafe impl Send for SweepUnit {}
+unsafe impl Sync for SweepUnit {}
+
+impl SweepUnit {
+    /// The unit's shard pointer and identity, for the worker loop.
+    pub(crate) fn parts(&self) -> (*mut Shard, Ix) {
+        (self.shard, self.ix)
+    }
+}
+
+/// Advances one shard through every internal event before `ctx.w_end`:
+/// at each such instant it harvests finished operators (breaker applied
+/// shard-locally, in completion order) and dispatches while capacity
+/// allows — exactly the per-tick work the sequential stepper would do,
+/// minus every fold into shared runtime state, which is deferred into
+/// the shard's [`SweepOut`] for the canonical post-window merge. Runs on
+/// worker threads.
+pub(crate) fn sweep_unit(s: &mut Shard, ix: Ix, ctx: &SweepCtx) {
+    let tables = unsafe { std::slice::from_raw_parts(ctx.tables, ctx.n_tables) };
+    while let Some(t) = s.sys.next_event_time() {
+        if t >= ctx.w_end {
+            break;
+        }
+        s.sys.run_until(t);
+        let mut out = std::mem::take(&mut s.sweep.harvested);
+        let start = out.len();
+        collect_harvest(s, &mut out);
+        if matches!(ix, Ix::Dev(_)) {
+            for (_, r) in &out[start..] {
+                if s.breaker
+                    .record(r.finished, r.error.is_some(), &ctx.fault_policy)
+                {
+                    s.sweep.breaker_trips += 1;
+                }
+            }
+        }
+        s.sweep.harvested = out;
+        while s.inflight.len() < ctx.depth && !s.queue.is_empty() {
+            let n_subs = dispatch_on(s, ix, t, tables, ctx.policy);
+            s.sweep.ops_dispatched += 1;
+            s.sweep.subs_dispatched += n_subs;
+        }
+    }
+}
+
+/// Polls `s`'s system for finished operators, appends them to `out` in
+/// completion-time order, and settles the shard's occupancy integral in
+/// that order (exact under arbitrary interleavings): before the k-th of
+/// `n` new completions, the still-unfinished remainder plus every later
+/// harvest were all in flight.
+fn collect_harvest(s: &mut Shard, out: &mut Vec<(InflightOp, OpResult)>) {
+    if s.inflight.is_empty() {
+        return;
+    }
+    let start = out.len();
+    let mut i = 0;
+    while i < s.inflight.len() {
+        if let Some(result) = s.sys.try_take_result(s.inflight[i].op) {
+            out.push((s.inflight.swap_remove(i), result));
+        } else {
+            i += 1;
+        }
+    }
+    out[start..].sort_by_key(|(_, r)| r.finished);
+    let base = s.inflight.len() as u64;
+    let n = (out.len() - start) as u64;
+    for (k, (_, r)) in out[start..].iter().enumerate() {
+        let span = r.finished.saturating_since(s.occ_last);
+        s.occ_weighted_ns += (base + n - k as u64) * span.as_ns();
+        s.occ_last = s.occ_last.max(r.finished);
+    }
+}
+
+/// Merges the front of `s`'s queue (plus, under micro-batching, every
+/// queued mergeable sub-batch up to the output cap) into one device
+/// operator and submits it — without draining the shard, so multiple
+/// operators pipeline on the device. Returns the number of merged
+/// sub-batches; the caller accounts the dispatch counters (directly in
+/// sequential mode, deferred via [`SweepOut`] in a sweep). Touches only
+/// the shard plus the read-only table state, so it is safe on a worker
+/// thread; trace spans go through the shard's own host-track tracer.
+fn dispatch_on(
+    s: &mut Shard,
+    ix: Ix,
+    now: SimTime,
+    tables: &[ServedTable],
+    policy: SchedulePolicy,
+) -> u64 {
+    // Select sub-batches: FIFO takes the head; micro-batching drains
+    // every queued sub-batch mergeable with the head (in order) up to
+    // the output cap.
+    let head = s.queue.pop_front().expect("dispatch on empty queue");
+    let key = head.merge_key();
+    let mut cap = match policy {
+        SchedulePolicy::Fifo => head.slots.len(),
+        SchedulePolicy::MicroBatch { max_outputs, .. } => max_outputs.max(head.slots.len()),
+    };
+    cap -= head.slots.len();
+    let mut taken = vec![head];
+    if cap > 0 {
+        let mut i = 0;
+        while i < s.queue.len() && cap > 0 {
+            if s.queue[i].merge_key() == key && s.queue[i].slots.len() <= cap {
+                let sub = s.queue.remove(i).expect("index checked");
+                cap -= sub.slots.len();
+                taken.push(sub);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Merge into one operator-sized batch. The component sub-batches
+    // are kept intact (their slice of the merged output block is
+    // implied by per-output counts, in order) so a failed operator
+    // can re-queue each component for retry.
+    let mut per_output: Vec<Vec<u64>> = Vec::new();
+    let (table, plan) = (key.table, key.plan as usize);
+    for sub in &taken {
+        per_output.extend(sub.per_output.iter().cloned());
+    }
+    let merged = LookupBatch::new(per_output);
+    let plan_state = &tables[table].plans[plan];
+    let device_table = match ix {
+        Ix::Dev(shard) => plan_state.per_shard[shard],
+        Ix::Tier => plan_state
+            .routing
+            .as_ref()
+            .and_then(|r| r.tier_table)
+            .expect("tier sub-batch for a table with no hot set"),
+    };
+    // A tripped circuit breaker redirects NDP operators onto the
+    // conventional baseline path for this dispatch only — the
+    // sub-batches keep their own path, so later retries (and the
+    // half-open probe) re-evaluate the breaker.
+    let mut path = key.path;
+    if let (SlsPath::Ndp(opts), Ix::Dev(_)) = (path, ix) {
+        if !s.breaker.allows_ndp(now) {
+            path = SlsPath::Baseline(opts);
+        }
+    }
+    let kind = match path {
+        SlsPath::Dram => OpKind::dram_sls(device_table, merged),
+        SlsPath::Baseline(opts) => OpKind::baseline_sls(device_table, merged, opts),
+        SlsPath::Ndp(opts) => OpKind::ndp_sls(device_table, merged, opts),
+    };
+
+    // Submit onto the shard's system (already synced to `now` by the
+    // caller) and leave it in flight; completions are harvested by
+    // later shard syncs.
+    let n_subs = taken.len() as u64;
+    if s.host_tracer.enabled() {
+        // Queue-wait of each merged component, child of its sub span;
+        // the device operator itself parents under the head sub.
+        for sub in &taken {
+            if sub.span.is_some() {
+                s.host_tracer.span("sub:wait", sub.enqueued, now, sub.span);
+            }
+        }
+    }
+    let op_parent = taken[0].span;
+    debug_assert_eq!(s.sys.now(), now, "dispatch on an unsynced shard");
+    s.note_occupancy(now);
+    let op = s.sys.submit_traced(kind, op_parent);
+    s.inflight.push(InflightOp {
+        op,
+        table,
+        plan,
+        subs: taken,
+    });
+    n_subs
 }

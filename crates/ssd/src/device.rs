@@ -62,10 +62,19 @@ struct CmdState {
 /// Largest number of recycled host-transfer buffers the device keeps.
 const HOST_BUF_POOL_CAP: usize = 1024;
 
+/// An in-flight tracking map pre-sized so steady-state churn never
+/// resizes it. 256 slots comfortably covers the deepest realistic
+/// in-flight set (every die busy plus queued commands and DMAs).
+fn presized_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(256, Default::default())
+}
+
 /// Pool insert shared by [`SsdDevice::recycle_buffer`] and
-/// [`crate::DeviceCtx::recycle_buffer`]: exact size classes only.
+/// [`crate::DeviceCtx::recycle_buffer`]: buffers are pooled by
+/// *capacity* (rounded to a power of two at allocation), so one
+/// recycled buffer serves every transfer length at or below it.
 pub(crate) fn pool_recycle(pool: &mut Vec<Vec<u8>>, buf: Vec<u8>) {
-    if !buf.is_empty() && buf.capacity() == buf.len() && pool.len() < HOST_BUF_POOL_CAP {
+    if buf.capacity() > 0 && pool.len() < HOST_BUF_POOL_CAP {
         pool.push(buf);
     }
 }
@@ -83,9 +92,31 @@ pub(crate) fn pool_take(pool: &mut Vec<Vec<u8>>, len: usize) -> Vec<u8> {
 /// overwrite every byte themselves (payload/result encoders), skipping
 /// the redundant memset a zeroed take would pay.
 pub(crate) fn pool_take_raw(pool: &mut Vec<Vec<u8>>, len: usize) -> Vec<u8> {
-    match pool.iter().rposition(|b| b.len() == len) {
-        Some(i) => pool.swap_remove(i),
-        None => vec![0u8; len],
+    // Best fit by capacity, not exact length: exact size classes
+    // fragment the pool (a 16-page transfer cannot reuse a 15-page
+    // buffer), which shows up as a steady trickle of allocations every
+    // time a workload first produces a new transfer length. Rounding
+    // fresh capacities to a power of two keeps the class count small,
+    // so after warm-up a take only allocates when *concurrency* (not
+    // length) reaches a new high-water mark.
+    let mut best: Option<(usize, usize)> = None;
+    for (i, b) in pool.iter().enumerate() {
+        let cap = b.capacity();
+        if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+            best = Some((i, cap));
+        }
+    }
+    match best {
+        Some((i, _)) => {
+            let mut buf = pool.swap_remove(i);
+            buf.resize(len, 0);
+            buf
+        }
+        None => {
+            let mut buf = Vec::with_capacity(len.next_power_of_two());
+            buf.resize(len, 0);
+            buf
+        }
     }
 }
 
@@ -136,12 +167,18 @@ impl<X: NdpEngine> SsdDevice<X> {
             pcie: PcieLink::new(config.pcie),
             queues,
             ext,
-            cmds: FxHashMap::default(),
-            fw_tags: FxHashMap::default(),
-            read_reqs: FxHashMap::default(),
-            write_reqs: FxHashMap::default(),
-            dma_out: FxHashMap::default(),
-            dma_in: FxHashMap::default(),
+            // All of these are keyed by monotonically increasing ids
+            // (request / transfer / firmware-tag counters), so the
+            // steady-state insert/remove churn leaves tombstones
+            // forever. Pre-sizing past the deepest realistic in-flight
+            // set keeps them from ever resizing (= allocating) on the
+            // hot path; each holds a few machine words per entry.
+            cmds: presized_map(),
+            fw_tags: presized_map(),
+            read_reqs: presized_map(),
+            write_reqs: presized_map(),
+            dma_out: presized_map(),
+            dma_in: presized_map(),
             next_tag: 0,
             host_buf_pool: Vec::new(),
             ftl_scratch: Vec::new(),
@@ -153,8 +190,9 @@ impl<X: NdpEngine> SsdDevice<X> {
     /// Returns a consumed completion-data buffer to the device's free-list
     /// so the next read command fills it instead of allocating — the host
     /// runtime hands back every page/result buffer it has finished
-    /// accumulating. Buffers keep their exact size class; a buffer is only
-    /// reused for a command of the same transfer length.
+    /// accumulating. Buffers are pooled by capacity (best fit, see
+    /// [`pool_take_raw`]), so one recycled buffer serves every transfer
+    /// length at or below its capacity.
     pub fn recycle_buffer(&mut self, buf: Vec<u8>) {
         pool_recycle(&mut self.host_buf_pool, buf);
     }
@@ -546,10 +584,7 @@ impl<X: NdpEngine> SsdDevice<X> {
     ) {
         if let Some((qid, cid)) = self.dma_out.remove(&xfer) {
             let st = self.cmds.remove(&(qid, cid)).expect("command state");
-            self.queues[qid as usize].complete(NvmeCompletion::success(
-                cid,
-                Some(st.data.into_boxed_slice()),
-            ));
+            self.queues[qid as usize].complete(NvmeCompletion::success(cid, Some(st.data)));
             return;
         }
         if let Some((qid, cid)) = self.dma_in.remove(&xfer) {
