@@ -9,12 +9,14 @@
 //! sweep, uncorrectable-media recovery, full-shard brownout behind the
 //! circuit breaker), runs a traced observability pass (sim-time span
 //! tracing across serving → host → firmware → flash, per-path latency
-//! attribution, wall-clock self-profile), and writes
-//! `BENCH_serving.json` (v7 schema) with throughput, p50/p95/p99/p999
+//! attribution, wall-clock self-profile), runs the trace analysis layer
+//! over it (per-request critical-path extraction, per-resource queueing
+//! timelines, automated bottleneck ranking + headroom), and writes
+//! `BENCH_serving.json` (v8 schema) with throughput, p50/p95/p99/p999
 //! latency, per-shard operator occupancy, flash channel utilisation,
 //! DRAM-tier hit-rate, per-tier latency, plan-refresh / migration
-//! telemetry, fault / retry / fallback / degradation counters and the
-//! observability block.
+//! telemetry, fault / retry / fallback / degradation counters, the
+//! observability block and the analysis block.
 //!
 //! ```text
 //! cargo run --release -p recssd-bench --bin serve
@@ -37,9 +39,13 @@
 //! serving at 1% transient faults keeps at least 85% of fault-free
 //! throughput with *every* completion bit-verified, a full-shard
 //! brownout trips the circuit breaker while the fleet keeps serving
-//! (degraded completions flagged, never silently wrong), and the traced
+//! (degraded completions flagged, never silently wrong), the traced
 //! pass reconstructs at least 99% of every request's end-to-end latency
-//! from causally-linked child spans.
+//! from causally-linked child spans, the critical-path decomposition
+//! conserves at least 95% of e2e time on all three serving paths, and
+//! on the heat-packed baseline workload the bottleneck analyzer ranks
+//! the serial firmware core first — re-finding, automatically, the wall
+//! that previously took a manual deep-dive.
 
 use std::fmt::Write as _;
 
@@ -47,9 +53,10 @@ use recssd::{BrownoutWindow, FaultConfig, LookupBatch, SlsOptions};
 use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
 use recssd_placement::{plan_delta, FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
-    chrome_trace_json, validate_spans, AdaptivePolicy, ExecMode, FaultPolicy, LoadGen, LoadMode,
-    LoadReport, PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath,
-    TrafficSpec, WallPhaseReport, WorkerProfile,
+    bottleneck_report, chrome_trace_json, critical_path_report, utilization_timelines,
+    validate_spans, AdaptivePolicy, BottleneckReport, CriticalPathReport, ExecMode, FaultPolicy,
+    LoadGen, LoadMode, LoadReport, PathAttribution, Phase, SchedulePolicy, ServingConfig,
+    ServingRuntime, SlsPath, TrafficSpec, UtilizationTimeline, WallPhaseReport, WorkerProfile,
 };
 use recssd_sim::stats::Quantiles;
 use recssd_sim::{SimDuration, SimTime};
@@ -870,7 +877,16 @@ struct ObsReport {
     trace_json: String,
     /// Per-epoch JSONL metric snapshots (written to `--epoch-log`).
     epoch_log: String,
+    /// Per-path critical-path decomposition of the traced pass.
+    critical: CriticalPathReport,
+    /// Resource saturation ranking + per-path headroom of the same pass.
+    bottleneck: BottleneckReport,
+    /// Windowed per-resource busy/wait/occupancy timelines.
+    timelines: Vec<UtilizationTimeline>,
 }
+
+/// Analysis window width for the utilization timelines, ns.
+const ANALYSIS_WINDOW_NS: u64 = 100_000;
 
 /// Stable JSON label for an execution mode.
 fn exec_label(exec: ExecMode) -> String {
@@ -976,6 +992,45 @@ fn run_observability(p: &Params) -> ObsReport {
             w.utilization() * 100.0,
         );
     }
+
+    // Analysis layer over the same trace: critical-path decomposition,
+    // queueing timelines, bottleneck ranking. (Pure observers — the
+    // runtime equivalents read a non-draining snapshot; here the spans
+    // are already drained, so the free functions run on them directly.)
+    let critical = critical_path_report(&spans);
+    let bottleneck = bottleneck_report(&spans);
+    let timelines = utilization_timelines(&spans, ANALYSIS_WINDOW_NS);
+    print!("{}", critical.render());
+    print!("{}", bottleneck.render());
+    // Acceptance bar 9: the phase decomposition conserves e2e time —
+    // every serving path's profile accounts for >= 95% of measured
+    // latency, and all three paths are present.
+    for path in ["baseline", "dram", "ndp"] {
+        let p = critical
+            .paths
+            .iter()
+            .find(|p| p.path == path)
+            .unwrap_or_else(|| panic!("no critical-path profile for the {path} path"));
+        assert!(
+            p.conservation() >= 0.95,
+            "critical path conserves only {:.1}% of {path} e2e time",
+            p.conservation() * 100.0
+        );
+    }
+    assert!(
+        critical.min_conservation >= 0.95,
+        "critical-path conservation floor {:.3} < 0.95",
+        critical.min_conservation
+    );
+    for t in &timelines {
+        assert!(
+            t.littles_law_residual() < 1e-6,
+            "timeline {} breaks Little's law (residual {})",
+            t.resource,
+            t.littles_law_residual()
+        );
+    }
+
     ObsReport {
         requests: p.requests,
         spans: check.spans,
@@ -986,7 +1041,60 @@ fn run_observability(p: &Params) -> ObsReport {
         workers: rt.worker_profiles(),
         trace_json: chrome_trace_json(&spans),
         epoch_log: rt.take_epoch_log(),
+        critical,
+        bottleneck,
+        timelines,
     }
+}
+
+/// Automated bottleneck attribution on the heat-packed baseline
+/// workload: the same configuration as [`run_baseline_depth`] with
+/// packing on, traced, analyzed. This is the workload whose wall —
+/// the serial per-command firmware core — previously took a manual
+/// deep-dive to identify; the analyzer must now rank it first
+/// unprompted.
+fn run_heatpacked_analysis(p: &Params, depth: usize) -> (BottleneckReport, CriticalPathReport) {
+    let skew = 1.2;
+    let mut cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+    cfg.system.host.read_bridge_limit = 8;
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_tracing();
+    let prof = profile_skew(p, skew);
+    let plan = PlacementPlan::build(&prof, &PlacementPolicy::hot_fraction(0.0));
+    let tables: Vec<_> = (0..p.tables)
+        .map(|t| {
+            rt.add_table_placed(
+                EmbeddingTable::procedural(
+                    TableSpec::new(p.rows_per_table, p.dim, Quantization::F32),
+                    t as u64,
+                ),
+                plan.table(t),
+            )
+        })
+        .collect();
+    let spec = TrafficSpec {
+        zipf_exponent: skew,
+        ..p.spec
+    };
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        spec,
+        LoadMode::Closed {
+            clients: p.clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let _ = gen.run(
+        &mut rt,
+        SlsPath::Baseline(SlsOptions::default()),
+        p.requests,
+    );
+    let bottleneck = rt.bottleneck_report();
+    let critical = rt.critical_path_report();
+    (bottleneck, critical)
 }
 
 fn q_json(q: &Quantiles) -> String {
@@ -1012,10 +1120,12 @@ fn write_json(
     baseline_depth: &[BaselineDepthReport],
     resilience: &ResilienceReport,
     obs: &ObsReport,
+    heat_bottleneck: &BottleneckReport,
+    heat_critical: &CriticalPathReport,
 ) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v7\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v8\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -1275,7 +1385,124 @@ fn write_json(
             "\n"
         });
     }
-    s.push_str("    ]\n  }\n}\n");
+    s.push_str("    ]\n  },\n");
+
+    // The v8 analysis block: critical-path decomposition, resource
+    // saturation ranking + headroom, queueing timelines, and the
+    // heat-packed firmware-wall regression probe.
+    let _ = writeln!(
+        s,
+        "  \"analysis\": {{\n    \"min_conservation\": {:.4}, \"window_ns\": {},",
+        obs.critical.min_conservation, ANALYSIS_WINDOW_NS,
+    );
+    s.push_str("    \"critical_paths\": [\n");
+    for (i, pp) in obs.critical.paths.iter().enumerate() {
+        let phases = Phase::ALL
+            .iter()
+            .map(|&ph| {
+                format!(
+                    "{{\"phase\": \"{}\", \"ns\": {}, \"share\": {:.4}, \"tail_share\": {:.4}}}",
+                    ph.name(),
+                    pp.phase_ns[ph.index()],
+                    pp.share(ph),
+                    pp.tail_share(ph),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            s,
+            "      {{\"path\": \"{}\", \"requests\": {}, \"conservation\": {:.4}, \
+             \"top_phase\": \"{}\", \"e2e_mean_us\": {:.2}, \"e2e_p99_us\": {:.2}, \
+             \"phases\": [{}]}}",
+            pp.path,
+            pp.requests,
+            pp.conservation(),
+            pp.top_phase().name(),
+            pp.e2e.mean_ns / 1e3,
+            pp.e2e.p99_ns as f64 / 1e3,
+            phases,
+        );
+        s.push_str(if i + 1 < obs.critical.paths.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n    \"bottlenecks\": [\n");
+    for (i, r) in obs.bottleneck.ranked.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"resource\": \"{}\", \"utilization\": {:.4}, \"capacity\": {}, \
+             \"service_ns\": {}, \"busy_ns\": {}}}",
+            r.resource,
+            r.utilization(),
+            r.capacity,
+            r.service_ns,
+            r.busy_ns,
+        );
+        s.push_str(if i + 1 < obs.bottleneck.ranked.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        s,
+        "    ],\n    \"top_bottleneck\": \"{}\",",
+        obs.bottleneck.top().unwrap_or(""),
+    );
+    s.push_str("    \"headroom\": [\n");
+    for (i, h) in obs.bottleneck.headroom.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"path\": \"{}\", \"bottleneck\": \"{}\", \"demand_ns\": {}, \
+             \"sustainable_rps\": {:.1}, \"observed_rps\": {:.1}, \"headroom_x\": {:.3}}}",
+            h.path, h.bottleneck, h.demand_ns, h.sustainable_rps, h.observed_rps, h.headroom_x,
+        );
+        s.push_str(if i + 1 < obs.bottleneck.headroom.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n    \"timelines\": [\n");
+    for (i, t) in obs.timelines.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"resource\": \"{}\", \"kind\": \"{}\", \"windows\": {}, \
+             \"utilization\": {:.4}, \"arrivals\": {}, \"arrival_rate_per_s\": {:.1}, \
+             \"mean_wait_ns\": {:.1}, \"occupancy\": {:.4}, \"littles_law_residual\": {:.3e}}}",
+            t.resource,
+            t.kind.name(),
+            t.windows.len(),
+            t.utilization(),
+            t.total_arrivals,
+            t.arrival_rate_per_s(),
+            t.mean_wait_ns(),
+            t.occupancy(),
+            t.littles_law_residual(),
+        );
+        s.push_str(if i + 1 < obs.timelines.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        s,
+        "    ],\n    \"heatpacked_baseline\": {{\"top_bottleneck\": \"{}\", \
+         \"fw_utilization\": {:.4}, \"min_conservation\": {:.4}}}",
+        heat_bottleneck.top().unwrap_or(""),
+        heat_bottleneck
+            .ranked
+            .iter()
+            .find(|r| r.resource.starts_with("fw:core"))
+            .map(|r| r.utilization())
+            .unwrap_or(0.0),
+        heat_critical.min_conservation,
+    );
+    s.push_str("  }\n}\n");
     s
 }
 
@@ -1551,8 +1778,30 @@ fn main() {
     let resilience = run_resilience(&p);
 
     // Observability pass: traced end-to-end, span invariants asserted
-    // (acceptance bar 8 inside).
+    // (acceptance bars 8 and 9 inside).
     let obs = run_observability(&p);
+
+    // Acceptance bar 10: on the heat-packed baseline workload the
+    // analyzer re-finds the serial-firmware wall automatically — the
+    // firmware core ranks as the top bottleneck, and the decomposition
+    // still conserves e2e time.
+    let (heat_bottleneck, heat_critical) = run_heatpacked_analysis(&p, pipe_depth);
+    let heat_top = heat_bottleneck.top().unwrap_or("").to_string();
+    println!(
+        "heat-packed baseline (depth {pipe_depth}): top bottleneck {heat_top}, \
+         conservation {:.1}%",
+        heat_critical.min_conservation * 100.0
+    );
+    assert!(
+        heat_top.starts_with("fw:core"),
+        "heat-packed baseline should bottleneck on the firmware core, got {heat_top}"
+    );
+    assert!(
+        heat_critical.min_conservation >= 0.95,
+        "heat-packed critical path conserves only {:.1}%",
+        heat_critical.min_conservation * 100.0
+    );
+
     if let Some(path) = &trace_out {
         std::fs::write(path, &obs.trace_json).expect("write trace JSON");
         println!("wrote {path} ({} spans)", obs.spans);
@@ -1572,6 +1821,8 @@ fn main() {
         &baseline_depth,
         &resilience,
         &obs,
+        &heat_bottleneck,
+        &heat_critical,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");

@@ -1,0 +1,1035 @@
+//! Critical-path extraction and automated bottleneck attribution.
+//!
+//! [`request_critical_paths`] walks every `request → sub → op → fw/flash`
+//! span tree in a recorded trace and segments each request's end-to-end
+//! latency into named [`Phase`]s (admission, shard queue wait, firmware
+//! exec, flash read, PCIe transfer, DRAM-tier gather, retry backoff,
+//! host merge). Each *instant* of the request's lifetime is attributed
+//! to exactly one phase — the highest-priority resource active at that
+//! instant — so per-request phase times always sum to at most the e2e
+//! latency and a **conservation** ratio (attributed / e2e) measures how
+//! much of the latency the decomposition explains. CI gates conservation
+//! at ≥ 95 % on every serving path.
+//!
+//! [`CriticalPathReport`] aggregates the per-request profiles per
+//! serving path (the `request` span label), including a p99 tail profile
+//! ("p99 NDP requests spend 71 % in fw:exec"), and
+//! [`bottleneck_report`] ranks the simulated resources (firmware core,
+//! flash array, DRAM tier — per shard) by busy-time saturation and
+//! estimates per-path capacity headroom from the measured per-request
+//! resource demands.
+//!
+//! Everything here is a **pure observer**: the inputs are recorded
+//! spans, the functions allocate only local state, and the same span
+//! set always produces byte-identical reports — so reports agree across
+//! `Sequential` and `Parallel(n)` execution whenever the traces do
+//! (which the serving layer guarantees and tests).
+
+use std::collections::HashMap;
+
+use crate::trace::{track, SpanRec};
+
+/// Number of named phases in the decomposition.
+pub const PHASE_COUNT: usize = 9;
+
+/// A named segment of a request's end-to-end latency. The discriminant
+/// is the attribution priority: when several phases are active at the
+/// same instant (e.g. the firmware core runs while the sub-batch also
+/// sits in a queue), the instant is charged to the **highest** variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Time inside the request span covered by no sub-batch at all
+    /// (admission bookkeeping before the split is enqueued).
+    Admission = 0,
+    /// Exponential-backoff time between a failed attempt and its
+    /// re-dispatch (the part of the gap no resource accounts for).
+    RetryBackoff = 1,
+    /// Sub-batch queue wait: host-side shard queue (`sub:wait`) plus
+    /// device-internal operator queueing (`op:queue`).
+    ShardQueue = 2,
+    /// Host software: operator planning / command-block construction
+    /// (`base:plan`, `ndp:plan`).
+    HostSw = 3,
+    /// DRAM gather: host-DRAM SLS compute, on the placement tier or the
+    /// DRAM serving path (`op:compute` labelled `dram`).
+    TierGather = 4,
+    /// Flash array read: sense, ECC retries and die/channel queueing
+    /// (`flash:read` minus the transfer tail).
+    FlashRead = 5,
+    /// Data movement: flash channel transfer (`flash:xfer`) and NVMe
+    /// command/result block movement (`ndp:write`, `ndp:read`).
+    Transfer = 6,
+    /// Firmware-core execution — the serial embedded core charged per
+    /// NVMe command and per NDP translation (`fw:exec`, `ndp:gather`).
+    FwExec = 7,
+    /// Host-side result folding (`ndp:merge`, `base:io` residue,
+    /// `op:compute` labelled `host`).
+    Merge = 8,
+}
+
+impl Phase {
+    /// All phases, lowest attribution priority first.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Admission,
+        Phase::RetryBackoff,
+        Phase::ShardQueue,
+        Phase::HostSw,
+        Phase::TierGather,
+        Phase::FlashRead,
+        Phase::Transfer,
+        Phase::FwExec,
+        Phase::Merge,
+    ];
+
+    /// Stable snake_case name (used in reports and the bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admission => "admission",
+            Phase::RetryBackoff => "retry_backoff",
+            Phase::ShardQueue => "shard_queue",
+            Phase::HostSw => "host_sw",
+            Phase::TierGather => "tier_gather",
+            Phase::FlashRead => "flash_read",
+            Phase::Transfer => "transfer",
+            Phase::FwExec => "fw_exec",
+            Phase::Merge => "merge",
+        }
+    }
+
+    /// Index into `phase_ns` arrays ([`Phase::ALL`] order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One request's extracted critical path: its e2e latency split across
+/// the [`Phase`]s, plus the residue the decomposition could not
+/// attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestProfile {
+    /// The `request` span id.
+    pub request: u64,
+    /// Serving path (the request span's label, e.g. `ndp`).
+    pub path: String,
+    /// Request arrival, ns of virtual time.
+    pub start_ns: u64,
+    /// End-to-end latency in ns.
+    pub e2e_ns: u64,
+    /// `true` when the request completed degraded (deadline expiry or
+    /// retry-budget exhaustion); degraded requests are excluded from
+    /// aggregate profiles and the conservation gate.
+    pub degraded: bool,
+    /// Nanoseconds attributed to each phase, indexed by
+    /// [`Phase::ALL`] order.
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Nanoseconds of the e2e window no phase accounts for.
+    pub unattributed_ns: u64,
+}
+
+impl RequestProfile {
+    /// Fraction of the e2e latency the named phases account for
+    /// (1.0 for a zero-length request).
+    pub fn conservation(&self) -> f64 {
+        if self.e2e_ns == 0 {
+            return 1.0;
+        }
+        let attributed: u64 = self.phase_ns.iter().sum();
+        attributed as f64 / self.e2e_ns as f64
+    }
+
+    /// Phases sorted by attributed time, largest first (ties broken by
+    /// attribution priority so the order is total).
+    pub fn segments(&self) -> Vec<(Phase, u64)> {
+        let mut v: Vec<(Phase, u64)> = Phase::ALL
+            .iter()
+            .map(|&p| (p, self.phase_ns[p.index()]))
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+        v
+    }
+}
+
+/// Latency summary of a set of requests (computed exactly from the
+/// sorted per-request e2e values, no histogram approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatSummary {
+    /// Number of requests.
+    pub count: u64,
+    /// Arithmetic mean e2e, ns.
+    pub mean_ns: f64,
+    /// Median e2e, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile e2e, ns.
+    pub p99_ns: u64,
+    /// Largest e2e, ns.
+    pub max_ns: u64,
+}
+
+fn lat_summary(sorted_e2e: &[u64]) -> LatSummary {
+    if sorted_e2e.is_empty() {
+        return LatSummary::default();
+    }
+    let n = sorted_e2e.len();
+    let rank = |q: f64| sorted_e2e[(((n - 1) as f64) * q).round() as usize];
+    LatSummary {
+        count: n as u64,
+        mean_ns: sorted_e2e.iter().sum::<u64>() as f64 / n as f64,
+        p50_ns: rank(0.50),
+        p99_ns: rank(0.99),
+        max_ns: sorted_e2e[n - 1],
+    }
+}
+
+/// Aggregate critical-path profile of one serving path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathProfile {
+    /// Serving path name (`dram`, `baseline`, `ndp`, …).
+    pub path: String,
+    /// Non-degraded requests aggregated here.
+    pub requests: u64,
+    /// e2e latency summary over those requests.
+    pub e2e: LatSummary,
+    /// Total ns per phase, summed across requests ([`Phase::ALL`] order).
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Total unattributed ns across requests.
+    pub unattributed_ns: u64,
+    /// Sum of e2e latencies (the denominator of [`Self::conservation`]).
+    pub total_e2e_ns: u64,
+    /// Profile of the p99 tail: requests with e2e ≥ the path's p99.
+    pub tail_requests: u64,
+    /// Total ns per phase over the p99-tail requests.
+    pub tail_phase_ns: [u64; PHASE_COUNT],
+    /// Sum of e2e latencies over the p99-tail requests.
+    pub tail_e2e_ns: u64,
+}
+
+impl PathProfile {
+    /// Fraction of total e2e time the named phases account for.
+    pub fn conservation(&self) -> f64 {
+        if self.total_e2e_ns == 0 {
+            return 1.0;
+        }
+        self.phase_ns.iter().sum::<u64>() as f64 / self.total_e2e_ns as f64
+    }
+
+    /// Share of total e2e time spent in `phase`.
+    pub fn share(&self, phase: Phase) -> f64 {
+        if self.total_e2e_ns == 0 {
+            return 0.0;
+        }
+        self.phase_ns[phase.index()] as f64 / self.total_e2e_ns as f64
+    }
+
+    /// Share of p99-tail e2e time spent in `phase`.
+    pub fn tail_share(&self, phase: Phase) -> f64 {
+        if self.tail_e2e_ns == 0 {
+            return 0.0;
+        }
+        self.tail_phase_ns[phase.index()] as f64 / self.tail_e2e_ns as f64
+    }
+
+    /// The phase with the largest attributed time (ties broken by
+    /// attribution priority).
+    pub fn top_phase(&self) -> Phase {
+        let mut best = Phase::Admission;
+        for &p in &Phase::ALL {
+            if self.phase_ns[p.index()] >= self.phase_ns[best.index()] {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// Whole-trace critical-path report: per-path aggregate profiles plus
+/// the conservation floor CI gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// One profile per serving path, sorted by path name.
+    pub paths: Vec<PathProfile>,
+    /// Total requests in the trace (degraded included).
+    pub requests: u64,
+    /// Degraded requests (excluded from the profiles).
+    pub degraded: u64,
+    /// Worst per-path conservation (1.0 when no paths).
+    pub min_conservation: f64,
+}
+
+impl CriticalPathReport {
+    /// Builds the report from per-request profiles.
+    pub fn from_profiles(profiles: &[RequestProfile]) -> CriticalPathReport {
+        let mut by_path: HashMap<&str, Vec<&RequestProfile>> = HashMap::new();
+        let mut degraded = 0u64;
+        for p in profiles {
+            if p.degraded {
+                degraded += 1;
+                continue;
+            }
+            by_path.entry(p.path.as_str()).or_default().push(p);
+        }
+        let mut paths: Vec<PathProfile> = by_path
+            .into_iter()
+            .map(|(path, reqs)| {
+                let mut e2e: Vec<u64> = reqs.iter().map(|r| r.e2e_ns).collect();
+                e2e.sort_unstable();
+                let lat = lat_summary(&e2e);
+                let mut phase_ns = [0u64; PHASE_COUNT];
+                let mut unattributed = 0u64;
+                let mut total = 0u64;
+                let mut tail_phase = [0u64; PHASE_COUNT];
+                let mut tail_e2e = 0u64;
+                let mut tail_n = 0u64;
+                for r in &reqs {
+                    for (acc, &ns) in phase_ns.iter_mut().zip(&r.phase_ns) {
+                        *acc += ns;
+                    }
+                    unattributed += r.unattributed_ns;
+                    total += r.e2e_ns;
+                    if r.e2e_ns >= lat.p99_ns {
+                        tail_n += 1;
+                        tail_e2e += r.e2e_ns;
+                        for (acc, &ns) in tail_phase.iter_mut().zip(&r.phase_ns) {
+                            *acc += ns;
+                        }
+                    }
+                }
+                PathProfile {
+                    path: path.to_string(),
+                    requests: reqs.len() as u64,
+                    e2e: lat,
+                    phase_ns,
+                    unattributed_ns: unattributed,
+                    total_e2e_ns: total,
+                    tail_requests: tail_n,
+                    tail_phase_ns: tail_phase,
+                    tail_e2e_ns: tail_e2e,
+                }
+            })
+            .collect();
+        paths.sort_by(|a, b| a.path.cmp(&b.path));
+        let min_conservation = paths
+            .iter()
+            .map(|p| p.conservation())
+            .fold(1.0f64, f64::min);
+        CriticalPathReport {
+            paths,
+            requests: profiles.len() as u64,
+            degraded,
+            min_conservation,
+        }
+    }
+
+    /// Deterministic plain-text rendering of the report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical-path report: {} requests ({} degraded), min conservation {:.1}%",
+            self.requests,
+            self.degraded,
+            self.min_conservation * 100.0
+        );
+        for p in &self.paths {
+            let _ = writeln!(
+                out,
+                "  path {:<9} {:>4} reqs  e2e mean {:>10.0} ns  p99 {:>8} ns  conservation {:.1}%",
+                p.path,
+                p.requests,
+                p.e2e.mean_ns,
+                p.e2e.p99_ns,
+                p.conservation() * 100.0
+            );
+            for &ph in Phase::ALL.iter().rev() {
+                let ns = p.phase_ns[ph.index()];
+                if ns == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:>5.1}%  {:>12} ns  (p99 tail {:>5.1}%)",
+                    ph.name(),
+                    p.share(ph) * 100.0,
+                    ns,
+                    p.tail_share(ph) * 100.0
+                );
+            }
+            if p.unattributed_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:>5.1}%  {:>12} ns",
+                    "unattributed",
+                    (1.0 - p.conservation()) * 100.0,
+                    p.unattributed_ns
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Total length of the union of half-open intervals (sorts in place).
+pub(crate) fn union_len(ivs: &mut [(u64, u64)]) -> u64 {
+    ivs.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur = 0u64;
+    for &(a, b) in ivs.iter() {
+        let a = a.max(cur);
+        if b > a {
+            covered += b - a;
+            cur = b;
+        }
+    }
+    covered
+}
+
+/// Event-sweep over service intervals: (union busy, concurrency
+/// integral, peak concurrency). Back-to-back intervals do not count as
+/// concurrent — ends sort before starts at the same instant.
+fn sweep_use(ivs: Vec<(u64, u64)>) -> (u64, u64, u32) {
+    let mut ev: Vec<(u64, i32)> = Vec::with_capacity(ivs.len() * 2);
+    for (a, b) in ivs {
+        if b > a {
+            ev.push((a, 1));
+            ev.push((b, -1));
+        }
+    }
+    ev.sort_unstable();
+    let (mut cur, mut peak) = (0i64, 0i64);
+    let (mut union, mut integral) = (0u64, 0u128);
+    let mut last = 0u64;
+    for (t, d) in ev {
+        if cur > 0 {
+            union += t - last;
+            integral += (t - last) as u128 * cur as u128;
+        }
+        cur += d as i64;
+        peak = peak.max(cur);
+        last = t;
+    }
+    (union, integral as u64, peak as u32)
+}
+
+/// Per-pid index of the resource spans attribution overlaps against.
+#[derive(Default)]
+struct PidResources {
+    /// (start, end) of `fw:exec` spans on this pid.
+    fw: Vec<(u64, u64)>,
+    /// (start, end) of `flash:read` spans.
+    flash_read: Vec<(u64, u64)>,
+    /// (start, end) of `flash:xfer` spans.
+    flash_xfer: Vec<(u64, u64)>,
+}
+
+/// Maps an op-phase span name (+ label) to its phase.
+fn op_phase(name: &str, label: &str) -> Option<Phase> {
+    Some(match name {
+        "op:queue" => Phase::ShardQueue,
+        "base:plan" | "ndp:plan" => Phase::HostSw,
+        "ndp:write" | "ndp:read" => Phase::Transfer,
+        "ndp:gather" => Phase::FwExec,
+        "ndp:merge" => Phase::Merge,
+        "base:io" => Phase::Merge,
+        "op:compute" => {
+            if label == "dram" {
+                Phase::TierGather
+            } else {
+                Phase::Merge
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Extracts one [`RequestProfile`] per `request` span in the trace.
+///
+/// The walk uses only recorded spans, so it works identically on a live
+/// [`crate::TraceSink`] drain and on a re-parsed Chrome-trace export,
+/// and it never touches the simulation (pure observer).
+pub fn request_critical_paths(spans: &[SpanRec]) -> Vec<RequestProfile> {
+    // Indexes: children by parent id, resource spans by pid, ops by
+    // (pid, start) for matching a sub-batch's serving operator even when
+    // micro-batching parented the op under a different request's sub.
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut resources: HashMap<u32, PidResources> = HashMap::new();
+    let mut ops_at: HashMap<(u32, u64), Vec<usize>> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 {
+            children.entry(s.parent).or_default().push(i);
+        }
+        match s.name {
+            "fw:exec" => resources
+                .entry(s.pid)
+                .or_default()
+                .fw
+                .push((s.start_ns, s.end_ns)),
+            "flash:read" => resources
+                .entry(s.pid)
+                .or_default()
+                .flash_read
+                .push((s.start_ns, s.end_ns)),
+            "flash:xfer" => resources
+                .entry(s.pid)
+                .or_default()
+                .flash_xfer
+                .push((s.start_ns, s.end_ns)),
+            "op" => ops_at.entry((s.pid, s.start_ns)).or_default().push(i),
+            _ => {}
+        }
+    }
+    for r in resources.values_mut() {
+        r.fw.sort_unstable();
+        r.flash_read.sort_unstable();
+        r.flash_xfer.sort_unstable();
+    }
+
+    let mut out = Vec::new();
+    // Evidence intervals for the request currently being segmented.
+    let mut evidence: Vec<(u64, u64, Phase)> = Vec::new();
+    for req in spans.iter().filter(|s| s.name == "request") {
+        let (rs, re) = (req.start_ns, req.end_ns);
+        let degraded = req.arg_key == "degraded" && req.arg_val != 0;
+        evidence.clear();
+
+        let subs: Vec<&SpanRec> = children
+            .get(&req.id)
+            .map(|kids| {
+                kids.iter()
+                    .map(|&i| &spans[i])
+                    .filter(|s| s.name == "sub")
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Admission: request time before the first sub-batch exists.
+        if let Some(first_sub) = subs.iter().map(|s| s.start_ns).min() {
+            if first_sub > rs {
+                evidence.push((rs, first_sub, Phase::Admission));
+            }
+        }
+
+        for sub in &subs {
+            // Queue-wait spans carry the shard's resource pid in their
+            // `shard` argument; one wait per dispatch attempt.
+            let mut waits: Vec<&SpanRec> = children
+                .get(&sub.id)
+                .map(|kids| {
+                    kids.iter()
+                        .map(|&i| &spans[i])
+                        .filter(|s| s.name == "sub:wait")
+                        .collect()
+                })
+                .unwrap_or_default();
+            waits.sort_by_key(|w| (w.start_ns, w.end_ns, w.id));
+            for w in &waits {
+                evidence.push((w.start_ns, w.end_ns, Phase::ShardQueue));
+            }
+            for (j, w) in waits.iter().enumerate() {
+                let pid = if w.arg_key == "shard" {
+                    w.arg_val as u32
+                } else {
+                    continue;
+                };
+                // Attempt window: dispatch → next re-queue (or the sub's
+                // completion, for the final attempt). Gaps the resources
+                // below don't claim are retry backoff.
+                let wend = waits
+                    .get(j + 1)
+                    .map(|n| n.start_ns)
+                    .unwrap_or(sub.end_ns)
+                    .max(w.end_ns);
+                let (ws, we) = (w.end_ns, wend);
+                if we <= ws {
+                    continue;
+                }
+                if j + 1 < waits.len() {
+                    evidence.push((ws, we, Phase::RetryBackoff));
+                }
+                // Device-resource overlap within the attempt window: the
+                // firmware core and flash array are shared, so any busy
+                // time there is what this sub-batch is blocked on,
+                // whether it is being served or queued behind others.
+                if let Some(r) = resources.get(&pid) {
+                    clip_into(&r.fw, ws, we, Phase::FwExec, &mut evidence);
+                    clip_into(&r.flash_xfer, ws, we, Phase::Transfer, &mut evidence);
+                    clip_into(&r.flash_read, ws, we, Phase::FlashRead, &mut evidence);
+                }
+                // The serving operator's own host-side phase spans
+                // (matched by dispatch instant even across micro-batch
+                // merges, where the op parents under a different sub).
+                if let Some(opix) = ops_at.get(&(pid, ws)) {
+                    for &oi in opix {
+                        let op = &spans[oi];
+                        if op.end_ns > we {
+                            continue;
+                        }
+                        if let Some(kids) = children.get(&op.id) {
+                            for &ki in kids {
+                                let k = &spans[ki];
+                                if let Some(ph) = op_phase(k.name, k.label) {
+                                    let (a, b) = (k.start_ns.max(ws), k.end_ns.min(we));
+                                    if b > a {
+                                        evidence.push((a, b, ph));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        out.push(segment(req, rs, re, degraded, &evidence));
+    }
+    out
+}
+
+/// Clips sorted intervals to `[ws, we)` and appends them as evidence.
+fn clip_into(
+    ivs: &[(u64, u64)],
+    ws: u64,
+    we: u64,
+    phase: Phase,
+    evidence: &mut Vec<(u64, u64, Phase)>,
+) {
+    // First interval that can overlap: intervals are sorted by start,
+    // so stop once starts pass the window end.
+    let from = ivs.partition_point(|&(_, e)| e <= ws);
+    for &(a, b) in &ivs[from..] {
+        if a >= we {
+            break;
+        }
+        let (a, b) = (a.max(ws), b.min(we));
+        if b > a {
+            evidence.push((a, b, phase));
+        }
+    }
+}
+
+/// Sweeps the evidence intervals over `[rs, re)`, charging each
+/// elementary segment to the highest-priority active phase.
+fn segment(
+    req: &SpanRec,
+    rs: u64,
+    re: u64,
+    degraded: bool,
+    evidence: &[(u64, u64, Phase)],
+) -> RequestProfile {
+    // Boundary events: +1/-1 per phase, clipped to the request window.
+    let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(evidence.len() * 2);
+    for &(a, b, ph) in evidence {
+        let (a, b) = (a.max(rs), b.min(re));
+        if b > a {
+            events.push((a, false, ph.index()));
+            events.push((b, true, ph.index()));
+        }
+    }
+    events.sort_unstable();
+    let mut active = [0i64; PHASE_COUNT];
+    let mut phase_ns = [0u64; PHASE_COUNT];
+    let mut unattributed = 0u64;
+    let mut cur = rs;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        if t > cur {
+            match (0..PHASE_COUNT).rev().find(|&p| active[p] > 0) {
+                Some(p) => phase_ns[p] += t - cur,
+                None => unattributed += t - cur,
+            }
+            cur = t;
+        }
+        while i < events.len() && events[i].0 == t {
+            let (_, end, p) = events[i];
+            active[p] += if end { -1 } else { 1 };
+            i += 1;
+        }
+    }
+    if re > cur {
+        unattributed += re - cur;
+    }
+    RequestProfile {
+        request: req.id,
+        path: req.label.to_string(),
+        start_ns: rs,
+        e2e_ns: re - rs,
+        degraded,
+        phase_ns,
+        unattributed_ns: unattributed,
+    }
+}
+
+/// Builds the aggregate [`CriticalPathReport`] straight from a trace.
+pub fn critical_path_report(spans: &[SpanRec]) -> CriticalPathReport {
+    CriticalPathReport::from_profiles(&request_critical_paths(spans))
+}
+
+/// Busy-time saturation of one simulated resource over the trace.
+///
+/// A resource may be internally parallel (the flash array spreads
+/// transfers over several channels) without the trace naming its
+/// width, so capacity is *self-calibrated*: the peak service
+/// concurrency ever observed. Saturation is then the service-time
+/// integral over `elapsed × capacity` — a serial firmware core at 99%
+/// is provably the wall, while an 8-channel array whose union of busy
+/// windows covers 99% of the run may still have idle channels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUse {
+    /// Resource name, e.g. `fw:core[shard=0]`.
+    pub resource: String,
+    /// Union of the resource's busy intervals (any-server-busy), ns.
+    pub busy_ns: u64,
+    /// Time-integral of service concurrency (Σ span durations), ns.
+    pub service_ns: u64,
+    /// Peak observed service concurrency — the calibrated capacity
+    /// (1 for a provably-serial resource).
+    pub capacity: u32,
+    /// Trace wall span the utilisation is measured over, ns.
+    pub elapsed_ns: u64,
+}
+
+impl ResourceUse {
+    /// Saturation: service integral over `elapsed × capacity`.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_ns == 0 || self.capacity == 0 {
+            return 0.0;
+        }
+        self.service_ns as f64 / (self.elapsed_ns as f64 * self.capacity as f64)
+    }
+
+    /// Fraction of the run with at least one server busy.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.elapsed_ns as f64
+    }
+}
+
+/// Estimated capacity headroom of one serving path, from the measured
+/// per-request resource demands (operational-law bound: sustainable
+/// throughput ≤ 1 / max per-request demand on any single resource).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathHeadroom {
+    /// Serving path name.
+    pub path: String,
+    /// Requests the estimate is based on.
+    pub requests: u64,
+    /// Resource class with the largest per-request demand.
+    pub bottleneck: String,
+    /// Mean per-request demand on that class, ns.
+    pub demand_ns: u64,
+    /// Max sustainable offered load on the bottleneck, requests/s.
+    pub sustainable_rps: f64,
+    /// Observed offered load in the trace, requests/s.
+    pub observed_rps: f64,
+    /// `sustainable_rps / observed_rps` (∞-free: 0 when unknown).
+    pub headroom_x: f64,
+}
+
+/// Resource saturation ranking plus per-path headroom estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckReport {
+    /// Trace wall span (first span start → last span end), ns.
+    pub elapsed_ns: u64,
+    /// Resources ranked by utilisation, most saturated first.
+    pub ranked: Vec<ResourceUse>,
+    /// Per-path capacity headroom, sorted by path name.
+    pub headroom: Vec<PathHeadroom>,
+}
+
+impl BottleneckReport {
+    /// Name of the most saturated resource, if any.
+    pub fn top(&self) -> Option<&str> {
+        self.ranked.first().map(|r| r.resource.as_str())
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bottleneck ranking over {} ns of simulated time:",
+            self.elapsed_ns
+        );
+        for r in &self.ranked {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>6.1}% utilized  (capacity {}, service {} ns, busy {} ns)",
+                r.resource,
+                r.utilization() * 100.0,
+                r.capacity,
+                r.service_ns,
+                r.busy_ns
+            );
+        }
+        for h in &self.headroom {
+            let _ = writeln!(
+                out,
+                "  headroom[{:<8}] bottleneck {:<11} demand {:>9} ns/req  sustainable {:>9.0} rps  observed {:>9.0} rps  ({:.2}x)",
+                h.path, h.bottleneck, h.demand_ns, h.sustainable_rps, h.observed_rps, h.headroom_x
+            );
+        }
+        if let Some(top) = self.top() {
+            let _ = writeln!(out, "top_bottleneck: {top}");
+        }
+        out
+    }
+}
+
+/// Ranks the simulated resources by busy-time saturation and estimates
+/// per-path headroom. Resources are discovered from the trace itself:
+/// one firmware core (`fw:exec` service windows) and one flash array
+/// (`flash:xfer` channel-hold windows) per device shard pid, plus the
+/// DRAM tier when present. Service windows only — queueing time never
+/// counts toward saturation (see [`utilization_timelines`] for the
+/// queueing view).
+///
+/// [`utilization_timelines`]: crate::timeline::utilization_timelines
+pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
+    let mut start = u64::MAX;
+    let mut end = 0u64;
+    let mut busy: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
+    for s in spans {
+        start = start.min(s.start_ns);
+        end = end.max(s.end_ns);
+        match s.name {
+            "fw:exec" => busy
+                .entry(format!("fw:core[shard={}]", s.pid.saturating_sub(1)))
+                .or_default()
+                .push((s.start_ns, s.end_ns)),
+            // Channel-transfer windows, not `flash:read`: a read span
+            // runs submit → complete and so includes die/bus *queueing*
+            // — residence, not service. Ranking by residence would call
+            // a backed-up flash array "busy" even while its channels
+            // idle behind the serial firmware core.
+            "flash:xfer" => busy
+                .entry(format!("flash[shard={}]", s.pid.saturating_sub(1)))
+                .or_default()
+                .push((s.start_ns, s.end_ns)),
+            "op" if s.pid == track::PID_TIER => busy
+                .entry("tier:dram".to_string())
+                .or_default()
+                .push((s.start_ns, s.end_ns)),
+            _ => {}
+        }
+    }
+    let elapsed = end.saturating_sub(if start == u64::MAX { 0 } else { start });
+    let mut ranked: Vec<ResourceUse> = busy
+        .into_iter()
+        .map(|(resource, ivs)| {
+            let (busy_ns, service_ns, capacity) = sweep_use(ivs);
+            ResourceUse {
+                resource,
+                busy_ns,
+                service_ns,
+                capacity,
+                elapsed_ns: elapsed,
+            }
+        })
+        .collect();
+    // Most saturated first: cross-multiplied integer compare of
+    // service/(elapsed*capacity) so the order never depends on float
+    // rounding; name breaks exact ties.
+    ranked.sort_by(|a, b| {
+        let ua = a.service_ns as u128 * b.capacity as u128;
+        let ub = b.service_ns as u128 * a.capacity as u128;
+        ub.cmp(&ua).then_with(|| a.resource.cmp(&b.resource))
+    });
+
+    // Headroom: per-request demand per resource class, estimated from
+    // the critical-path decomposition (FwExec → firmware core,
+    // FlashRead/Transfer → flash array, TierGather → DRAM tier,
+    // HostSw/Merge → host CPU).
+    let report = critical_path_report(spans);
+    let mut headroom = Vec::new();
+    for p in &report.paths {
+        if p.requests == 0 {
+            continue;
+        }
+        let class = |phases: &[Phase]| -> u64 {
+            phases.iter().map(|ph| p.phase_ns[ph.index()]).sum::<u64>() / p.requests
+        };
+        let demands = [
+            ("fw:core", class(&[Phase::FwExec])),
+            ("flash", class(&[Phase::FlashRead, Phase::Transfer])),
+            ("tier:dram", class(&[Phase::TierGather])),
+            ("host:cpu", class(&[Phase::HostSw, Phase::Merge])),
+        ];
+        let &(bname, dmax) = demands
+            .iter()
+            .max_by_key(|&&(n, d)| (d, std::cmp::Reverse(n)))
+            .expect("non-empty demand classes");
+        let sustainable = if dmax > 0 { 1e9 / dmax as f64 } else { 0.0 };
+        let observed = if elapsed > 0 {
+            p.requests as f64 * 1e9 / elapsed as f64
+        } else {
+            0.0
+        };
+        headroom.push(PathHeadroom {
+            path: p.path.clone(),
+            requests: p.requests,
+            bottleneck: bname.to_string(),
+            demand_ns: dmax,
+            sustainable_rps: sustainable,
+            observed_rps: observed,
+            headroom_x: if observed > 0.0 && sustainable > 0.0 {
+                sustainable / observed
+            } else {
+                0.0
+            },
+        });
+    }
+    headroom.sort_by(|a, b| a.path.cmp(&b.path));
+    BottleneckReport {
+        elapsed_ns: elapsed,
+        ranked,
+        headroom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{track, SpanId, TraceSink};
+    use recssd_sim::{SimDuration, SimTime};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    /// One NDP request on shard pid 1: queue 0–20, fw 20–60, flash
+    /// 30–50 (xfer 45–50), merge 60–70.
+    fn synthetic() -> Vec<SpanRec> {
+        let sink = TraceSink::new();
+        let host = sink.tracer(0, track::TID_HOST);
+        let dev = sink.tracer(1, track::TID_DEVICE);
+        let fw = sink.tracer(1, track::TID_FW);
+        let flash = sink.tracer(1, track::TID_FLASH);
+
+        let req = host.alloc_id();
+        let sub = host.alloc_id();
+        host.span_arg("sub:wait", t(0), t(20), sub, "shard", 1);
+        let op = dev.alloc_id();
+        dev.span("op:queue", t(20), t(22), op);
+        fw.span("fw:exec", t(22), t(60), SpanId::NONE);
+        let rd = flash.span("flash:read", t(30), t(50), SpanId::NONE);
+        flash.span("flash:xfer", t(45), t(50), rd);
+        dev.span("ndp:merge", t(60), t(70), op);
+        dev.emit(op, "op", t(20), t(70), sub, "failed", 0, "ndp");
+        host.emit(sub, "sub", t(0), t(70), req, "lookups", 8, "ndp");
+        host.emit(
+            req,
+            "request",
+            t(0),
+            t(70),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "ndp",
+        );
+        let mut spans = sink.take_spans();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+        spans
+    }
+
+    #[test]
+    fn phases_partition_the_request_and_conserve_e2e() {
+        let profiles = request_critical_paths(&synthetic());
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.e2e_ns, 70);
+        assert_eq!(p.path, "ndp");
+        assert!(!p.degraded);
+        // queue 0–20, op:queue 20–22, fw 22–60 (flash overlap loses to
+        // fw priority), merge 60–70.
+        assert_eq!(p.phase_ns[Phase::ShardQueue.index()], 22);
+        assert_eq!(p.phase_ns[Phase::FwExec.index()], 38);
+        assert_eq!(p.phase_ns[Phase::Merge.index()], 10);
+        assert_eq!(p.unattributed_ns, 0);
+        assert!((p.conservation() - 1.0).abs() < 1e-12);
+        let total: u64 = p.phase_ns.iter().sum();
+        assert_eq!(total + p.unattributed_ns, p.e2e_ns);
+    }
+
+    #[test]
+    fn aggregate_report_ranks_fw_as_top_phase() {
+        let report = critical_path_report(&synthetic());
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.paths.len(), 1);
+        let p = &report.paths[0];
+        assert_eq!(p.top_phase(), Phase::FwExec);
+        assert!(report.min_conservation >= 0.95);
+        assert!(report.render().contains("fw_exec"));
+    }
+
+    #[test]
+    fn bottleneck_ranking_puts_the_fw_core_first() {
+        let report = bottleneck_report(&synthetic());
+        assert_eq!(report.top(), Some("fw:core[shard=0]"));
+        assert_eq!(report.ranked[0].busy_ns, 38);
+        assert_eq!(report.headroom.len(), 1);
+        assert_eq!(report.headroom[0].bottleneck, "fw:core");
+        assert!(report.headroom[0].sustainable_rps > 0.0);
+        assert!(report.render().contains("top_bottleneck: fw:core[shard=0]"));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = critical_path_report(&synthetic()).render();
+        let b = critical_path_report(&synthetic()).render();
+        assert_eq!(a, b);
+        assert_eq!(
+            bottleneck_report(&synthetic()).render(),
+            bottleneck_report(&synthetic()).render()
+        );
+    }
+
+    #[test]
+    fn retry_gaps_become_backoff_and_degrade_flag_propagates() {
+        let sink = TraceSink::new();
+        let host = sink.tracer(0, track::TID_HOST);
+        let req = host.alloc_id();
+        let sub = host.alloc_id();
+        // Two dispatch attempts with an uncovered gap between them.
+        host.span_arg("sub:wait", t(0), t(10), sub, "shard", 1);
+        host.span_arg("sub:wait", t(40), t(45), sub, "shard", 1);
+        host.emit(sub, "sub", t(0), t(80), req, "lookups", 4, "baseline");
+        host.emit(
+            req,
+            "request",
+            t(0),
+            t(80),
+            SpanId::NONE,
+            "degraded",
+            1,
+            "baseline",
+        );
+        let mut spans = sink.take_spans();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+        let profiles = request_critical_paths(&spans);
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert!(p.degraded);
+        // Gap 10–40 between attempts is retry backoff (no resource
+        // evidence to claim it).
+        assert_eq!(p.phase_ns[Phase::RetryBackoff.index()], 30);
+        assert_eq!(p.phase_ns[Phase::ShardQueue.index()], 15);
+        // Degraded requests are excluded from path aggregates.
+        let report = CriticalPathReport::from_profiles(&profiles);
+        assert_eq!(report.degraded, 1);
+        assert!(report.paths.is_empty());
+    }
+
+    #[test]
+    fn union_len_merges_overlaps() {
+        let mut ivs = vec![(0u64, 60u64), (40, 100), (10, 50)];
+        assert_eq!(union_len(&mut ivs), 100);
+        let mut gap = vec![(0u64, 40u64), (60, 100)];
+        assert_eq!(union_len(&mut gap), 80);
+    }
+}

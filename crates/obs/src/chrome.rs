@@ -30,6 +30,137 @@ pub struct TraceCheck {
     /// Worst child-union coverage over non-degraded request spans
     /// (1.0 when there are none).
     pub min_coverage: f64,
+    /// Id of the worst-covered non-degraded request span (0 if none).
+    pub worst_request: u64,
+    /// Total uncovered time across non-degraded request spans, ns.
+    pub uncovered_ns: u64,
+}
+
+/// One uncovered interval inside a request span, located by the child
+/// span that precedes it — so a coverage shortfall names *where* the
+/// missing time sits instead of only how much is missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageGap {
+    /// Gap start, ns of virtual time.
+    pub start_ns: u64,
+    /// Gap end, ns.
+    pub end_ns: u64,
+    /// Name of the child span whose end the gap follows, or
+    /// `"request start"` when the gap opens the request.
+    pub after: String,
+    /// Id of that preceding child (0 at the request start).
+    pub after_id: u64,
+}
+
+impl CoverageGap {
+    /// Gap length, ns.
+    pub fn len_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Child-coverage accounting of one request span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestCoverage {
+    /// The request span id.
+    pub request: u64,
+    /// Serving path (the request span's label).
+    pub label: String,
+    /// Request e2e latency, ns.
+    pub e2e_ns: u64,
+    /// Fraction of the request covered by the union of its direct
+    /// children.
+    pub coverage: f64,
+    /// `true` for degraded requests (exempt from the coverage gate).
+    pub degraded: bool,
+    /// The uncovered intervals, longest first.
+    pub gaps: Vec<CoverageGap>,
+}
+
+/// Uncovered intervals of `[start, end]` under the child union, each
+/// located by the child whose end it follows. `kids` must be the
+/// request's direct children.
+fn gaps_of(start: u64, end: u64, kids: &[&SpanRec]) -> Vec<CoverageGap> {
+    let mut ivs: Vec<(u64, u64, usize)> = kids
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.start_ns, k.end_ns, i))
+        .collect();
+    ivs.sort_unstable();
+    let mut gaps = Vec::new();
+    let mut cur = start;
+    let mut last: Option<usize> = None;
+    for &(a, b, i) in &ivs {
+        let a = a.clamp(cur, end);
+        if a > cur {
+            let (after, after_id) = match last {
+                Some(j) => (kids[j].name.to_string(), kids[j].id),
+                None => ("request start".to_string(), 0),
+            };
+            gaps.push(CoverageGap {
+                start_ns: cur,
+                end_ns: a,
+                after,
+                after_id,
+            });
+        }
+        if b > cur {
+            cur = b.min(end);
+            last = Some(i);
+        }
+    }
+    if end > cur {
+        let (after, after_id) = match last {
+            Some(j) => (kids[j].name.to_string(), kids[j].id),
+            None => ("request start".to_string(), 0),
+        };
+        gaps.push(CoverageGap {
+            start_ns: cur,
+            end_ns: end,
+            after,
+            after_id,
+        });
+    }
+    gaps.sort_by(|a, b| {
+        b.len_ns()
+            .cmp(&a.len_ns())
+            .then(a.start_ns.cmp(&b.start_ns))
+    });
+    gaps
+}
+
+/// Per-request child-coverage accounting: how much of every request
+/// span its direct children cover, and exactly where the uncovered time
+/// sits. Requests are returned in trace order.
+pub fn coverage_report(spans: &[SpanRec]) -> Vec<RequestCoverage> {
+    let mut children: HashMap<u64, Vec<&SpanRec>> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    spans
+        .iter()
+        .filter(|s| s.name == "request")
+        .map(|s| {
+            let kids: Vec<&SpanRec> = children.get(&s.id).cloned().unwrap_or_default();
+            let gaps = gaps_of(s.start_ns, s.end_ns, &kids);
+            let uncovered: u64 = gaps.iter().map(|g| g.len_ns()).sum();
+            let e2e = s.end_ns - s.start_ns;
+            RequestCoverage {
+                request: s.id,
+                label: s.label.to_string(),
+                e2e_ns: e2e,
+                coverage: if e2e == 0 {
+                    1.0
+                } else {
+                    (e2e - uncovered) as f64 / e2e as f64
+                },
+                degraded: is_degraded(s),
+                gaps,
+            }
+        })
+        .collect()
 }
 
 /// Escapes a string for a JSON literal (names here are static Rust
@@ -153,6 +284,8 @@ pub fn validate_spans(spans: &[SpanRec]) -> Result<TraceCheck, String> {
     }
     let mut requests = 0usize;
     let mut min_coverage = 1.0f64;
+    let mut worst_request = 0u64;
+    let mut uncovered_ns = 0u64;
     let mut ivs = Vec::new();
     for s in spans.iter().filter(|s| s.name == "request") {
         requests += 1;
@@ -160,23 +293,47 @@ pub fn validate_spans(spans: &[SpanRec]) -> Result<TraceCheck, String> {
             continue;
         }
         ivs.clear();
-        if let Some(kids) = children.get(&s.id) {
-            ivs.extend(kids.iter().map(|k| (k.start_ns, k.end_ns)));
-        }
+        let kids: Vec<&SpanRec> = children.get(&s.id).cloned().unwrap_or_default();
+        ivs.extend(kids.iter().map(|k| (k.start_ns, k.end_ns)));
         let c = coverage(s.start_ns, s.end_ns, &mut ivs);
         if c < 0.99 {
+            // Locate the missing time instead of only reporting the
+            // aggregate: name the worst gap and the child it follows.
+            let gaps = gaps_of(s.start_ns, s.end_ns, &kids);
+            let loc = gaps
+                .first()
+                .map(|g| {
+                    format!(
+                        "; worst gap {} ns at [{}, {}] after {} (id {})",
+                        g.len_ns(),
+                        g.start_ns,
+                        g.end_ns,
+                        g.after,
+                        g.after_id
+                    )
+                })
+                .unwrap_or_default();
             return Err(format!(
-                "request span id {} covered only {:.1}% by its children",
+                "request span id {} ('{}') covered only {:.1}% by its children{}",
                 s.id,
-                c * 100.0
+                s.label,
+                c * 100.0,
+                loc
             ));
         }
-        min_coverage = min_coverage.min(c);
+        let e2e = s.end_ns - s.start_ns;
+        uncovered_ns += e2e - (c * e2e as f64).round() as u64;
+        if c < min_coverage {
+            min_coverage = c;
+            worst_request = s.id;
+        }
     }
     Ok(TraceCheck {
         spans: spans.len(),
         requests,
         min_coverage,
+        worst_request,
+        uncovered_ns,
     })
 }
 
@@ -276,6 +433,74 @@ mod tests {
         let mut spans = demo_spans();
         spans[1].id = spans[0].id;
         assert!(validate_spans(&spans).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn coverage_failure_names_the_gap_location() {
+        let sink = TraceSink::new();
+        let tr = sink.tracer(0, 0);
+        let req = tr.alloc_id();
+        tr.span("sub", t(0), t(40), req);
+        tr.span("sub", t(70), t(100), req);
+        tr.emit(
+            req,
+            "request",
+            t(0),
+            t(100),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "ndp",
+        );
+        let err = validate_spans(&sink.take_spans()).unwrap_err();
+        assert!(err.contains("worst gap 30 ns"), "{err}");
+        assert!(err.contains("after sub"), "{err}");
+        assert!(err.contains("'ndp'"), "{err}");
+    }
+
+    #[test]
+    fn coverage_report_locates_uncovered_time() {
+        let sink = TraceSink::new();
+        let tr = sink.tracer(0, 0);
+        let req = tr.alloc_id();
+        let sub = tr.span("sub", t(10), t(40), req);
+        tr.span("sub", t(70), t(100), req);
+        tr.emit(
+            req,
+            "request",
+            t(0),
+            t(100),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "ndp",
+        );
+        let report = coverage_report(&sink.take_spans());
+        assert_eq!(report.len(), 1);
+        let rc = &report[0];
+        assert_eq!(rc.e2e_ns, 100);
+        assert!((rc.coverage - 0.6).abs() < 1e-12);
+        assert_eq!(rc.gaps.len(), 2, "{:?}", rc.gaps);
+        // Longest gap first: 40–70 after the first sub.
+        assert_eq!(rc.gaps[0].start_ns, 40);
+        assert_eq!(rc.gaps[0].end_ns, 70);
+        assert_eq!(rc.gaps[0].after, "sub");
+        assert_eq!(rc.gaps[0].after_id, sub.0);
+        // The opening gap is anchored at the request start.
+        assert_eq!(rc.gaps[1].start_ns, 0);
+        assert_eq!(rc.gaps[1].after, "request start");
+        assert_eq!(rc.gaps[1].after_id, 0);
+    }
+
+    #[test]
+    fn fully_covered_requests_report_no_gaps() {
+        let report = coverage_report(&demo_spans());
+        assert_eq!(report.len(), 1);
+        assert!(report[0].gaps.is_empty());
+        assert_eq!(report[0].coverage, 1.0);
+        let check = validate_spans(&demo_spans()).expect("valid");
+        assert_eq!(check.uncovered_ns, 0);
+        assert_eq!(check.worst_request, 0, "no request fell below 1.0");
     }
 
     #[test]

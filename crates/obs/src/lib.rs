@@ -21,16 +21,36 @@
 //! [`chrome`] exports recorded spans as Chrome-trace/Perfetto JSON and
 //! validates the span invariants (parent links resolve, children nest
 //! within parents, request spans are covered by their children).
+//!
+//! On top of the raw telemetry sit two **analysis** layers — pure
+//! observers over recorded spans, so they can run live or on a saved
+//! trace and never perturb the simulation:
+//!
+//! * [`analysis`] — per-request **critical-path extraction** (e2e
+//!   latency segmented into named phases with a ≥95 % conservation
+//!   check) and **bottleneck ranking + headroom** estimation.
+//! * [`timeline`] — per-resource busy/idle/wait
+//!   [`UtilizationTimeline`]s over sim-time windows, with
+//!   Little's-law-consistent queueing stats and a windowed JSONL series.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod profile;
 pub mod registry;
+pub mod timeline;
 pub mod trace;
 
-pub use chrome::{chrome_trace_json, validate_spans, TraceCheck};
+pub use analysis::{
+    bottleneck_report, critical_path_report, request_critical_paths, BottleneckReport,
+    CriticalPathReport, LatSummary, PathHeadroom, PathProfile, Phase, RequestProfile, ResourceUse,
+};
+pub use chrome::{
+    chrome_trace_json, coverage_report, validate_spans, CoverageGap, RequestCoverage, TraceCheck,
+};
 pub use profile::{WallPhase, WallPhaseReport, WallProfile, WorkerProfile};
 pub use registry::{CounterH, GaugeH, HistH, HitsH, MetricValue, MetricsRegistry};
+pub use timeline::{utilization_timelines, ResourceKind, UtilWindow, UtilizationTimeline};
 pub use trace::{SpanId, SpanRec, TraceSink, Tracer};

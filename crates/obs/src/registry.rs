@@ -457,4 +457,37 @@ mod tests {
         assert_eq!(fleet.count(), 2);
         assert_eq!(fleet.max(), Some(1000));
     }
+
+    #[test]
+    fn merged_window_snapshots_reconstruct_the_alltime_histogram() {
+        // Windowed operation: snapshot + merge per epoch, reset between
+        // windows. Merging every window snapshot must reproduce the
+        // histogram an unwindowed recorder would have seen — counts,
+        // mean, extrema and quantiles all match exactly.
+        let mut reg = MetricsRegistry::new();
+        let h = reg.hist("lat", &[("path", "ndp")]);
+        let mut alltime = recssd_sim::stats::LogHistogram::new();
+        let mut merged = recssd_sim::stats::LogHistogram::new();
+        let mut lines = Vec::new();
+        for epoch in 0..3u64 {
+            for i in 0..100u64 {
+                let v = 1 + epoch * 1000 + i * 7;
+                h.record(v);
+                alltime.record(v);
+            }
+            merged.merge(&h.snapshot());
+            lines.push(reg.snapshot_jsonl(epoch, SimTime::ZERO + SimDuration::from_us(epoch)));
+            reg.reset_all();
+        }
+        assert_eq!(merged, alltime, "window merge must lose nothing");
+        assert_eq!(merged.count(), 300);
+        assert_eq!(merged.quantiles(), alltime.quantiles());
+        // Each windowed snapshot line carried only that window's count,
+        // and the post-reset registry reports the histogram as empty.
+        for line in &lines {
+            assert!(line.contains("\"count\":100"), "{line}");
+        }
+        let empty = reg.snapshot_jsonl(3, SimTime::ZERO);
+        assert!(!empty.contains("lat"), "reset hist is skipped: {empty}");
+    }
 }

@@ -157,6 +157,13 @@ impl TraceSink {
     pub fn take_spans(&self) -> Vec<SpanRec> {
         std::mem::take(&mut self.buf.lock().expect("trace sink poisoned").spans)
     }
+
+    /// Clones every recorded span *without* draining the sink, in
+    /// emission order — the read path for live analysis that must not
+    /// disturb a later export.
+    pub fn snapshot_spans(&self) -> Vec<SpanRec> {
+        self.buf.lock().expect("trace sink poisoned").spans.clone()
+    }
 }
 
 /// A handle that emits spans into a [`TraceSink`] — or, when disabled

@@ -120,6 +120,9 @@ pub use shard::{ShardMap, SlsPath};
 pub use telemetry::{PathAttribution, ServingStats};
 
 pub use recssd_obs::{
-    chrome_trace_json, validate_spans, MetricValue, SpanRec, TraceCheck, WallPhase,
-    WallPhaseReport, WorkerProfile,
+    bottleneck_report, chrome_trace_json, coverage_report, critical_path_report,
+    request_critical_paths, utilization_timelines, validate_spans, BottleneckReport, CoverageGap,
+    CriticalPathReport, MetricValue, PathHeadroom, PathProfile, Phase, RequestCoverage,
+    RequestProfile, ResourceKind, ResourceUse, SpanRec, TraceCheck, UtilWindow,
+    UtilizationTimeline, WallPhase, WallPhaseReport, WorkerProfile,
 };

@@ -923,6 +923,48 @@ impl ServingRuntime {
         spans
     }
 
+    /// Clones every span recorded so far *without* draining the sinks,
+    /// in the same canonical `(start, end, id)` order as
+    /// [`ServingRuntime::take_trace`]. This is the read path for the
+    /// live analysis APIs below: a pure observer that leaves a later
+    /// export untouched.
+    pub fn snapshot_trace(&self) -> Vec<SpanRec> {
+        let mut spans: Vec<SpanRec> = self.sinks.iter().flat_map(|s| s.snapshot_spans()).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+        spans
+    }
+
+    /// Extracts the per-request critical paths from the spans recorded
+    /// so far and aggregates them per serving path (see
+    /// [`recssd_obs::analysis`]): e2e latency segmented into named
+    /// phases with a conservation check. Requires tracing to be on;
+    /// returns an empty report otherwise. Pure observer — calling this
+    /// mid-run perturbs nothing (property-tested in
+    /// `tests/observability.rs`).
+    pub fn critical_path_report(&self) -> recssd_obs::CriticalPathReport {
+        recssd_obs::critical_path_report(&self.snapshot_trace())
+    }
+
+    /// Per-resource busy/idle/wait decomposition of the spans recorded
+    /// so far — firmware core and flash array per shard, per-shard
+    /// operator queues, the DRAM tier — bucketed into `window`-wide
+    /// sim-time windows with Little's-law-consistent queueing stats.
+    /// Requires tracing to be on; empty otherwise. Pure observer.
+    pub fn utilization_timelines(
+        &self,
+        window: SimDuration,
+    ) -> Vec<recssd_obs::UtilizationTimeline> {
+        recssd_obs::utilization_timelines(&self.snapshot_trace(), window.as_ns().max(1))
+    }
+
+    /// Ranks the simulated resources by busy-time saturation and
+    /// estimates per-path capacity headroom from the measured service
+    /// demands (see [`recssd_obs::analysis::bottleneck_report`]).
+    /// Requires tracing to be on; empty otherwise. Pure observer.
+    pub fn bottleneck_report(&self) -> recssd_obs::BottleneckReport {
+        recssd_obs::bottleneck_report(&self.snapshot_trace())
+    }
+
     /// Turns on wall-clock self-profiling of the simulator loop (where
     /// the *simulator's own* time goes: admission, event dispatch, device
     /// stepping, harvest) — the single-thread baseline for parallel
@@ -2711,10 +2753,18 @@ fn dispatch_on(
     let n_subs = taken.len() as u64;
     if s.host_tracer.enabled() {
         // Queue-wait of each merged component, child of its sub span;
-        // the device operator itself parents under the head sub.
+        // the device operator itself parents under the head sub. The
+        // `shard` argument carries the resource pid so offline analysis
+        // can tie a sub-batch to the shard that served it even when
+        // micro-batching parents the op under a different request.
+        let res_pid = match ix {
+            Ix::Dev(i) => i as u64 + 1,
+            Ix::Tier => track::PID_TIER as u64,
+        };
         for sub in &taken {
             if sub.span.is_some() {
-                s.host_tracer.span("sub:wait", sub.enqueued, now, sub.span);
+                s.host_tracer
+                    .span_arg("sub:wait", sub.enqueued, now, sub.span, "shard", res_pid);
             }
         }
     }

@@ -16,8 +16,8 @@
 use recssd::{FaultConfig, LookupBatch, SlsOptions};
 use recssd_embedding::{EmbeddingTable, Quantization, TableSpec};
 use recssd_serving::{
-    chrome_trace_json, validate_spans, AdaptivePolicy, FaultPolicy, LoadGen, LoadMode, MetricValue,
-    SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
+    chrome_trace_json, validate_spans, AdaptivePolicy, ExecMode, FaultPolicy, LoadGen, LoadMode,
+    MetricValue, SchedulePolicy, ServingConfig, ServingRuntime, SlsPath, TrafficSpec,
 };
 use recssd_sim::rng::Xoshiro256;
 use recssd_sim::{SimDuration, SimTime};
@@ -260,6 +260,180 @@ fn attribution_reports_each_served_path() {
             a.service.max > 0,
             "{}: service time must be nonzero",
             a.path
+        );
+    }
+}
+
+/// Mixed-path run with the analysis APIs exercised both mid-stream and
+/// after the drain; returns everything a bit-exact comparison needs.
+fn run_mixed_analyzed(exec: Option<ExecMode>) -> (Vec<Snap>, Vec<String>, String) {
+    let mut cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8)).with_depth(2);
+    if let Some(e) = exec {
+        cfg = cfg.with_exec(e);
+    }
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_tracing();
+    let t = rt.add_table(table(5));
+    let work = batches(13, 30);
+    let ps = paths();
+    for (i, b) in work.iter().enumerate() {
+        rt.submit_at(
+            SimTime::from_us(i as u64),
+            i as u64,
+            t,
+            b.clone(),
+            ps[i % ps.len()],
+        );
+        if i == 15 {
+            // Mid-stream analysis must be a pure observer.
+            let _ = rt.critical_path_report();
+            let _ = rt.bottleneck_report();
+            let _ = rt.utilization_timelines(SimDuration::from_us(10));
+        }
+    }
+    let done = rt.run_until_idle();
+    let s = snaps(&done);
+    let reports = vec![
+        rt.critical_path_report().render(),
+        rt.bottleneck_report().render(),
+        rt.utilization_timelines(SimDuration::from_us(10))
+            .iter()
+            .map(|tl| tl.snapshot_jsonl())
+            .collect::<Vec<_>>()
+            .join(""),
+    ];
+    let trace_json = chrome_trace_json(&rt.take_trace());
+    (s, reports, trace_json)
+}
+
+/// Tentpole: analysis is a pure observer. Running the critical-path /
+/// bottleneck / timeline extractors mid-run and post-run leaves the
+/// simulation, the stats and the exported trace bit-identical to a run
+/// that never analyzed anything.
+#[test]
+fn analysis_is_a_pure_observer() {
+    let (mut rt_plain, snaps_plain) = run_mixed(true, false);
+    let (snaps_analyzed, _, trace_analyzed) = run_mixed_analyzed(None);
+    assert_eq!(snaps_plain, snaps_analyzed, "analysis perturbed results");
+    let trace_plain = chrome_trace_json(&rt_plain.take_trace());
+    assert_eq!(
+        trace_plain, trace_analyzed,
+        "analysis perturbed (or drained) the trace"
+    );
+}
+
+/// Tentpole: reports are bit-identical across execution modes — the
+/// sequential stepper and the parallel sweeper feed the analysis the
+/// same canonical trace, so every rendered report and JSONL series
+/// matches byte for byte.
+#[test]
+fn analysis_reports_identical_sequential_vs_parallel() {
+    let (snaps_seq, reports_seq, trace_seq) = run_mixed_analyzed(Some(ExecMode::Sequential));
+    let (snaps_par, reports_par, trace_par) = run_mixed_analyzed(Some(ExecMode::Parallel(2)));
+    assert_eq!(snaps_seq, snaps_par, "results diverged across exec modes");
+    assert_eq!(trace_seq, trace_par, "traces diverged across exec modes");
+    assert_eq!(reports_seq.len(), reports_par.len());
+    for (a, b) in reports_seq.iter().zip(&reports_par) {
+        assert_eq!(a, b, "analysis reports diverged across exec modes");
+    }
+}
+
+/// Tentpole: the phase decomposition explains ≥ 95 % of e2e latency on
+/// all three serving paths (the CI conservation gate), and the
+/// decomposition's resources show up in the bottleneck ranking and the
+/// utilization timelines.
+#[test]
+fn critical_path_conserves_e2e_on_all_paths() {
+    let (rt, _) = run_mixed(true, false);
+    let report = rt.critical_path_report();
+    assert_eq!(report.requests, 30);
+    assert_eq!(report.degraded, 0);
+    let mut seen: Vec<&str> = report.paths.iter().map(|p| p.path.as_str()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, ["baseline", "dram", "ndp"]);
+    for p in &report.paths {
+        assert!(
+            p.conservation() >= 0.95,
+            "path {}: phases explain only {:.1}% of e2e",
+            p.path,
+            p.conservation() * 100.0
+        );
+        assert!(p.e2e.count == p.requests && p.e2e.max_ns > 0);
+    }
+    assert!(report.min_conservation >= 0.95);
+
+    let bn = rt.bottleneck_report();
+    assert!(bn.top().is_some(), "no resources ranked");
+    assert!(bn.ranked.iter().any(|r| r.resource.starts_with("fw:core")));
+    assert!(!bn.headroom.is_empty());
+    for h in &bn.headroom {
+        assert!(h.sustainable_rps > 0.0 && h.observed_rps > 0.0);
+    }
+
+    let tls = rt.utilization_timelines(SimDuration::from_us(10));
+    assert!(tls.iter().any(|t| t.resource.starts_with("fw:core")));
+    assert!(tls.iter().any(|t| t.resource.starts_with("queue[shard=")));
+    for t in &tls {
+        assert!(
+            t.littles_law_residual() < 1e-9,
+            "{}: L != lambda*W",
+            t.resource
+        );
+        assert!(t.utilization() <= 1.0 + 1e-12);
+    }
+}
+
+/// Satellite: per-worker wall profiles under `Parallel(n)` sum
+/// coherently — every worker saw the same number of sweep windows, its
+/// advance/barrier split is sane, and no worker's accounted time
+/// exceeds the loop's own device-step wall time (with slack for timer
+/// noise).
+#[test]
+fn wall_profile_parallel_workers_sum_coherently() {
+    let cfg = ServingConfig::small_wide(2, SchedulePolicy::micro_batch(8))
+        .with_depth(2)
+        .with_exec(ExecMode::Parallel(2));
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_self_profiling();
+    let t = rt.add_table(table(5));
+    let ps = paths();
+    for (i, b) in batches(13, 30).iter().enumerate() {
+        rt.submit_at(
+            SimTime::from_us(i as u64),
+            i as u64,
+            t,
+            b.clone(),
+            ps[i % ps.len()],
+        );
+    }
+    rt.run_until_idle();
+    let workers = rt.worker_profiles();
+    if !matches!(rt.exec_mode(), ExecMode::Parallel(_)) {
+        // RECSSD_FORCE_EXEC=sequential demotes the run; nothing to check.
+        assert!(workers.is_empty());
+        return;
+    }
+    assert!(!workers.is_empty(), "parallel run reported no workers");
+    let windows = workers[0].windows;
+    assert!(windows > 0, "no sweep windows profiled");
+    for w in &workers {
+        assert_eq!(w.windows, windows, "workers disagree on window count");
+        assert!(w.advance_ns + w.barrier_ns > 0, "worker did no work");
+        let u = w.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+    let dev = rt
+        .wall_profile()
+        .into_iter()
+        .find(|p| p.phase == "device_step")
+        .expect("device_step phase");
+    assert!(dev.nanos > 0);
+    for w in &workers {
+        assert!(
+            w.advance_ns + w.barrier_ns <= dev.nanos.saturating_mul(2),
+            "worker accounted more than the whole loop: {} > {}",
+            w.advance_ns + w.barrier_ns,
+            dev.nanos
         );
     }
 }

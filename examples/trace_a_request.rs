@@ -79,6 +79,28 @@ fn main() {
     println!("span tree of request #{} (times in virtual ns):", root.id);
     print_tree(root, &children, 0);
 
+    // Extracted critical path of the same request: every nanosecond of
+    // its e2e latency charged to the resource it was blocked on.
+    let profiles = request_critical_paths(&spans);
+    let prof = profiles
+        .iter()
+        .find(|p| p.request == root.id)
+        .expect("profile for the printed request");
+    println!(
+        "\ncritical path of request #{} ({} ns e2e, {:.1}% attributed):",
+        prof.request,
+        prof.e2e_ns,
+        prof.conservation() * 100.0
+    );
+    for (phase, ns) in prof.segments() {
+        println!(
+            "  {:<14} {:>7} ns  {:>5.1}% of e2e",
+            phase.name(),
+            ns,
+            ns as f64 * 100.0 / prof.e2e_ns as f64
+        );
+    }
+
     // Per-path latency attribution and the simulator's own wall profile
     // come from the same run — no second pass needed.
     println!("\nlatency attribution:");

@@ -51,9 +51,11 @@ pub mod prelude {
     };
     pub use recssd_placement::{FreqProfiler, PlacementPlan, PlacementPolicy, TablePlacement};
     pub use recssd_serving::{
-        chrome_trace_json, validate_spans, LoadGen, LoadMode, LoadReport, MetricValue,
-        PathAttribution, SchedulePolicy, ServingConfig, ServingRuntime, ShardMap, SlsPath, SpanRec,
-        TraceCheck, TrafficSpec, WallPhaseReport,
+        bottleneck_report, chrome_trace_json, critical_path_report, request_critical_paths,
+        utilization_timelines, validate_spans, BottleneckReport, CriticalPathReport, LoadGen,
+        LoadMode, LoadReport, MetricValue, PathAttribution, Phase, RequestProfile, SchedulePolicy,
+        ServingConfig, ServingRuntime, ShardMap, SlsPath, SpanRec, TraceCheck, TrafficSpec,
+        UtilizationTimeline, WallPhaseReport,
     };
     pub use recssd_sim::{SimDuration, SimTime};
     pub use recssd_trace::{ArrivalProcess, LocalityK, LocalityTrace, ZipfTrace};
