@@ -11,8 +11,10 @@
 //! tracing across serving → host → firmware → flash, per-path latency
 //! attribution, wall-clock self-profile), runs the trace analysis layer
 //! over it (per-request critical-path extraction, per-resource queueing
-//! timelines, automated bottleneck ranking + headroom), and writes
-//! `BENCH_serving.json` (v8 schema) with throughput, p50/p95/p99/p999
+//! timelines, automated bottleneck ranking + headroom), sweeps
+//! per-channel SLS engine pools × queue depth on the NDP path (the
+//! multi-engine in-SSD compute tentpole), and writes
+//! `BENCH_serving.json` (v9 schema) with throughput, p50/p95/p99/p999
 //! latency, per-shard operator occupancy, flash channel utilisation,
 //! DRAM-tier hit-rate, per-tier latency, plan-refresh / migration
 //! telemetry, fault / retry / fallback / degradation counters, the
@@ -45,11 +47,17 @@
 //! conserves at least 95% of e2e time on all three serving paths, and
 //! on the heat-packed baseline workload the bottleneck analyzer ranks
 //! the serial firmware core first — re-finding, automatically, the wall
-//! that previously took a manual deep-dive.
+//! that previously took a manual deep-dive. With per-channel engine
+//! pools enabled, multi-engine NDP throughput dominates the
+//! single-engine configuration at every swept point (≥ 1.5x at 4 shards
+//! × depth 4), and the traced multi-engine run's top bottleneck moves
+//! off the firmware core onto a flash resource.
 
 use std::fmt::Write as _;
 
-use recssd::{BrownoutWindow, FaultConfig, LookupBatch, SlsOptions};
+use recssd::{
+    BrownoutWindow, EnginePoolConfig, FaultConfig, LookupBatch, MergePlacement, SlsOptions,
+};
 use recssd_embedding::{EmbeddingTable, PageLayout, Quantization, TableSpec};
 use recssd_placement::{plan_delta, FreqProfiler, PlacementPlan, PlacementPolicy};
 use recssd_serving::{
@@ -102,6 +110,13 @@ struct Params {
     /// throughput reflects capacity — i.e. miss rate — not per-request
     /// latency).
     drift_clients: usize,
+    /// Multi-engine sweep: embedding dimension. Wide vectors put the
+    /// NDP path in the Fig.-11a regime where per-page Translation
+    /// dominates the firmware — the wall the engine pool breaks.
+    me_dim: usize,
+    /// Multi-engine sweep: closed-loop clients (enough to saturate all
+    /// [`ME_SHARDS`] shards at the deepest swept queue depth).
+    me_clients: usize,
 }
 
 impl Params {
@@ -133,6 +148,8 @@ impl Params {
                 drift_budget_rows: 512,
                 drift_epoch_requests: 96,
                 drift_clients: 64,
+                me_dim: 1024,
+                me_clients: 64,
             }
         } else {
             Params {
@@ -161,6 +178,8 @@ impl Params {
                 drift_budget_rows: 128,
                 drift_epoch_requests: 48,
                 drift_clients: 48,
+                me_dim: 1024,
+                me_clients: 32,
             }
         }
     }
@@ -1097,6 +1116,107 @@ fn run_heatpacked_analysis(p: &Params, depth: usize) -> (BottleneckReport, Criti
     (bottleneck, critical)
 }
 
+/// Shard count of the multi-engine sweep — the ISSUE's acceptance
+/// workload (4-shard FIFO NDP).
+const ME_SHARDS: usize = 4;
+/// Engine-pool sizes swept (0 = no pool: the serial firmware core does
+/// every per-page Translation itself).
+const ME_ENGINES: [usize; 5] = [0, 1, 2, 4, 8];
+
+struct MultiEnginePoint {
+    engines: usize,
+    depth: usize,
+    report: LoadReport,
+}
+
+/// Builds the engine-pool knob for `engines` per-channel SLS engines
+/// (merge folded on the firmware core), or `None` for the serial path.
+fn engine_pool(engines: usize) -> Option<EnginePoolConfig> {
+    (engines > 0).then_some(EnginePoolConfig {
+        engines,
+        rate_pct: 100,
+        merge: MergePlacement::FwCore,
+    })
+}
+
+/// Adds the multi-engine workload's tables to `rt`: same row counts as
+/// the main sweep but `me_dim`-wide vectors, so per-page Translation —
+/// not the flash array — is the firmware's dominant cost (Fig. 11a).
+fn add_me_tables(p: &Params, rt: &mut ServingRuntime) -> Vec<recssd_serving::ServedTableId> {
+    (0..p.tables)
+        .map(|t| {
+            rt.add_table(EmbeddingTable::procedural(
+                TableSpec::new(p.rows_per_table, p.me_dim, Quantization::F32),
+                t as u64,
+            ))
+        })
+        .collect()
+}
+
+/// One multi-engine sweep point: closed-loop FIFO NDP traffic on
+/// [`ME_SHARDS`] shards with an `engines`-wide per-channel SLS engine
+/// pool. Identical workload and seed across pool sizes, so the only
+/// variable is where Translation executes.
+fn run_multi_engine(p: &Params, depth: usize, engines: usize) -> MultiEnginePoint {
+    let mut cfg = ServingConfig::small_wide(ME_SHARDS, SchedulePolicy::Fifo).with_depth(depth);
+    cfg.system.ssd.ftl.engines = engine_pool(engines);
+    let mut rt = ServingRuntime::new(&cfg);
+    let tables = add_me_tables(p, &mut rt);
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        p.spec,
+        LoadMode::Closed {
+            clients: p.me_clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let report = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), p.requests);
+    assert!(report.verified > 0, "multi-engine bit-match unchecked");
+    MultiEnginePoint {
+        engines,
+        depth,
+        report,
+    }
+}
+
+/// Traced multi-engine NDP run: with the per-page Translation work
+/// spread across `engines` per-channel engines the serial firmware wall
+/// is gone, so the bottleneck analyzer must attribute the path to a
+/// *flash* resource instead of `fw:core`. Returns the live reports plus
+/// the Chrome-trace JSON so CI can replay the same verdict offline
+/// through `recssd-analyze`.
+fn run_multi_engine_analysis(
+    p: &Params,
+    depth: usize,
+    engines: usize,
+) -> (BottleneckReport, CriticalPathReport, String) {
+    let mut cfg = ServingConfig::small_wide(1, SchedulePolicy::Fifo).with_depth(depth);
+    cfg.system.ssd.ftl.engines = engine_pool(engines);
+    let mut rt = ServingRuntime::new(&cfg);
+    rt.enable_tracing();
+    let tables = add_me_tables(p, &mut rt);
+    let mut gen = LoadGen::new(
+        &rt,
+        tables,
+        p.spec,
+        LoadMode::Closed {
+            clients: p.me_clients,
+            think: SimDuration::ZERO,
+        },
+        42,
+    )
+    .with_verify_every(p.verify_every);
+    let _ = gen.run(&mut rt, SlsPath::Ndp(SlsOptions::default()), p.requests);
+    let spans = rt.take_trace();
+    let bottleneck = bottleneck_report(&spans);
+    let critical = critical_path_report(&spans);
+    let trace_json = chrome_trace_json(&spans);
+    (bottleneck, critical, trace_json)
+}
+
 fn q_json(q: &Quantiles) -> String {
     format!(
         "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"mean_us\": {:.2}, \"max_us\": {:.2}",
@@ -1122,10 +1242,14 @@ fn write_json(
     obs: &ObsReport,
     heat_bottleneck: &BottleneckReport,
     heat_critical: &CriticalPathReport,
+    multi_engine: &[MultiEnginePoint],
+    me_speedup: f64,
+    me_bottleneck: &BottleneckReport,
+    me_critical: &CriticalPathReport,
 ) -> String {
     // Hand-rolled JSON: the workspace has no serde and the schema is flat.
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"recssd-serving/v8\",\n");
+    s.push_str("{\n  \"schema\": \"recssd-serving/v9\",\n");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"tables\": {}, \"rows_per_table\": {}, \"dim\": {}, \"outputs\": {}, \
@@ -1285,6 +1409,43 @@ fn write_json(
             "\n"
         });
     }
+    // The v9 multi-engine block: per-channel SLS engine pool × queue
+    // depth sweep on the 4-shard FIFO NDP workload, plus the traced
+    // multi-engine run's bottleneck verdict (must be a flash resource —
+    // the serial firmware wall is gone).
+    let _ = writeln!(
+        s,
+        "  ],\n  \"multi_engine\": {{\n    \"shards\": {ME_SHARDS}, \"policy\": \"fifo\", \
+         \"path\": \"ndp\",\n    \"points\": [",
+    );
+    for (i, m) in multi_engine.iter().enumerate() {
+        let r = &m.report;
+        let _ = write!(
+            s,
+            "      {{\"engines\": {}, \"depth\": {}, \"lookups_per_sim_sec\": {:.0}, \
+             \"occupancy\": {:.3}, \"channel_util\": {:.4}, \"verified\": {}, {}}}",
+            m.engines,
+            m.depth,
+            r.lookups_per_sim_sec,
+            r.mean_occupancy(),
+            r.mean_channel_util(),
+            r.verified,
+            q_json(&r.e2e),
+        );
+        s.push_str(if i + 1 < multi_engine.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        s,
+        "    ],\n    \"speedup_vs_single_engine\": {:.3},\n    \
+         \"ndp_top_bottleneck\": \"{}\",\n    \"ndp_min_conservation\": {:.4}\n  }},",
+        me_speedup,
+        me_bottleneck.top().unwrap_or(""),
+        me_critical.min_conservation,
+    );
     let fault_counters = |r: &LoadReport| -> String {
         format!(
             "\"requests\": {}, \"verified\": {}, \"lookups\": {}, \"faults\": {}, \
@@ -1301,7 +1462,7 @@ fn write_json(
             r.missing_lookups,
         )
     };
-    s.push_str("  ],\n  \"resilience\": {\n    \"transient_sweep\": [\n");
+    s.push_str("  \"resilience\": {\n    \"transient_sweep\": [\n");
     for (i, pt) in resilience.sweep.iter().enumerate() {
         let _ = write!(
             s,
@@ -1456,9 +1617,17 @@ fn write_json(
     for (i, h) in obs.bottleneck.headroom.iter().enumerate() {
         let _ = write!(
             s,
-            "      {{\"path\": \"{}\", \"bottleneck\": \"{}\", \"demand_ns\": {}, \
-             \"sustainable_rps\": {:.1}, \"observed_rps\": {:.1}, \"headroom_x\": {:.3}}}",
-            h.path, h.bottleneck, h.demand_ns, h.sustainable_rps, h.observed_rps, h.headroom_x,
+            "      {{\"path\": \"{}\", \"bottleneck\": \"{}\", \"capacity\": {}, \
+             \"demand_ns\": {}, \"sustainable_rps\": {:.1}, \"observed_rps\": {:.1}, \
+             \"headroom_x\": {:.3}, \"saturated\": {}}}",
+            h.path,
+            h.bottleneck,
+            h.capacity,
+            h.demand_ns,
+            h.sustainable_rps,
+            h.observed_rps,
+            h.headroom_x,
+            h.saturated,
         );
         s.push_str(if i + 1 < obs.bottleneck.headroom.len() {
             ",\n"
@@ -1511,11 +1680,15 @@ fn main() {
     let mut out_path = "BENCH_serving.json".to_string();
     let mut trace_out: Option<String> = None;
     let mut epoch_log_out: Option<String> = None;
+    let mut ndp_trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
             "--epoch-log" => epoch_log_out = Some(args.next().expect("--epoch-log needs a path")),
+            "--ndp-trace-out" => {
+                ndp_trace_out = Some(args.next().expect("--ndp-trace-out needs a path"))
+            }
             other => out_path = other.to_string(),
         }
     }
@@ -1802,6 +1975,83 @@ fn main() {
         heat_critical.min_conservation * 100.0
     );
 
+    // Multi-engine sweep (the in-SSD compute tentpole): per-channel SLS
+    // engine pool size × queue depth on the 4-shard FIFO NDP workload.
+    println!(
+        "multi-engine sweep ({ME_SHARDS} shards, engines {ME_ENGINES:?}, depths {:?}):",
+        p.depths
+    );
+    let mut multi_engine = Vec::new();
+    for &depth in p.depths {
+        for &engines in &ME_ENGINES {
+            let m = run_multi_engine(&p, depth, engines);
+            println!(
+                "  ndp {} engine(s) depth {}: {:>12.0} lookups/sim-sec  \
+                 p50 {:>8.1}us  p99 {:>9.1}us  occ {:>4.2}  chan {:>5.1}%",
+                m.engines,
+                m.depth,
+                m.report.lookups_per_sim_sec,
+                m.report.e2e.p50 as f64 / 1e3,
+                m.report.e2e.p99 as f64 / 1e3,
+                m.report.mean_occupancy(),
+                m.report.mean_channel_util() * 100.0,
+            );
+            multi_engine.push(m);
+        }
+    }
+    let me_tput = |engines: usize, depth: usize| {
+        multi_engine
+            .iter()
+            .find(|m| m.engines == engines && m.depth == depth)
+            .expect("multi-engine point present")
+            .report
+            .lookups_per_sim_sec
+    };
+    // Acceptance bar 11: engine pools dominate — every multi-engine
+    // configuration is at least as fast as single-engine at every swept
+    // point, and >= 4 engines gain >= 1.5x at depth `pipe_depth`.
+    for &depth in p.depths {
+        for &engines in &[2usize, 4, 8] {
+            let (multi, single) = (me_tput(engines, depth), me_tput(1, depth));
+            assert!(
+                multi >= single,
+                "{engines} engines ({multi:.0}) slower than 1 engine ({single:.0}) \
+                 at depth {depth}"
+            );
+        }
+    }
+    let me_speedup = me_tput(4, pipe_depth) / me_tput(1, pipe_depth);
+    println!("multi-engine NDP speedup 1→4 engines (depth {pipe_depth}): {me_speedup:.2}x");
+    assert!(
+        me_speedup >= 1.5,
+        "4-engine NDP gained only {me_speedup:.2}x over single-engine at depth {pipe_depth}"
+    );
+
+    // Acceptance bar 12: with the translation work spread across the
+    // engine pool, the serial firmware wall is gone — the analyzer must
+    // pin the traced multi-engine NDP run on a *flash* resource.
+    let (me_bottleneck, me_critical, me_trace) = run_multi_engine_analysis(&p, pipe_depth, 8);
+    let me_top = me_bottleneck.top().unwrap_or("").to_string();
+    println!(
+        "multi-engine NDP (8 engines, depth {pipe_depth}): top bottleneck {me_top}, \
+         conservation {:.1}%",
+        me_critical.min_conservation * 100.0
+    );
+    assert!(
+        me_top.starts_with("flash"),
+        "multi-engine NDP should bottleneck on flash, got {me_top}"
+    );
+    assert!(
+        me_critical.min_conservation >= 0.95,
+        "multi-engine critical path conserves only {:.1}%",
+        me_critical.min_conservation * 100.0
+    );
+
+    if let Some(path) = &ndp_trace_out {
+        std::fs::write(path, &me_trace).expect("write multi-engine trace JSON");
+        println!("wrote {path}");
+    }
+
     if let Some(path) = &trace_out {
         std::fs::write(path, &obs.trace_json).expect("write trace JSON");
         println!("wrote {path} ({} spans)", obs.spans);
@@ -1823,6 +2073,10 @@ fn main() {
         &obs,
         &heat_bottleneck,
         &heat_critical,
+        &multi_engine,
+        me_speedup,
+        &me_bottleneck,
+        &me_critical,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("wrote {out_path}");

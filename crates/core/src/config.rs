@@ -26,6 +26,13 @@ pub struct NdpConfig {
     /// Per-byte firmware cost of extracting + accumulating vector data
     /// from a page (ns).
     pub translate_per_byte_ns: f64,
+    /// Fixed cost of merging per-engine partial results into the
+    /// request scratchpad (ns). Only charged when the device runs a
+    /// per-channel engine pool (`ssd.ftl.engines`).
+    pub merge_fixed_ns: u64,
+    /// Per-byte cost of the partial-result merge: each engine partial
+    /// contributes its result bytes to the folded total (ns/byte).
+    pub merge_per_byte_ns: f64,
     /// Slots of the direct-mapped SSD-side embedding cache (0 disables).
     pub embed_cache_slots: usize,
 }
@@ -46,6 +53,11 @@ impl NdpConfig {
             // vectors approach the page size (Fig. 11a).
             translate_fixed_ns: 5_000,
             translate_per_byte_ns: 4.0,
+            // Folding one engine's f32 partial is a streaming add over
+            // SSD DRAM — far cheaper per byte than translation's
+            // decode + scatter, but not free on the A9-class cores.
+            merge_fixed_ns: 2_000,
+            merge_per_byte_ns: 0.5,
             embed_cache_slots: 0,
         }
     }
@@ -69,6 +81,14 @@ impl NdpConfig {
     pub fn config_process_time(&self, pairs: usize) -> recssd_sim::SimDuration {
         recssd_sim::SimDuration::from_ns(
             self.config_process_fixed_ns + self.config_process_per_pair_ns * pairs as u64,
+        )
+    }
+
+    /// Duration of folding `partial_bytes` of per-engine partial results
+    /// into the request scratchpad (multi-engine merge step).
+    pub fn merge_time(&self, partial_bytes: usize) -> recssd_sim::SimDuration {
+        recssd_sim::SimDuration::from_ns(
+            self.merge_fixed_ns + (partial_bytes as f64 * self.merge_per_byte_ns) as u64,
         )
     }
 }

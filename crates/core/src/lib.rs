@@ -67,4 +67,7 @@ pub use tables::{TableBinding, TableRegistry};
 
 pub use recssd_embedding::{LookupBatch, TableId};
 pub use recssd_flash::{BrownoutWindow, FaultConfig, FaultPlan, FaultStats};
+// Per-channel engine-pool knobs, so hosts can switch on in-SSD compute
+// engines (`cfg.ssd.ftl.engines`) without a device-crate dependency.
 pub use recssd_obs::{SpanId, TraceSink, Tracer};
+pub use recssd_ssd::{EnginePoolConfig, MergePlacement};

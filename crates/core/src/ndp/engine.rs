@@ -43,7 +43,7 @@ use recssd_nvme::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus, XferDirec
 use recssd_sim::rng::mix64;
 use recssd_sim::stats::{Counter, HitStats};
 use recssd_sim::{FxHashMap, SimDuration, SimTime};
-use recssd_ssd::{DeviceCtx, NdpEngine, SsdEvent, EXT_TAG_BIT};
+use recssd_ssd::{DeviceCtx, MergePlacement, NdpEngine, SsdEvent, EXT_TAG_BIT};
 
 use crate::{NdpConfig, SlsConfig, SlsOutput};
 
@@ -56,6 +56,9 @@ pub struct SlsRequestReport {
     pub config_process: SimDuration,
     /// Sum of translation firmware task durations ("Translation").
     pub translation: SimDuration,
+    /// Duration of the partial-result merge task (zero without a
+    /// per-channel engine pool).
+    pub merge: SimDuration,
     /// Time the FTL spent managing/waiting on flash beyond translation
     /// ("Flash Read").
     pub flash_read: SimDuration,
@@ -106,6 +109,7 @@ impl NdpStats {
         acc.config_write += r.config_write;
         acc.config_process += r.config_process;
         acc.translation += r.translation;
+        acc.merge += r.merge;
         acc.flash_read += r.flash_read;
         acc.total += r.total;
         acc.pages += r.pages;
@@ -126,6 +130,7 @@ impl NdpStats {
             config_write: acc.config_write / n,
             config_process: acc.config_process / n,
             translation: acc.translation / n,
+            merge: acc.merge / n,
             flash_read: acc.flash_read / n,
             total: acc.total / n,
             pages: acc.pages / n as usize,
@@ -207,6 +212,14 @@ enum FwJob {
         widx: usize,
         data: Arc<[u8]>,
         duration: SimDuration,
+        /// Pool engine the translation ran on (`None` = firmware core,
+        /// the single-core legacy path).
+        engine: Option<u32>,
+    },
+    /// Fold the per-engine partial accumulators into the entry's result
+    /// scratchpad (multi-engine path only).
+    Merge {
+        request: u64,
     },
 }
 
@@ -228,6 +241,10 @@ struct EntryBufs {
     page_work: Vec<PageWork>,
     /// Recycled pair-list buffer for [`SlsConfig::decode_pooled`].
     pairs: Vec<(u64, u32)>,
+    /// Engine-local partial accumulators (multi-engine path).
+    partials: Vec<SlsOutput>,
+    /// Pages translated per engine (sizes the merge charge).
+    partial_pages: Vec<u32>,
 }
 
 #[derive(Debug)]
@@ -247,6 +264,14 @@ struct SlsEntry {
     page_work: Vec<PageWork>,
     pages_pending: usize,
     results: SlsOutput,
+    /// Engine-local partial accumulators, indexed by pool engine. Empty
+    /// on the single-core path, where translation folds straight into
+    /// `results`.
+    partials: Vec<SlsOutput>,
+    /// Pages translated per engine.
+    partial_pages: Vec<u32>,
+    /// A merge task must still run (and has not been charged yet).
+    needs_merge: bool,
     results_ready: bool,
     /// An injected uncorrectable flash read poisoned this request; it will
     /// complete with [`NvmeStatus::MediaError`] instead of result data.
@@ -257,8 +282,12 @@ struct SlsEntry {
     t_config_written: SimTime,
     t_processed: SimTime,
     t_last_page: SimTime,
+    /// Instant the merged results became ready (equals `t_last_page` on
+    /// the single-core path; after the merge task otherwise).
+    t_ready: SimTime,
     config_process: SimDuration,
     translation: SimDuration,
+    merge: SimDuration,
     cache_hits: u64,
     lookups: u64,
 }
@@ -330,6 +359,14 @@ impl NdpSlsEngine {
         ftl.charge_firmware(ctx.now, dur, tag, &mut |d, e| sched(d, SsdEvent::Ftl(e)));
     }
 
+    fn charge_engine(ctx: &mut DeviceCtx<'_>, engine: usize, dur: SimDuration, tag: FwTag) {
+        let ftl = &mut *ctx.ftl;
+        let sched = &mut *ctx.sched;
+        ftl.charge_engine(ctx.now, engine, dur, tag, &mut |d, e| {
+            sched(d, SsdEvent::Ftl(e))
+        });
+    }
+
     /// Returns an entry's buffers to the free-list pool.
     fn recycle(&mut self, entry: SlsEntry) {
         if self.buf_pool.len() < self.cfg.max_entries {
@@ -344,6 +381,8 @@ impl NdpSlsEngine {
                 work_items: entry.work_items,
                 page_work: entry.page_work,
                 pairs,
+                partials: entry.partials,
+                partial_pages: entry.partial_pages,
             });
         }
     }
@@ -408,10 +447,26 @@ impl NdpSlsEngine {
         }
         let n_pages = entry.page_work.len();
         entry.pages_pending = n_pages;
-        entry.cfg = Some(cfg);
         entry.t_processed = ctx.now;
         entry.t_last_page = ctx.now;
         let (qid, write_cid) = (entry.qid, entry.write_cid);
+
+        // Multi-engine split: per-page translation will land on the
+        // engine owning the page's channel, accumulating into
+        // engine-local partials that a final merge folds together.
+        let engines = ctx.ftl.engine_count();
+        if engines > 0 && n_pages > 0 {
+            let (n_results, dim) = (cfg.n_results as usize, cfg.dim as usize);
+            entry.partials.resize_with(engines, SlsOutput::default);
+            entry.partials.truncate(engines);
+            for p in &mut entry.partials {
+                p.reset(n_results, dim);
+            }
+            entry.partial_pages.clear();
+            entry.partial_pages.resize(engines, 0);
+            entry.needs_merge = true;
+        }
+        entry.cfg = Some(cfg);
 
         // Issue all page reads through the FTL's page scheduler (step 3a);
         // FTL page-cache hits are processed directly (step 3b).
@@ -445,7 +500,10 @@ impl NdpSlsEngine {
         self.maybe_finish(ctx, request);
     }
 
-    /// Step 4: page data available — charge the translation firmware task.
+    /// Step 4: page data available — charge the translation task. With a
+    /// per-channel engine pool the charge lands on the engine owning the
+    /// page's flash channel (the transparent splitter); otherwise on the
+    /// serial firmware core, exactly the single-core model.
     fn start_translation(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
@@ -453,17 +511,30 @@ impl NdpSlsEngine {
         widx: usize,
         data: Arc<[u8]>,
     ) {
-        let entry = &self.entries[&request];
+        let entry = self.entries.get_mut(&request).expect("entry exists");
         let cfg = entry.cfg.as_ref().expect("configured");
         let vectors = entry.page_work[widx].len as usize;
         let duration = self.cfg.translate_time(vectors * cfg.row_bytes());
+        let engines = ctx.ftl.engine_count();
+        let engine = if engines > 0 {
+            let lpn = recssd_ftl::Lpn(entry.table_base + entry.page_work[widx].page);
+            let e = ctx.ftl.channel_of(lpn) as usize % engines;
+            entry.partial_pages[e] += 1;
+            Some(e as u32)
+        } else {
+            None
+        };
         let tag = self.alloc_tag(FwJob::Translate {
             request,
             widx,
             data,
             duration,
+            engine,
         });
-        Self::charge_fw(ctx, duration, tag);
+        match engine {
+            Some(e) => Self::charge_engine(ctx, e as usize, duration, tag),
+            None => Self::charge_fw(ctx, duration, tag),
+        }
     }
 
     /// Step 5: translation done — extract vectors, accumulate, fill the
@@ -478,6 +549,7 @@ impl NdpSlsEngine {
         widx: usize,
         data: &[u8],
         duration: SimDuration,
+        engine: Option<u32>,
     ) {
         let Self {
             cache,
@@ -494,18 +566,25 @@ impl NdpSlsEngine {
         let w = entry.page_work[widx];
         let base = entry.table_base;
         let items = w.start as usize..(w.start + w.len) as usize;
+        // Engine translations fold into the engine-local partial; the
+        // merge task later combines partials in fixed engine order.
+        let SlsEntry {
+            results,
+            partials,
+            work_items,
+            ..
+        } = &mut *entry;
+        let target = match engine {
+            Some(e) => &mut partials[e as usize],
+            None => results,
+        };
         if cache.enabled() {
             row_scratch.clear();
             row_scratch.resize(dim, 0.0);
             for i in items {
-                let (offset, slot) = entry.work_items[i];
+                let (offset, slot) = work_items[i];
                 quant.decode_into(&data[offset..], row_scratch);
-                for (o, v) in entry
-                    .results
-                    .row_mut(slot as usize)
-                    .iter_mut()
-                    .zip(&*row_scratch)
-                {
+                for (o, v) in target.row_mut(slot as usize).iter_mut().zip(&*row_scratch) {
                     *o += *v;
                 }
                 let row = w.page * rows_per_page + (offset / row_bytes) as u64;
@@ -513,13 +592,36 @@ impl NdpSlsEngine {
             }
         } else {
             for i in items {
-                let (offset, slot) = entry.work_items[i];
-                quant.decode_accumulate(&data[offset..], entry.results.row_mut(slot as usize));
+                let (offset, slot) = work_items[i];
+                quant.decode_accumulate(&data[offset..], target.row_mut(slot as usize));
             }
         }
         entry.translation += duration;
         entry.pages_pending -= 1;
         entry.t_last_page = ctx.now;
+        self.maybe_finish(ctx, request);
+    }
+
+    /// Merge task done: fold each engine's partial into the result
+    /// scratchpad in fixed engine-index order — deterministic regardless
+    /// of which engine finished last — skipping engines that saw no pages
+    /// (their partials are all-zero and contribute nothing).
+    fn apply_merge(&mut self, ctx: &mut DeviceCtx<'_>, request: u64) {
+        let entry = self.entries.get_mut(&request).expect("entry exists");
+        let SlsEntry {
+            results,
+            partials,
+            partial_pages,
+            ..
+        } = &mut *entry;
+        for (p, &pages) in partials.iter().zip(partial_pages.iter()) {
+            if pages == 0 {
+                continue;
+            }
+            for (o, v) in results.as_mut_slice().iter_mut().zip(p.as_slice()) {
+                *o += *v;
+            }
+        }
         self.maybe_finish(ctx, request);
     }
 
@@ -543,7 +645,32 @@ impl NdpSlsEngine {
             ctx.complete(qid, NvmeCompletion::error(cid, NvmeStatus::MediaError));
             return;
         }
-        entry.results_ready = true;
+        if entry.needs_merge {
+            // Every page is translated: fold the per-engine partials into
+            // the result scratchpad. The merge is itself a timed task on a
+            // config-selected resource (fw core or a designated engine);
+            // its cost scales with the partials that saw work.
+            entry.needs_merge = false;
+            let cfg = entry.cfg.as_ref().expect("configured");
+            let active = entry.partial_pages.iter().filter(|&&c| c > 0).count();
+            let dur = self.cfg.merge_time(cfg.result_bytes() * active);
+            entry.merge = dur;
+            let placement = ctx
+                .ftl
+                .engine_config()
+                .expect("engine pool configured")
+                .merge;
+            let tag = self.alloc_tag(FwJob::Merge { request });
+            match placement {
+                MergePlacement::FwCore => Self::charge_fw(ctx, dur, tag),
+                MergePlacement::Engine(i) => Self::charge_engine(ctx, i as usize, dur, tag),
+            }
+            return;
+        }
+        if !entry.results_ready {
+            entry.results_ready = true;
+            entry.t_ready = ctx.now;
+        }
         let Some((_qid, _cid, nlb)) = entry.read_cmd else {
             return;
         };
@@ -582,8 +709,9 @@ impl NdpSlsEngine {
             config_write: entry.t_config_written.saturating_since(entry.t_arrive),
             config_process: entry.config_process,
             translation: entry.translation,
+            merge: entry.merge,
             flash_read: flash_span.saturating_sub(entry.translation),
-            total: entry.t_last_page.saturating_since(entry.t_arrive),
+            total: entry.t_ready.saturating_since(entry.t_arrive),
             pages: entry.page_work.len(),
             cache_hits: entry.cache_hits,
             lookups: entry.lookups,
@@ -628,6 +756,9 @@ impl NdpEngine for NdpSlsEngine {
                         page_work: bufs.page_work,
                         pages_pending: 0,
                         results: bufs.results,
+                        partials: bufs.partials,
+                        partial_pages: bufs.partial_pages,
+                        needs_merge: false,
                         results_ready: false,
                         failed: false,
                         read_cmd: None,
@@ -635,8 +766,10 @@ impl NdpEngine for NdpSlsEngine {
                         t_config_written: ctx.now,
                         t_processed: ctx.now,
                         t_last_page: ctx.now,
+                        t_ready: ctx.now,
                         config_process: SimDuration::ZERO,
                         translation: SimDuration::ZERO,
+                        merge: SimDuration::ZERO,
                         cache_hits: 0,
                         lookups: 0,
                     },
@@ -687,12 +820,16 @@ impl NdpEngine for NdpSlsEngine {
                         widx,
                         data,
                         duration,
+                        engine,
                     } => {
-                        self.apply_translation(ctx, request, widx, &data, duration);
+                        self.apply_translation(ctx, request, widx, &data, duration, engine);
                         // Last consumer of this page image: offer it back
                         // to the FTL's pool (a no-op while the page cache
                         // still holds it).
                         ctx.ftl.recycle_page_image(data);
+                    }
+                    FwJob::Merge { request } => {
+                        self.apply_merge(ctx, request);
                     }
                 }
                 true

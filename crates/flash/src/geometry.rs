@@ -112,6 +112,15 @@ impl FlashGeometry {
         }
     }
 
+    /// The channel a stripe-ordered linear page index lands on — the
+    /// channel→engine affinity key for per-channel compute engines.
+    /// Identical to `ppa_of_index(index).channel` but defined for any
+    /// index (it only takes the index modulo the channel count), so
+    /// never-written logical pages still route deterministically.
+    pub fn stripe_channel(&self, index: u64) -> u32 {
+        (index % self.channels as u64) as u32
+    }
+
     /// Linear index of a (channel, die, block) triple in `0..total_blocks()`.
     pub fn block_index(&self, channel: u32, die: u32, block: u32) -> u64 {
         (channel as u64 * self.dies_per_channel as u64 + die as u64) * self.blocks_per_die as u64

@@ -2,6 +2,8 @@
 
 use recssd_flash::FlashConfig;
 
+use crate::firmware::EnginePoolConfig;
+
 /// Configuration of the FTL layer.
 ///
 /// # Example
@@ -22,6 +24,10 @@ pub struct FtlConfig {
     pub page_cache_pages: usize,
     /// GC starts for a die when its free-block count drops to this level.
     pub gc_low_water: usize,
+    /// Per-channel SLS engine pool (Conduit-style multi-engine compute).
+    /// `None` models the stock single-core firmware: every task runs on
+    /// the serial [`crate::FwCore`].
+    pub engines: Option<EnginePoolConfig>,
 }
 
 impl FtlConfig {
@@ -35,6 +41,7 @@ impl FtlConfig {
             logical_pages,
             page_cache_pages: 4096,
             gc_low_water: 2,
+            engines: None,
         }
     }
 
@@ -48,7 +55,15 @@ impl FtlConfig {
             logical_pages,
             page_cache_pages: 32,
             gc_low_water: 2,
+            engines: None,
         }
+    }
+
+    /// Enables a per-channel engine pool (one full-rate engine per flash
+    /// channel unless `cfg` says otherwise).
+    pub fn with_engines(mut self, cfg: EnginePoolConfig) -> Self {
+        self.engines = Some(cfg);
+        self
     }
 
     /// Validates internal consistency.
@@ -69,6 +84,9 @@ impl FtlConfig {
             (self.gc_low_water as u32) < self.flash.geometry.blocks_per_die,
             "GC low-water must be below blocks per die"
         );
+        if let Some(engines) = &self.engines {
+            engines.validate();
+        }
     }
 }
 

@@ -12,7 +12,8 @@ use recssd_obs::trace::{track, SpanId, Tracer};
 use recssd_sim::stats::{Counter, HitStats};
 use recssd_sim::{FxHashMap, SimDuration, SimTime};
 
-use crate::{BlockAllocator, FtlConfig, FwCore, FwTag, Lpn, MappingTable};
+use crate::firmware::EnginePool;
+use crate::{BlockAllocator, EnginePoolConfig, FtlConfig, FwCore, FwTag, Lpn, MappingTable};
 
 /// Identifier of an in-flight FTL request (read or write).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +33,8 @@ pub enum FtlEvent {
     Flash(FlashEvent),
     /// The firmware core finished its current task.
     FwDone,
+    /// Engine `i` of the per-channel pool finished its current task.
+    EngineDone(u32),
 }
 
 /// Results emitted by [`GreedyFtl::handle`].
@@ -204,6 +207,8 @@ pub struct GreedyFtl {
     cache: LruCache<u64, Arc<[u8]>>,
     write_buffer: FxHashMap<u64, Arc<[u8]>>,
     fw: FwCore,
+    /// Per-channel SLS engine pool; `None` = single-core firmware.
+    engines: Option<EnginePool>,
     pending: FxHashMap<FlashOpId, Pending>,
     gc_jobs: FxHashMap<usize, GcJob>,
     reserved: std::collections::HashSet<u64>,
@@ -234,6 +239,7 @@ impl GreedyFtl {
             cache: LruCache::new(config.page_cache_pages),
             write_buffer: FxHashMap::default(),
             fw: FwCore::new(),
+            engines: config.engines.map(EnginePool::new),
             // Keys are monotonically increasing op ids, so this map
             // churns tombstones forever; pre-sizing past the deepest
             // realistic in-flight set keeps the steady-state
@@ -395,9 +401,53 @@ impl GreedyFtl {
         self.fw.busy_total()
     }
 
+    /// The engine-pool configuration, when a pool is present.
+    pub fn engine_config(&self) -> Option<&EnginePoolConfig> {
+        self.engines.as_ref().map(|p| p.config())
+    }
+
+    /// Number of per-channel engines (0 = single-core firmware).
+    pub fn engine_count(&self) -> usize {
+        self.engines.as_ref().map_or(0, |p| p.len())
+    }
+
+    /// Total busy time of engine `i` of the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pool is configured or `i` is out of range.
+    pub fn engine_busy(&self, i: usize) -> SimDuration {
+        self.engines
+            .as_ref()
+            .expect("engine pool configured")
+            .busy(i)
+    }
+
+    /// Total busy time summed across the engine pool (zero without one).
+    pub fn engines_busy_total(&self) -> SimDuration {
+        self.engines
+            .as_ref()
+            .map_or(SimDuration::ZERO, |p| p.busy_total())
+    }
+
+    /// The flash channel physically holding `lpn`, for channel→engine
+    /// affinity. Unmapped pages fall back to the preload stripe-order
+    /// lane, so never-written pages still route deterministically.
+    pub fn channel_of(&self, lpn: Lpn) -> u32 {
+        let g = self.config.flash.geometry;
+        match self.map.lookup(lpn, &g) {
+            Some(ppa) => ppa.channel,
+            None => g.stripe_channel(lpn.0),
+        }
+    }
+
     /// `true` when nothing is in flight anywhere in the FTL.
     pub fn idle(&self) -> bool {
-        self.pending.is_empty() && self.flash.idle() && self.fw.idle() && self.gc_jobs.is_empty()
+        self.pending.is_empty()
+            && self.flash.idle()
+            && self.fw.idle()
+            && self.engines.as_ref().is_none_or(|p| p.idle())
+            && self.gc_jobs.is_empty()
     }
 
     /// Page size in bytes.
@@ -613,6 +663,42 @@ impl GreedyFtl {
         }
     }
 
+    /// Charges a task onto engine `engine % pool size` of the per-channel
+    /// pool. Same contract as [`GreedyFtl::charge_firmware`] — FIFO per
+    /// engine, [`FtlOutcome::FwTaskDone`] carries `tag` back — but engines
+    /// run concurrently with each other and with the firmware core, which
+    /// is the whole point of the multi-engine model. Fault-plan brownout
+    /// inflation and stall draws apply exactly as on the core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no engine pool is configured.
+    pub fn charge_engine(
+        &mut self,
+        now: SimTime,
+        engine: usize,
+        mut duration: SimDuration,
+        tag: FwTag,
+        sched: &mut dyn FnMut(SimDuration, FtlEvent),
+    ) {
+        if let Some(plan) = self.flash.fault_plan_mut() {
+            duration = plan.inflate(now, duration);
+            if let Some(m) = plan.draw_stall() {
+                duration = duration * m as u64;
+            }
+        }
+        let pool = self.engines.as_mut().expect("engine pool configured");
+        let idx = engine % pool.len();
+        if let Some(d) = pool.start(idx, duration, tag) {
+            if self.tracer.enabled() {
+                self.tracer
+                    .with_tid(track::TID_ENGINE_BASE + idx as u32)
+                    .span_arg("fw:engine", now, now + d, SpanId::NONE, "ch", idx as u64);
+            }
+            sched(d, FtlEvent::EngineDone(idx as u32));
+        }
+    }
+
     /// Processes one FTL event, appending zero or more outcomes to `out`
     /// (an out-parameter so the caller's scratch buffer is reused across
     /// events instead of allocating a fresh `Vec` per event).
@@ -640,6 +726,20 @@ impl GreedyFtl {
                         }
                     }
                     sched(d, FtlEvent::FwDone);
+                }
+                out.push(FtlOutcome::FwTaskDone { tag });
+            }
+            FtlEvent::EngineDone(idx) => {
+                let idx = idx as usize;
+                let pool = self.engines.as_mut().expect("engine pool configured");
+                let (tag, next) = pool.finish(idx);
+                if let Some(d) = next {
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .with_tid(track::TID_ENGINE_BASE + idx as u32)
+                            .span_arg("fw:engine", now, now + d, SpanId::NONE, "ch", idx as u64);
+                    }
+                    sched(d, FtlEvent::EngineDone(idx as u32));
                 }
                 out.push(FtlOutcome::FwTaskDone { tag });
             }

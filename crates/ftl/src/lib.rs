@@ -42,7 +42,7 @@ mod map;
 
 pub use alloc::BlockAllocator;
 pub use config::FtlConfig;
-pub use firmware::{FwCore, FwTag};
+pub use firmware::{EnginePool, EnginePoolConfig, FwCore, FwTag, MergePlacement};
 pub use ftl_impl::{FtlError, FtlEvent, FtlOutcome, FtlStats, GreedyFtl, ReadStarted, ReqId};
 pub use map::MappingTable;
 

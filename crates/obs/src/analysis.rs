@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use crate::trace::{track, SpanRec};
 
 /// Number of named phases in the decomposition.
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 /// A named segment of a request's end-to-end latency. The discriminant
 /// is the attribution priority: when several phases are active at the
@@ -60,12 +60,15 @@ pub enum Phase {
     /// Data movement: flash channel transfer (`flash:xfer`) and NVMe
     /// command/result block movement (`ndp:write`, `ndp:read`).
     Transfer = 6,
+    /// Per-channel SLS engine execution — translation (and optionally
+    /// merge) service windows on the device's engine pool (`fw:engine`).
+    EngineExec = 7,
     /// Firmware-core execution — the serial embedded core charged per
     /// NVMe command and per NDP translation (`fw:exec`, `ndp:gather`).
-    FwExec = 7,
+    FwExec = 8,
     /// Host-side result folding (`ndp:merge`, `base:io` residue,
     /// `op:compute` labelled `host`).
-    Merge = 8,
+    Merge = 9,
 }
 
 impl Phase {
@@ -78,6 +81,7 @@ impl Phase {
         Phase::TierGather,
         Phase::FlashRead,
         Phase::Transfer,
+        Phase::EngineExec,
         Phase::FwExec,
         Phase::Merge,
     ];
@@ -92,6 +96,7 @@ impl Phase {
             Phase::TierGather => "tier_gather",
             Phase::FlashRead => "flash_read",
             Phase::Transfer => "transfer",
+            Phase::EngineExec => "engine_exec",
             Phase::FwExec => "fw_exec",
             Phase::Merge => "merge",
         }
@@ -417,6 +422,8 @@ fn sweep_use(ivs: Vec<(u64, u64)>) -> (u64, u64, u32) {
 struct PidResources {
     /// (start, end) of `fw:exec` spans on this pid.
     fw: Vec<(u64, u64)>,
+    /// (start, end) of `fw:engine` spans (the per-channel engine pool).
+    eng: Vec<(u64, u64)>,
     /// (start, end) of `flash:read` spans.
     flash_read: Vec<(u64, u64)>,
     /// (start, end) of `flash:xfer` spans.
@@ -465,6 +472,11 @@ pub fn request_critical_paths(spans: &[SpanRec]) -> Vec<RequestProfile> {
                 .or_default()
                 .fw
                 .push((s.start_ns, s.end_ns)),
+            "fw:engine" => resources
+                .entry(s.pid)
+                .or_default()
+                .eng
+                .push((s.start_ns, s.end_ns)),
             "flash:read" => resources
                 .entry(s.pid)
                 .or_default()
@@ -481,6 +493,7 @@ pub fn request_critical_paths(spans: &[SpanRec]) -> Vec<RequestProfile> {
     }
     for r in resources.values_mut() {
         r.fw.sort_unstable();
+        r.eng.sort_unstable();
         r.flash_read.sort_unstable();
         r.flash_xfer.sort_unstable();
     }
@@ -553,6 +566,7 @@ pub fn request_critical_paths(spans: &[SpanRec]) -> Vec<RequestProfile> {
                 // whether it is being served or queued behind others.
                 if let Some(r) = resources.get(&pid) {
                     clip_into(&r.fw, ws, we, Phase::FwExec, &mut evidence);
+                    clip_into(&r.eng, ws, we, Phase::EngineExec, &mut evidence);
                     clip_into(&r.flash_xfer, ws, we, Phase::Transfer, &mut evidence);
                     clip_into(&r.flash_read, ws, we, Phase::FlashRead, &mut evidence);
                 }
@@ -717,16 +731,26 @@ pub struct PathHeadroom {
     pub path: String,
     /// Requests the estimate is based on.
     pub requests: u64,
-    /// Resource class with the largest per-request demand.
+    /// Resource class with the largest per-request demand *per server*
+    /// (demand divided by the class's calibrated capacity).
     pub bottleneck: String,
     /// Mean per-request demand on that class, ns.
     pub demand_ns: u64,
-    /// Max sustainable offered load on the bottleneck, requests/s.
+    /// Calibrated server count of the bottleneck class (peak observed
+    /// service concurrency; 1 for provably-serial resources). Pools —
+    /// e.g. per-channel engines — report their width here, and the
+    /// sustainable rate scales with it.
+    pub capacity: u32,
+    /// Max sustainable offered load on the bottleneck, requests/s
+    /// (`capacity × 1e9 / demand_ns`).
     pub sustainable_rps: f64,
     /// Observed offered load in the trace, requests/s.
     pub observed_rps: f64,
     /// `sustainable_rps / observed_rps` (∞-free: 0 when unknown).
     pub headroom_x: f64,
+    /// The observed load exceeds the sustainable bound: the path is
+    /// past its operational-law capacity and queues grow without bound.
+    pub saturated: bool,
 }
 
 /// Resource saturation ranking plus per-path headroom estimates.
@@ -769,8 +793,15 @@ impl BottleneckReport {
         for h in &self.headroom {
             let _ = writeln!(
                 out,
-                "  headroom[{:<8}] bottleneck {:<11} demand {:>9} ns/req  sustainable {:>9.0} rps  observed {:>9.0} rps  ({:.2}x)",
-                h.path, h.bottleneck, h.demand_ns, h.sustainable_rps, h.observed_rps, h.headroom_x
+                "  headroom[{:<8}] bottleneck {:<11} demand {:>9} ns/req  cap {:>2}  sustainable {:>9.0} rps  observed {:>9.0} rps  ({:.2}x{})",
+                h.path,
+                h.bottleneck,
+                h.demand_ns,
+                h.capacity,
+                h.sustainable_rps,
+                h.observed_rps,
+                h.headroom_x,
+                if h.saturated { ", SATURATED" } else { "" }
             );
         }
         if let Some(top) = self.top() {
@@ -799,6 +830,14 @@ pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
         match s.name {
             "fw:exec" => busy
                 .entry(format!("fw:core[shard={}]", s.pid.saturating_sub(1)))
+                .or_default()
+                .push((s.start_ns, s.end_ns)),
+            // All of a shard's per-channel engines pool into one
+            // resource; `sweep_use` self-calibrates its capacity to the
+            // peak engine concurrency, so an 8-engine pool ranks as an
+            // 8-wide server rather than eight saturated serial ones.
+            "fw:engine" => busy
+                .entry(format!("fw:engine[shard={}]", s.pid.saturating_sub(1)))
                 .or_default()
                 .push((s.start_ns, s.end_ns)),
             // Channel-transfer windows, not `flash:read`: a read span
@@ -842,8 +881,29 @@ pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
 
     // Headroom: per-request demand per resource class, estimated from
     // the critical-path decomposition (FwExec → firmware core,
-    // FlashRead/Transfer → flash array, TierGather → DRAM tier,
-    // HostSw/Merge → host CPU).
+    // EngineExec → the per-channel engine pool, FlashRead/Transfer →
+    // flash array, TierGather → DRAM tier, HostSw/Merge → host CPU).
+    // Each class's server count comes from the calibrated capacities in
+    // the ranking above (the widest shard instance), so a pooled
+    // resource sustains `capacity` requests' worth of demand per unit
+    // time — the binding class is the one with the largest demand *per
+    // server*, not the largest raw demand.
+    let cap_of = |prefix: &str| -> u32 {
+        ranked
+            .iter()
+            .filter(|r| r.resource.starts_with(prefix))
+            .map(|r| r.capacity)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    };
+    let class_caps = [
+        ("fw:core", cap_of("fw:core")),
+        ("fw:engine", cap_of("fw:engine[")),
+        ("flash", cap_of("flash[")),
+        ("tier:dram", cap_of("tier:dram")),
+        ("host:cpu", 1),
+    ];
     let report = critical_path_report(spans);
     let mut headroom = Vec::new();
     for p in &report.paths {
@@ -855,15 +915,33 @@ pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
         };
         let demands = [
             ("fw:core", class(&[Phase::FwExec])),
+            ("fw:engine", class(&[Phase::EngineExec])),
             ("flash", class(&[Phase::FlashRead, Phase::Transfer])),
             ("tier:dram", class(&[Phase::TierGather])),
             ("host:cpu", class(&[Phase::HostSw, Phase::Merge])),
         ];
+        // Binding class: max demand/capacity via cross-multiplied
+        // integer compare (float-free), smallest name on exact ties.
         let &(bname, dmax) = demands
             .iter()
-            .max_by_key(|&&(n, d)| (d, std::cmp::Reverse(n)))
+            .zip(&class_caps)
+            .max_by(|(a, &(_, ca)), (b, &(_, cb))| {
+                (a.1 as u128 * cb as u128)
+                    .cmp(&(b.1 as u128 * ca as u128))
+                    .then_with(|| b.0.cmp(a.0))
+            })
+            .map(|(d, _)| d)
             .expect("non-empty demand classes");
-        let sustainable = if dmax > 0 { 1e9 / dmax as f64 } else { 0.0 };
+        let cap = class_caps
+            .iter()
+            .find(|&&(n, _)| n == bname)
+            .map(|&(_, c)| c)
+            .expect("class has a capacity");
+        let sustainable = if dmax > 0 {
+            cap as f64 * 1e9 / dmax as f64
+        } else {
+            0.0
+        };
         let observed = if elapsed > 0 {
             p.requests as f64 * 1e9 / elapsed as f64
         } else {
@@ -874,6 +952,7 @@ pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
             requests: p.requests,
             bottleneck: bname.to_string(),
             demand_ns: dmax,
+            capacity: cap,
             sustainable_rps: sustainable,
             observed_rps: observed,
             headroom_x: if observed > 0.0 && sustainable > 0.0 {
@@ -881,6 +960,7 @@ pub fn bottleneck_report(spans: &[SpanRec]) -> BottleneckReport {
             } else {
                 0.0
             },
+            saturated: sustainable > 0.0 && observed > sustainable,
         });
     }
     headroom.sort_by(|a, b| a.path.cmp(&b.path));
@@ -1023,6 +1103,94 @@ mod tests {
         let report = CriticalPathReport::from_profiles(&profiles);
         assert_eq!(report.degraded, 1);
         assert!(report.paths.is_empty());
+    }
+
+    /// Two overlapping per-channel engine spans pool into one
+    /// `fw:engine[shard=0]` resource whose capacity self-calibrates to
+    /// the peak engine concurrency, and the headroom model divides the
+    /// class demand by that capacity.
+    #[test]
+    fn engine_pool_capacity_self_calibrates() {
+        let sink = TraceSink::new();
+        let host = sink.tracer(0, track::TID_HOST);
+        let e0 = sink.tracer(1, track::TID_ENGINE_BASE);
+        let e1 = sink.tracer(1, track::TID_ENGINE_BASE + 1);
+        let req = host.alloc_id();
+        let sub = host.alloc_id();
+        host.span_arg("sub:wait", t(0), t(10), sub, "shard", 1);
+        e0.span_arg("fw:engine", t(10), t(50), SpanId::NONE, "ch", 0);
+        e1.span_arg("fw:engine", t(10), t(50), SpanId::NONE, "ch", 1);
+        host.emit(sub, "sub", t(0), t(60), req, "lookups", 8, "ndp");
+        host.emit(
+            req,
+            "request",
+            t(0),
+            t(60),
+            SpanId::NONE,
+            "degraded",
+            0,
+            "ndp",
+        );
+        let mut spans = sink.take_spans();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+
+        let profiles = request_critical_paths(&spans);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].phase_ns[Phase::EngineExec.index()], 40);
+
+        let report = bottleneck_report(&spans);
+        let eng = report
+            .ranked
+            .iter()
+            .find(|r| r.resource == "fw:engine[shard=0]")
+            .expect("engine pool resource discovered");
+        assert_eq!(eng.capacity, 2);
+        assert_eq!(eng.service_ns, 80);
+        assert_eq!(eng.busy_ns, 40);
+        let h = &report.headroom[0];
+        assert_eq!(h.bottleneck, "fw:engine");
+        assert_eq!(h.capacity, 2);
+        // 40 ns/req over 2 servers → 2e9/40 = 5e7 rps sustainable,
+        // well above the observed 1 request per 60 ns window.
+        assert!((h.sustainable_rps - 5e7).abs() < 1.0);
+        assert!(!h.saturated);
+    }
+
+    /// A path driven past its operational-law bound reports
+    /// `saturated: true`.
+    #[test]
+    fn overdriven_path_reports_saturated() {
+        let sink = TraceSink::new();
+        let host = sink.tracer(0, track::TID_HOST);
+        let fw = sink.tracer(1, track::TID_FW);
+        fw.span("fw:exec", t(1), t(60), SpanId::NONE);
+        for _ in 0..2 {
+            let req = host.alloc_id();
+            let sub = host.alloc_id();
+            host.span_arg("sub:wait", t(0), t(1), sub, "shard", 1);
+            host.emit(sub, "sub", t(0), t(60), req, "lookups", 4, "ndp");
+            host.emit(
+                req,
+                "request",
+                t(0),
+                t(60),
+                SpanId::NONE,
+                "degraded",
+                0,
+                "ndp",
+            );
+        }
+        let mut spans = sink.take_spans();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns, s.id));
+        let report = bottleneck_report(&spans);
+        let h = &report.headroom[0];
+        // Each request demands 59 ns of the serial fw core inside a
+        // 60 ns window shared by two requests: observed ≈ 2× sustainable.
+        assert_eq!(h.bottleneck, "fw:core");
+        assert_eq!(h.capacity, 1);
+        assert!(h.observed_rps > h.sustainable_rps);
+        assert!(h.saturated);
+        assert!(report.render().contains("SATURATED"));
     }
 
     #[test]

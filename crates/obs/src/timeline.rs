@@ -269,6 +269,10 @@ pub fn utilization_timelines(spans: &[SpanRec], window_ns: u64) -> Vec<Utilizati
                 .entry(format!("fw:core[shard={}]", s.pid.saturating_sub(1)))
                 .or_default()
                 .push((s.start_ns, s.end_ns)),
+            "fw:engine" => servers
+                .entry(format!("fw:engine[shard={}]", s.pid.saturating_sub(1)))
+                .or_default()
+                .push((s.start_ns, s.end_ns)),
             "flash:read" => servers
                 .entry(format!("flash[shard={}]", s.pid.saturating_sub(1)))
                 .or_default()

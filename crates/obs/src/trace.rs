@@ -47,6 +47,11 @@ pub mod track {
     pub const TID_FW: u32 = 2;
     /// tid of flash-array spans (reads, channel transfers).
     pub const TID_FLASH: u32 = 3;
+    /// First tid of the per-channel SLS engine rows: engine `i` of a
+    /// device's pool lands on `TID_ENGINE_BASE + i`, so every engine gets
+    /// its own track in the viewer. Analysis keys engine spans by name +
+    /// `ch` argument, never by tid.
+    pub const TID_ENGINE_BASE: u32 = 8;
 }
 
 /// Number of low bits reserved for the per-sink span counter; the sink's

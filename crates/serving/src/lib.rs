@@ -119,6 +119,11 @@ pub use runtime::{
 pub use shard::{ShardMap, SlsPath};
 pub use telemetry::{PathAttribution, ServingStats};
 
+// Per-channel engine-pool knobs (`cfg.system.ssd.ftl.engines`), so
+// serving consumers can enable in-SSD compute engines without a
+// device-crate dependency.
+pub use recssd::{EnginePoolConfig, MergePlacement};
+
 pub use recssd_obs::{
     bottleneck_report, chrome_trace_json, coverage_report, critical_path_report,
     request_critical_paths, utilization_timelines, validate_spans, BottleneckReport, CoverageGap,

@@ -31,3 +31,6 @@ mod extension;
 pub use config::SsdConfig;
 pub use device::{SsdDevice, SsdEvent, SsdStats};
 pub use extension::{DeviceCtx, NdpEngine, NoNdp, EXT_TAG_BIT};
+// Re-exported so device-level callers can switch on the per-channel
+// engine pool (`cfg.ftl.engines`) without depending on the FTL crate.
+pub use recssd_ftl::{EnginePoolConfig, MergePlacement};
